@@ -1,0 +1,97 @@
+"""Benchmarks X1–X4: the extension studies from DESIGN.md.
+
+- X1: payment overhead (cost of incentives) vs chain length.
+- X2: architecture comparison on identical resources.
+- X3: audit economics — the F/q deterrence frontier.
+- X4: DLS-LIL, the interior-origination mechanism (future work realized).
+"""
+
+from repro.experiments import (
+    run_x1_scaling,
+    run_x2_topology,
+    run_x3_audit,
+    run_x4_interior,
+)
+
+
+def test_x1_payment_scaling(benchmark, record_experiment):
+    result = benchmark.pedantic(run_x1_scaling, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x2_topology_comparison(benchmark, record_experiment):
+    result = benchmark.pedantic(run_x2_topology, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x3_audit_economics(benchmark, record_experiment):
+    result = benchmark.pedantic(run_x3_audit, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x4_interior_mechanism(benchmark, record_experiment):
+    result = benchmark.pedantic(run_x4_interior, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x5_star_mechanism(benchmark, record_experiment):
+    from repro.experiments import run_x5_star
+
+    result = benchmark.pedantic(run_x5_star, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x6_tree_mechanism(benchmark, record_experiment):
+    from repro.experiments import run_x6_tree
+
+    result = benchmark.pedantic(run_x6_tree, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_a1_enforcement_ablation(benchmark, record_experiment):
+    from repro.experiments import run_a1_ablation
+
+    result = benchmark.pedantic(run_a1_ablation, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x7_position_rents(benchmark, record_experiment):
+    from repro.experiments import run_x7_position_rents
+
+    result = benchmark.pedantic(run_x7_position_rents, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x8_collusion_stability(benchmark, record_experiment):
+    from repro.experiments import run_x8_collusion
+
+    result = benchmark.pedantic(run_x8_collusion, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_a2_bonus_rule_ablation(benchmark, record_experiment):
+    from repro.experiments import run_a2_bonus_rule
+
+    result = benchmark.pedantic(run_a2_bonus_rule, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_a3_assumptions_audit(benchmark, record_experiment):
+    from repro.experiments import run_a3_assumptions
+
+    result = benchmark.pedantic(run_a3_assumptions, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x9_regime_sensitivity(benchmark, record_experiment):
+    from repro.experiments import run_x9_regimes
+
+    result = benchmark.pedantic(run_x9_regimes, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_x10_multiround(benchmark, record_experiment):
+    from repro.experiments import run_x10_multiround
+
+    result = benchmark.pedantic(run_x10_multiround, rounds=1, iterations=1)
+    record_experiment(result)

@@ -1,0 +1,31 @@
+"""Benchmarks F1–F3: regenerate the paper's three figures.
+
+- F1 (Fig. 1): linear-network topology construction and invariants.
+- F2 (Fig. 2): the execution Gantt chart — closed form vs DES.
+- F3 (Fig. 3): the equivalent-processor reduction.
+"""
+
+from repro.experiments import (
+    gantt_chart_for,
+    run_fig1_topology,
+    run_fig2_gantt,
+    run_fig3_reduction,
+)
+
+
+def test_fig1_topology(benchmark, record_experiment):
+    result = benchmark(run_fig1_topology)
+    record_experiment(result)
+
+
+def test_fig2_gantt(benchmark, record_experiment):
+    result = benchmark(run_fig2_gantt)
+    record_experiment(result)
+    # The figure itself, archived alongside the tables.
+    chart = gantt_chart_for(4)
+    print("\n" + chart)
+
+
+def test_fig3_reduction(benchmark, record_experiment):
+    result = benchmark(run_fig3_reduction)
+    record_experiment(result)

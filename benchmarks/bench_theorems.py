@@ -1,0 +1,46 @@
+"""Benchmarks T2.1 and T5.1–T5.4: empirical validation of every theorem.
+
+These are the reproduction's substitute for the paper's proofs-only
+evaluation: each theorem is exercised on concrete strategic populations
+and the observed outcome is archived.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_thm21_optimality,
+    run_thm51_deviation,
+    run_thm52_annoying,
+    run_thm53_strategyproof,
+    run_thm54_participation,
+    utility_curve,
+)
+
+
+def test_thm21_optimality(benchmark, record_experiment):
+    result = benchmark.pedantic(run_thm21_optimality, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_thm51_deviation_compliance(benchmark, record_experiment):
+    result = benchmark.pedantic(run_thm51_deviation, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_thm52_annoying_agents(benchmark, record_experiment):
+    result = benchmark.pedantic(run_thm52_annoying, rounds=1, iterations=1)
+    record_experiment(result)
+
+
+def test_thm53_strategyproofness(benchmark, record_experiment):
+    # The heavyweight sweep: hundreds of full mechanism runs.
+    result = benchmark.pedantic(run_thm53_strategyproof, rounds=1, iterations=1)
+    record_experiment(result)
+    # Archive the representative utility-vs-bid curve (the classic figure
+    # from the companion papers).
+    print("\n" + utility_curve(m=4, agent_index=2).format())
+
+
+def test_thm54_voluntary_participation(benchmark, record_experiment):
+    result = benchmark.pedantic(run_thm54_participation, rounds=1, iterations=1)
+    record_experiment(result)

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one row of the experiment index in
+``DESIGN.md``: it runs the experiment (timed by pytest-benchmark),
+asserts the paper's property held, prints the reproduced tables, and
+archives them under ``benchmarks/out/`` so EXPERIMENTS.md can be checked
+against fresh numbers.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(result: ExperimentResult) -> None:
+    """Print and archive an experiment's tables."""
+    text = result.format()
+    print("\n" + text)
+    OUT_DIR.mkdir(exist_ok=True)
+    safe_id = result.experiment_id.replace(".", "_")
+    (OUT_DIR / f"{safe_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def record_experiment():
+    """Fixture: call with an ExperimentResult to assert-and-archive it."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        emit(result)
+        assert result.passed, result.summary
+        return result
+
+    return _record

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Interior origination: the paper's future work, running.
+
+The paper's mechanism (DLS-LBL) requires the load to originate at a
+*boundary* of the chain; its conclusion lists the interior case as
+future work.  This example runs the extension mechanism (DLS-LIL): the
+root sits mid-chain, collapses both arms into equivalent processors
+(the Fig. 3 reduction applied wholesale), splits the load by the
+two-child star formula, and the DLS-LBL payment structure carries over
+per arm — including strategyproofness, which is demonstrated by a bid
+sweep at an arm-terminal position.
+
+Run:  python examples/interior_origination.py
+"""
+
+import numpy as np
+
+from repro import DLSLILMechanism, TruthfulAgent, MisbiddingAgent
+from repro.dlt.linear_interior import solve_linear_interior
+from repro.viz.gantt import render_gantt
+
+W = [2.0, 3.0, 2.5, 4.0, 1.5, 2.2]   # chain rates; root is position 2
+Z = [0.5, 0.3, 0.7, 0.2, 0.4]
+ROOT = 2
+
+
+def roster(overrides=None):
+    overrides = overrides or {}
+    return [
+        overrides.get(i, TruthfulAgent(i, W[i]))
+        for i in range(len(W)) if i != ROOT
+    ]
+
+
+# --- Where should the root be? ------------------------------------------
+print("makespan by root placement (same chain):")
+for r in range(len(W)):
+    span = solve_linear_interior(W, Z, r).makespan
+    marker = "  <-- this example" if r == ROOT else ""
+    print(f"  root at P{r}: {span:.4f}{marker}")
+
+# --- An honest run --------------------------------------------------------
+mech = DLSLILMechanism(Z, ROOT, W[ROOT], roster(), rng=np.random.default_rng(0))
+outcome = mech.run()
+sched = solve_linear_interior(W, Z, ROOT)
+assert np.allclose(outcome.assigned, sched.alpha)
+print(f"\narm service order: {' then '.join(outcome.order)}")
+print(f"makespan: {outcome.makespan:.4f} "
+      f"(closed form: {sched.makespan:.4f})")
+print("\nGantt (root = P2; left arm P1,P0; right arm P3..P5):")
+print(render_gantt(outcome.sim_result.trace, len(W)))
+
+print("\nutilities:", {i: round(outcome.utility(i), 3) for i in range(len(W))})
+assert all(outcome.utility(i) >= 0 for i in range(len(W)))
+
+# --- Strategyproofness survives the new allocation rule ------------------
+print("\nbid sweep for the left-arm terminal P0:")
+truthful_u = outcome.utility(0)
+for factor in (0.4, 0.7, 1.0, 1.5, 2.5):
+    agents = roster({0: MisbiddingAgent(0, W[0], bid_factor=factor)} if factor != 1.0 else None)
+    dev = DLSLILMechanism(Z, ROOT, W[ROOT], agents, rng=np.random.default_rng(0)).run()
+    u = dev.utility(0)
+    marker = "  <-- truth" if factor == 1.0 else ""
+    print(f"  bid factor {factor:<4} utility {u:.5f}{marker}")
+    assert u <= truthful_u + 1e-9
+
+print("\nWhy it works: an agent's utility at full speed reduces to its")
+print("bonus, which depends only on its pairwise reduction with its")
+print("predecessor — not on how the root splits load between arms.")

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Where the paper's model bends: assumptions, installments, coalitions.
+
+Three short studies using the extension APIs:
+
+1. **Assumptions (i)–(iii)** — re-introduce link startup, protocol
+   latency, and result return, and see how much they cost on a real
+   schedule (the A3 audit, interactively).
+2. **Multi-installment scheduling** — the [21]-style gain on a
+   communication-heavy star, and the startup level at which
+   single-installment DLT (the paper's model) becomes optimal again.
+3. **Coalitions** — a shedder can bribe its victim into silence... until
+   the victim notices the reporting reward is worth more than the whole
+   scam (the X8 stability argument).
+
+Run:  python examples/model_boundaries.py
+"""
+
+import numpy as np
+
+from repro import LinearNetwork, solve_linear_boundary
+from repro.dlt.multiround import optimize_multiround_allocation
+from repro.dlt.overheads import (
+    finishing_times_with_startup,
+    protocol_latency_overhead,
+    return_phase_duration,
+)
+from repro.dlt.star import solve_star
+from repro.network.topology import StarNetwork
+
+# --- 1. The cost of the assumptions -------------------------------------
+network = LinearNetwork(w=[2.0, 3.0, 2.5, 4.0, 1.5], z=[0.5, 0.3, 0.7, 0.2])
+sched = solve_linear_boundary(network)
+print(f"ideal makespan (all assumptions hold): {sched.makespan:.4f}\n")
+
+print("assumption (i) — link startup s (schedule held fixed):")
+for s in (0.001, 0.01, 0.05):
+    t = finishing_times_with_startup(network, sched.alpha, s).max()
+    print(f"  s={s:<6} makespan {t:.4f}  (+{(t / sched.makespan - 1):.1%})")
+
+print("\nassumption (ii) — protocol message latency λ (2m pre-schedule hops):")
+for lam in (0.001, 0.01, 0.05):
+    overhead = protocol_latency_overhead(network.m, lam)
+    print(f"  λ={lam:<6} adds {overhead:.4f}  ({overhead / sched.makespan:.1%} of the makespan)")
+
+print("\nassumption (iii) — result return of size ratio·α (reverse pipeline):")
+for ratio in (0.01, 0.1, 0.5):
+    back = return_phase_duration(network, sched.alpha, ratio)
+    print(f"  ratio={ratio:<5} adds {back:.4f}  ({back / sched.makespan:.1%})")
+
+# --- 2. Multi-installment scheduling --------------------------------------
+print("\n--- multiround on a communication-heavy star ([21]) ---")
+star = StarNetwork([3.0, 2.0, 2.5, 1.8], [1.0, 1.2, 0.8])
+single = solve_star(star, order="by-link").makespan
+print(f"single-installment optimal: {single:.4f}")
+for rounds in (2, 4, 8):
+    _, t = optimize_multiround_allocation(star, rounds)
+    print(f"  R={rounds}: {t:.4f}  (gain {(single - t) / single:.1%})")
+print("with per-transmission startup 0.1 the pipeline overhead dominates:")
+spans = {r: optimize_multiround_allocation(star, r, startup=0.1)[1] for r in (1, 2, 4)}
+best = min(spans, key=spans.get)
+print(f"  {dict((k, round(v, 4)) for k, v in spans.items())} -> best R = {best}"
+      f"  (single-installment again: the paper's regime)")
+
+# --- 3. Coalition arithmetic ----------------------------------------------
+print("\n--- why shedder/victim coalitions collapse (X8) ---")
+from repro.agents import LoadSheddingAgent, SilentVictimAgent, TruthfulAgent
+from repro.mechanism import DLSLBLMechanism
+from repro.mechanism.properties import run_truthful
+
+Z = [0.5, 0.3, 0.7, 0.2]
+TRUE = [3.0, 2.5, 4.0, 1.5]
+baseline = run_truthful(Z, 2.0, TRUE)
+joint_truthful = baseline.utility(2) + baseline.utility(3)
+
+agents = [TruthfulAgent(i, t) for i, t in enumerate(TRUE, start=1)]
+agents[1] = LoadSheddingAgent(2, TRUE[1], shed_fraction=0.5)
+agents[2] = SilentVictimAgent(3, TRUE[2])
+colluded = DLSLBLMechanism(Z, 2.0, agents, rng=np.random.default_rng(0)).run()
+surplus = colluded.utility(2) + colluded.utility(3) - joint_truthful
+
+agents = [TruthfulAgent(i, t) for i, t in enumerate(TRUE, start=1)]
+agents[1] = LoadSheddingAgent(2, TRUE[1], shed_fraction=0.5)
+betrayed = DLSLBLMechanism(Z, 2.0, agents, rng=np.random.default_rng(0)).run()
+reward = [v for v in betrayed.adjudications if v.substantiated][0].reward_amount
+
+print(f"coalition surplus (shed + stay silent): {surplus:+.3f}")
+print(f"victim's payoff for betraying instead:  {reward:+.3f}  (the reward F)")
+print("F exceeds the entire scam, so no side payment keeps the victim quiet.")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""A strategic compute market: why lying about your speed doesn't pay.
+
+Scenario: four independent organizations rent out processors arranged in
+a relay chain (think edge sites along a fiber route).  Each is tempted to
+misreport its processing rate to attract a better deal.  This example
+sweeps the bid of one provider across under- and over-reporting and
+plots (as a text table) its realized utility — the utility-vs-bid curve
+that Theorem 5.3 says must peak at the truth.
+
+Run:  python examples/strategic_market.py
+"""
+
+import numpy as np
+
+from repro import sweep_bids, utility_of_bid
+from repro.experiments import WORKLOADS, utility_curve
+
+# The market: a 5-processor chain drawn from the standard workload pool
+# so the numbers are reproducible.
+network = WORKLOADS["small-uniform"].one(4)
+z = network.z
+root_rate = float(network.w[0])
+true_rates = [float(t) for t in network.w[1:]]
+
+print("chain rates  w:", np.round(network.w, 3))
+print("link rates   z:", np.round(z, 3))
+
+# --- Sweep one interior provider and one terminal provider -------------
+for agent_index in (2, 4):
+    report = sweep_bids(z, root_rate, true_rates, agent_index,
+                        factors=np.linspace(0.25, 3.0, 12))
+    print(f"\nP{agent_index} (true rate {report.true_rate:.3f}):")
+    print(f"{'bid':>10} {'utility':>12} {'vs truth':>12}")
+    for bid, utility in zip(report.bids, report.utilities):
+        delta = utility - report.truthful_utility
+        marker = "  <-- truth" if np.isclose(bid, report.true_rate) else ""
+        print(f"{bid:>10.3f} {utility:>12.5f} {delta:>12.2e}{marker}")
+    assert report.truthful_is_optimal, "strategyproofness violated!"
+    print(f"best bid = {report.best_bid:.3f} (truth = {report.true_rate:.3f})")
+
+# --- Sandbagging: bid truthfully but run slow ----------------------------
+print("\nRunning slower than full capacity (bid kept truthful):")
+idx = 2
+truthful = utility_of_bid(z, root_rate, true_rates, idx, true_rates[idx - 1])
+for slowdown in (1.0, 1.2, 1.5, 2.0, 3.0):
+    u = utility_of_bid(
+        z, root_rate, true_rates, idx, true_rates[idx - 1],
+        execution_rate=slowdown * true_rates[idx - 1],
+    )
+    print(f"  slowdown x{slowdown:<4} utility {u:>10.5f}  (loss {truthful - u:.5f})")
+
+print("\nConclusion: the payment's bonus term is maximized by truthful")
+print("bids executed at full capacity — exactly Theorem 5.3.")

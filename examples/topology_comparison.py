@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Architecture shoot-out: the same resources as a chain, star, bus and
+tree.
+
+The intro of the paper situates linear networks within the DLT family
+(bus and tree mechanisms are the authors' prior work).  This example
+takes one resource pool and compares the optimal makespan under each
+architecture — including the interior-origination chain at every root
+placement, the extension the paper lists as future work.
+
+Run:  python examples/topology_comparison.py
+"""
+
+import numpy as np
+
+from repro import (
+    BusNetwork,
+    StarNetwork,
+    TreeNetwork,
+    solve_bus,
+    solve_linear_boundary,
+    solve_linear_interior,
+    solve_star,
+    solve_tree,
+)
+from repro.network import random_linear_network
+
+rng = np.random.default_rng(42)
+network = random_linear_network(7, rng)
+w, z = network.w, network.z
+print("resource pool: 8 processors, 7 links")
+print("  w:", np.round(w, 3))
+print("  z:", np.round(z, 3))
+
+rows: list[tuple[str, float]] = []
+rows.append(("linear, boundary root (the paper)", solve_linear_boundary(network).makespan))
+
+# Interior origination at every placement.
+best_r, best_span = 0, float("inf")
+for r in range(network.size):
+    span = solve_linear_interior(w, z, r).makespan
+    if span < best_span:
+        best_r, best_span = r, span
+rows.append((f"linear, interior root at P{best_r} (best placement)", best_span))
+
+rows.append(("star (dedicated links)", solve_star(StarNetwork(w, z)).makespan))
+rows.append(("bus (shared medium, mean link rate)", solve_bus(BusNetwork(w, float(z.mean()))).makespan))
+rows.append(("unary tree (sanity: equals the chain)", solve_tree(TreeNetwork.from_linear(network)).makespan))
+
+baseline = rows[0][1]
+print(f"\n{'architecture':<45} {'makespan':>10} {'speedup':>9}")
+for name, span in rows:
+    print(f"{name:<45} {span:>10.4f} {baseline / span:>8.2f}x")
+
+print("\ntakeaways:")
+print(" - the chain pays a relay penalty: every unit of load for P_k")
+print("   crosses all k links, so the star beats it on the same links;")
+print(" - moving the root inward splits the relay path in two — the")
+print("   future-work variant the paper sketches in Section 6;")
+print(" - sequential one-port distribution makes the bus and star")
+print("   closer than the dedicated links would suggest.")

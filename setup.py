@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which require ``bdist_wheel``) fail.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``python setup.py develop``) work with the vendored setuptools.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""repro — a reproduction of *"A Strategyproof Mechanism for Scheduling
+Divisible Loads in Linear Networks"* (Carroll & Grosu, IPPS 2007).
+
+The package provides:
+
+- **DLT substrate** (:mod:`repro.dlt`): closed-form optimal divisible-load
+  schedules for linear (boundary and interior origination), bus, star and
+  tree networks, with the equivalent-processor reduction of the paper's
+  Fig. 3 and the finishing-time model of eqs. 2.1/2.2.
+- **The DLS-LBL mechanism** (:mod:`repro.mechanism`): the paper's
+  strategyproof mechanism with verification — Phase I–IV orchestration,
+  the payment structure (compensation, recompense, bonus), probabilistic
+  audits, grievances and fines.
+- **Strategic agents** (:mod:`repro.agents`): truthful agents plus one
+  class per deviation the paper analyses.
+- **Substrates** the paper assumes: a simulated PKI
+  (:mod:`repro.crypto`), the Λ load-certification device and tamper-proof
+  meter (:mod:`repro.protocol`), a payment ledger
+  (:mod:`repro.mechanism.ledger`), and a one-port/front-end discrete-event
+  simulator (:mod:`repro.sim`).
+- **Experiments** (:mod:`repro.experiments`): the harness regenerating
+  every figure and theorem-validation of the paper (see EXPERIMENTS.md).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import LinearNetwork, solve_linear_boundary
+>>> net = LinearNetwork(w=[2.0, 3.0, 2.5], z=[0.5, 0.3])
+>>> sched = solve_linear_boundary(net)
+>>> bool(np.isclose(sched.alpha.sum(), 1.0))
+True
+"""
+
+from repro.__about__ import __version__
+from repro.agents import (
+    ContradictoryBidAgent,
+    FalseAccuserAgent,
+    LoadSheddingAgent,
+    MisbiddingAgent,
+    MiscomputingAgent,
+    OverchargingAgent,
+    ProcessorAgent,
+    RelayTamperingAgent,
+    SlowExecutionAgent,
+    TruthfulAgent,
+)
+from repro.dlt import (
+    finishing_times,
+    makespan,
+    solve_bus,
+    solve_linear_boundary,
+    solve_linear_interior,
+    solve_star,
+    solve_tree,
+)
+from repro.mechanism import (
+    DLSLBLMechanism,
+    DLSLILMechanism,
+    MechanismOutcome,
+    check_voluntary_participation,
+    recommended_fine,
+    sweep_bids,
+    utility_of_bid,
+)
+from repro.network import (
+    BusNetwork,
+    LinearNetwork,
+    StarNetwork,
+    TreeNetwork,
+    random_linear_network,
+)
+from repro.sim import simulate_linear_chain
+
+__all__ = [
+    "BusNetwork",
+    "ContradictoryBidAgent",
+    "DLSLBLMechanism",
+    "DLSLILMechanism",
+    "FalseAccuserAgent",
+    "LinearNetwork",
+    "LoadSheddingAgent",
+    "MechanismOutcome",
+    "MisbiddingAgent",
+    "MiscomputingAgent",
+    "OverchargingAgent",
+    "ProcessorAgent",
+    "RelayTamperingAgent",
+    "SlowExecutionAgent",
+    "StarNetwork",
+    "TreeNetwork",
+    "TruthfulAgent",
+    "__version__",
+    "check_voluntary_participation",
+    "finishing_times",
+    "makespan",
+    "random_linear_network",
+    "recommended_fine",
+    "simulate_linear_chain",
+    "solve_bus",
+    "solve_linear_boundary",
+    "solve_linear_interior",
+    "solve_star",
+    "solve_tree",
+    "sweep_bids",
+    "utility_of_bid",
+]

@@ -1,0 +1,44 @@
+"""Strategic processor agents.
+
+The paper models processors as *autonomous nodes*: they control both the
+inputs they report (bids) and the algorithm they run.  The
+:class:`~repro.agents.base.ProcessorAgent` base class implements the
+honest protocol; each deviation class of Lemma 5.1 has a subclass in
+:mod:`repro.agents.strategies` that overrides exactly the behaviour it
+manipulates, and :mod:`repro.agents.annoying` adds the
+selfish-and-annoying behaviours of Theorem 5.2.
+"""
+
+from repro.agents.base import ProcessorAgent
+from repro.agents.strategies import (
+    ContradictoryBidAgent,
+    FalseAccuserAgent,
+    LoadSheddingAgent,
+    MalformedBidAgent,
+    MisbiddingAgent,
+    MiscomputingAgent,
+    OverchargingAgent,
+    RelayTamperingAgent,
+    SilentVictimAgent,
+    SlowExecutionAgent,
+    TruthfulAgent,
+)
+from repro.agents.annoying import AnnoyingAgent, DataCorruptingAgent, DuplicatingAgent
+
+__all__ = [
+    "AnnoyingAgent",
+    "ContradictoryBidAgent",
+    "DataCorruptingAgent",
+    "DuplicatingAgent",
+    "FalseAccuserAgent",
+    "LoadSheddingAgent",
+    "MalformedBidAgent",
+    "MisbiddingAgent",
+    "MiscomputingAgent",
+    "OverchargingAgent",
+    "ProcessorAgent",
+    "RelayTamperingAgent",
+    "SilentVictimAgent",
+    "SlowExecutionAgent",
+    "TruthfulAgent",
+]

@@ -1,0 +1,74 @@
+"""Selfish-and-annoying agents (paper Section 4, end, and Theorem 5.2).
+
+A *selfish-but-agreeable* agent deviates only for strict gain; a
+*selfish-and-annoying* agent deviates whenever deviation does not strictly
+hurt it.  Its signature behaviours — corrupting data, sending the same
+data to multiple children — leave its own utility unchanged under the
+basic payment rule, so only the *solution bonus* ``S`` of eq. 4.13
+constrains it: corrupting blocks lowers the probability that the
+(verifiable) solution is found, which costs the corruptor its share of
+``s``.
+"""
+
+from __future__ import annotations
+
+from repro.agents.base import ProcessorAgent
+
+__all__ = ["AnnoyingAgent", "DataCorruptingAgent", "DuplicatingAgent"]
+
+
+class AnnoyingAgent(ProcessorAgent):
+    """Base class for selfish-and-annoying behaviours.
+
+    Subclasses report how much of the load that passes through them is
+    rendered unusable via :meth:`wasted_fraction`.
+    """
+
+    strategy_name = "annoying"
+
+    def wasted_fraction(self) -> float:
+        """Fraction of the load *forwarded through this agent* whose
+        processing is wasted by the agent's behaviour (0 for agreeable
+        agents)."""
+        return 0.0
+
+
+class DataCorruptingAgent(AnnoyingAgent):
+    """Corrupts ``corrupt_fraction`` of the data it forwards.  Downstream
+    processors compute garbage on those blocks; any solution they
+    contained is lost."""
+
+    def __init__(self, index: int, true_rate: float, *, corrupt_fraction: float = 0.5) -> None:
+        super().__init__(index, true_rate)
+        if not 0.0 <= corrupt_fraction <= 1.0:
+            raise ValueError("corrupt_fraction must be in [0, 1]")
+        self.corrupt_fraction = float(corrupt_fraction)
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return f"corrupt {self.corrupt_fraction:.0%}"
+
+    def corrupts_data(self) -> bool:
+        return self.corrupt_fraction > 0.0
+
+    def wasted_fraction(self) -> float:
+        return self.corrupt_fraction
+
+
+class DuplicatingAgent(AnnoyingAgent):
+    """Sends the same blocks again in place of ``duplicate_fraction`` of
+    the distinct data it should forward; the displaced blocks are never
+    processed anywhere, so any solution they contained is lost."""
+
+    def __init__(self, index: int, true_rate: float, *, duplicate_fraction: float = 0.5) -> None:
+        super().__init__(index, true_rate)
+        if not 0.0 <= duplicate_fraction <= 1.0:
+            raise ValueError("duplicate_fraction must be in [0, 1]")
+        self.duplicate_fraction = float(duplicate_fraction)
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return f"duplicate {self.duplicate_fraction:.0%}"
+
+    def wasted_fraction(self) -> float:
+        return self.duplicate_fraction

@@ -1,0 +1,168 @@
+"""Base processor agent: the honest protocol implementation.
+
+Subclasses override individual hooks to deviate.  Hooks are named after
+the decision they control, and every default implements exactly what the
+DLS-LBL mechanism prescribes, so ``ProcessorAgent`` itself is the
+truthful, obedient strategy.
+
+The physical constraint :math:`\\tilde w_i \\ge t_i` ("a processor cannot
+compute faster than its full capacity") is enforced by the *mechanism
+engine*, not trusted to the agent, mirroring the paper's premise that
+actual processing time is measured by the tamper-proof meter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.messages import GrievanceKind
+
+__all__ = ["ProcessorAgent"]
+
+
+class ProcessorAgent:
+    """A strategic processor :math:`P_i` (:math:`i \\ge 1`).
+
+    Parameters
+    ----------
+    index:
+        Position in the chain (``1 .. m``; the root ``P_0`` is obedient
+        and belongs to the mechanism, not to this class).
+    true_rate:
+        The private type :math:`t_i` — the genuine time to process a
+        unit load.
+    """
+
+    #: Human-readable strategy name used in experiment tables.
+    strategy_name = "truthful"
+
+    def __init__(self, index: int, true_rate: float) -> None:
+        if index < 0:
+            raise ValueError("agent index must be non-negative")
+        if true_rate <= 0:
+            raise ValueError("true_rate must be positive")
+        # Index 0 is only meaningful in interior-origination chains, where
+        # the obedient root sits mid-chain and P_0 is a strategic arm
+        # terminal; DLSLBLMechanism itself rejects index-0 agents.
+        self.index = index
+        self.true_rate = float(true_rate)
+
+    # ------------------------------------------------------------------
+    # Strategic declarations
+    # ------------------------------------------------------------------
+
+    def choose_bid(self) -> float:
+        """The reported unit processing time :math:`w_i` (Phase I input).
+
+        Truthful agents report :math:`t_i`.
+        """
+        return self.true_rate
+
+    def choose_execution_rate(self) -> float:
+        """The unit time the agent *attempts* to run at (:math:`\\tilde w_i`).
+
+        The engine clamps the result to ``>= true_rate`` — hardware cannot
+        exceed full capacity.  Honest agents run at full capacity.
+        """
+        return self.true_rate
+
+    # ------------------------------------------------------------------
+    # Phase I — computing the local allocation vector
+    # ------------------------------------------------------------------
+
+    def phase1_w_bar(self, honest_w_bar: float) -> float:
+        """The equivalent bid :math:`\\bar w_i` this agent reports.
+
+        ``honest_w_bar`` is the correctly computed value
+        :math:`\\hat\\alpha_i w_i` from the agent's own bid and the
+        successor's reported :math:`\\bar w_{i+1}`.  Deviation (ii) of
+        Lemma 5.1 returns something else.
+        """
+        return honest_w_bar
+
+    def phase1_second_bid(self, reported_w_bar: float) -> float | None:
+        """A *second*, different bid to also sign and send (deviation (i),
+        contradictory messages).  ``None`` (default) sends a single bid.
+        """
+        return None
+
+    def phase1_sends_malformed(self) -> bool:
+        """Whether the agent sends a malformed/unsigned Phase I message
+        instead of a proper bid.  The recipient "terminates the protocol"
+        (paper, Phase I); with no authentic evidence nobody can be fined,
+        so this is pure self-sabotage — the sender forfeits its utility.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # Phase II — relaying the allocation bundle
+    # ------------------------------------------------------------------
+
+    def phase2_validates(self) -> bool:
+        """Whether the agent runs the Phase II checks on its incoming
+        ``G_i``.  Honest agents do; a colluding or lazy agent may not
+        (it then forfeits the reporting reward)."""
+        return True
+
+    def phase2_d_next(self, honest_d_next: float) -> float:
+        """The load share :math:`D_{i+1}` this agent signs into
+        ``G_{i+1}``.  Deviating here (deviation (ii), Phase II flavour)
+        mis-sizes the successor's assignment and is caught by the
+        successor's checks."""
+        return honest_d_next
+
+    def phase2_echo_bid(self, successor_w_bar: float) -> float:
+        """The countersigned echo of the successor's Phase I bid placed in
+        ``G_{i+1}``.  Tampering with it is caught by the successor's echo
+        check."""
+        return successor_w_bar
+
+    # ------------------------------------------------------------------
+    # Phase III — load distribution and computation
+    # ------------------------------------------------------------------
+
+    def choose_retention(self, assigned: float, received: float, expected_forward: float) -> float:
+        """Load units to retain and compute.
+
+        Honest behaviour: compute everything not owed downstream —
+        ``received - expected_forward`` — which equals the assignment when
+        nobody upstream cheated and absorbs the surplus (to be recompensed
+        via :math:`E_j`) when the predecessor shed load.
+        """
+        return max(received - expected_forward, 0.0)
+
+    def reports_overload(self) -> bool:
+        """Whether the agent files the Phase III grievance when it
+        receives more than its assignment.  Honest agents do (the reward
+        ``F`` makes reporting dominant)."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase IV — payment
+    # ------------------------------------------------------------------
+
+    def phase4_bill(self, correct_payment: float) -> float:
+        """The bill submitted to the payment infrastructure.  Deviation
+        (iv) submits more than the recomputable :math:`Q_j`."""
+        return correct_payment
+
+    # ------------------------------------------------------------------
+    # Accusations
+    # ------------------------------------------------------------------
+
+    def fabricates_accusation(self) -> "GrievanceKind | None":
+        """A grievance kind to fabricate against the predecessor with no
+        supporting evidence (deviation (v)), or ``None``."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Selfish-and-annoying behaviours (Theorem 5.2)
+    # ------------------------------------------------------------------
+
+    def corrupts_data(self) -> bool:
+        """Whether the agent corrupts the data blocks it forwards."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(index={self.index}, t={self.true_rate:g})"

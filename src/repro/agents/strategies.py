@@ -1,0 +1,205 @@
+"""Deviating strategies — one subclass per manipulation the paper
+analyses (Lemma 5.1 deviations (i)–(v), plus misreporting and slow
+execution from Lemma 5.3's case split)."""
+
+from __future__ import annotations
+
+from repro.agents.base import ProcessorAgent
+from repro.protocol.messages import GrievanceKind
+
+__all__ = [
+    "TruthfulAgent",
+    "MisbiddingAgent",
+    "SlowExecutionAgent",
+    "ContradictoryBidAgent",
+    "MiscomputingAgent",
+    "RelayTamperingAgent",
+    "LoadSheddingAgent",
+    "OverchargingAgent",
+    "FalseAccuserAgent",
+    "MalformedBidAgent",
+    "SilentVictimAgent",
+]
+
+
+class TruthfulAgent(ProcessorAgent):
+    """The honest strategy: bid truthfully, run at full capacity, follow
+    every phase.  (Identical to the base class; named for readability in
+    experiment tables.)"""
+
+    strategy_name = "truthful"
+
+
+class MisbiddingAgent(ProcessorAgent):
+    """Reports ``bid_factor * t_i`` instead of :math:`t_i` (Lemma 5.3
+    cases: under-bidding with ``factor < 1``, over-bidding with
+    ``factor > 1``) but otherwise follows the protocol and executes at
+    full capacity."""
+
+    def __init__(self, index: int, true_rate: float, bid_factor: float) -> None:
+        super().__init__(index, true_rate)
+        if bid_factor <= 0:
+            raise ValueError("bid_factor must be positive")
+        self.bid_factor = float(bid_factor)
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return f"misbid x{self.bid_factor:g}"
+
+    def choose_bid(self) -> float:
+        return self.bid_factor * self.true_rate
+
+
+class SlowExecutionAgent(ProcessorAgent):
+    """Bids truthfully but computes at ``slowdown * t_i`` with
+    ``slowdown > 1`` (Lemma 5.3 case (ii): :math:`\\tilde w_i > t_i`).
+    The meter exposes the actual rate and the bonus shrinks."""
+
+    def __init__(self, index: int, true_rate: float, slowdown: float, *, bid_factor: float = 1.0) -> None:
+        super().__init__(index, true_rate)
+        if slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1 (cannot exceed capacity)")
+        self.slowdown = float(slowdown)
+        self.bid_factor = float(bid_factor)
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return f"slow x{self.slowdown:g}"
+
+    def choose_bid(self) -> float:
+        return self.bid_factor * self.true_rate
+
+    def choose_execution_rate(self) -> float:
+        return self.slowdown * self.true_rate
+
+
+class ContradictoryBidAgent(ProcessorAgent):
+    """Deviation (i): signs and sends *two* different Phase I bids.  The
+    (honest) predecessor submits both as evidence and the agent is
+    fined."""
+
+    strategy_name = "contradictory-bids"
+
+    def __init__(self, index: int, true_rate: float, *, second_factor: float = 1.5) -> None:
+        super().__init__(index, true_rate)
+        self.second_factor = float(second_factor)
+
+    def phase1_second_bid(self, reported_w_bar: float) -> float | None:
+        return reported_w_bar * self.second_factor
+
+
+class MiscomputingAgent(ProcessorAgent):
+    """Deviation (ii), Phase I flavour: reports an equivalent bid
+    :math:`\\bar w_i` that does not satisfy the reduction recurrence
+    (hoping to shrink its apparent segment time and attract a smaller
+    assignment while pocketing the same bonus).  Caught by the
+    successor's Phase II identity checks."""
+
+    def __init__(self, index: int, true_rate: float, *, w_bar_factor: float = 0.8) -> None:
+        super().__init__(index, true_rate)
+        if w_bar_factor <= 0:
+            raise ValueError("w_bar_factor must be positive")
+        self.w_bar_factor = float(w_bar_factor)
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return f"miscompute x{self.w_bar_factor:g}"
+
+    def phase1_w_bar(self, honest_w_bar: float) -> float:
+        return honest_w_bar * self.w_bar_factor
+
+
+class RelayTamperingAgent(ProcessorAgent):
+    """Deviation (ii), Phase II flavour: signs a wrong :math:`D_{i+1}`
+    into ``G_{i+1}``, shrinking the load forwarded downstream.  The
+    successor's Phase II checks fail and the agent is reported."""
+
+    def __init__(self, index: int, true_rate: float, *, d_factor: float = 0.7) -> None:
+        super().__init__(index, true_rate)
+        if not 0 < d_factor:
+            raise ValueError("d_factor must be positive")
+        self.d_factor = float(d_factor)
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return f"relay-tamper x{self.d_factor:g}"
+
+    def phase2_d_next(self, honest_d_next: float) -> float:
+        return honest_d_next * self.d_factor
+
+
+class LoadSheddingAgent(ProcessorAgent):
+    """Deviation (iii): retains :math:`\\tilde\\alpha_i < \\alpha_i` in
+    Phase III, dumping the difference on the successor while still
+    billing compensation for the full assignment.  The successor's Λ
+    certificate proves the overload and the agent is fined
+    :math:`F + (\\tilde\\alpha_{i+1} - \\alpha_{i+1})\\tilde w_{i+1}`."""
+
+    def __init__(self, index: int, true_rate: float, *, shed_fraction: float = 0.5) -> None:
+        super().__init__(index, true_rate)
+        if not 0.0 <= shed_fraction <= 1.0:
+            raise ValueError("shed_fraction must be in [0, 1]")
+        self.shed_fraction = float(shed_fraction)
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return f"shed {self.shed_fraction:.0%}"
+
+    def choose_retention(self, assigned: float, received: float, expected_forward: float) -> float:
+        honest = max(received - expected_forward, 0.0)
+        return (1.0 - self.shed_fraction) * min(assigned, honest)
+
+
+class OverchargingAgent(ProcessorAgent):
+    """Deviation (iv): submits a bill inflated by ``overcharge`` beyond
+    the recomputable :math:`Q_j`.  Deterred by the probabilistic audit
+    fine :math:`F/q`."""
+
+    def __init__(self, index: int, true_rate: float, *, overcharge: float = 1.0) -> None:
+        super().__init__(index, true_rate)
+        if overcharge < 0:
+            raise ValueError("overcharge must be non-negative")
+        self.overcharge = float(overcharge)
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return f"overcharge +{self.overcharge:g}"
+
+    def phase4_bill(self, correct_payment: float) -> float:
+        return correct_payment + self.overcharge
+
+
+class FalseAccuserAgent(ProcessorAgent):
+    """Deviation (v): fabricates an overload grievance against its
+    predecessor without evidence.  The root exculpates the accused and
+    the accuser is fined."""
+
+    strategy_name = "false-accuser"
+
+    def fabricates_accusation(self) -> GrievanceKind | None:
+        return GrievanceKind.OVERLOAD
+
+
+class MalformedBidAgent(ProcessorAgent):
+    """Sends garbage instead of a signed Phase I bid.  The recipient
+    terminates the protocol; nobody is fined (no attributable evidence),
+    nobody computes, and the saboteur forfeits its own utility — pure
+    self-harm, which is why the paper needs no incentive against it."""
+
+    strategy_name = "malformed-bid"
+
+    def phase1_sends_malformed(self) -> bool:
+        return True
+
+
+class SilentVictimAgent(ProcessorAgent):
+    """Absorbs overload without reporting it (forgoing the reward ``F``).
+
+    Used to measure the reporting incentive: the recompense ``E`` still
+    covers the extra work, but the reward is lost, so reporting dominates.
+    """
+
+    strategy_name = "silent-victim"
+
+    def reports_overload(self) -> bool:
+        return False

@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Print the Algorithm 1 schedule for a chain given ``--w`` and ``--z``.
+``gantt``
+    Render the Fig. 2 ASCII Gantt chart for a chain.
+``mechanism``
+    Run DLS-LBL over truthful agents (optionally with one deviant) and
+    print the per-agent report.
+``sweep``
+    Utility-vs-bid sweep for one agent (the Theorem 5.3 curve).
+``experiment``
+    Run one experiment from the DESIGN.md index (or ``all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _floats(text: str) -> list[float]:
+    values = [float(x) for x in text.replace(",", " ").split()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one number")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DLS-LBL: strategyproof divisible-load scheduling on linear networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="optimal schedule for a chain (Algorithm 1)")
+    solve.add_argument("--w", type=_floats, required=True, help="processing times w0..wm (comma or space separated)")
+    solve.add_argument("--z", type=_floats, default=None, help="link times z1..zm")
+    solve.add_argument("--root", type=int, default=0, help="origination index (interior roots use the star split)")
+
+    gantt = sub.add_parser("gantt", help="render the Fig. 2 Gantt chart")
+    gantt.add_argument("--w", type=_floats, required=True)
+    gantt.add_argument("--z", type=_floats, default=None)
+    gantt.add_argument("--width", type=int, default=72)
+
+    mech = sub.add_parser("mechanism", help="run the DLS-LBL mechanism")
+    mech.add_argument("--w", type=_floats, required=True, help="w0 (obedient root) then true rates of agents")
+    mech.add_argument("--z", type=_floats, default=None)
+    mech.add_argument("--audit-probability", type=float, default=0.25)
+    mech.add_argument("--seed", type=int, default=0)
+    mech.add_argument(
+        "--deviant",
+        default=None,
+        metavar="INDEX:KIND[:PARAM]",
+        help="inject a deviant, e.g. 2:shed:0.5, 3:overcharge:1.0, 2:misbid:1.5, "
+        "2:slow:2.0, 2:contradict, 2:miscompute:0.8, 2:tamper:0.7, 3:accuse",
+    )
+
+    sweep = sub.add_parser("sweep", help="utility-vs-bid sweep (Theorem 5.3 curve)")
+    sweep.add_argument("--w", type=_floats, required=True)
+    sweep.add_argument("--z", type=_floats, default=None)
+    sweep.add_argument("--agent", type=int, required=True, help="agent index 1..m")
+    sweep.add_argument("--factors", type=_floats, default=[0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0])
+
+    exp = sub.add_parser("experiment", help="run an experiment from the DESIGN.md index")
+    exp.add_argument(
+        "id",
+        nargs="?",
+        default=None,
+        help="experiment id (e.g. F2, T5.3, X4, A1, P2) or 'all'; omit with --list to enumerate",
+    )
+    exp.add_argument("--list", action="store_true", help="list available experiments and exit")
+
+    return parser
+
+
+def _network(args):
+    from repro.network.topology import LinearNetwork
+
+    w = args.w
+    z = args.z if args.z is not None else [0.5] * (len(w) - 1)
+    return LinearNetwork(w, z)
+
+
+def _cmd_solve(args) -> int:
+    import numpy as np
+
+    net = _network(args)
+    if getattr(args, "root", 0) != 0:
+        from repro.dlt.linear_interior import solve_linear_interior
+
+        sched = solve_linear_interior(net.w, net.z, args.root)
+        print(f"interior origination at P{args.root}; arm order: {sched.order}")
+        alpha = sched.alpha
+        print("alpha:", np.array2string(alpha, precision=6))
+        print(f"makespan: {sched.makespan:.6f}")
+        return 0
+    from repro.dlt.linear import solve_linear_boundary
+    from repro.dlt.timing import finishing_times
+
+    sched = solve_linear_boundary(net)
+    print("alpha:     ", np.array2string(sched.alpha, precision=6))
+    print("alpha_hat: ", np.array2string(sched.alpha_hat, precision=6))
+    print("w_eq:      ", np.array2string(sched.w_eq, precision=6))
+    print(f"makespan:   {sched.makespan:.6f}")
+    times = finishing_times(net, sched.alpha)
+    print(f"finish spread (Thm 2.1): {times.max() - times.min():.3e}")
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from repro.dlt.linear import solve_linear_boundary
+    from repro.sim.linear_sim import simulate_linear_chain
+    from repro.viz.gantt import render_gantt, render_schedule_table
+
+    net = _network(args)
+    sched = solve_linear_boundary(net)
+    result = simulate_linear_chain(net, sched.alpha)
+    print(render_gantt(result.trace, net.size, width=args.width))
+    print()
+    print(render_schedule_table(sched.alpha, result.finish_times, received=result.received))
+    return 0
+
+
+def _make_deviant(spec: str, true_rates: Sequence[float]):
+    from repro.agents import (
+        ContradictoryBidAgent,
+        FalseAccuserAgent,
+        LoadSheddingAgent,
+        MisbiddingAgent,
+        MiscomputingAgent,
+        OverchargingAgent,
+        RelayTamperingAgent,
+        SlowExecutionAgent,
+    )
+
+    parts = spec.split(":")
+    index = int(parts[0])
+    kind = parts[1]
+    param = float(parts[2]) if len(parts) > 2 else None
+    t = float(true_rates[index - 1])
+    factories = {
+        "shed": lambda: LoadSheddingAgent(index, t, shed_fraction=param if param is not None else 0.5),
+        "overcharge": lambda: OverchargingAgent(index, t, overcharge=param if param is not None else 1.0),
+        "misbid": lambda: MisbiddingAgent(index, t, bid_factor=param if param is not None else 1.5),
+        "slow": lambda: SlowExecutionAgent(index, t, slowdown=param if param is not None else 2.0),
+        "contradict": lambda: ContradictoryBidAgent(index, t),
+        "miscompute": lambda: MiscomputingAgent(index, t, w_bar_factor=param if param is not None else 0.8),
+        "tamper": lambda: RelayTamperingAgent(index, t, d_factor=param if param is not None else 0.7),
+        "accuse": lambda: FalseAccuserAgent(index, t),
+    }
+    try:
+        return factories[kind]()
+    except KeyError:
+        raise SystemExit(f"unknown deviant kind {kind!r}; choose from {sorted(factories)}")
+
+
+def _cmd_mechanism(args) -> int:
+    from repro.agents import TruthfulAgent
+    from repro.mechanism.dls_lbl import DLSLBLMechanism
+
+    w = args.w
+    z = args.z if args.z is not None else [0.5] * (len(w) - 1)
+    true_rates = w[1:]
+    agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(true_rates, start=1)]
+    if args.deviant:
+        deviant = _make_deviant(args.deviant, true_rates)
+        agents[deviant.index - 1] = deviant
+    mech = DLSLBLMechanism(
+        z, float(w[0]), agents,
+        audit_probability=args.audit_probability,
+        rng=np.random.default_rng(args.seed),
+    )
+    outcome = mech.run()
+    status = "completed" if outcome.completed else f"ABORTED in phase {outcome.aborted_phase}"
+    print(f"run {status}; fine F = {mech.fine:.3f}")
+    if outcome.makespan is not None:
+        print(f"makespan: {outcome.makespan:.6f}")
+    header = f"{'proc':>5} {'strategy':>18} {'bid':>8} {'assigned':>9} {'computed':>9} {'payment':>9} {'utility':>9}"
+    print(header)
+    for i, r in sorted(outcome.reports.items()):
+        print(
+            f"P{i:<4d} {r.strategy:>18} {r.bid:>8.3f} {r.assigned:>9.4f} "
+            f"{r.computed:>9.4f} {r.payment_billed:>9.3f} {r.utility:>9.3f}"
+        )
+    for verdict in outcome.adjudications:
+        outcome_word = "substantiated" if verdict.substantiated else "exculpated"
+        print(
+            f"grievance [{verdict.grievance.kind.value}] by P{verdict.grievance.accuser} "
+            f"against P{verdict.grievance.accused}: {outcome_word}; "
+            f"P{verdict.fined} fined {verdict.fine_amount:.3f}"
+        )
+    for audit in outcome.audits:
+        if audit.fine > 0:
+            print(f"audit: P{audit.proc} fined {audit.fine:.3f} ({audit.reason})")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.mechanism.properties import sweep_bids
+
+    w = args.w
+    z = args.z if args.z is not None else [0.5] * (len(w) - 1)
+    report = sweep_bids(z, float(w[0]), w[1:], args.agent, factors=args.factors)
+    print(f"agent P{args.agent}, true rate {report.true_rate:.4f}")
+    print(f"{'bid':>10} {'utility':>12} {'vs truth':>12}")
+    for bid, utility in zip(report.bids, report.utilities):
+        mark = "  <-- truth" if np.isclose(bid, report.true_rate) else ""
+        print(f"{bid:>10.4f} {utility:>12.6f} {utility - report.truthful_utility:>12.3e}{mark}")
+    print(f"strategyproof: {report.truthful_is_optimal}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if args.list:
+        import sys as _sys
+
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip()
+            if not doc:
+                module = _sys.modules.get(fn.__module__)
+                doc = (module.__doc__ or "").strip() if module else ""
+            summary = doc.splitlines()[0] if doc else fn.__name__
+            print(f"{exp_id:>5}  {summary}")
+        return 0
+    if args.id is None:
+        raise SystemExit("provide an experiment id or --list")
+    if args.id == "all":
+        ids = list(ALL_EXPERIMENTS)
+    elif args.id in ALL_EXPERIMENTS:
+        ids = [args.id]
+    else:
+        raise SystemExit(
+            f"unknown experiment {args.id!r}; choose from {list(ALL_EXPERIMENTS)} or 'all'"
+        )
+    failed = []
+    for exp_id in ids:
+        result = ALL_EXPERIMENTS[exp_id]()
+        print(result.format())
+        print()
+        if not result.passed:
+            failed.append(exp_id)
+    if failed:
+        print(f"FAILED: {failed}")
+        return 1
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "gantt": _cmd_gantt,
+    "mechanism": _cmd_mechanism,
+    "sweep": _cmd_sweep,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Simulated public-key infrastructure used by the DLS-LBL protocol.
+
+The paper assumes a PKI and unforgeable digital signatures ``dsm_i(m)``
+(Section 4).  This package provides an in-process equivalent built on
+HMAC-SHA256 with per-processor secret keys held by a trusted
+:class:`~repro.crypto.keys.KeyRegistry`.  The property the mechanism's
+proofs rely on — a signature verifies if and only if it was produced by
+the holder of the signer's private key (Lemma 5.2) — holds exactly.
+
+See ``DESIGN.md`` for the substitution rationale.
+"""
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signing import SignedMessage, canonical_bytes, dsm, sign, verify
+
+__all__ = [
+    "KeyPair",
+    "KeyRegistry",
+    "SignedMessage",
+    "canonical_bytes",
+    "dsm",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,34 @@
+"""Lightweight instrumentation counters for the crypto substrate.
+
+The protocol-overhead experiment (P2) measures how many signatures are
+created and verified per mechanism run as the chain grows — the
+practical cost of the "with verification" part of the mechanism.
+Counters are global to the process (the protocol is single-threaded) and
+reset explicitly by the measuring code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CryptoCounters", "COUNTERS"]
+
+
+@dataclass
+class CryptoCounters:
+    """Running totals since the last :meth:`reset`."""
+
+    signatures_created: int = 0
+    verifications_performed: int = 0
+
+    def reset(self) -> None:
+        self.signatures_created = 0
+        self.verifications_performed = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        return (self.signatures_created, self.verifications_performed)
+
+
+#: Process-global counters used by :mod:`repro.crypto.signing` and
+#: :mod:`repro.crypto.keys`.
+COUNTERS = CryptoCounters()

@@ -1,0 +1,164 @@
+"""Digitally signed messages ``dsm_i(m)`` (paper Section 4, Notation).
+
+A :class:`SignedMessage` bundles a payload with the signer's index and the
+signature over a *canonical serialization* of the payload.  Canonical
+serialization guarantees that two payloads verify as equal exactly when
+their semantic content is equal, which the contradictory-message detection
+of Phase I/II relies on.
+
+Payloads are restricted to a small JSON-like vocabulary (numbers, strings,
+``None``, tuples/lists, dicts with string keys) — everything the protocol
+transmits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.exceptions import ForgedSignatureError, MalformedMessageError
+
+__all__ = ["SignedMessage", "canonical_bytes", "dsm", "sign", "verify"]
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Serialize ``payload`` to a canonical byte string.
+
+    Floats are encoded via :func:`float.hex` so that serialization is
+    exact (no decimal rounding) and deterministic across platforms.
+    Dict entries are sorted by key.  Raises :class:`TypeError` for
+    unsupported types so signing never silently mis-serializes.
+    """
+    parts: list[bytes] = []
+    _serialize(payload, parts)
+    return b"".join(parts)
+
+
+def _serialize(value: Any, out: list[bytes]) -> None:
+    if value is None:
+        out.append(b"N;")
+    elif isinstance(value, bool):
+        out.append(b"T;" if value else b"F;")
+    elif isinstance(value, int):
+        out.append(b"i%d;" % value)
+    elif isinstance(value, float):
+        if math.isnan(value):
+            raise TypeError("cannot sign NaN payloads")
+        out.append(b"f" + value.hex().encode("ascii") + b";")
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(b"s%d:" % len(encoded) + encoded + b";")
+    elif isinstance(value, bytes):
+        out.append(b"b%d:" % len(value) + value + b";")
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l%d:" % len(value))
+        for item in value:
+            _serialize(item, out)
+        out.append(b";")
+    elif isinstance(value, dict):
+        out.append(b"d%d:" % len(value))
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError("signed dict keys must be strings")
+            _serialize(key, out)
+            _serialize(value[key], out)
+        out.append(b";")
+    elif isinstance(value, SignedMessage):
+        # Nested signed messages occur in G_i and Grievance bundles.
+        out.append(b"m:")
+        _serialize((value.signer, value.payload, value.signature), out)
+        out.append(b";")
+    else:
+        raise TypeError(f"unsupported payload type for signing: {type(value)!r}")
+
+
+def payload_digest(payload: Any) -> str:
+    """Hex digest identifying ``payload``'s canonical content."""
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """``dsm_i(m) = (m, sig_i(m))`` — a payload plus its signature.
+
+    Attributes
+    ----------
+    signer:
+        Index of the processor whose key produced the signature.
+    payload:
+        The message content ``m``.
+    signature:
+        Hex HMAC over the canonical serialization of ``payload``.
+    """
+
+    signer: int
+    payload: Any
+    signature: str
+
+    def verify(self, registry: KeyRegistry) -> bool:
+        """Return ``True`` iff the signature is valid under ``signer``'s
+        registered key."""
+        from repro.crypto.metrics import COUNTERS
+
+        COUNTERS.verifications_performed += 1
+        expected = registry.expected_mac(self.signer, canonical_bytes(self.payload))
+        return _constant_time_eq(expected, self.signature)
+
+    def require_valid(self, registry: KeyRegistry) -> "SignedMessage":
+        """Verify, raising :class:`ForgedSignatureError` on failure."""
+        if not self.verify(registry):
+            raise ForgedSignatureError(
+                f"signature by processor {self.signer} failed verification"
+            )
+        return self
+
+    def content_digest(self) -> str:
+        """Digest of the payload, used for contradictory-message detection."""
+        return payload_digest(self.payload)
+
+
+def _constant_time_eq(a: str, b: str) -> bool:
+    import hmac as _hmac
+
+    return _hmac.compare_digest(a.encode("ascii"), b.encode("ascii"))
+
+
+def sign(pair: KeyPair, payload: Any) -> SignedMessage:
+    """Sign ``payload`` with ``pair`` — the paper's ``sig_i(m)``."""
+    from repro.crypto.metrics import COUNTERS
+
+    COUNTERS.signatures_created += 1
+    return SignedMessage(
+        signer=pair.owner,
+        payload=payload,
+        signature=pair.mac(canonical_bytes(payload)),
+    )
+
+
+# The paper writes the signed bundle as ``dsm_i(m)``; alias for readability
+# at call sites that mirror the paper's notation.
+dsm = sign
+
+
+def verify(message: SignedMessage, registry: KeyRegistry, *, expected_signer: int | None = None) -> SignedMessage:
+    """Verify a signed message, optionally pinning the expected signer.
+
+    Raises
+    ------
+    MalformedMessageError
+        If ``message`` is not a :class:`SignedMessage` or the signer does
+        not match ``expected_signer``.
+    ForgedSignatureError
+        If the signature does not verify.
+    """
+    if not isinstance(message, SignedMessage):
+        raise MalformedMessageError("expected a SignedMessage", accused=None)
+    if expected_signer is not None and message.signer != expected_signer:
+        raise MalformedMessageError(
+            f"expected signer {expected_signer}, got {message.signer}",
+            accused=message.signer,
+        )
+    return message.require_valid(registry)

@@ -1,0 +1,50 @@
+"""Divisible Load Theory (DLT) substrate.
+
+Closed-form optimal schedules for the network architectures used in the
+paper and its baselines:
+
+- :func:`~repro.dlt.linear.solve_linear_boundary` — Algorithm 1
+  (LINEAR BOUNDARY-LINEAR), the schedule the DLS-LBL mechanism computes.
+- :func:`~repro.dlt.linear_interior.solve_linear_interior` — interior
+  load origination (Section 2 / future-work variant).
+- :func:`~repro.dlt.star.solve_star`, :func:`~repro.dlt.bus.solve_bus`,
+  :func:`~repro.dlt.tree.solve_tree` — comparator architectures from the
+  authors' prior mechanisms [9, 14].
+"""
+
+from repro.dlt.allocation import InteriorSchedule, LinearSchedule, StarSchedule, TreeSchedule
+from repro.dlt.bus import solve_bus
+from repro.dlt.linear import equivalent_time, solve_linear_boundary
+from repro.dlt.linear_interior import solve_linear_interior
+from repro.dlt.reduction import collapse_segment, reduce_pair
+from repro.dlt.solver import solve
+from repro.dlt.star import solve_star
+from repro.dlt.timing import (
+    finishing_times,
+    is_optimal_allocation,
+    makespan,
+    received_loads,
+    validate_allocation,
+)
+from repro.dlt.tree import solve_tree
+
+__all__ = [
+    "InteriorSchedule",
+    "LinearSchedule",
+    "StarSchedule",
+    "TreeSchedule",
+    "collapse_segment",
+    "equivalent_time",
+    "finishing_times",
+    "is_optimal_allocation",
+    "makespan",
+    "received_loads",
+    "reduce_pair",
+    "solve",
+    "solve_bus",
+    "solve_linear_boundary",
+    "solve_linear_interior",
+    "solve_star",
+    "solve_tree",
+    "validate_allocation",
+]

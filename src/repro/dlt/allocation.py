@@ -1,0 +1,157 @@
+"""Schedule result types returned by the DLT solvers.
+
+Each solver returns an immutable record holding the allocation vector(s),
+the equivalent processing times produced by the recursive reduction, and
+the resulting makespan.  For the linear network the quantities mirror the
+paper's notation exactly: ``alpha`` (eq. 2.5/2.6), ``alpha_hat`` (local
+fractions of received load), ``w_eq[i]`` = :math:`\\bar w_i` (eq. 2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.topology import BusNetwork, LinearNetwork, StarNetwork, TreeNetwork
+
+__all__ = ["LinearSchedule", "InteriorSchedule", "StarSchedule", "TreeSchedule"]
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    out = np.asarray(arr, dtype=np.float64)
+    out.flags.writeable = False
+    return out
+
+
+@dataclass(frozen=True)
+class LinearSchedule:
+    """Optimal schedule for a boundary-rooted linear network.
+
+    Attributes
+    ----------
+    network:
+        The network the schedule was computed for.
+    alpha:
+        Global load fractions ``alpha_i`` (sum to 1).
+    alpha_hat:
+        Local fractions of *received* load retained by each processor;
+        ``alpha_hat[m] == 1``.
+    received:
+        ``D_i``, the fraction of the original load that reaches ``P_i``
+        (``D_0 == 1``).
+    w_eq:
+        Equivalent processing times ``w_bar_i`` of the collapsed segment
+        ``P_i .. P_m`` (eq. 2.4); ``w_eq[0]`` equals the makespan for a
+        unit load.
+    makespan:
+        Total execution time ``T(alpha)`` for a unit load.
+    """
+
+    network: LinearNetwork
+    alpha: np.ndarray
+    alpha_hat: np.ndarray
+    received: np.ndarray
+    w_eq: np.ndarray
+    makespan: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alpha", _frozen(self.alpha))
+        object.__setattr__(self, "alpha_hat", _frozen(self.alpha_hat))
+        object.__setattr__(self, "received", _frozen(self.received))
+        object.__setattr__(self, "w_eq", _frozen(self.w_eq))
+
+    @property
+    def size(self) -> int:
+        return int(self.alpha.size)
+
+    def scaled(self, load: float) -> np.ndarray:
+        """Absolute load amounts for a total load of ``load`` units."""
+        return self.alpha * float(load)
+
+
+@dataclass(frozen=True)
+class InteriorSchedule:
+    """Optimal schedule for a linear network with interior load origination.
+
+    The root splits the chain into a *left arm* and a *right arm*; each arm
+    is collapsed into an equivalent processor (Fig. 3 reduction) and the
+    root distributes to them sequentially under the one-port constraint.
+
+    Attributes
+    ----------
+    alpha:
+        Global fractions indexed in chain order (left terminal .. right
+        terminal), summing to 1.
+    root_index:
+        Position of the originating processor within the chain.
+    order:
+        Arm service order chosen by the solver, a tuple of ``"left"`` /
+        ``"right"``.
+    makespan:
+        Total execution time for a unit load.
+    """
+
+    w: np.ndarray
+    z: np.ndarray
+    root_index: int
+    alpha: np.ndarray
+    order: tuple[str, ...]
+    makespan: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "w", _frozen(self.w))
+        object.__setattr__(self, "z", _frozen(self.z))
+        object.__setattr__(self, "alpha", _frozen(self.alpha))
+
+
+@dataclass(frozen=True)
+class StarSchedule:
+    """Optimal schedule for a single-level tree (star) network.
+
+    Attributes
+    ----------
+    alpha:
+        Fractions ``(alpha_0, ..., alpha_n)`` with ``alpha[0]`` the root's
+        own share; children are served in ``order``.
+    order:
+        Permutation of child indices ``1..n`` giving the one-port
+        distribution sequence.
+    makespan:
+        Total execution time for a unit load; equals the equivalent
+        processing time of the whole star.
+    """
+
+    network: StarNetwork | BusNetwork
+    alpha: np.ndarray
+    order: tuple[int, ...]
+    makespan: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alpha", _frozen(self.alpha))
+
+
+@dataclass(frozen=True)
+class TreeSchedule:
+    """Optimal schedule for a rooted tree network.
+
+    Attributes
+    ----------
+    alpha:
+        Fractions per node in preorder (root first).
+    labels:
+        Node labels in the same preorder.
+    w_eq_root:
+        Equivalent processing time of the whole collapsed tree.
+    makespan:
+        Total execution time for a unit load (== ``w_eq_root``).
+    """
+
+    network: TreeNetwork
+    alpha: np.ndarray
+    labels: tuple[str | None, ...]
+    w_eq_root: float
+    makespan: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alpha", _frozen(self.alpha))

@@ -1,0 +1,25 @@
+"""Optimal divisible-load schedule for bus networks.
+
+A bus network is a star whose links all share the bus communication time
+``z`` (the setting of the authors' prior bus mechanism [14]).  With equal
+links the service order does not affect the makespan (tested), so the bus
+solver simply delegates to the star solver in index order.
+"""
+
+from __future__ import annotations
+
+from repro.dlt.allocation import StarSchedule
+from repro.dlt.star import solve_star
+from repro.network.topology import BusNetwork
+
+__all__ = ["solve_bus"]
+
+
+def solve_bus(network: BusNetwork) -> StarSchedule:
+    """Solve the bus divisible-load problem for a unit load.
+
+    Returns a :class:`~repro.dlt.allocation.StarSchedule` over the
+    equivalent star; children are served in index order.
+    """
+    star = network.as_star()
+    return solve_star(star, order=tuple(range(1, star.size)))

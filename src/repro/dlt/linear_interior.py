@@ -1,0 +1,132 @@
+"""Linear network with *interior* load origination.
+
+The paper defines both flavours of linear network (Section 2) but its
+mechanism handles the boundary case; the interior case is part of the
+announced future work (Section 6).  We provide the scheduling substrate
+for it: the root ``P_r`` sits between a left arm ``P_{r-1} .. P_0`` and a
+right arm ``P_{r+1} .. P_n``.  Each arm, viewed from the root, is a
+boundary-rooted chain and collapses (Fig. 3) into an equivalent processor
+hanging off the root's adjacent link.  The root then faces a two-child
+star under the one-port constraint; both service orders are evaluated and
+the better one kept.  Arm-internal fractions are unrolled from each arm's
+own boundary schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dlt.allocation import InteriorSchedule, LinearSchedule
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.star import solve_star
+from repro.exceptions import InvalidNetworkError
+from repro.network.topology import LinearNetwork, StarNetwork
+
+__all__ = ["solve_linear_interior"]
+
+
+def _arm_schedule(w: np.ndarray, z: np.ndarray) -> LinearSchedule | None:
+    """Boundary schedule of an arm given rates ordered outward from the
+    root's neighbour; ``None`` for an empty arm."""
+    if w.size == 0:
+        return None
+    return solve_linear_boundary(LinearNetwork(w, z))
+
+
+def solve_linear_interior(
+    w: Sequence[float],
+    z: Sequence[float],
+    root_index: int,
+) -> InteriorSchedule:
+    """Solve the interior-origination linear problem.
+
+    Parameters
+    ----------
+    w:
+        Unit processing times of the chain ``P_0 .. P_n`` in chain order.
+    z:
+        Unit link times ``z_1 .. z_n`` (``z[i-1]`` joins ``P_{i-1}``/``P_i``).
+    root_index:
+        Position ``r`` of the originating processor, ``0 <= r <= n``.
+        Boundary positions are accepted and reduce to the boundary solver.
+
+    Returns
+    -------
+    InteriorSchedule
+        Fractions in chain order; ``order`` records which arm was served
+        first.
+    """
+    w_arr = np.asarray(w, dtype=np.float64)
+    z_arr = np.asarray(z, dtype=np.float64)
+    n = w_arr.size - 1
+    if not (0 <= root_index <= n):
+        raise InvalidNetworkError(f"root_index {root_index} out of range for {n + 1} processors")
+
+    # Left arm outward: processors r-1, r-2, ..., 0 with links
+    # z_{r-1}, ..., z_1 between them (z_r connects the root to the arm head).
+    left = _arm_schedule(
+        w_arr[:root_index][::-1].copy(),
+        z_arr[: root_index - 1][::-1].copy() if root_index >= 2 else np.empty(0),
+    )
+    left_link = float(z_arr[root_index - 1]) if root_index >= 1 else None
+    # Right arm outward: processors r+1, ..., n with links z_{r+2}, ..., z_n.
+    right = _arm_schedule(w_arr[root_index + 1 :].copy(), z_arr[root_index + 1 :].copy())
+    right_link = float(z_arr[root_index]) if root_index <= n - 1 else None
+
+    arms: list[tuple[str, float, LinearSchedule]] = []
+    if left is not None:
+        assert left_link is not None
+        arms.append(("left", left_link, left))
+    if right is not None:
+        assert right_link is not None
+        arms.append(("right", right_link, right))
+
+    alpha = np.zeros(n + 1, dtype=np.float64)
+    if not arms:
+        alpha[root_index] = 1.0
+        return InteriorSchedule(
+            w=w_arr, z=z_arr, root_index=root_index, alpha=alpha,
+            order=(), makespan=float(w_arr[root_index]),
+        )
+
+    star_w = np.array([w_arr[root_index]] + [arm.makespan for _, _, arm in arms])
+    star_z = np.array([link for _, link, _ in arms])
+    star_net = StarNetwork(star_w, star_z)
+
+    best: tuple[float, tuple[int, ...]] | None = None
+    for order in _orders(len(arms)):
+        sched = solve_star(star_net, order=order)
+        if best is None or sched.makespan < best[0] - 1e-15:
+            best = (sched.makespan, order)
+    assert best is not None
+    star = solve_star(star_net, order=best[1])
+
+    alpha[root_index] = star.alpha[0]
+    for pos, (side, _link, arm) in enumerate(arms, start=1):
+        share = float(star.alpha[pos])
+        if side == "left":
+            # Arm indices outward from root: r-1, r-2, ..., 0.
+            indices = np.arange(root_index - 1, -1, -1)
+        else:
+            indices = np.arange(root_index + 1, n + 1)
+        alpha[indices] = share * arm.alpha
+
+    order_names = tuple(arms[idx - 1][0] for idx in star.order)
+    return InteriorSchedule(
+        w=w_arr,
+        z=z_arr,
+        root_index=root_index,
+        alpha=alpha,
+        order=order_names,
+        makespan=star.makespan,
+    )
+
+
+def _orders(n_arms: int):
+    if n_arms == 1:
+        yield (1,)
+    else:
+        yield (1, 2)
+        yield (2, 1)

@@ -1,0 +1,93 @@
+"""Overhead models for auditing the paper's idealizing assumptions.
+
+Section 2 assumes: (i) negligible communication startup time, (ii)
+negligible protocol-message passing time, (iii) negligible result-return
+time.  These helpers put numbers behind each assumption so experiment A3
+can chart *when* the linear model stays accurate.
+
+All three corrections have closed forms on the chain:
+
+- **Startup (i)**: each of the ``m`` link transmissions pays a fixed
+  ``startup`` before data flows, and the delays accumulate along the
+  relay path: processor ``j``'s arrival shifts by ``j * startup``, so
+  the makespan under the *unchanged* allocation grows by at most
+  ``m * startup`` (exact per-processor times below).
+- **Messages (ii)**: Phase I walks the chain up (m hops) and Phase II
+  walks it down (m hops) before any load moves, so a per-message latency
+  ``lam`` delays the start of Phase III by ``2 m lam``; audits add a
+  round trip per challenged bill.
+- **Results (iii)**: when each processor must return results of size
+  ``delta * alpha_j``, the reverse pipeline carries
+  ``delta * sum_{j >= k} alpha_j = delta * D_k`` over link ``k`` —
+  exactly ``delta`` times the forward communication — so the return
+  phase adds ``delta * sum_k D_k z_k`` after the last finish.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dlt.timing import received_loads
+from repro.network.topology import LinearNetwork
+
+__all__ = [
+    "finishing_times_with_startup",
+    "protocol_latency_overhead",
+    "return_phase_duration",
+]
+
+
+def finishing_times_with_startup(
+    network: LinearNetwork, alpha: np.ndarray, startup: float
+) -> np.ndarray:
+    """Finishing times when every link transmission pays a fixed
+    ``startup`` before data flows (relaxing assumption (i)).
+
+    The allocation is held fixed (what the unmodified Algorithm 1 would
+    prescribe), so the result shows the *model error*, not a re-optimized
+    schedule: ``T_j = sum_{k<=j} (startup + D_k z_k) + alpha_j w_j``.
+    """
+    if startup < 0:
+        raise ValueError("startup must be non-negative")
+    arr = np.asarray(alpha, dtype=np.float64)
+    d = received_loads(arr)
+    t = np.empty_like(arr)
+    t[0] = arr[0] * network.w[0]
+    if arr.size > 1:
+        comm = np.cumsum(startup + d[1:] * network.z)
+        t[1:] = comm + arr[1:] * network.w[1:]
+        t[1:][arr[1:] == 0.0] = 0.0
+    return t
+
+
+def protocol_latency_overhead(m: int, message_latency: float, *, audited: int = 0) -> float:
+    """Wall-clock the four-phase protocol adds before/after the schedule
+    when each protocol message takes ``message_latency`` (relaxing
+    assumption (ii)).
+
+    Phase I: ``m`` sequential bid hops toward the root.  Phase II: ``m``
+    sequential ``G`` hops away from it.  Phase IV: one challenge/response
+    round trip per audited bill (grievances, if any, ride the same
+    pattern).  Everything else overlaps with computation.
+    """
+    if message_latency < 0:
+        raise ValueError("message latency must be non-negative")
+    return (2 * m + 2 * audited) * message_latency
+
+
+def return_phase_duration(network: LinearNetwork, alpha: np.ndarray, result_ratio: float) -> float:
+    """Duration of the result-return pipeline (relaxing assumption (iii)).
+
+    With results of size ``result_ratio * alpha_j`` relayed back to the
+    root store-and-forward, reverse link ``k`` carries
+    ``result_ratio * D_k`` units, so the pipeline takes
+    ``result_ratio * sum_k D_k z_k`` — ``result_ratio`` times the
+    schedule's total forward communication time.
+    """
+    if result_ratio < 0:
+        raise ValueError("result ratio must be non-negative")
+    arr = np.asarray(alpha, dtype=np.float64)
+    d = received_loads(arr)
+    if arr.size == 1:
+        return 0.0
+    return float(result_ratio * np.sum(d[1:] * network.z))

@@ -1,0 +1,83 @@
+"""Equivalent-processor reduction (Fig. 3 of the paper).
+
+*Reduction* collapses a set of connected processors and their internal
+links into a single *equivalent processor* whose processing time per unit
+load equals the segment's optimal makespan (eqs. 2.3/2.4).  Algorithm 1
+is the repeated application of the two-processor reduction
+:func:`reduce_pair`; :func:`collapse_segment` collapses an arbitrary
+suffix or infix segment and is used by the interior-origination solver
+and the Fig. 3 benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dlt.linear import phase1_bids, solve_linear_boundary
+from repro.network.topology import LinearNetwork
+
+__all__ = ["reduce_pair", "collapse_segment", "collapse_suffix", "replace_suffix"]
+
+
+def reduce_pair(w_head: float, z_link: float, w_tail: float) -> tuple[float, float]:
+    """Collapse processors ``(P_i, P_{i+1})`` into one equivalent processor.
+
+    ``w_tail`` may itself be an equivalent processing time, which is how
+    the recursion of Algorithm 1 proceeds.
+
+    Returns
+    -------
+    (alpha_hat, w_eq):
+        The head's optimal local fraction (eq. 2.7) and the equivalent
+        processing time ``alpha_hat * w_head`` (eq. 2.4).
+
+    Examples
+    --------
+    >>> alpha_hat, w_eq = reduce_pair(2.0, 1.0, 2.0)
+    >>> round(alpha_hat, 4), round(w_eq, 4)
+    (0.6, 1.2)
+    """
+    if w_head <= 0 or z_link <= 0 or w_tail <= 0:
+        raise ValueError("rates must be strictly positive")
+    tail = w_tail + z_link
+    alpha_hat = tail / (w_head + tail)
+    return alpha_hat, alpha_hat * w_head
+
+
+def collapse_suffix(network: LinearNetwork, start: int) -> float:
+    """Equivalent processing time of the suffix segment ``P_start .. P_m``.
+
+    This is the :math:`\\bar w_{start}` of Algorithm 1's backward pass.
+    """
+    _, w_eq = phase1_bids(network)
+    return float(w_eq[start])
+
+
+def collapse_segment(network: LinearNetwork, start: int, stop: int) -> float:
+    """Equivalent processing time of the segment ``P_start .. P_stop``.
+
+    The segment is "logically disconnected from the network" (paper,
+    Section 2) and solved as a boundary-rooted chain of its own; the
+    equivalent time is its makespan per unit load (eq. 2.3 with the
+    optimal internal allocation, hence eq. 2.4).
+    """
+    return solve_linear_boundary(network.segment(start, stop)).makespan
+
+
+def replace_suffix(network: LinearNetwork, start: int) -> LinearNetwork:
+    """The reduced network in which the suffix ``P_start .. P_m`` is
+    replaced by a single equivalent processor (Fig. 3 with
+    ``s = m - start``).
+
+    The returned network has ``start + 1`` processors: the untouched
+    prefix plus the equivalent processor attached by the original link
+    ``z_start``.  Solving it yields the same makespan and the same prefix
+    allocation as solving the full network (verified by tests and the
+    Fig. 3 benchmark).
+    """
+    if not (1 <= start <= network.m):
+        raise ValueError(f"suffix start must be in [1, {network.m}]")
+    w_eq = collapse_suffix(network, start)
+    w_new = np.concatenate((network.w[:start], [w_eq]))
+    z_new = network.z[:start].copy()
+    return LinearNetwork(w_new, z_new)

@@ -1,0 +1,53 @@
+"""Top-level solver dispatch: ``solve(network)`` for any architecture.
+
+A convenience facade over the per-architecture solvers so callers can
+schedule whatever network object they hold:
+
+>>> from repro.network.topology import LinearNetwork
+>>> from repro.dlt.solver import solve
+>>> solve(LinearNetwork(w=[2.0, 2.0], z=[1.0])).makespan
+1.2
+"""
+
+from __future__ import annotations
+
+from functools import singledispatch
+
+from repro.dlt.allocation import LinearSchedule, StarSchedule, TreeSchedule
+from repro.dlt.bus import solve_bus
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.star import solve_star
+from repro.dlt.tree import solve_tree
+from repro.network.topology import BusNetwork, LinearNetwork, StarNetwork, TreeNetwork
+
+__all__ = ["solve"]
+
+
+@singledispatch
+def solve(network):
+    """Solve the divisible-load problem for ``network`` (unit load).
+
+    Dispatches on the network type; raises :class:`TypeError` for
+    anything that is not a known architecture.
+    """
+    raise TypeError(f"no divisible-load solver for {type(network).__name__}")
+
+
+@solve.register
+def _(network: LinearNetwork) -> LinearSchedule:
+    return solve_linear_boundary(network)
+
+
+@solve.register
+def _(network: StarNetwork) -> StarSchedule:
+    return solve_star(network)
+
+
+@solve.register
+def _(network: BusNetwork) -> StarSchedule:
+    return solve_bus(network)
+
+
+@solve.register
+def _(network: TreeNetwork) -> TreeSchedule:
+    return solve_tree(network)

@@ -1,0 +1,133 @@
+"""Optimal divisible-load schedule for single-level tree (star) networks.
+
+The root ``P_0`` holds the load, computes a share itself, and distributes
+to children sequentially under the one-port model; children have
+front-ends and start computing once their whole share has arrived.  With
+the linear cost model, the optimal schedule has every participant finish
+simultaneously (the star analogue of Theorem 2.1; Bharadwaj et al. [6]).
+
+For a service order :math:`\\sigma`, equal finishing times give the chain
+of ratios
+
+.. math::
+
+    \\alpha_{\\sigma_1} (z_{\\sigma_1} + w_{\\sigma_1}) = \\alpha_0 w_0,
+    \\qquad
+    \\alpha_{\\sigma_k} (z_{\\sigma_k} + w_{\\sigma_k}) =
+        \\alpha_{\\sigma_{k-1}} w_{\\sigma_{k-1}},
+
+which normalizes in one ``cumprod``.  The classical sequencing result
+says serving children in non-decreasing link time ``z`` is optimal
+(independent of the ``w``); :func:`solve_star` uses that order by default
+and tests cross-check it against brute force over all permutations.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.dlt.allocation import StarSchedule
+from repro.exceptions import SolverError
+from repro.network.topology import BusNetwork, StarNetwork
+
+__all__ = ["solve_star", "star_makespan_for_order", "optimal_order_bruteforce"]
+
+OrderPolicy = Literal["by-link", "given", "bruteforce"]
+
+
+def _alpha_for_order(network: StarNetwork, order: Sequence[int]) -> np.ndarray:
+    """Allocation (root first) for service order ``order`` (child indices
+    ``1..n``), normalized to a unit load."""
+    w = network.w
+    z = network.z
+    order = list(order)
+    n = network.n_children
+    if sorted(order) != list(range(1, n + 1)):
+        raise SolverError(f"order must be a permutation of 1..{n}, got {order}")
+    # ratio[k] = alpha_{sigma_k} / alpha_0, built by cumulative product.
+    prev_w = np.concatenate(([w[0]], w[order][:-1] if n > 1 else []))
+    denom = z[np.array(order) - 1] + w[order]
+    ratios = np.cumprod(prev_w / denom)
+    alpha = np.empty(n + 1, dtype=np.float64)
+    alpha[0] = 1.0 / (1.0 + ratios.sum())
+    alpha[order] = alpha[0] * ratios
+    return alpha
+
+
+def star_makespan_for_order(network: StarNetwork, order: Sequence[int]) -> float:
+    """Makespan of the equal-finish schedule under service order ``order``."""
+    alpha = _alpha_for_order(network, order)
+    return float(alpha[0] * network.w[0])
+
+
+def optimal_order_bruteforce(network: StarNetwork) -> tuple[int, ...]:
+    """Exhaustively find the makespan-minimizing service order.
+
+    Exponential in the number of children — meant for tests and small
+    instances (the default ``by-link`` policy is the closed-form optimum).
+    """
+    best: tuple[float, tuple[int, ...]] | None = None
+    for perm in permutations(range(1, network.size)):
+        t = star_makespan_for_order(network, perm)
+        if best is None or t < best[0] - 1e-15:
+            best = (t, perm)
+    assert best is not None
+    return best[1]
+
+
+def solve_star(
+    network: StarNetwork | BusNetwork,
+    *,
+    order: OrderPolicy | Sequence[int] = "by-link",
+) -> StarSchedule:
+    """Solve the star (or bus) divisible-load problem.
+
+    Parameters
+    ----------
+    network:
+        A :class:`StarNetwork`, or a :class:`BusNetwork` (treated as a
+        star whose links all equal the bus rate).
+    order:
+        ``"by-link"`` (default) serves children in non-decreasing link
+        time; ``"bruteforce"`` tries all permutations; an explicit
+        sequence of child indices uses that order verbatim.
+
+    Returns
+    -------
+    StarSchedule
+    """
+    if isinstance(network, BusNetwork):
+        network = network.as_star()
+    if isinstance(order, str):
+        if order == "by-link":
+            chosen = tuple(int(i) for i in np.argsort(network.z, kind="stable") + 1)
+        elif order == "bruteforce":
+            chosen = optimal_order_bruteforce(network)
+        else:
+            raise SolverError(f"unknown order policy {order!r}")
+    else:
+        chosen = tuple(int(i) for i in order)
+    alpha = _alpha_for_order(network, chosen)
+    return StarSchedule(
+        network=network,
+        alpha=alpha,
+        order=chosen,
+        makespan=float(alpha[0] * network.w[0]),
+    )
+
+
+def star_finishing_times(network: StarNetwork, alpha: np.ndarray, order: Sequence[int]) -> np.ndarray:
+    """Finishing times of root and children for an arbitrary allocation —
+    used by tests to confirm the equal-finish signature."""
+    w = network.w
+    z = network.z
+    t = np.zeros(network.size)
+    t[0] = alpha[0] * w[0]
+    clock = 0.0
+    for child in order:
+        clock += alpha[child] * z[child - 1]
+        t[child] = clock + alpha[child] * w[child]
+    return t

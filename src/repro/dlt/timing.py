@@ -1,0 +1,124 @@
+"""Finishing-time model for the boundary-rooted linear network.
+
+Implements equations (2.1) and (2.2) of the paper:
+
+.. math::
+
+    T_0(\\alpha) = \\alpha_0 w_0
+
+    T_j(\\alpha) = \\sum_{k=1}^{j} \\Big(1 - \\sum_{\\ell=0}^{k-1}
+        \\alpha_\\ell\\Big) z_k + \\alpha_j w_j \\quad (\\alpha_j > 0)
+
+with :math:`T_j = 0` when :math:`\\alpha_j = 0`.  The inner sums are the
+received loads :math:`D_k`, and the outer sum telescopes into a cumulative
+sum, so the whole vector is computed in one vectorized pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidAllocationError
+from repro.network.topology import LinearNetwork
+
+__all__ = [
+    "received_loads",
+    "finishing_times",
+    "makespan",
+    "is_optimal_allocation",
+    "validate_allocation",
+]
+
+#: Relative tolerance used when checking allocation/optimality invariants.
+DEFAULT_RTOL = 1e-9
+
+
+def validate_allocation(alpha: np.ndarray, *, total: float = 1.0, rtol: float = DEFAULT_RTOL) -> np.ndarray:
+    """Check that ``alpha`` is a feasible allocation and return it as an array.
+
+    Raises
+    ------
+    InvalidAllocationError
+        If any fraction is negative or the fractions do not sum to
+        ``total`` within ``rtol``.
+    """
+    arr = np.asarray(alpha, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise InvalidAllocationError(f"allocation must be a non-empty vector, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise InvalidAllocationError("allocation must be finite")
+    if np.any(arr < -rtol * max(total, 1.0)):
+        raise InvalidAllocationError(f"allocation has negative entries: {arr[arr < 0]}")
+    s = float(arr.sum())
+    if not np.isclose(s, total, rtol=rtol, atol=rtol * max(total, 1.0)):
+        raise InvalidAllocationError(f"allocation sums to {s}, expected {total}")
+    return arr
+
+
+def received_loads(alpha: np.ndarray) -> np.ndarray:
+    """The loads ``D_j = 1 - sum_{k<j} alpha_k`` received by each processor.
+
+    ``D_0 == sum(alpha)`` (the root handles the entire load); the returned
+    vector has the same length as ``alpha``.  Tiny negative values from
+    floating-point cancellation are clipped to zero.
+    """
+    arr = np.asarray(alpha, dtype=np.float64)
+    total = arr.sum()
+    d = total - np.concatenate(([0.0], np.cumsum(arr[:-1])))
+    return np.maximum(d, 0.0)
+
+
+def finishing_times(network: LinearNetwork, alpha: np.ndarray, *, w: np.ndarray | None = None) -> np.ndarray:
+    """Finishing times ``T_i(alpha)`` for every processor (eqs. 2.1/2.2).
+
+    Parameters
+    ----------
+    network:
+        The linear network supplying link rates ``z`` (and default ``w``).
+    alpha:
+        Global load fractions.  Need not be optimal — the mechanism's
+        property checks evaluate perturbed allocations too.
+    w:
+        Optional override for the processing times (used to evaluate a
+        schedule computed from *bids* at the *actual* speeds
+        ``w_tilde >= t``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``T`` with ``T[j] == 0`` wherever ``alpha[j] == 0`` (idle
+        processors finish instantly, per eq. 2.2).
+    """
+    arr = np.asarray(alpha, dtype=np.float64)
+    if arr.size != network.size:
+        raise InvalidAllocationError(
+            f"allocation length {arr.size} does not match network size {network.size}"
+        )
+    w_arr = network.w if w is None else np.asarray(w, dtype=np.float64)
+    d = received_loads(arr)
+    t = np.empty_like(arr)
+    t[0] = arr[0] * w_arr[0]
+    if arr.size > 1:
+        # Communication prefix: sum_{k=1..j} D_k z_k, vectorized.
+        comm = np.cumsum(d[1:] * network.z)
+        t[1:] = comm + arr[1:] * w_arr[1:]
+        t[1:][arr[1:] == 0.0] = 0.0
+    return t
+
+
+def makespan(network: LinearNetwork, alpha: np.ndarray, *, w: np.ndarray | None = None) -> float:
+    """Total execution time ``T(alpha) = max_i T_i(alpha)``."""
+    return float(finishing_times(network, alpha, w=w).max())
+
+
+def is_optimal_allocation(network: LinearNetwork, alpha: np.ndarray, *, rtol: float = 1e-7) -> bool:
+    """Check the optimality signature of Theorem 2.1.
+
+    The optimal solution has *all* processors participating
+    (``alpha_i > 0``) and finishing at the same instant.
+    """
+    arr = validate_allocation(np.asarray(alpha, dtype=np.float64))
+    if np.any(arr <= 0.0):
+        return False
+    t = finishing_times(network, arr)
+    return bool(np.allclose(t, t[0], rtol=rtol, atol=rtol))

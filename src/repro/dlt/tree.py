@@ -1,0 +1,86 @@
+"""Optimal divisible-load schedule for rooted tree networks.
+
+Generalizes the reduction of Fig. 3 to trees (the architecture of the
+authors' prior tree mechanism [9]): each subtree collapses bottom-up into
+an equivalent processor, every internal node then faces a *star* problem
+over its (collapsed) children, and the star's per-unit-load makespan is
+the subtree's equivalent processing time.  Unrolling the star fractions
+top-down yields the global allocation.
+
+A unary tree reduces to the linear boundary problem; tests assert the two
+solvers agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dlt.allocation import TreeSchedule
+from repro.dlt.star import solve_star
+from repro.network.topology import StarNetwork, TreeNetwork, TreeNode
+
+__all__ = ["solve_tree", "tree_equivalent_time"]
+
+
+@dataclass
+class _Collapsed:
+    """A collapsed subtree: equivalent rate plus the recipe to unroll a
+    load fraction into per-node allocations."""
+
+    node: TreeNode
+    w_eq: float
+    own_fraction: float
+    children: list[tuple[float, "_Collapsed"]]  # (fraction, collapsed child)
+
+
+def _collapse(node: TreeNode) -> _Collapsed:
+    if not node.children:
+        return _Collapsed(node=node, w_eq=node.w, own_fraction=1.0, children=[])
+    collapsed_children = [_collapse(child) for child in node.children]
+    # Build the star: this node computes, children are the collapsed
+    # subtrees hanging off their parent links, served one-port.
+    w = np.array([node.w] + [c.w_eq for c in collapsed_children])
+    z = np.array([c.node.link for c in collapsed_children], dtype=np.float64)
+    star = solve_star(StarNetwork(w, z))
+    # star.alpha is indexed root-first then children 1..k (original child
+    # positions, independent of service order).
+    fractions = star.alpha
+    return _Collapsed(
+        node=node,
+        w_eq=star.makespan,
+        own_fraction=float(fractions[0]),
+        children=[(float(fractions[i + 1]), collapsed_children[i]) for i in range(len(collapsed_children))],
+    )
+
+
+def _unroll(collapsed: _Collapsed, load: float, alphas: list[float], labels: list[str | None]) -> None:
+    alphas.append(load * collapsed.own_fraction)
+    labels.append(collapsed.node.label)
+    for fraction, child in collapsed.children:
+        _unroll(child, load * fraction, alphas, labels)
+
+
+def solve_tree(network: TreeNetwork) -> TreeSchedule:
+    """Solve the tree divisible-load problem for a unit load.
+
+    Returns a :class:`~repro.dlt.allocation.TreeSchedule` with fractions
+    in preorder (root first).
+    """
+    collapsed = _collapse(network.root)
+    alphas: list[float] = []
+    labels: list[str | None] = []
+    _unroll(collapsed, 1.0, alphas, labels)
+    return TreeSchedule(
+        network=network,
+        alpha=np.array(alphas),
+        labels=tuple(labels),
+        w_eq_root=collapsed.w_eq,
+        makespan=collapsed.w_eq,
+    )
+
+
+def tree_equivalent_time(network: TreeNetwork) -> float:
+    """Equivalent processing time of the fully collapsed tree."""
+    return _collapse(network.root).w_eq

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Protocol-level failures (the paper's "terminate the
+protocol" events) derive from :class:`ProtocolViolation` and carry enough
+context for the root to adjudicate grievances.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidNetworkError(ReproError, ValueError):
+    """A network specification is malformed (non-positive rates, bad shape)."""
+
+
+class InvalidAllocationError(ReproError, ValueError):
+    """A load-allocation vector violates its constraints.
+
+    Allocations must be non-negative and sum to the total load (paper
+    Section 2: ``alpha_i >= 0`` and ``sum alpha_i = 1``).
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """A DLT solver failed to produce a feasible schedule."""
+
+
+class SignatureError(ReproError):
+    """A digital-signature operation failed (unknown key, bad signature)."""
+
+
+class UnknownSignerError(SignatureError, KeyError):
+    """The key registry has no public key registered for the signer."""
+
+
+class ForgedSignatureError(SignatureError):
+    """Signature verification failed: the message was not produced by the
+    claimed signer (Lemma 5.2 assumes forging is impossible; attempts are
+    rejected with this error)."""
+
+
+class ProtocolViolation(ReproError):
+    """Base class for detected deviations from the DLS-LBL protocol.
+
+    Instances identify the *accused* processor index so the root can levy
+    the fine ``F`` prescribed by the mechanism.
+    """
+
+    def __init__(self, message: str, accused: int | None = None) -> None:
+        super().__init__(message)
+        #: Index of the processor accused of the violation (``None`` when
+        #: the offender cannot be identified from the evidence alone).
+        self.accused = accused
+
+
+class MalformedMessageError(ProtocolViolation):
+    """A received message is missing fields or fails signature checks."""
+
+
+class ContradictoryMessagesError(ProtocolViolation):
+    """Two authentic messages with different contents were received from
+    the same sender for the same protocol step (Phase I/II deviation (i))."""
+
+
+class InconsistentComputationError(ProtocolViolation):
+    """Relayed values fail the Phase II consistency checks, e.g.
+    ``w_bar_{i-1} != alpha_hat_{i-1} * w_{i-1}`` (deviation (ii))."""
+
+
+class OverloadError(ProtocolViolation):
+    """A processor received more load than its computed assignment
+    (Phase III deviation (iii): the predecessor retained ``alpha~ < alpha``)."""
+
+
+class AuditFailureError(ProtocolViolation):
+    """A processor failed to produce a valid payment proof when challenged
+    (Phase IV deviation (iv): overcharging)."""
+
+
+class FalseAccusationError(ProtocolViolation):
+    """A grievance could not be substantiated; the *accuser* is fined
+    (deviation (v))."""
+
+
+class LedgerError(ReproError, RuntimeError):
+    """A payment-ledger invariant was violated (e.g. double settlement)."""

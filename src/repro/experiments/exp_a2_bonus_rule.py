@@ -1,0 +1,152 @@
+"""Experiment A2 (ablation) — the pairwise bonus vs global marginal
+contribution.
+
+The DLS-LBL bonus (eq. 4.9) rewards each processor for its marginal
+contribution *to the two-party system with its predecessor*.  A natural
+alternative is the global (VCG-flavoured) rule
+
+.. math::
+
+    B^{\\text{marg}}_j = T(\\text{prefix } P_0..P_{j-1}) - T_{\\text{eval}}
+
+— what the whole schedule loses if ``P_j`` (and, on a chain, the suffix
+behind it) disappears.  Both rules are strategyproof by the same
+evaluated-at-actual-rates argument (the sweeps confirm it), and they
+coincide at the root-adjacent position.
+
+The measurement cuts the other way from naive intuition: the *global*
+rule is substantially **cheaper** — prefix makespans shrink quickly as
+processors are added, so marginal contributions telescope to small
+values, while the pairwise rule compares each predecessor's *raw bid*
+against a collapsed segment time and pays near the full bid at every
+near-root position.  The paper's choice is therefore not about cost:
+the pairwise bonus is **locally computable** — `P_j` derives it entirely
+from values it already holds in `G_j` (eq. 4.9's arguments), which is
+what lets Phase IV run as "each processor computes its own payment" in
+the autonomous-node model.  The global rule would require every agent to
+learn the full bid vector and trust a central recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.timing import finishing_times
+from repro.experiments.harness import ExperimentResult, Table
+from repro.experiments.workloads import WORKLOADS, Workload
+from repro.mechanism.properties import run_truthful
+from repro.network.topology import LinearNetwork
+
+__all__ = ["run_a2_bonus_rule", "marginal_bonus_chain"]
+
+
+def marginal_bonus_chain(
+    network: LinearNetwork,
+    j: int,
+    *,
+    bid: float | None = None,
+    actual_rate: float | None = None,
+) -> float:
+    """The global marginal-contribution bonus of ``P_j`` on a chain.
+
+    ``network`` holds the truthful rates; ``bid``/``actual_rate``
+    optionally override ``P_j``'s reported and executed rates (defaults:
+    truthful, full speed).
+    """
+    w_true = float(network.w[j])
+    bid = w_true if bid is None else float(bid)
+    actual = w_true if actual_rate is None else float(actual_rate)
+
+    # Without P_j the suffix is unreachable: only the prefix survives.
+    prefix = network.segment(0, j - 1)
+    t_without = solve_linear_boundary(prefix).makespan
+
+    # Bid-derived allocation, evaluated at the actual rate.
+    bid_net = network.with_rates(j, bid)
+    sched = solve_linear_boundary(bid_net)
+    w_eval = bid_net.w.copy()
+    w_eval[j] = actual
+    t_eval = float(finishing_times(bid_net, sched.alpha, w=w_eval).max())
+    return t_without - t_eval
+
+
+def run_a2_bonus_rule(
+    workload: Workload | None = None,
+    *,
+    m: int = 5,
+    factors: tuple[float, ...] = (0.4, 0.7, 1.0, 1.4, 2.5),
+) -> ExperimentResult:
+    workload = workload or WORKLOADS["small-uniform"]
+    network = workload.one(m)
+    baseline = run_truthful(network.z, float(network.w[0]), network.w[1:])
+
+    per_position = Table(
+        title="A2 — rent per position: pairwise (eq. 4.9) vs global marginal contribution",
+        columns=["position", "pairwise bonus", "global-marginal bonus", "pairwise/global"],
+        notes=(
+            "global marginal contributions telescope (prefix makespans shrink fast); "
+            "the pairwise rule pays near the predecessor's full bid at near-root slots"
+        ),
+    )
+    sp_table = Table(
+        title="A2 — the global rule is also strategyproof (bid sweeps)",
+        columns=["position", "best bid factor", "max advantage of lying"],
+    )
+
+    all_ok = True
+    pair_total = 0.0
+    marg_total = 0.0
+    for j in range(1, m + 1):
+        pairwise = baseline.utility(j)  # truthful utility == pairwise bonus
+        marginal = marginal_bonus_chain(network, j)
+        pair_total += pairwise
+        marg_total += marginal
+        per_position.add_row(
+            j, pairwise, marginal, pairwise / marginal if marginal else float("inf")
+        )
+        # Both rules coincide at the root-adjacent slot (the prefix is the
+        # root alone — exactly the eq. 4.9 pair).
+        if j == 1:
+            all_ok &= abs(marginal - pairwise) < 1e-9
+        # Both rules pay non-negative rents (voluntary participation).
+        all_ok &= pairwise >= -1e-9 and marginal >= -1e-9
+
+        # Strategyproofness of the global rule: utility(bid) = B_marg
+        # (compensation cancels valuation at full speed).
+        utilities = [
+            marginal_bonus_chain(network, j, bid=f * float(network.w[j]))
+            for f in factors
+        ]
+        truthful_u = marginal_bonus_chain(network, j)
+        best = factors[int(np.argmax(utilities))]
+        advantage = max(utilities) - truthful_u
+        all_ok &= advantage <= 1e-9 * max(1.0, abs(truthful_u))
+        sp_table.add_row(j, best, advantage)
+
+    summary_table = Table(
+        title="A2 — total rent by rule",
+        columns=["rule", "total rent", "x global"],
+        notes=(
+            "the paper pays MORE rent than VCG-style global contribution would — "
+            "pairwise is chosen for local computability (Phase IV's 'each processor "
+            "computes its own payment'), not for cost"
+        ),
+    )
+    summary_table.add_row("pairwise (the paper's)", pair_total, pair_total / marg_total)
+    summary_table.add_row("global marginal", marg_total, 1.0)
+    # The measured ordering on chains: pairwise rents dominate.
+    all_ok &= pair_total > marg_total
+
+    return ExperimentResult(
+        experiment_id="A2",
+        description="A2 — ablating the bonus rule: pairwise vs global marginal contribution",
+        tables=[per_position, summary_table, sp_table],
+        passed=all_ok,
+        summary=(
+            "both rules are strategyproof; the paper's pairwise rule pays more rent "
+            "but is locally computable, which the autonomous-node Phase IV requires"
+            if all_ok
+            else "bonus-rule ablation expectations violated"
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Experiment T5.4 — Theorem 5.4 (voluntary participation).
+
+Truthful processors never end a run with negative utility.  Measured
+across regimes and chain lengths; also reports the utility *profile*
+(who earns how much) since the bonus ``w_{j-1} - w_bar_{j-1}`` gives
+position-dependent rents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult, Table
+from repro.experiments.workloads import WORKLOADS, Workload
+from repro.mechanism.properties import check_voluntary_participation, run_truthful
+
+__all__ = ["run_thm54_participation"]
+
+
+def run_thm54_participation(workloads: list[Workload] | None = None) -> ExperimentResult:
+    workloads = workloads or [
+        WORKLOADS["small-uniform"],
+        WORKLOADS["heterogeneous"],
+        WORKLOADS["slow-links"],
+        WORKLOADS["fast-links"],
+    ]
+    table = Table(
+        title="Theorem 5.4 — truthful utilities are non-negative",
+        columns=["workload", "m", "min utility", "mean utility", "max utility", "VP holds"],
+    )
+    all_ok = True
+    for workload in workloads:
+        for m, network in workload.networks():
+            outcome = run_truthful(network.z, float(network.w[0]), network.w[1:])
+            utilities = np.array([outcome.utility(i) for i in range(1, m + 1)])
+            holds = check_voluntary_participation(outcome)
+            all_ok &= holds and utilities.min() >= -1e-9
+            table.add_row(
+                workload.name,
+                m,
+                float(utilities.min()),
+                float(utilities.mean()),
+                float(utilities.max()),
+                str(holds),
+            )
+    return ExperimentResult(
+        experiment_id="T5.4",
+        description="Theorem 5.4 — voluntary participation",
+        tables=[table],
+        passed=all_ok,
+        summary=(
+            "every truthful agent finishes with non-negative utility"
+            if all_ok
+            else "a truthful agent incurred a loss"
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Experiment X1 (extension) — the cost of incentives at scale.
+
+The mechanism pays compensation (the work's cost) plus a bonus (the
+informational rent that makes truth-telling dominant).  This experiment
+sweeps the chain length and reports the makespan, the total mechanism
+outlay, and how the outlay splits between compensation and bonus — the
+"price of strategyproofness" a deployer of DLS-LBL would budget for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult, Table
+from repro.experiments.workloads import WORKLOADS, Workload
+from repro.mechanism.properties import run_truthful
+
+__all__ = ["run_x1_scaling"]
+
+
+def run_x1_scaling(workload: Workload | None = None) -> ExperimentResult:
+    workload = workload or WORKLOADS["scaling"]
+    table = Table(
+        title="X1 — mechanism cost vs chain length (truthful agents)",
+        columns=[
+            "m",
+            "makespan",
+            "compute cost",
+            "bonus total",
+            "total outlay",
+            "overhead ratio",
+        ],
+        notes="overhead ratio = total outlay / compute cost; compute cost = sum alpha_i * w_i",
+    )
+    all_ok = True
+    by_m: dict[int, list[tuple[float, float, float, float]]] = {}
+    for m, network in workload.networks():
+        outcome = run_truthful(network.z, float(network.w[0]), network.w[1:])
+        compute_cost = float(np.sum(outcome.assigned * outcome.actual_rates))
+        bonus_total = sum(
+            r.payment_correct - r.assigned * r.actual_rate for r in outcome.reports.values()
+        )
+        outlay = outcome.total_payments()
+        all_ok &= outcome.completed and outlay >= compute_cost - 1e-9
+        by_m.setdefault(m, []).append((outcome.makespan, compute_cost, bonus_total, outlay))
+    for m in sorted(by_m):
+        rows = np.array(by_m[m])
+        span, cost, bonus_total, outlay = rows.mean(axis=0)
+        table.add_row(m, span, cost, bonus_total, outlay, outlay / cost if cost else float("nan"))
+    return ExperimentResult(
+        experiment_id="X1",
+        description="X1 — payment overhead scaling",
+        tables=[table],
+        passed=all_ok,
+        summary=(
+            "mechanism outlay = compute cost + non-negative informational rent at every size"
+            if all_ok
+            else "outlay accounting inconsistent"
+        ),
+    )

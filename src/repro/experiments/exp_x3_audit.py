@@ -1,0 +1,84 @@
+"""Experiment X3 (extension) — audit economics (deviation (iv)).
+
+Overcharging by Δ yields Δ when unchallenged and costs ``F/q`` when
+challenged, so the expected gain is ``Δ - q·(F/q) = Δ - F < 0`` whenever
+``F > Δ`` — *independent of q*.  The audit probability only controls the
+variance (and the root's verification workload).  The experiment sweeps
+``q`` and Δ, comparing the analytic expectation with a Monte Carlo over
+many mechanism runs, and reports the deterrence frontier ``F = Δ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.strategies import OverchargingAgent, TruthfulAgent
+from repro.experiments.harness import ExperimentResult, Table
+from repro.experiments.workloads import WORKLOADS, Workload
+from repro.mechanism.dls_lbl import DLSLBLMechanism
+from repro.mechanism.properties import run_truthful
+
+__all__ = ["run_x3_audit", "expected_overcharge_gain"]
+
+
+def expected_overcharge_gain(delta: float, fine: float, q: float) -> float:
+    """Closed-form expected gain of overcharging by ``delta``:
+    ``(1-q)·delta + q·(delta - F/q) = delta - F``."""
+    return delta - fine
+
+
+def run_x3_audit(
+    workload: Workload | None = None,
+    *,
+    m: int = 5,
+    deltas: tuple[float, ...] = (0.5, 2.0, 8.0),
+    qs: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0),
+    n_runs: int = 400,
+    seed: int = 303,
+) -> ExperimentResult:
+    workload = workload or WORKLOADS["small-uniform"]
+    network = workload.one(m)
+    z = network.z
+    root = float(network.w[0])
+    true = network.w[1:]
+    mid = max(1, m // 2)
+    baseline = run_truthful(z, root, true)
+    truthful_u = baseline.utility(mid)
+
+    table = Table(
+        title="X3 — expected gain of overcharging vs audit probability",
+        columns=["delta", "q", "fine F", "analytic E[gain]", "MC E[gain]", "deterred"],
+        notes="E[gain] = delta - F independent of q; q only changes variance",
+    )
+    all_ok = True
+    rng = np.random.default_rng(seed)
+    for delta in deltas:
+        for q in qs:
+            agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(true, start=1)]
+            agents[mid - 1] = OverchargingAgent(mid, float(true[mid - 1]), overcharge=delta)
+            # One mechanism per q; audit draws consume the shared rng so
+            # runs are independent samples.
+            mech = DLSLBLMechanism(z, root, agents, audit_probability=q, rng=rng)
+            fine = mech.fine
+            gains = np.empty(n_runs)
+            for k in range(n_runs):
+                outcome = mech.run()
+                gains[k] = outcome.utility(mid) - truthful_u
+            analytic = expected_overcharge_gain(delta, fine, q)
+            mc = float(gains.mean())
+            # Standard error of the MC mean bounds the acceptable gap.
+            se = float(gains.std(ddof=1) / np.sqrt(n_runs))
+            deterred = analytic < 0
+            all_ok &= deterred and abs(mc - analytic) < max(5.0 * se, 1e-6)
+            table.add_row(delta, q, fine, analytic, mc, str(deterred))
+    return ExperimentResult(
+        experiment_id="X3",
+        description="X3 — probabilistic audit deterrence (F/q penalty)",
+        tables=[table],
+        passed=all_ok,
+        summary=(
+            "overcharging loses F - delta in expectation at every audit probability"
+            if all_ok
+            else "audit deterrence failed or MC disagrees with the closed form"
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Experiment X7 (extension) — who earns the informational rent?
+
+For truthful full-speed agents the utility collapses to
+``U_j = w_{j-1} - w_bar_{j-1}`` (eq. 5.2): the predecessor's bid minus
+the equivalent time of the segment starting at the predecessor.  Since
+segments closer to the root contain more helpers, their equivalent times
+are smaller and the bonus larger — so on a homogeneous chain the rent is
+*strictly decreasing along the chain*: the position adjacent to the root
+is the most lucrative, the terminal earns the least.  This experiment
+measures the rent profile on homogeneous and heterogeneous chains and
+verifies the monotonicity claim where it is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult, Table
+from repro.mechanism.properties import run_truthful
+from repro.network.generators import random_linear_network
+
+__all__ = ["run_x7_position_rents"]
+
+
+def run_x7_position_rents(
+    *,
+    m: int = 8,
+    w: float = 4.0,
+    z: float = 0.5,
+    heterogeneous_instances: int = 5,
+    seed: int = 909,
+) -> ExperimentResult:
+    homo_table = Table(
+        title=f"X7 — rent by position, homogeneous chain (w={w}, z={z}, m={m})",
+        columns=["position", "utility", "share of total rent"],
+        notes="U_j = w_{j-1} - w_bar_{j-1}: strictly decreasing along the chain",
+    )
+    hetero_table = Table(
+        title="X7 — rank correlation on heterogeneous chains",
+        columns=["instance", "corr(position, utility)", "top earner", "bottom earner"],
+        notes="heterogeneity perturbs but does not erase the near-root premium",
+    )
+
+    all_ok = True
+
+    # Homogeneous chain: the clean monotone case.
+    outcome = run_truthful([z] * m, w, [w] * m)
+    utilities = np.array([outcome.utility(i) for i in range(1, m + 1)])
+    total = utilities.sum()
+    for i, u in enumerate(utilities, start=1):
+        homo_table.add_row(i, float(u), float(u / total))
+    all_ok &= bool(np.all(np.diff(utilities) < 0))
+    # Identity check: U_j == bids[j-1] - w_bar[j-1].
+    for i in range(1, m + 1):
+        expected = outcome.bids[i - 1] - outcome.w_bar[i - 1]
+        all_ok &= abs(outcome.utility(i) - expected) < 1e-9
+
+    # Heterogeneous chains: the premium survives as a strong trend.
+    rng = np.random.default_rng(seed)
+    for k in range(heterogeneous_instances):
+        net = random_linear_network(m, rng)
+        out = run_truthful(net.z, float(net.w[0]), net.w[1:])
+        us = np.array([out.utility(i) for i in range(1, m + 1)])
+        positions = np.arange(1, m + 1)
+        corr = float(np.corrcoef(positions, us)[0, 1])
+        hetero_table.add_row(
+            k,
+            corr,
+            f"P{int(np.argmax(us)) + 1}",
+            f"P{int(np.argmin(us)) + 1}",
+        )
+        # No hard assertion on heterogeneous instances — the trend is
+        # reported, the theorem-level claim is the homogeneous identity.
+
+    return ExperimentResult(
+        experiment_id="X7",
+        description="X7 — the near-root rent premium",
+        tables=[homo_table, hetero_table],
+        passed=all_ok,
+        summary=(
+            "rents decrease strictly along homogeneous chains (U_j = w_{j-1} - w_bar_{j-1})"
+            if all_ok
+            else "rent profile violated the eq. 5.2 identity"
+        ),
+    )

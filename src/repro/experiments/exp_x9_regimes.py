@@ -1,0 +1,84 @@
+"""Experiment X9 (extension) — sensitivity to the network regime.
+
+The paper's environment is "autonomous, self-interested organizations" —
+i.e. heterogeneous hardware over uneven links.  This experiment runs the
+mechanism across the named regimes of
+:data:`repro.network.generators.REGIMES` and reports how its economics
+shift: communication-dominant regimes concentrate load (and rent) near
+the root; computation-dominant regimes spread both.  The theorems'
+guarantees (completion, non-negative utilities, ledger conservation) are
+asserted in every regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mechanism.properties import check_voluntary_participation, run_truthful
+from repro.experiments.harness import ExperimentResult, Table
+from repro.network.generators import REGIMES, random_linear_network
+
+__all__ = ["run_x9_regimes"]
+
+
+def run_x9_regimes(
+    *,
+    m: int = 8,
+    instances: int = 5,
+    seed: int = 1111,
+) -> ExperimentResult:
+    table = Table(
+        title="X9 — mechanism economics by network regime",
+        columns=[
+            "regime",
+            "makespan",
+            "root share",
+            "rent / compute cost",
+            "min utility",
+            "VP holds",
+        ],
+        notes="means over instances; root share = alpha_0 (load kept at the origin)",
+    )
+    all_ok = True
+    for name, regime in sorted(REGIMES.items()):
+        rng = np.random.default_rng(seed)
+        makespans, root_shares, rent_ratios, min_utilities = [], [], [], []
+        vp = True
+        for _ in range(instances):
+            network = random_linear_network(m, rng, regime=regime)
+            outcome = run_truthful(network.z, float(network.w[0]), network.w[1:])
+            all_ok &= outcome.completed
+            vp &= check_voluntary_participation(outcome)
+            makespans.append(outcome.makespan)
+            root_shares.append(float(outcome.assigned[0]))
+            cost = float(np.sum(outcome.assigned * outcome.actual_rates))
+            rent = float(
+                sum(r.payment_correct for r in outcome.reports.values())
+                - np.sum(outcome.assigned[1:] * outcome.actual_rates[1:])
+            )
+            rent_ratios.append(rent / cost)
+            min_utilities.append(min(outcome.utility(i) for i in range(1, m + 1)))
+            all_ok &= abs(outcome.ledger.total_balance()) < 1e-9
+        all_ok &= vp
+        table.add_row(
+            name,
+            float(np.mean(makespans)),
+            float(np.mean(root_shares)),
+            float(np.mean(rent_ratios)),
+            float(np.min(min_utilities)),
+            str(vp),
+        )
+    # Physics sanity: slow links keep more load at the root than fast links.
+    rows = {r[0]: r for r in table.rows}
+    all_ok &= rows["slow-links"][2] > rows["fast-links"][2]
+    return ExperimentResult(
+        experiment_id="X9",
+        description="X9 — regime sensitivity of the mechanism's economics",
+        tables=[table],
+        passed=all_ok,
+        summary=(
+            "guarantees hold in every regime; load and rent concentrate at the root as links slow"
+            if all_ok
+            else "a regime broke a guarantee or the physics sanity check"
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Named workloads used across the experiment suite.
+
+A :class:`Workload` pins a network regime, a set of chain lengths and a
+seed, so every experiment and benchmark draws *the same* instances and
+results are comparable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.network.generators import random_linear_network
+from repro.network.topology import LinearNetwork
+
+__all__ = ["Workload", "WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A reproducible family of linear-network instances."""
+
+    name: str
+    regime: str
+    sizes: tuple[int, ...]
+    seed: int
+    instances_per_size: int = 5
+
+    def networks(self) -> Iterator[tuple[int, LinearNetwork]]:
+        """Yield ``(m, network)`` pairs, ``instances_per_size`` per size."""
+        rng = np.random.default_rng(self.seed)
+        for m in self.sizes:
+            for _ in range(self.instances_per_size):
+                yield m, random_linear_network(m, rng, regime=self.regime)
+
+    def one(self, m: int) -> LinearNetwork:
+        """A single deterministic instance of size ``m``."""
+        rng = np.random.default_rng(self.seed + m)
+        return random_linear_network(m, rng, regime=self.regime)
+
+
+#: The standard workload families (regimes from
+#: :data:`repro.network.generators.REGIMES`).
+WORKLOADS: dict[str, Workload] = {
+    "small-uniform": Workload("small-uniform", "uniform", sizes=(2, 3, 5, 8), seed=11),
+    "medium-uniform": Workload("medium-uniform", "uniform", sizes=(10, 20, 40), seed=13),
+    "heterogeneous": Workload("heterogeneous", "heterogeneous", sizes=(3, 6, 12), seed=17),
+    "slow-links": Workload("slow-links", "slow-links", sizes=(3, 6, 12), seed=19),
+    "fast-links": Workload("fast-links", "fast-links", sizes=(3, 6, 12), seed=23),
+    "scaling": Workload("scaling", "uniform", sizes=(5, 10, 20, 50, 100, 200), seed=29, instances_per_size=3),
+}

@@ -1,0 +1,85 @@
+"""The payment infrastructure (paper Section 4: "we assume the existence
+of a payment infrastructure").
+
+A double-entry ledger over processor accounts plus the mechanism's own
+account.  Every movement is a transfer, so total balance is identically
+zero — the conservation invariant the property tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.exceptions import LedgerError
+
+__all__ = ["LedgerEntry", "PaymentLedger", "MECHANISM"]
+
+#: Account name of the mechanism itself (the payer of compensation and
+#: bonuses, the recipient of fines).
+MECHANISM = "mechanism"
+
+Account = Union[int, str]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One transfer: ``amount`` moves from ``debtor`` to ``creditor``."""
+
+    debtor: Account
+    creditor: Account
+    amount: float
+    memo: str
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise LedgerError(f"transfer amounts must be non-negative: {self}")
+
+
+class PaymentLedger:
+    """Double-entry ledger with named accounts.
+
+    Examples
+    --------
+    >>> ledger = PaymentLedger()
+    >>> ledger.pay(3, 2.5, "compensation")
+    >>> ledger.fine(3, 1.0, "phase II violation")
+    >>> round(ledger.balance(3), 10)
+    1.5
+    >>> round(ledger.total_balance(), 10)
+    0.0
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[LedgerEntry] = []
+        self._balances: dict[Account, float] = {}
+
+    def transfer(self, debtor: Account, creditor: Account, amount: float, memo: str) -> None:
+        """Record a transfer from ``debtor`` to ``creditor``."""
+        entry = LedgerEntry(debtor=debtor, creditor=creditor, amount=float(amount), memo=memo)
+        self.entries.append(entry)
+        self._balances[debtor] = self._balances.get(debtor, 0.0) - entry.amount
+        self._balances[creditor] = self._balances.get(creditor, 0.0) + entry.amount
+
+    def pay(self, proc: Account, amount: float, memo: str) -> None:
+        """Mechanism pays ``proc`` (compensation, bonus, reward)."""
+        self.transfer(MECHANISM, proc, amount, memo)
+
+    def fine(self, proc: Account, amount: float, memo: str) -> None:
+        """``proc`` pays the mechanism (fines)."""
+        self.transfer(proc, MECHANISM, amount, memo)
+
+    def balance(self, account: Account) -> float:
+        """Net balance of ``account`` (positive = received more than paid)."""
+        return self._balances.get(account, 0.0)
+
+    def total_balance(self) -> float:
+        """Sum over all accounts; identically zero for a consistent ledger."""
+        return sum(self._balances.values())
+
+    def entries_for(self, account: Account) -> list[LedgerEntry]:
+        return [e for e in self.entries if e.debtor == account or e.creditor == account]
+
+    def mechanism_outlay(self) -> float:
+        """Net amount the mechanism disbursed (the "cost of incentives")."""
+        return -self.balance(MECHANISM)

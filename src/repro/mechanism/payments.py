@@ -1,0 +1,255 @@
+"""Phase IV payment structure (paper eqs. 4.3–4.11).
+
+For a strategic processor :math:`P_j` (:math:`j \\ge 1`) the utility is
+
+.. math::
+
+    U_j = V_j(\\tilde\\alpha_j, \\tilde w_j) + Q_j
+    \\qquad\\text{(4.4)}
+
+with the valuation :math:`V_j = -\\tilde\\alpha_j \\tilde w_j` (4.5) —
+the cost of the work actually performed — and the payment
+
+.. math::
+
+    Q_j = \\begin{cases} 0 & \\tilde\\alpha_j = 0 \\\\
+          C_j + B_j & \\tilde\\alpha_j > 0 \\end{cases}
+    \\qquad\\text{(4.6)}
+
+where :math:`C_j = \\alpha_j\\tilde w_j + E_j` is the *compensation* (4.7),
+:math:`E_j` the *recompense* for overload work (4.8), and the *bonus*
+
+.. math::
+
+    B_j = w_{j-1} - \\bar w_{j-1}\\big(\\alpha((w_{j-1},\\bar w_j)),
+        (w_{j-1}, \\hat w_j)\\big)
+    \\qquad\\text{(4.9)}
+
+is the predecessor's bid minus the *evaluated* equivalent processing time
+of the two-processor system :math:`\\{P_{j-1}, \\text{equiv } P_j\\}`:
+the allocation is fixed from the bids, and the segment's makespan per
+unit load is re-evaluated at :math:`P_j`'s *actual* performance
+:math:`\\hat w_j` (4.10/4.11).  At a truthful bid and full-speed
+execution the two branches of the max coincide and the bonus is largest
+— that is the engine of strategyproofness (Lemma 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "valuation",
+    "recompense",
+    "compensation",
+    "adjusted_equivalent_time",
+    "bonus",
+    "PaymentBreakdown",
+    "payment_breakdown",
+    "recommended_fine",
+]
+
+
+def valuation(computed_amount: float, actual_rate: float) -> float:
+    """Valuation :math:`V_j = -\\tilde\\alpha_j \\tilde w_j` (eq. 4.5)."""
+    return -computed_amount * actual_rate
+
+
+def recompense(assigned: float, computed_amount: float, actual_rate: float) -> float:
+    """Recompense :math:`E_j` (eq. 4.8): pay for overload work only.
+
+    Zero when the processor computed less than assigned (it is *not*
+    excused — compensation still covers the full assignment, and Phase III
+    grievances handle the shortfall).
+    """
+    if computed_amount >= assigned:
+        return (computed_amount - assigned) * actual_rate
+    return 0.0
+
+
+def compensation(assigned: float, computed_amount: float, actual_rate: float) -> float:
+    """Compensation :math:`C_j = \\alpha_j \\tilde w_j + E_j` (eq. 4.7)."""
+    return assigned * actual_rate + recompense(assigned, computed_amount, actual_rate)
+
+
+def adjusted_equivalent_time(
+    *,
+    is_terminal: bool,
+    bid: float,
+    w_bar: float,
+    alpha_hat: float,
+    actual_rate: float,
+) -> float:
+    """The adjusted equivalent bid :math:`\\hat w_j` (eqs. 4.10/4.11).
+
+    Parameters
+    ----------
+    is_terminal:
+        ``True`` for :math:`P_m` (eq. 4.10: :math:`\\hat w_m = \\tilde w_m`).
+    bid:
+        The raw bid :math:`w_j`.
+    w_bar:
+        The Phase I equivalent bid :math:`\\bar w_j = \\hat\\alpha_j w_j`.
+    alpha_hat:
+        The Phase I local fraction :math:`\\hat\\alpha_j`.
+    actual_rate:
+        The metered actual unit time :math:`\\tilde w_j \\ge t_j`.
+
+    Notes
+    -----
+    When :math:`P_j` runs no slower than it bid
+    (:math:`\\tilde w_j < w_j`), the segment's equivalent time is
+    unchanged (:math:`\\hat w_j = \\bar w_j`): running *faster* than bid
+    earns nothing, so there is no reason to overbid and sandbag.  When it
+    runs slower, its actual speed dominates the segment
+    (:math:`\\hat w_j = \\hat\\alpha_j \\tilde w_j`), shrinking the bonus.
+    """
+    if is_terminal:
+        return actual_rate
+    if actual_rate >= bid:
+        return alpha_hat * actual_rate
+    return w_bar
+
+
+def bonus(
+    *,
+    predecessor_bid: float,
+    z_link: float,
+    w_bar: float,
+    w_hat: float,
+) -> float:
+    """The bonus :math:`B_j` (eq. 4.9).
+
+    The two-processor system :math:`\\{P_{j-1}, \\text{equiv } P_j\\}` is
+    allocated from the *bids* — local fraction
+
+    .. math::
+
+        \\hat\\alpha_{j-1} = \\frac{\\bar w_j + z_j}
+                                  {w_{j-1} + \\bar w_j + z_j}
+
+    — and its equivalent time is then *evaluated* at :math:`P_j`'s actual
+    performance :math:`\\hat w_j` via eq. 2.3 (the max of the two
+    finishing times, since the allocation is no longer optimal for the
+    actual rates):
+
+    .. math::
+
+        \\bar w_{j-1}^{\\text{eval}} = \\max\\big(
+            \\hat\\alpha_{j-1} w_{j-1},\\;
+            (1-\\hat\\alpha_{j-1})(z_j + \\hat w_j)\\big).
+
+    ``B_j = predecessor_bid - w_eval``; maximal exactly when the two
+    branches coincide, i.e. when :math:`\\hat w_j` equals the bid-derived
+    :math:`\\bar w_j` — truth-telling at full speed.
+    """
+    alpha_hat_prev = (w_bar + z_link) / (predecessor_bid + w_bar + z_link)
+    w_eval = max(
+        alpha_hat_prev * predecessor_bid,
+        (1.0 - alpha_hat_prev) * (z_link + w_hat),
+    )
+    return predecessor_bid - w_eval
+
+
+@dataclass(frozen=True)
+class PaymentBreakdown:
+    """Every term of one processor's Phase IV payment."""
+
+    proc: int
+    assigned: float  # alpha_j (load units, from the bid-derived schedule)
+    computed: float  # alpha~_j actually computed
+    actual_rate: float  # w~_j
+    valuation: float  # V_j (4.5)
+    compensation: float  # C_j (4.7), includes recompense
+    recompense: float  # E_j (4.8)
+    bonus: float  # B_j (4.9)
+    payment: float  # Q_j (4.6)
+
+    @property
+    def utility_before_transfers(self) -> float:
+        """``V_j + Q_j`` (eq. 4.4) — before grievance fines/rewards."""
+        return self.valuation + self.payment
+
+
+def payment_breakdown(
+    *,
+    proc: int,
+    is_terminal: bool,
+    assigned: float,
+    computed: float,
+    actual_rate: float,
+    own_bid: float,
+    own_w_bar: float,
+    own_alpha_hat: float,
+    predecessor_bid: float,
+    z_link: float,
+) -> PaymentBreakdown:
+    """Assemble the full payment :math:`Q_j` for one processor.
+
+    This is the computation each :math:`P_j` performs for itself in
+    Phase IV (and that the root re-performs during audits).
+    """
+    v = valuation(computed, actual_rate)
+    if computed <= 0.0:
+        return PaymentBreakdown(
+            proc=proc,
+            assigned=assigned,
+            computed=computed,
+            actual_rate=actual_rate,
+            valuation=v,
+            compensation=0.0,
+            recompense=0.0,
+            bonus=0.0,
+            payment=0.0,
+        )
+    e = recompense(assigned, computed, actual_rate)
+    c = assigned * actual_rate + e
+    w_hat = adjusted_equivalent_time(
+        is_terminal=is_terminal,
+        bid=own_bid,
+        w_bar=own_w_bar,
+        alpha_hat=own_alpha_hat,
+        actual_rate=actual_rate,
+    )
+    b = bonus(
+        predecessor_bid=predecessor_bid,
+        z_link=z_link,
+        w_bar=own_w_bar,
+        w_hat=w_hat,
+    )
+    return PaymentBreakdown(
+        proc=proc,
+        assigned=assigned,
+        computed=computed,
+        actual_rate=actual_rate,
+        valuation=v,
+        compensation=c,
+        recompense=e,
+        bonus=b,
+        payment=c + b,
+    )
+
+
+def recommended_fine(
+    bids: np.ndarray,
+    *,
+    total_load: float = 1.0,
+    margin: float = 2.0,
+    max_overcharge: float = 0.0,
+) -> float:
+    """A fine ``F`` "larger than any potential profits attainable by
+    cheating" (paper, Phase I).
+
+    Cheating profits are bounded by the largest payment any processor can
+    extract: compensation is at most ``total_load * max(w)`` (computing
+    the whole load at the slowest rate), the bonus is at most the largest
+    predecessor bid, and a load-shedder pockets at most its own full
+    compensation.  ``max_overcharge`` must bound any bill inflation the
+    environment admits (the payment infrastructure rejects bills above
+    the recomputable maximum plus this allowance).
+    """
+    bids_arr = np.asarray(bids, dtype=np.float64)
+    bound = float(total_load * bids_arr.max() + bids_arr.max() + max_overcharge)
+    return margin * bound

@@ -1,0 +1,198 @@
+"""Empirical checkers for the paper's theorems.
+
+The paper proves its properties analytically; this module *measures*
+them on concrete instances, which is how the test suite and the
+benchmark harness validate the implementation:
+
+- :func:`utility_of_bid` / :func:`sweep_bids` — Lemma 5.3 / Theorem 5.3:
+  for any network and any opponent bids, an agent's utility is maximized
+  at the truthful bid (and at full-speed execution).
+- :func:`check_voluntary_participation` — Lemma 5.4 / Theorem 5.4:
+  truthful agents never end with negative utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.agents.base import ProcessorAgent
+from repro.agents.strategies import TruthfulAgent
+from repro.mechanism.dls_lbl import DLSLBLMechanism, MechanismOutcome
+
+__all__ = [
+    "FixedBehaviourAgent",
+    "StrategyproofnessReport",
+    "utility_of_bid",
+    "sweep_bids",
+    "check_voluntary_participation",
+    "run_truthful",
+]
+
+
+class FixedBehaviourAgent(ProcessorAgent):
+    """An agent with an explicitly pinned bid and execution rate — the
+    probe used by the strategyproofness sweeps."""
+
+    strategy_name = "fixed"
+
+    def __init__(self, index: int, true_rate: float, *, bid: float, execution_rate: float | None = None) -> None:
+        super().__init__(index, true_rate)
+        self.bid = float(bid)
+        self.execution_rate = float(execution_rate) if execution_rate is not None else true_rate
+
+    def choose_bid(self) -> float:
+        return self.bid
+
+    def choose_execution_rate(self) -> float:
+        return self.execution_rate
+
+
+def _build_mechanism(
+    link_rates: Sequence[float],
+    root_rate: float,
+    true_rates: Sequence[float],
+    *,
+    agents: dict[int, ProcessorAgent] | None = None,
+    seed: int = 0,
+    audit_probability: float = 1.0,
+) -> DLSLBLMechanism:
+    """Mechanism over truthful agents, with optional per-index overrides."""
+    overrides = agents or {}
+    roster: list[ProcessorAgent] = []
+    for i, t in enumerate(true_rates, start=1):
+        roster.append(overrides.get(i, TruthfulAgent(i, float(t))))
+    return DLSLBLMechanism(
+        link_rates,
+        root_rate,
+        roster,
+        audit_probability=audit_probability,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def run_truthful(
+    link_rates: Sequence[float],
+    root_rate: float,
+    true_rates: Sequence[float],
+    *,
+    seed: int = 0,
+) -> MechanismOutcome:
+    """Run the mechanism with every agent truthful."""
+    return _build_mechanism(link_rates, root_rate, true_rates, seed=seed).run()
+
+
+def utility_of_bid(
+    link_rates: Sequence[float],
+    root_rate: float,
+    true_rates: Sequence[float],
+    agent_index: int,
+    bid: float,
+    *,
+    execution_rate: float | None = None,
+    seed: int = 0,
+) -> float:
+    """Utility of ``agent_index`` when it bids ``bid`` (and optionally
+    runs at ``execution_rate``) while everyone else is truthful.
+
+    This is the quantity Lemma 5.3 analyses; strategyproofness means it
+    peaks at ``bid == true_rates[agent_index - 1]`` with
+    ``execution_rate`` at capacity.
+    """
+    probe = FixedBehaviourAgent(
+        agent_index,
+        float(true_rates[agent_index - 1]),
+        bid=bid,
+        execution_rate=execution_rate,
+    )
+    mech = _build_mechanism(
+        link_rates, root_rate, true_rates, agents={agent_index: probe}, seed=seed
+    )
+    outcome = mech.run()
+    return outcome.utility(agent_index)
+
+
+@dataclass(frozen=True)
+class StrategyproofnessReport:
+    """Result of a bid sweep for one agent."""
+
+    agent_index: int
+    true_rate: float
+    bids: np.ndarray
+    utilities: np.ndarray
+    truthful_utility: float
+
+    @property
+    def best_bid(self) -> float:
+        return float(self.bids[int(np.argmax(self.utilities))])
+
+    @property
+    def max_deviant_utility(self) -> float:
+        return float(self.utilities.max())
+
+    @property
+    def truthful_is_optimal(self) -> bool:
+        """Whether no swept bid beats truth-telling (up to float slack)."""
+        slack = 1e-9 * max(1.0, abs(self.truthful_utility))
+        return bool(self.utilities.max() <= self.truthful_utility + slack)
+
+    @property
+    def advantage_of_lying(self) -> float:
+        """max over bids of (utility - truthful utility); <= 0 when
+        strategyproof."""
+        return float(self.utilities.max() - self.truthful_utility)
+
+
+def sweep_bids(
+    link_rates: Sequence[float],
+    root_rate: float,
+    true_rates: Sequence[float],
+    agent_index: int,
+    *,
+    factors: Sequence[float] | None = None,
+    execution_rate: float | None = None,
+    seed: int = 0,
+) -> StrategyproofnessReport:
+    """Sweep an agent's bid over ``factors * true_rate`` and record the
+    utilities (everyone else truthful)."""
+    true_rate = float(true_rates[agent_index - 1])
+    if factors is None:
+        factors = np.concatenate(
+            (np.linspace(0.1, 1.0, 19), np.linspace(1.0, 5.0, 21)[1:])
+        )
+    bids = np.asarray(factors, dtype=np.float64) * true_rate
+    utilities = np.array(
+        [
+            utility_of_bid(
+                link_rates,
+                root_rate,
+                true_rates,
+                agent_index,
+                float(b),
+                execution_rate=execution_rate,
+                seed=seed,
+            )
+            for b in bids
+        ]
+    )
+    truthful = utility_of_bid(
+        link_rates, root_rate, true_rates, agent_index, true_rate, seed=seed
+    )
+    return StrategyproofnessReport(
+        agent_index=agent_index,
+        true_rate=true_rate,
+        bids=bids,
+        utilities=utilities,
+        truthful_utility=truthful,
+    )
+
+
+def check_voluntary_participation(outcome: MechanismOutcome, *, tol: float = 1e-9) -> bool:
+    """Theorem 5.4 on a concrete outcome: every *truthful* agent's
+    utility is non-negative."""
+    for report in outcome.reports.values():
+        if report.strategy == "truthful" and report.utility < -tol:
+            return False
+    return True

@@ -1,0 +1,129 @@
+"""The solution-bonus variant of the payment function (paper eq. 4.13).
+
+For loads whose solution is verifiable (searches, factorizations), the
+payment gains a term ``S``: ``S = s`` for every participating processor
+if a solution is found and ``0`` otherwise.  A selfish-and-annoying agent
+that corrupts or duplicates data reduces the probability the solution is
+found and therefore strictly reduces its own expected utility by
+:math:`s \\cdot \\Delta p` — Theorem 5.2's deterrent.
+
+The model: the solution hides uniformly in the unit load, so the
+probability it is found equals the fraction of the load that is processed
+*correctly* — the load wasted by an annoying agent is whatever fraction
+of the data passing through it it renders useless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.agents.annoying import AnnoyingAgent
+from repro.agents.base import ProcessorAgent
+
+__all__ = [
+    "SolutionBonusConfig",
+    "probability_solution_found",
+    "expected_solution_utility",
+    "simulate_solution_rounds",
+]
+
+
+@dataclass(frozen=True)
+class SolutionBonusConfig:
+    """Parameters of the eq. 4.13 variant.
+
+    ``s`` is "a small, positive quantity that rewards agents for following
+    the given algorithm".
+    """
+
+    s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.s < 0:
+            raise ValueError("the solution bonus s must be non-negative")
+
+
+def wasted_load(
+    agents: Sequence[ProcessorAgent],
+    forwarded: np.ndarray,
+) -> float:
+    """Total load units whose processing is wasted by annoying behaviour.
+
+    ``forwarded[i]`` is the load that flowed *through* agent ``i`` to its
+    successors (that is the data an agent can corrupt or duplicate).
+    Waste from distinct agents affects disjoint shares of the stream in
+    the worst case; we take the union bound capped at the total forwarded.
+    """
+    total = 0.0
+    for agent in agents:
+        if isinstance(agent, AnnoyingAgent):
+            total += agent.wasted_fraction() * float(forwarded[agent.index])
+    return total
+
+
+def probability_solution_found(
+    agents: Sequence[ProcessorAgent],
+    forwarded: np.ndarray,
+    *,
+    total_load: float = 1.0,
+) -> float:
+    """Probability the (uniformly hidden) solution is found."""
+    wasted = min(wasted_load(agents, forwarded), total_load)
+    return 1.0 - wasted / total_load
+
+
+def expected_solution_utility(
+    base_utilities: Mapping[int, float],
+    agents: Sequence[ProcessorAgent],
+    forwarded: np.ndarray,
+    config: SolutionBonusConfig,
+    *,
+    total_load: float = 1.0,
+) -> dict[int, float]:
+    """Per-agent expected utility under eq. 4.13.
+
+    Every participating agent's payment gains ``s * P(found)`` in
+    expectation, so an agent whose behaviour lowers ``P(found)`` lowers
+    its *own* expected utility — there is no way to waste data and keep
+    the full expected bonus.
+    """
+    p = probability_solution_found(agents, forwarded, total_load=total_load)
+    return {
+        index: utility + config.s * p for index, utility in base_utilities.items()
+    }
+
+
+def simulate_solution_rounds(
+    agents: Sequence[ProcessorAgent],
+    forwarded: np.ndarray,
+    config: SolutionBonusConfig,
+    rng: np.random.Generator,
+    *,
+    n_rounds: int = 1000,
+    total_load: float = 1.0,
+) -> float:
+    """Monte Carlo estimate of ``P(found)``: each round hides the solution
+    uniformly in the load and checks whether it fell in a wasted span.
+
+    Wasted spans are laid out at the *tail* of each annoying agent's
+    forwarded stream (the layout does not affect the probability for a
+    uniform solution; it only needs to be consistent).  Used by tests to
+    validate the closed form within sampling error.
+    """
+    spans: list[tuple[float, float]] = []
+    for agent in agents:
+        if isinstance(agent, AnnoyingAgent) and agent.wasted_fraction() > 0:
+            fwd = float(forwarded[agent.index])
+            wasted = agent.wasted_fraction() * fwd
+            # The stream through agent i is the trailing `fwd` units.
+            start = total_load - fwd
+            spans.append((start, start + wasted))
+    hits = 0
+    positions = rng.uniform(0.0, total_load, n_rounds)
+    for x in positions:
+        if not any(a <= x < b for a, b in spans):
+            hits += 1
+    return hits / n_rounds

@@ -1,0 +1,35 @@
+"""Network topology substrate.
+
+Defines the network architectures studied by Divisible Load Theory that
+this reproduction implements: the paper's **linear network with boundary
+load origination** (Fig. 1), its interior-origination variant (Section 2),
+and the bus/star/tree comparators from the authors' prior work [9, 14].
+"""
+
+from repro.network.topology import (
+    BusNetwork,
+    LinearNetwork,
+    StarNetwork,
+    TreeNetwork,
+    TreeNode,
+)
+from repro.network.generators import (
+    NetworkRegime,
+    REGIMES,
+    random_linear_network,
+    random_star_network,
+    random_tree_network,
+)
+
+__all__ = [
+    "BusNetwork",
+    "LinearNetwork",
+    "StarNetwork",
+    "TreeNetwork",
+    "TreeNode",
+    "NetworkRegime",
+    "REGIMES",
+    "random_linear_network",
+    "random_star_network",
+    "random_tree_network",
+]

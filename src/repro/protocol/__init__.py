@@ -1,0 +1,36 @@
+"""Protocol substrate for the DLS-LBL mechanism.
+
+Implements the machinery Section 4 of the paper assumes around the
+mechanism proper: typed signed messages (``G_i``, bids, grievances,
+proofs), the Λ load-certification device (footnote 1), the tamper-proof
+meter recording actual processing times, the Phase II relay-consistency
+checks, and root-side grievance adjudication with fines ``F``.
+"""
+
+from repro.protocol.lambda_device import LambdaDevice, LoadCertificate
+from repro.protocol.messages import (
+    BidMessage,
+    GMessage,
+    Grievance,
+    GrievanceKind,
+    PaymentProof,
+)
+from repro.protocol.meter import MeterReading, TamperProofMeter
+from repro.protocol.verification import Phase2CheckResult, verify_g_message
+from repro.protocol.grievance import Adjudication, GrievanceCourt
+
+__all__ = [
+    "Adjudication",
+    "BidMessage",
+    "GMessage",
+    "Grievance",
+    "GrievanceCourt",
+    "GrievanceKind",
+    "LambdaDevice",
+    "LoadCertificate",
+    "MeterReading",
+    "PaymentProof",
+    "Phase2CheckResult",
+    "TamperProofMeter",
+    "verify_g_message",
+]

@@ -1,0 +1,103 @@
+"""The Λ load-certification device (paper Section 4, footnote 1).
+
+    "We divide the data into equal-sized blocks and then append to each a
+    unique, random identifier.  The identifier space must be large enough
+    so that the probability of an agent successfully guessing a valid
+    identifier is small.  Submitting the identifiers allows P_i to show
+    the amount of data it received."
+
+The device is operated by the root (the data owner): it tags blocks with
+128-bit identifiers before distribution.  A processor proves it received
+``k`` blocks by presenting ``k`` valid identifiers; it cannot fabricate
+identifiers it never received (guessing probability :math:`2^{-128}` per
+attempt, which we round to impossible), so certificates *understate but
+never overstate* received load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LambdaDevice", "LoadCertificate"]
+
+#: Number of identifier-tagged blocks a unit load is divided into.  Load
+#: amounts certified by Λ are quantized to 1/BLOCKS_PER_UNIT; experiments
+#: use loads that are exact multiples, so quantization never distorts the
+#: grievance arithmetic.
+DEFAULT_BLOCKS_PER_UNIT = 1_000_000
+
+
+@dataclass(frozen=True)
+class LoadCertificate:
+    """Proof that a processor received at most ``amount`` load units.
+
+    ``identifiers`` is the contiguous block-id range handed over with the
+    data; the device checks every id was actually issued to that range of
+    the original load.
+    """
+
+    holder: int
+    first_block: int
+    n_blocks: int
+    blocks_per_unit: int
+
+    @property
+    def amount(self) -> float:
+        """Certified load in load units."""
+        return self.n_blocks / self.blocks_per_unit
+
+
+class LambdaDevice:
+    """Root-side issuer and verifier of load certificates.
+
+    The simulation tracks block *ranges* rather than materializing
+    :math:`10^6` random tokens: issuing a range is equivalent to handing
+    over that many unguessable identifiers, and verification checks range
+    containment — exactly the soundness property the footnote requires.
+    A 128-bit secret seed stands in for the identifier randomness; it
+    never leaves the device, so agents cannot mint identifiers.
+    """
+
+    def __init__(self, total_load: float = 1.0, *, blocks_per_unit: int = DEFAULT_BLOCKS_PER_UNIT) -> None:
+        self.blocks_per_unit = int(blocks_per_unit)
+        self.total_blocks = int(round(total_load * blocks_per_unit))
+        self._issued: dict[int, tuple[int, int]] = {}
+
+    def issue(self, holder: int, first_block: int, amount: float) -> LoadCertificate:
+        """Record that ``holder`` received ``amount`` load units starting
+        at ``first_block`` and return the certificate.
+
+        Called by the (obedient) transfer machinery as data moves down the
+        chain; a deviant cannot call it for load it never forwarded
+        because the identifiers travel with the data.
+        """
+        n_blocks = int(round(amount * self.blocks_per_unit))
+        if first_block < 0 or first_block + n_blocks > self.total_blocks:
+            raise ValueError(
+                f"block range [{first_block}, {first_block + n_blocks}) outside load"
+            )
+        self._issued[holder] = (first_block, n_blocks)
+        return LoadCertificate(
+            holder=holder,
+            first_block=first_block,
+            n_blocks=n_blocks,
+            blocks_per_unit=self.blocks_per_unit,
+        )
+
+    def verify(self, certificate: LoadCertificate) -> bool:
+        """Check the certificate matches the identifiers actually issued
+        to its holder (an agent presenting a forged or inflated
+        certificate fails this check)."""
+        issued = self._issued.get(certificate.holder)
+        if issued is None:
+            return False
+        first, n_blocks = issued
+        return (
+            certificate.first_block == first
+            and certificate.n_blocks <= n_blocks
+            and certificate.blocks_per_unit == self.blocks_per_unit
+        )
+
+    def quantize(self, amount: float) -> float:
+        """Round ``amount`` to the block grid (what a certificate can show)."""
+        return round(amount * self.blocks_per_unit) / self.blocks_per_unit

@@ -1,0 +1,183 @@
+"""Typed protocol messages (paper Section 4).
+
+Phase I carries bids ``dsm_i(w_bar_i)``; Phase II carries the relay
+bundles ``G_i`` (eqs. 4.1/4.2); Phase III grievances bundle evidence for
+root adjudication; Phase IV proofs ``Proof_j`` (eq. 4.12) let the root
+recompute a billed payment.
+
+All numeric content travels inside :class:`~repro.crypto.signing.SignedMessage`
+wrappers whose payloads are small tagged dicts, so contradictory-message
+detection reduces to digest comparison of authentic payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signing import SignedMessage, sign
+from repro.exceptions import MalformedMessageError
+from repro.protocol.lambda_device import LoadCertificate
+
+__all__ = ["BidMessage", "GMessage", "Grievance", "GrievanceKind", "PaymentProof"]
+
+
+def bid_payload(proc: int, w_bar: float) -> dict:
+    """Canonical payload for a Phase I equivalent-time bid."""
+    return {"type": "bid", "proc": proc, "w_bar": float(w_bar)}
+
+
+def value_payload(kind: str, proc: int, value: float) -> dict:
+    """Canonical payload for a named scalar (``D_i``, ``w_i``, ``w_bar_i``)."""
+    return {"type": kind, "proc": proc, "value": float(value)}
+
+
+@dataclass(frozen=True)
+class BidMessage:
+    """Phase I bid ``dsm_i(w_bar_i)`` sent by ``P_i`` to ``P_{i-1}``."""
+
+    signed: SignedMessage
+
+    @classmethod
+    def create(cls, key: KeyPair, w_bar: float) -> "BidMessage":
+        return cls(signed=sign(key, bid_payload(key.owner, w_bar)))
+
+    @property
+    def sender(self) -> int:
+        return self.signed.signer
+
+    @property
+    def w_bar(self) -> float:
+        return float(self.signed.payload["w_bar"])
+
+    def verify(self, registry: KeyRegistry, *, expected_sender: int) -> None:
+        if self.signed.payload.get("type") != "bid":
+            raise MalformedMessageError("not a bid payload", accused=self.signed.signer)
+        if self.signed.signer != expected_sender:
+            raise MalformedMessageError(
+                f"bid signed by {self.signed.signer}, expected {expected_sender}",
+                accused=self.signed.signer,
+            )
+        self.signed.require_valid(registry)
+
+
+@dataclass(frozen=True)
+class GMessage:
+    """The Phase II bundle ``G_i`` received by ``P_i`` (eqs. 4.1/4.2).
+
+    Fields hold the five signed components:
+
+    - ``d_prev``: ``dsm_{i-2}(D_{i-1})`` — the load share of the sender,
+      attested by *its* predecessor (the root self-signs for ``G_1``).
+    - ``d_self``: ``dsm_{i-1}(D_i)`` — this processor's load share,
+      computed and signed by the sender.
+    - ``w_bar_prev``: ``dsm_{i-2}(w_bar_{i-1})`` — the sender's Phase I
+      equivalent bid, attested by its predecessor.
+    - ``w_prev``: ``dsm_{i-1}(w_{i-1})`` — the sender's raw bid (needed by
+      ``P_i``'s payment computation, eq. 4.9).
+    - ``w_bar_self``: ``dsm_{i-1}(w_bar_i)`` — the sender's countersigned
+      echo of ``P_i``'s own Phase I bid.
+    """
+
+    recipient: int
+    d_prev: SignedMessage
+    d_self: SignedMessage
+    w_bar_prev: SignedMessage
+    w_prev: SignedMessage
+    w_bar_self: SignedMessage
+
+    def components(self) -> tuple[SignedMessage, ...]:
+        return (self.d_prev, self.d_self, self.w_bar_prev, self.w_prev, self.w_bar_self)
+
+    def as_payload(self) -> dict:
+        """Serialize for embedding in grievances and proofs."""
+        return {
+            "type": "G",
+            "recipient": self.recipient,
+            "d_prev": self.d_prev,
+            "d_self": self.d_self,
+            "w_bar_prev": self.w_bar_prev,
+            "w_prev": self.w_prev,
+            "w_bar_self": self.w_bar_self,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GMessage":
+        return cls(
+            recipient=int(payload["recipient"]),
+            d_prev=payload["d_prev"],
+            d_self=payload["d_self"],
+            w_bar_prev=payload["w_bar_prev"],
+            w_prev=payload["w_prev"],
+            w_bar_self=payload["w_bar_self"],
+        )
+
+
+class GrievanceKind(Enum):
+    """Deviation classes of Lemma 5.1 that grievances can allege."""
+
+    CONTRADICTORY_MESSAGES = "contradictory-messages"  # deviation (i)
+    INCONSISTENT_COMPUTATION = "inconsistent-computation"  # deviation (ii)
+    OVERLOAD = "overload"  # deviation (iii)
+
+
+@dataclass(frozen=True)
+class Grievance:
+    """Evidence bundle a processor submits to the root.
+
+    ``Grievance_{i+1} = (G_{i+1}, Λ_{i+1}, dsm_0(w~_i))`` for overloads
+    (Phase III); contradictory-message grievances instead carry the two
+    conflicting signed messages; computation grievances carry the failing
+    ``G``.
+    """
+
+    kind: GrievanceKind
+    accuser: int
+    accused: int
+    #: The G message implicated (None for Phase I contradictions).
+    g_message: GMessage | None = None
+    #: Two authentic-but-different messages for CONTRADICTORY_MESSAGES.
+    conflicting: tuple[SignedMessage, SignedMessage] | None = None
+    #: Λ certificate of load actually received (OVERLOAD).
+    certificate: LoadCertificate | None = None
+    #: Signed meter reading of the accuser (OVERLOAD recompense basis).
+    meter_reading: SignedMessage | None = None
+    #: Load units the accuser was assigned per the protocol (OVERLOAD).
+    expected_received: float | None = None
+    #: Link time between accuser and accused; ``None`` means the court
+    #: derives it from the boundary-chain convention.  Set by the
+    #: interior-origination mechanism, whose arms are indexed by chain
+    #: position rather than relay order.
+    z_link: float | None = None
+    #: Signer expected on the relayed (attested) components of the ``G``
+    #: evidence; ``None`` = boundary-chain convention.
+    attestor: int | None = None
+
+
+@dataclass(frozen=True)
+class PaymentProof:
+    """``Proof_j`` (eq. 4.12): everything the root needs to recompute
+    ``Q_j`` during a Phase IV audit.
+
+    Attributes
+    ----------
+    g_message:
+        The ``G_j`` bundle (supplies ``w_{j-1}``, ``D_{j-1}``, ``D_j``).
+    successor_bid:
+        ``dsm_{j+1}(w_bar_{j+1})`` — the Phase I bid ``P_j`` folded into
+        its own equivalent time (``None`` for the terminal ``P_m``).
+    own_bid:
+        ``dsm_j(w_j)`` — the raw bid.
+    meter:
+        ``dsm_0(w~_j)`` — the signed meter reading (rate and amount).
+    certificate:
+        ``Λ_j`` — certified received load.
+    """
+
+    proc: int
+    g_message: GMessage
+    successor_bid: SignedMessage | None
+    own_bid: SignedMessage
+    meter: SignedMessage
+    certificate: LoadCertificate

@@ -1,0 +1,74 @@
+"""The tamper-proof meter (paper Section 4).
+
+    "We augment each processor P_i with a tamper-proof meter that records
+    w~_i.  The meter reports the value as dsm_0(w~_i)."
+
+The meter is owned by the environment (it signs with the *root's* key),
+not by the agent it observes — that is what "tamper-proof" means here.
+It records both the unit processing time actually achieved and the amount
+of load actually computed, which Phase IV needs to recompute payments
+during audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.signing import SignedMessage, sign
+
+__all__ = ["MeterReading", "TamperProofMeter"]
+
+
+@dataclass(frozen=True)
+class MeterReading:
+    """What the meter observed for one processor's execution."""
+
+    proc: int
+    actual_rate: float  # w~_i: unit processing time actually achieved
+    computed_amount: float  # alpha~_i: load units actually computed
+
+    def as_payload(self) -> dict:
+        return {
+            "type": "meter",
+            "proc": self.proc,
+            "actual_rate": self.actual_rate,
+            "computed_amount": self.computed_amount,
+        }
+
+
+class TamperProofMeter:
+    """Environment-held meter signing readings with the root's key.
+
+    Agents receive the signed reading ``dsm_0(w~_i)`` to embed in their
+    payment proofs but cannot alter it (any alteration breaks the root's
+    signature).
+    """
+
+    def __init__(self, root_key: KeyPair, *, owner: int = 0) -> None:
+        if root_key.owner != owner:
+            raise ValueError(
+                f"the meter signs with the root's key (owner {owner}), got owner {root_key.owner}"
+            )
+        self._root_key = root_key
+        self._readings: dict[int, MeterReading] = {}
+
+    def record(self, proc: int, actual_rate: float, computed_amount: float) -> SignedMessage:
+        """Record an observation and return the signed reading."""
+        reading = MeterReading(proc=proc, actual_rate=float(actual_rate), computed_amount=float(computed_amount))
+        self._readings[proc] = reading
+        return sign(self._root_key, reading.as_payload())
+
+    def reading_for(self, proc: int) -> MeterReading | None:
+        """The stored reading for ``proc`` (root-side lookup during audits)."""
+        return self._readings.get(proc)
+
+    @staticmethod
+    def parse(message: SignedMessage) -> MeterReading:
+        """Decode a signed meter payload (verify separately)."""
+        payload = message.payload
+        return MeterReading(
+            proc=int(payload["proc"]),
+            actual_rate=float(payload["actual_rate"]),
+            computed_amount=float(payload["computed_amount"]),
+        )

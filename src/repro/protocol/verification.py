@@ -1,0 +1,171 @@
+"""Phase II relay-consistency checks (paper Section 4, Phase II).
+
+On receiving ``G_i``, processor ``P_i`` verifies:
+
+1. every component's signature and expected signer;
+2. that its own Phase I bid ``w_bar_i`` is echoed unaltered;
+3. the local fraction reconstruction
+   :math:`\\hat\\alpha_{i-1} = (D_{i-1} - D_i) / D_{i-1}`;
+4. the reduction identities
+   :math:`\\bar w_{i-1} = \\hat\\alpha_{i-1} w_{i-1}` and
+   :math:`\\hat\\alpha_{i-1} w_{i-1} = (1-\\hat\\alpha_{i-1})(\\bar w_i + z_i)`
+   (eq. 2.7 — the paper's statement writes ``w_i`` for the tail term; the
+   recurrence of Algorithm 1 uses the *equivalent* time ``w_bar_i``, which
+   is what the sender actually folded in, so we check against ``w_bar_i``).
+
+Any failure is a Phase II protocol violation attributable to the sender
+``P_{i-1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyRegistry
+from repro.exceptions import (
+    ForgedSignatureError,
+    InconsistentComputationError,
+    MalformedMessageError,
+)
+from repro.protocol.messages import GMessage
+
+__all__ = ["Phase2CheckResult", "verify_g_message"]
+
+#: Relative tolerance for the arithmetic identities.  The honest sender
+#: computes them in double precision, so the slack only needs to absorb
+#: rounding — well below any profitable perturbation.
+CHECK_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Phase2CheckResult:
+    """Values extracted from a verified ``G_i``."""
+
+    d_prev: float  # D_{i-1}
+    d_self: float  # D_i
+    w_bar_prev: float  # w_bar_{i-1}
+    w_prev: float  # w_{i-1}
+    w_bar_self: float  # w_bar_i (echo of own bid)
+    alpha_hat_prev: float  # reconstructed alpha_hat_{i-1}
+
+
+def verify_g_message(
+    g: GMessage,
+    *,
+    registry: KeyRegistry,
+    recipient: int,
+    own_w_bar: float,
+    z_link: float,
+    rtol: float = CHECK_RTOL,
+    sender: int | None = None,
+    attestor: int | None = None,
+) -> Phase2CheckResult:
+    """Run ``P_recipient``'s full Phase II check suite on ``g``.
+
+    ``sender``/``attestor`` default to the boundary-chain convention
+    (``recipient - 1`` / ``recipient - 2``, root self-signing at the
+    head); the interior-origination mechanism passes them explicitly
+    because its arms relay away from a mid-chain root.
+
+    Raises
+    ------
+    MalformedMessageError
+        Wrong signers or payload shapes.
+    ForgedSignatureError
+        A component signature fails.
+    InconsistentComputationError
+        An arithmetic identity fails — evidence against the sender.
+
+    Returns
+    -------
+    Phase2CheckResult
+        The extracted values on success.
+    """
+    i = recipient
+    if sender is None:
+        sender = i - 1
+    if attestor is None:
+        attestor = max(sender - 1, 0)  # the root self-signs in G_1
+
+    expected_signers = {
+        "d_prev": attestor,
+        "d_self": sender,
+        "w_bar_prev": attestor,
+        "w_prev": sender,
+        "w_bar_self": sender,
+    }
+    expected_types = {
+        "d_prev": "D",
+        "d_self": "D",
+        "w_bar_prev": "w_bar",
+        "w_prev": "w",
+        "w_bar_self": "w_bar",
+    }
+    values: dict[str, float] = {}
+    for name in expected_signers:
+        component = getattr(g, name)
+        if component.signer != expected_signers[name]:
+            raise MalformedMessageError(
+                f"G_{i}.{name} signed by {component.signer}, expected {expected_signers[name]}",
+                accused=sender,
+            )
+        if not component.verify(registry):
+            raise ForgedSignatureError(f"G_{i}.{name} signature invalid")
+        payload = component.payload
+        if not isinstance(payload, dict) or payload.get("type") != expected_types[name]:
+            raise MalformedMessageError(
+                f"G_{i}.{name} has wrong payload type", accused=sender
+            )
+        values[name] = float(payload["value"])
+
+    if g.w_bar_prev.payload.get("proc") != sender or g.w_prev.payload.get("proc") != sender:
+        raise MalformedMessageError(f"G_{i} rate payloads name the wrong processor", accused=sender)
+
+    d_prev, d_self = values["d_prev"], values["d_self"]
+    w_bar_prev, w_prev, w_bar_self = values["w_bar_prev"], values["w_prev"], values["w_bar_self"]
+
+    # Check 2: own bid echoed unaltered.
+    if not _close(w_bar_self, own_w_bar, rtol):
+        raise InconsistentComputationError(
+            f"G_{i} echoes w_bar_{i}={w_bar_self}, but P_{i} bid {own_w_bar}",
+            accused=sender,
+        )
+
+    if not (0.0 < d_self < d_prev <= 1.0 + rtol):
+        raise InconsistentComputationError(
+            f"G_{i} load shares implausible: D_{sender}={d_prev}, D_{i}={d_self}",
+            accused=sender,
+        )
+
+    # Check 3: alpha_hat_{i-1} from the D-ratio.
+    alpha_hat_prev = (d_prev - d_self) / d_prev
+
+    # Check 4a: w_bar_{i-1} = alpha_hat_{i-1} * w_{i-1}  (eq. 2.4).
+    if not _close(w_bar_prev, alpha_hat_prev * w_prev, rtol):
+        raise InconsistentComputationError(
+            f"G_{i}: w_bar_{sender}={w_bar_prev} != alpha_hat*w = {alpha_hat_prev * w_prev}",
+            accused=sender,
+        )
+
+    # Check 4b: alpha_hat_{i-1} w_{i-1} = (1 - alpha_hat_{i-1})(w_bar_i + z_i)  (eq. 2.7).
+    lhs = alpha_hat_prev * w_prev
+    rhs = (1.0 - alpha_hat_prev) * (w_bar_self + z_link)
+    if not _close(lhs, rhs, rtol):
+        raise InconsistentComputationError(
+            f"G_{i}: reduction identity fails ({lhs} != {rhs}) — P_{sender} miscomputed",
+            accused=sender,
+        )
+
+    return Phase2CheckResult(
+        d_prev=d_prev,
+        d_self=d_self,
+        w_bar_prev=w_bar_prev,
+        w_prev=w_prev,
+        w_bar_self=w_bar_self,
+        alpha_hat_prev=alpha_hat_prev,
+    )
+
+
+def _close(a: float, b: float, rtol: float) -> bool:
+    scale = max(abs(a), abs(b), 1.0)
+    return abs(a - b) <= rtol * scale

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+Simulates Phase III (load distribution and computation) of the DLS-LBL
+mechanism on the one-port, front-end, store-and-forward timing model of
+Section 2, reproducing the Gantt semantics of Fig. 2.  The simulator
+accepts *actual* behaviours — retention :math:`\\tilde\\alpha_i` and speed
+:math:`\\tilde w_i` — so deviation scenarios run on the same machinery as
+honest executions.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.interior_sim import InteriorChainResult, simulate_interior_chain
+from repro.sim.linear_sim import LinearChainResult, simulate_linear_chain
+from repro.sim.star_sim import StarSimResult, simulate_star
+from repro.sim.trace import GanttTrace, Interval
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "GanttTrace",
+    "Interval",
+    "InteriorChainResult",
+    "LinearChainResult",
+    "StarSimResult",
+    "simulate_interior_chain",
+    "simulate_linear_chain",
+    "simulate_star",
+]

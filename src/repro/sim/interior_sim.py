@@ -1,0 +1,158 @@
+"""Event-driven simulation of interior-origination execution.
+
+The root sits mid-chain: it computes its own share while serving its two
+arms sequentially (one-port).  Each arm head must fully receive the
+arm's share before relaying inward (store-and-forward), after which the
+arm behaves exactly like a boundary chain whose head already holds the
+load — so each arm is simulated with
+:func:`~repro.sim.linear_sim.simulate_linear_chain` and its trace is
+shifted by the head's arrival time.
+
+For the optimal :func:`~repro.dlt.linear_interior.solve_linear_interior`
+schedule every processor finishes at the star makespan, giving the
+interior analogue of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidAllocationError
+from repro.network.topology import LinearNetwork
+from repro.sim.linear_sim import simulate_linear_chain
+from repro.sim.trace import GanttTrace, Interval
+
+__all__ = ["InteriorChainResult", "simulate_interior_chain"]
+
+
+@dataclass(frozen=True)
+class InteriorChainResult:
+    """Outcome of an interior-origination simulation (chain-order arrays)."""
+
+    trace: GanttTrace
+    received: np.ndarray
+    computed: np.ndarray
+    finish_times: np.ndarray
+    makespan: float
+    #: Service order actually used, e.g. ("right", "left").
+    order: tuple[str, ...]
+
+
+def simulate_interior_chain(
+    w: np.ndarray,
+    z: np.ndarray,
+    root_index: int,
+    root_retained: float,
+    arm_shares: dict[str, float],
+    arm_retained: dict[str, np.ndarray],
+    *,
+    order: tuple[str, ...] = ("left", "right"),
+    speeds: np.ndarray | None = None,
+    total_load: float = 1.0,
+) -> InteriorChainResult:
+    """Simulate an interior-origination run.
+
+    Parameters
+    ----------
+    w, z:
+        Chain rates in chain order (``z[i-1]`` joins ``P_{i-1}``/``P_i``).
+    root_index:
+        Position of the originating processor.
+    root_retained:
+        Load units the root computes itself.
+    arm_shares:
+        ``{"left": beta_L, "right": beta_R}`` load units sent into each
+        arm (an arm absent from the chain must have share 0).
+    arm_retained:
+        Per-arm retention plans in *outward* order (head first), same
+        semantics as :func:`simulate_linear_chain`'s ``retained``.
+    order:
+        One-port service order of the arms.
+    speeds:
+        Actual unit processing times (defaults to ``w``).
+
+    Returns
+    -------
+    InteriorChainResult
+        Arrays indexed in chain order ``P_0 .. P_n``.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+    n = w.size - 1
+    actual = w if speeds is None else np.asarray(speeds, dtype=np.float64)
+    sent_total = root_retained + sum(arm_shares.get(side, 0.0) for side in ("left", "right"))
+    if not np.isclose(sent_total, total_load, rtol=1e-9):
+        raise InvalidAllocationError(
+            f"root retention + arm shares = {sent_total}, expected {total_load}"
+        )
+
+    trace = GanttTrace()
+    received = np.zeros(n + 1)
+    computed = np.zeros(n + 1)
+    received[root_index] = total_load
+    computed[root_index] = root_retained
+    if root_retained > 0:
+        trace.add(Interval("compute", root_index, 0.0, root_retained * actual[root_index], root_retained))
+
+    def arm_spec(side: str):
+        if side == "left":
+            if root_index == 0:
+                return None
+            indices = np.arange(root_index - 1, -1, -1)
+            link = float(z[root_index - 1])
+            arm_z = z[: root_index - 1][::-1].copy() if root_index >= 2 else np.empty(0)
+        else:
+            if root_index == n:
+                return None
+            indices = np.arange(root_index + 1, n + 1)
+            link = float(z[root_index])
+            arm_z = z[root_index + 1 :].copy()
+        return indices, link, arm_z
+
+    clock = 0.0
+    for side in order:
+        share = arm_shares.get(side, 0.0)
+        spec = arm_spec(side)
+        if spec is None or share <= 0.0:
+            continue
+        indices, link, arm_z = spec
+        # Root transmits the arm's whole share over the adjacent link.
+        duration = share * link
+        head = int(indices[0])
+        trace.add(Interval("send", root_index, clock, clock + duration, share, peer=head))
+        trace.add(Interval("recv", head, clock, clock + duration, share, peer=root_index))
+        arrival = clock + duration
+        clock = arrival  # one-port: next arm waits for this transmission
+
+        arm_w = actual[indices]
+        arm_net = LinearNetwork(arm_w, arm_z)
+        result = simulate_linear_chain(
+            arm_net, arm_retained[side], speeds=arm_w, total_load=share
+        )
+        # Shift the arm's internal trace to the head's arrival time and
+        # remap processor indices to chain positions.
+        for iv in result.trace.intervals:
+            trace.add(
+                Interval(
+                    iv.kind,
+                    int(indices[iv.proc]),
+                    iv.start + arrival,
+                    iv.end + arrival,
+                    iv.amount,
+                    peer=None if iv.peer is None else int(indices[iv.peer]),
+                )
+            )
+        received[indices] = result.received
+        computed[indices] = result.computed
+
+    finish = trace.finish_times(n + 1)
+    return InteriorChainResult(
+        trace=trace,
+        received=received,
+        computed=computed,
+        finish_times=finish,
+        makespan=trace.makespan,
+        order=tuple(order),
+    )

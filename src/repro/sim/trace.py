@@ -1,0 +1,131 @@
+"""Gantt traces recorded by the simulators (the data behind Fig. 2).
+
+A :class:`GanttTrace` is a list of :class:`Interval` records — one per
+communication or computation activity — plus validity checks for the
+model's structural constraints: the one-port rule (a sender talks to one
+recipient at a time) and store-and-forward (a processor only transmits
+after fully receiving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+__all__ = ["Interval", "GanttTrace"]
+
+Kind = Literal["recv", "send", "compute"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One activity bar on the Gantt chart.
+
+    Attributes
+    ----------
+    kind:
+        ``"recv"``, ``"send"``, or ``"compute"``.
+    proc:
+        Index of the processor performing the activity.
+    start, end:
+        Simulated time bounds, ``start <= end``.
+    amount:
+        Load units moved or computed.
+    peer:
+        For communications, the other endpoint's index.
+    """
+
+    kind: Kind
+    proc: int
+    start: float
+    end: float
+    amount: float
+    peer: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - 1e-12:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class GanttTrace:
+    """An execution trace: intervals plus derived queries."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def add(self, interval: Interval) -> None:
+        self.intervals.append(interval)
+
+    def of_kind(self, kind: Kind) -> list[Interval]:
+        return [iv for iv in self.intervals if iv.kind == kind]
+
+    def for_proc(self, proc: int) -> list[Interval]:
+        return [iv for iv in self.intervals if iv.proc == proc]
+
+    def finish_times(self, n_procs: int) -> np.ndarray:
+        """Per-processor compute finishing time (0 for processors that
+        computed nothing, matching eq. 2.2's idle convention)."""
+        t = np.zeros(n_procs)
+        for iv in self.of_kind("compute"):
+            t[iv.proc] = max(t[iv.proc], iv.end)
+        return t
+
+    @property
+    def makespan(self) -> float:
+        """Latest compute completion (assumption (iii): result return is
+        negligible, so the makespan is the last computation's end)."""
+        computes = self.of_kind("compute")
+        return max((iv.end for iv in computes), default=0.0)
+
+    def check_one_port(self, *, tol: float = 1e-9) -> None:
+        """Assert no processor has two overlapping *send* intervals.
+
+        Raises :class:`AssertionError` on violation; the simulators are
+        expected to satisfy this by construction and tests exercise it.
+        """
+        by_proc: dict[int, list[Interval]] = {}
+        for iv in self.of_kind("send"):
+            by_proc.setdefault(iv.proc, []).append(iv)
+        for proc, ivs in by_proc.items():
+            ivs.sort(key=lambda iv: iv.start)
+            for a, b in zip(ivs, ivs[1:]):
+                if b.start < a.end - tol:
+                    raise AssertionError(
+                        f"one-port violation on P{proc}: {a} overlaps {b}"
+                    )
+
+    def check_store_and_forward(self, *, tol: float = 1e-9) -> None:
+        """Assert each processor's sends begin only after its receive ends."""
+        recv_end: dict[int, float] = {}
+        for iv in self.of_kind("recv"):
+            recv_end[iv.proc] = max(recv_end.get(iv.proc, 0.0), iv.end)
+        for iv in self.of_kind("send"):
+            if iv.proc in recv_end and iv.start < recv_end[iv.proc] - tol:
+                raise AssertionError(
+                    f"P{iv.proc} transmitted before fully receiving: {iv}"
+                )
+
+    def check_compute_after_receive(self, *, tol: float = 1e-9) -> None:
+        """Assert computation starts only once the full assignment arrived
+        ("a processor can begin computing as soon as it has received its
+        entire assignment")."""
+        recv_end: dict[int, float] = {}
+        for iv in self.of_kind("recv"):
+            recv_end[iv.proc] = max(recv_end.get(iv.proc, 0.0), iv.end)
+        for iv in self.of_kind("compute"):
+            if iv.proc in recv_end and iv.start < recv_end[iv.proc] - tol:
+                raise AssertionError(
+                    f"P{iv.proc} computed before receiving its assignment: {iv}"
+                )
+
+    def validate(self) -> None:
+        """Run all structural checks."""
+        self.check_one_port()
+        self.check_store_and_forward()
+        self.check_compute_after_receive()

@@ -1,0 +1,5 @@
+"""Visualization helpers (terminal-friendly, no plotting dependencies)."""
+
+from repro.viz.gantt import render_gantt, render_schedule_table
+
+__all__ = ["render_gantt", "render_schedule_table"]

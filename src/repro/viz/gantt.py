@@ -1,0 +1,73 @@
+"""ASCII Gantt rendering of execution traces — the paper's Fig. 2.
+
+The paper draws communication above the time axis and computation below
+it; here each processor gets a ``comm`` row (sends) and a ``comp`` row
+(computation), which carries the same information in a terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.trace import GanttTrace
+
+__all__ = ["render_gantt", "render_schedule_table"]
+
+
+def render_gantt(trace: GanttTrace, n_procs: int, *, width: int = 72) -> str:
+    """Render a trace as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    trace:
+        The execution trace (e.g. from
+        :func:`repro.sim.simulate_linear_chain`).
+    n_procs:
+        Number of processors (rows).
+    width:
+        Character columns representing the makespan.
+
+    Returns
+    -------
+    str
+        A multi-line chart; ``=`` marks communication (sending), ``#``
+        marks computation.
+    """
+    horizon = max(
+        (iv.end for iv in trace.intervals),
+        default=0.0,
+    )
+    if horizon <= 0:
+        return "(empty trace)"
+    scale = (width - 1) / horizon
+
+    def bar(kind: str, proc: int, mark: str) -> str:
+        row = [" "] * width
+        for iv in trace.intervals:
+            if iv.kind == kind and iv.proc == proc:
+                lo = int(round(iv.start * scale))
+                hi = max(int(round(iv.end * scale)), lo + 1)
+                for col in range(lo, min(hi, width)):
+                    row[col] = mark
+        return "".join(row)
+
+    lines = [f"time 0 {'-' * (width - 14)} {horizon:.4g}"]
+    for proc in range(n_procs):
+        lines.append(f"P{proc:<3d} comm |{bar('send', proc, '=')}|")
+        lines.append(f"     comp |{bar('compute', proc, '#')}|")
+    return "\n".join(lines)
+
+
+def render_schedule_table(
+    alpha: np.ndarray,
+    finish_times: np.ndarray,
+    *,
+    received: np.ndarray | None = None,
+) -> str:
+    """A per-processor table of fractions and finishing times — the
+    numeric companion to the Gantt chart."""
+    lines = [f"{'proc':>5} {'alpha':>12} {'received':>12} {'finish':>12}"]
+    for i, (a, t) in enumerate(zip(alpha, finish_times)):
+        d = received[i] if received is not None else float("nan")
+        lines.append(f"P{i:<4d} {a:>12.6f} {d:>12.6f} {t:>12.6f}")
+    return "\n".join(lines)

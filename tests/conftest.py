@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.topology import LinearNetwork
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_proc_network() -> LinearNetwork:
+    """The analytically tractable 2-processor chain: w=(2,2), z=(1,);
+    alpha = (0.6, 0.4), makespan = 1.2."""
+    return LinearNetwork(w=[2.0, 2.0], z=[1.0])
+
+
+@pytest.fixture
+def five_proc_network() -> LinearNetwork:
+    """A fixed heterogeneous 5-processor chain used across tests."""
+    return LinearNetwork(w=[2.0, 3.0, 2.5, 4.0, 1.5], z=[0.5, 0.3, 0.7, 0.2])
+
+
+@pytest.fixture
+def chain_rates(five_proc_network):
+    """(z, root_rate, true_rates) convenience triple for mechanism tests."""
+    net = five_proc_network
+    return net.z, float(net.w[0]), [float(t) for t in net.w[1:]]

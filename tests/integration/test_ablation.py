@@ -1,0 +1,70 @@
+"""Integration tests for the enforcement ablation (experiment A1)."""
+
+import numpy as np
+import pytest
+
+from repro.agents.strategies import (
+    ContradictoryBidAgent,
+    LoadSheddingAgent,
+    OverchargingAgent,
+    TruthfulAgent,
+)
+from repro.experiments import run_a1_ablation
+from repro.mechanism.dls_lbl import DLSLBLMechanism
+
+Z = [0.5, 0.3, 0.7, 0.2]
+ROOT = 2.0
+TRUE = [3.0, 2.5, 4.0, 1.5]
+
+
+def run(deviant=None, *, enforcement):
+    agents = [TruthfulAgent(i, t) for i, t in enumerate(TRUE, start=1)]
+    if deviant is not None:
+        agents[deviant.index - 1] = deviant
+    mech = DLSLBLMechanism(
+        Z, ROOT, agents, audit_probability=1.0,
+        rng=np.random.default_rng(3), enforcement=enforcement,
+    )
+    return mech.run()
+
+
+class TestEnforcementOff:
+    def test_honest_runs_are_identical(self):
+        on = run(enforcement=True)
+        off = run(enforcement=False)
+        assert np.allclose(on.assigned, off.assigned)
+        for i in range(1, 5):
+            assert on.utility(i) == pytest.approx(off.utility(i))
+
+    def test_shedding_profits_without_enforcement(self):
+        base = run(enforcement=False)
+        off = run(LoadSheddingAgent(2, TRUE[1], shed_fraction=0.5), enforcement=False)
+        assert off.completed
+        assert not off.adjudications
+        assert off.utility(2) > base.utility(2)
+
+    def test_overcharging_profits_without_enforcement(self):
+        base = run(enforcement=False)
+        off = run(OverchargingAgent(2, TRUE[1], overcharge=1.0), enforcement=False)
+        assert not off.audits
+        assert off.utility(2) == pytest.approx(base.utility(2) + 1.0)
+
+    def test_contradictory_bids_ignored_without_enforcement(self):
+        off = run(ContradictoryBidAgent(2, TRUE[1]), enforcement=False)
+        assert off.completed  # nothing detected, first bid used
+
+    def test_shedding_victim_absorbs_silently(self):
+        off = run(LoadSheddingAgent(2, TRUE[1], shed_fraction=0.5), enforcement=False)
+        base = run(enforcement=False)
+        # The victim is exactly compensated (recompense E) but gets no
+        # reward — the payments still protect it, just not punish the
+        # offender.
+        assert off.utility(3) == pytest.approx(base.utility(3))
+
+
+class TestExperimentA1:
+    def test_passes(self):
+        result = run_a1_ablation()
+        assert result.passed
+        [table] = result.tables
+        assert len(table.rows) == 5

@@ -1,0 +1,109 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSolve:
+    def test_boundary(self, capsys):
+        assert main(["solve", "--w", "2 2", "--z", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0.6" in out and "makespan" in out
+
+    def test_interior_root(self, capsys):
+        assert main(["solve", "--w", "2 3 2.5", "--z", "0.5 0.3", "--root", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "interior origination" in out
+
+    def test_default_links(self, capsys):
+        assert main(["solve", "--w", "2,3,4"]) == 0
+
+    def test_comma_separated(self, capsys):
+        assert main(["solve", "--w", "2,2", "--z", "1"]) == 0
+
+
+class TestGantt:
+    def test_renders(self, capsys):
+        assert main(["gantt", "--w", "2 3 2.5", "--z", "0.5 0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "P2" in out
+
+
+class TestMechanism:
+    def test_truthful(self, capsys):
+        assert main(["mechanism", "--w", "2 3 2.5 4", "--z", "0.5 0.3 0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out and "truthful" in out
+
+    def test_deviant_shed(self, capsys):
+        assert main([
+            "mechanism", "--w", "2 3 2.5 4", "--z", "0.5 0.3 0.7",
+            "--deviant", "2:shed:0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overload" in out and "fined" in out
+
+    def test_deviant_contradict_aborts(self, capsys):
+        assert main([
+            "mechanism", "--w", "2 3 2.5 4", "--z", "0.5 0.3 0.7",
+            "--deviant", "2:contradict",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ABORTED" in out
+
+    def test_deviant_overcharge_audited(self, capsys):
+        assert main([
+            "mechanism", "--w", "2 3 2.5 4", "--z", "0.5 0.3 0.7",
+            "--deviant", "3:overcharge:2.0", "--audit-probability", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "audit: P3 fined" in out
+
+    def test_unknown_deviant_kind(self):
+        with pytest.raises(SystemExit):
+            main([
+                "mechanism", "--w", "2 3", "--z", "0.5",
+                "--deviant", "1:bogus",
+            ])
+
+
+class TestSweep:
+    def test_sweep_reports_strategyproof(self, capsys):
+        assert main(["sweep", "--w", "2 3 2.5", "--z", "0.5 0.3", "--agent", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "strategyproof: True" in out
+        assert "<-- truth" in out
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "F1"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+    def test_list_enumerates_registry(self, capsys):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ALL_EXPERIMENTS:
+            assert exp_id in out
+
+    def test_missing_id_without_list(self):
+        with pytest.raises(SystemExit):
+            main(["experiment"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_empty_floats_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--w", " "])

@@ -1,0 +1,75 @@
+"""Integration tests: every example script runs cleanly.
+
+Examples are part of the public contract — they must execute end-to-end
+(their internal asserts double as checks) and produce the output their
+docstrings promise.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_at_least_five_examples_exist():
+    assert len(SCRIPTS) >= 5
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "voluntary participation holds" in out
+    assert "makespan" in out
+
+
+def test_strategic_market():
+    out = run_example("strategic_market.py")
+    assert "<-- truth" in out
+    assert "Theorem 5.3" in out
+
+
+def test_cheating_and_enforcement():
+    out = run_example("cheating_and_enforcement.py")
+    assert "contradictory" in out
+    assert "fined" in out
+    assert "P(solution found)" in out
+
+
+def test_gantt_playback():
+    out = run_example("gantt_playback.py")
+    assert "honest execution" in out
+    assert "#" in out and "=" in out  # the Gantt bars
+
+
+def test_topology_comparison():
+    out = run_example("topology_comparison.py")
+    assert "architecture" in out
+    assert "speedup" in out
+
+
+def test_interior_origination():
+    out = run_example("interior_origination.py")
+    assert "arm service order" in out
+    assert "<-- truth" in out
+
+
+def test_model_boundaries():
+    out = run_example("model_boundaries.py")
+    assert "assumption (i)" in out
+    assert "best R = 1" in out
+    assert "the reward F" in out

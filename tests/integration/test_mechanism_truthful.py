@@ -1,0 +1,135 @@
+"""Integration tests: the mechanism end-to-end with truthful agents."""
+
+import numpy as np
+import pytest
+
+from repro.agents.strategies import TruthfulAgent
+from repro.dlt.linear import solve_linear_boundary
+from repro.exceptions import InvalidNetworkError
+from repro.mechanism.dls_lbl import DLSLBLMechanism
+from repro.mechanism.ledger import MECHANISM
+from repro.mechanism.properties import check_voluntary_participation, run_truthful
+from repro.network.generators import random_linear_network
+from repro.network.topology import LinearNetwork
+
+
+class TestTruthfulRun:
+    def test_completes_all_phases(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        assert outcome.completed
+        assert outcome.aborted_phase is None
+        assert not outcome.adjudications
+
+    def test_allocation_matches_algorithm1(self, chain_rates, five_proc_network):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        sched = solve_linear_boundary(five_proc_network)
+        assert np.allclose(outcome.assigned, sched.alpha)
+        assert np.allclose(outcome.w_bar, sched.w_eq)
+
+    def test_everyone_computes_their_assignment(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        assert np.allclose(outcome.computed, outcome.assigned)
+
+    def test_makespan_matches_schedule(self, chain_rates, five_proc_network):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        sched = solve_linear_boundary(five_proc_network)
+        assert outcome.makespan == pytest.approx(sched.makespan)
+
+    def test_root_utility_zero(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        assert outcome.utility(0) == 0.0
+        # Root's ledger balance exactly reimburses its work.
+        assert outcome.ledger.balance(0) == pytest.approx(
+            float(outcome.assigned[0]) * root
+        )
+
+    def test_voluntary_participation(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        assert check_voluntary_participation(outcome)
+        for i in range(1, len(true) + 1):
+            assert outcome.utility(i) >= 0
+
+    def test_honest_utility_equals_bonus(self, chain_rates):
+        # U_j = w_{j-1} - w_bar_{j-1} for truthful full-speed agents (eq. 5.2).
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        bids = outcome.bids
+        for i in range(1, len(true) + 1):
+            expected = bids[i - 1] - outcome.w_bar[i - 1]
+            assert outcome.utility(i) == pytest.approx(expected)
+
+    def test_ledger_conservation(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        assert outcome.ledger.total_balance() == pytest.approx(0.0, abs=1e-12)
+
+    def test_audits_all_pass(self, chain_rates):
+        z, root, true = chain_rates
+        agents = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+        mech = DLSLBLMechanism(z, root, agents, audit_probability=1.0, rng=np.random.default_rng(5))
+        outcome = mech.run()
+        assert all(a.challenged for a in outcome.audits)
+        assert all(a.fine == 0.0 for a in outcome.audits)
+        assert all(a.proof_valid for a in outcome.audits)
+
+    def test_bills_match_correct_payments(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        for report in outcome.reports.values():
+            assert report.payment_billed == pytest.approx(report.payment_correct)
+            assert report.fines == 0.0
+
+    def test_trace_is_structurally_valid(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        outcome.sim_result.trace.validate()
+
+    @pytest.mark.parametrize("m", [1, 2, 7, 15])
+    def test_random_chains(self, m, rng):
+        net = random_linear_network(m, rng)
+        outcome = run_truthful(net.z, float(net.w[0]), net.w[1:])
+        assert outcome.completed
+        assert check_voluntary_participation(outcome)
+        sched = solve_linear_boundary(net)
+        assert np.allclose(outcome.assigned, sched.alpha)
+
+
+class TestConstruction:
+    def test_requires_at_least_one_agent(self):
+        with pytest.raises(InvalidNetworkError):
+            DLSLBLMechanism([], 2.0, [])
+
+    def test_agent_indices_must_cover_range(self):
+        with pytest.raises(InvalidNetworkError):
+            DLSLBLMechanism([0.5, 0.5], 2.0, [TruthfulAgent(1, 2.0)])
+        with pytest.raises(InvalidNetworkError):
+            DLSLBLMechanism(
+                [0.5], 2.0, [TruthfulAgent(2, 2.0)]
+            )
+
+    def test_agents_accepted_in_any_order(self):
+        agents = [TruthfulAgent(2, 3.0), TruthfulAgent(1, 2.0)]
+        mech = DLSLBLMechanism([0.5, 0.5], 2.0, agents)
+        outcome = mech.run()
+        assert outcome.completed
+
+    def test_default_fine_exceeds_rates(self, chain_rates):
+        z, root, true = chain_rates
+        agents = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+        mech = DLSLBLMechanism(z, root, agents)
+        assert mech.fine > max(true)
+
+    def test_total_load_scaling(self, chain_rates):
+        z, root, true = chain_rates
+        agents = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+        unit = DLSLBLMechanism(z, root, agents, total_load=1.0).run()
+        agents2 = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+        double = DLSLBLMechanism(z, root, agents2, total_load=2.0).run()
+        assert double.makespan == pytest.approx(2.0 * unit.makespan)
+        assert np.allclose(double.computed, 2.0 * unit.computed)

@@ -1,0 +1,105 @@
+"""Robustness and stress tests: extreme rates, long chains, large loads.
+
+The mechanism and solvers must degrade gracefully at the edges of the
+parameter space a user could reasonably feed them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.strategies import TruthfulAgent
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.timing import finishing_times
+from repro.mechanism.dls_lbl import DLSLBLMechanism
+from repro.mechanism.properties import check_voluntary_participation, run_truthful
+from repro.network.generators import random_linear_network
+from repro.network.topology import LinearNetwork
+
+
+class TestExtremeRates:
+    def test_very_fast_and_slow_processors(self):
+        net = LinearNetwork(w=[1e-6, 1e6, 1e-6], z=[1e-3, 1e-3])
+        sched = solve_linear_boundary(net)
+        assert sched.alpha.sum() == pytest.approx(1.0)
+        t = finishing_times(net, sched.alpha)
+        assert np.allclose(t, sched.makespan, rtol=1e-6)
+
+    def test_very_slow_links(self):
+        net = LinearNetwork(w=[2.0, 2.0, 2.0], z=[1e5, 1e5])
+        sched = solve_linear_boundary(net)
+        # Nearly everything stays at the root.
+        assert sched.alpha[0] > 0.999
+        assert sched.makespan < 2.0  # still beats root-alone
+
+    def test_very_fast_links(self):
+        net = LinearNetwork(w=[2.0, 2.0, 2.0], z=[1e-9, 1e-9])
+        sched = solve_linear_boundary(net)
+        # Load splits almost evenly (links nearly free).
+        assert np.allclose(sched.alpha, 1.0 / 3.0, atol=1e-3)
+
+    def test_mechanism_with_extreme_rates(self):
+        outcome = run_truthful([1e-3, 1e3], 1.0, [1e-2, 1e2])
+        assert outcome.completed
+        assert check_voluntary_participation(outcome)
+        assert abs(outcome.ledger.total_balance()) < 1e-6
+
+
+class TestLongChains:
+    def test_solver_long_chain(self, rng):
+        net = random_linear_network(2000, rng)
+        sched = solve_linear_boundary(net)
+        assert sched.alpha.sum() == pytest.approx(1.0)
+        assert np.all(sched.alpha > 0)
+
+    def test_mechanism_long_chain(self, rng):
+        m = 100
+        net = random_linear_network(m, rng)
+        outcome = run_truthful(net.z, float(net.w[0]), net.w[1:])
+        assert outcome.completed
+        assert check_voluntary_participation(outcome)
+        assert abs(outcome.ledger.total_balance()) < 1e-9
+        # Deep-chain allocations can fall below the simulator's dust
+        # threshold; those idle processors earn a zero payment, never a
+        # negative one.
+        for i in range(1, m + 1):
+            assert outcome.utility(i) >= -1e-9
+
+
+class TestLargeLoads:
+    def test_mechanism_scales_linearly_with_load(self):
+        z = [0.5, 0.3]
+        true = [3.0, 2.5]
+
+        def run(load):
+            agents = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+            return DLSLBLMechanism(
+                z, 2.0, agents, total_load=load, rng=np.random.default_rng(0)
+            ).run()
+
+        small = run(1.0)
+        large = run(1000.0)
+        assert large.makespan == pytest.approx(1000.0 * small.makespan)
+        assert np.allclose(large.computed, 1000.0 * small.computed)
+
+    def test_tiny_load(self):
+        agents = [TruthfulAgent(1, 3.0)]
+        outcome = DLSLBLMechanism(
+            [0.5], 2.0, agents, total_load=1e-6, rng=np.random.default_rng(0)
+        ).run()
+        assert outcome.completed
+        assert outcome.computed.sum() == pytest.approx(1e-6)
+
+
+class TestNearDegenerateInstances:
+    def test_identical_rates_everywhere(self):
+        outcome = run_truthful([0.5] * 4, 2.0, [2.0] * 4)
+        assert outcome.completed
+        assert check_voluntary_participation(outcome)
+        # Symmetric bids but position-dependent rents (X7).
+        utilities = [outcome.utility(i) for i in range(1, 5)]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_near_zero_link(self):
+        outcome = run_truthful([1e-12], 2.0, [2.0])
+        assert outcome.completed
+        assert outcome.assigned[0] == pytest.approx(0.5, abs=1e-6)

@@ -1,0 +1,130 @@
+"""Integration tests for the tree mechanism (DLS-T baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.agents.strategies import MisbiddingAgent, SlowExecutionAgent, TruthfulAgent
+from repro.dlt.tree import solve_tree
+from repro.exceptions import InvalidNetworkError
+from repro.mechanism.tree_mechanism import TreeMechanism
+from repro.network.topology import TreeNetwork, TreeNode
+
+
+@pytest.fixture(scope="module")
+def tree():
+    """A fixed 7-node tree: root with two subtrees of different depth."""
+    return TreeNetwork(
+        root=TreeNode(
+            w=2.0,
+            label="root",
+            children=[
+                TreeNode(
+                    w=3.0, link=0.5, label="a",
+                    children=[
+                        TreeNode(w=2.5, link=0.3, label="a1"),
+                        TreeNode(w=4.0, link=0.6, label="a2"),
+                    ],
+                ),
+                TreeNode(
+                    w=1.8, link=0.4, label="b",
+                    children=[TreeNode(w=2.2, link=0.2, label="b1",
+                                       children=[TreeNode(w=3.5, link=0.7, label="b2")])],
+                ),
+            ],
+        )
+    )
+
+
+RATES = [2.0, 3.0, 2.5, 4.0, 1.8, 2.2, 3.5]  # preorder
+
+
+def run(tree, overrides=None):
+    overrides = overrides or {}
+    agents = [overrides.get(i, TruthfulAgent(i, RATES[i])) for i in range(1, tree.size)]
+    return TreeMechanism(tree, agents).run()
+
+
+@pytest.fixture(scope="module")
+def baseline(tree):
+    return run(tree)
+
+
+class TestHonestRun:
+    def test_matches_tree_solver(self, tree, baseline):
+        sched = solve_tree(tree)
+        assert np.allclose(baseline.assigned, sched.alpha)
+        assert baseline.makespan == pytest.approx(sched.makespan)
+
+    def test_voluntary_participation(self, tree, baseline):
+        for i in range(1, tree.size):
+            assert baseline.utility(i) >= 0
+
+    def test_root_utility_zero(self, baseline):
+        assert baseline.utility(0) == 0.0
+
+    def test_ledger_conserved(self, baseline):
+        assert abs(baseline.ledger.total_balance()) < 1e-9
+
+    def test_utility_is_pairwise_bonus(self, tree, baseline):
+        # U_v = w_parent - w_bar_parent_pair(eval) = pair bonus at truth:
+        # for truthful full-speed agents this is w_p - alpha_hat * w_p
+        # of the (parent, subtree) pair.
+        from repro.mechanism.payments import bonus
+
+        from repro.mechanism.tree_mechanism import _flatten
+
+        infos = _flatten(tree)
+        for i in range(1, tree.size):
+            parent = infos[i].parent
+            expected = bonus(
+                predecessor_bid=RATES[parent],
+                z_link=infos[i].link,
+                w_bar=baseline.w_bar[i],
+                w_hat=baseline.w_bar[i],
+            )
+            assert baseline.utility(i) == pytest.approx(expected)
+
+
+class TestStrategyproofness:
+    @pytest.mark.parametrize("node", [1, 2, 3, 4, 5, 6])
+    def test_misbids_never_beat_truth(self, tree, baseline, node):
+        for factor in (0.4, 0.8, 1.3, 2.5):
+            outcome = run(tree, {node: MisbiddingAgent(node, RATES[node], bid_factor=factor)})
+            assert outcome.utility(node) <= baseline.utility(node) + 1e-9
+
+    @pytest.mark.parametrize("node", [1, 4, 6])
+    def test_slow_execution_loses(self, tree, baseline, node):
+        outcome = run(tree, {node: SlowExecutionAgent(node, RATES[node], slowdown=1.6)})
+        assert outcome.utility(node) < baseline.utility(node)
+
+    def test_leaf_w_hat_is_actual_rate(self, tree):
+        # A slow leaf's adjusted equivalent equals its metered rate
+        # (eq. 4.10 on subtrees).
+        outcome = run(tree, {3: SlowExecutionAgent(3, RATES[3], slowdown=2.0)})
+        report = outcome.reports[3]
+        assert report.actual_rate == pytest.approx(2.0 * RATES[3])
+
+
+class TestUnaryTreeEquivalence:
+    def test_matches_dls_lbl_payments_on_chains(self):
+        # A unary tree is a chain: the tree mechanism's payments must
+        # equal DLS-LBL's for truthful agents.
+        from repro.mechanism.properties import run_truthful
+        from repro.network.topology import LinearNetwork
+
+        net = LinearNetwork(w=[2.0, 3.0, 2.5, 4.0], z=[0.5, 0.3, 0.7])
+        chain_outcome = run_truthful(net.z, float(net.w[0]), net.w[1:])
+        tree = TreeNetwork.from_linear(net)
+        agents = [TruthfulAgent(i, float(net.w[i])) for i in range(1, net.size)]
+        tree_outcome = TreeMechanism(tree, agents).run()
+        for i in range(1, net.size):
+            assert tree_outcome.utility(i) == pytest.approx(chain_outcome.utility(i))
+            assert tree_outcome.reports[i].payment_correct == pytest.approx(
+                chain_outcome.reports[i].payment_correct
+            )
+
+
+class TestConstruction:
+    def test_agent_coverage(self, tree):
+        with pytest.raises(InvalidNetworkError):
+            TreeMechanism(tree, [TruthfulAgent(1, 2.0)])

@@ -1,0 +1,85 @@
+"""Property-based tests for the crypto substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signing import SignedMessage, canonical_bytes, sign
+
+# JSON-ish payloads the protocol can carry.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+@st.composite
+def pki(draw):
+    registry, pairs = KeyRegistry.for_processors(3, seed=draw(st.binary(min_size=1, max_size=8)))
+    return registry, pairs
+
+
+@given(payloads)
+@settings(max_examples=200)
+def test_canonical_bytes_deterministic(payload):
+    assert canonical_bytes(payload) == canonical_bytes(payload)
+
+
+@given(payloads, payloads)
+@settings(max_examples=200)
+def test_canonical_bytes_injective_on_distinct_payloads(a, b):
+    # Equal encodings imply equal payloads (no collisions).
+    if canonical_bytes(a) == canonical_bytes(b):
+        assert _normalize(a) == _normalize(b)
+
+
+def _normalize(value):
+    """Collapse representational equalities the serialization preserves
+    (tuple == list; bool vs int are distinguished on purpose)."""
+    if isinstance(value, tuple):
+        value = list(value)
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    return value
+
+
+@given(pki(), payloads)
+@settings(max_examples=150)
+def test_sign_verify_roundtrip(setup, payload):
+    registry, pairs = setup
+    msg = sign(pairs[1], payload)
+    assert msg.verify(registry)
+
+
+@given(pki(), payloads, payloads)
+@settings(max_examples=150)
+def test_signature_does_not_transfer_between_payloads(setup, a, b):
+    registry, pairs = setup
+    if canonical_bytes(a) == canonical_bytes(b):
+        return
+    msg = sign(pairs[1], a)
+    forged = SignedMessage(signer=1, payload=b, signature=msg.signature)
+    assert not forged.verify(registry)
+
+
+@given(pki(), payloads)
+@settings(max_examples=150)
+def test_signature_does_not_transfer_between_signers(setup, payload):
+    registry, pairs = setup
+    msg = sign(pairs[1], payload)
+    stolen = SignedMessage(signer=2, payload=payload, signature=msg.signature)
+    assert not stolen.verify(registry)

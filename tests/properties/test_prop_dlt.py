@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the DLT substrate.
+
+Invariants over arbitrary valid networks:
+
+- Algorithm 1 output is a strictly positive probability vector;
+- all finishing times equal the makespan (Theorem 2.1);
+- the vectorized solver equals the literal reference transcription;
+- the DES reproduces the closed-form times exactly;
+- suffix reduction preserves makespan and prefix allocation (Fig. 3);
+- monotonicity: slowing any processor or link never helps.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlt.linear import (
+    solve_linear_boundary,
+    solve_linear_boundary_reference,
+)
+from repro.dlt.reduction import replace_suffix
+from repro.dlt.timing import finishing_times
+from repro.network.topology import LinearNetwork
+from repro.sim.linear_sim import simulate_linear_chain
+
+rate = st.floats(min_value=0.05, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def linear_networks(draw, min_m=1, max_m=12):
+    m = draw(st.integers(min_value=min_m, max_value=max_m))
+    w = draw(st.lists(rate, min_size=m + 1, max_size=m + 1))
+    z = draw(st.lists(rate, min_size=m, max_size=m))
+    return LinearNetwork(w, z)
+
+
+@given(linear_networks())
+@settings(max_examples=150)
+def test_alpha_is_strictly_positive_simplex(net):
+    sched = solve_linear_boundary(net)
+    assert np.all(sched.alpha > 0)
+    assert np.isclose(sched.alpha.sum(), 1.0, rtol=1e-9)
+
+
+@given(linear_networks())
+@settings(max_examples=150)
+def test_all_finish_simultaneously(net):
+    sched = solve_linear_boundary(net)
+    times = finishing_times(net, sched.alpha)
+    assert np.allclose(times, sched.makespan, rtol=1e-8)
+
+
+@given(linear_networks())
+@settings(max_examples=100)
+def test_vectorized_equals_reference(net):
+    vec = solve_linear_boundary(net)
+    ref = solve_linear_boundary_reference(net)
+    assert np.allclose(vec.alpha, ref.alpha, rtol=1e-12, atol=1e-15)
+    assert np.isclose(vec.makespan, ref.makespan, rtol=1e-12)
+
+
+@given(linear_networks())
+@settings(max_examples=100, deadline=None)
+def test_simulation_matches_closed_form(net):
+    sched = solve_linear_boundary(net)
+    # eps_load=0: link-dominated chains legitimately produce allocations
+    # below the default load-dust threshold; exact replay must keep them.
+    result = simulate_linear_chain(net, sched.alpha, eps_load=0.0)
+    closed = finishing_times(net, sched.alpha)
+    assert np.allclose(result.finish_times, closed, rtol=1e-9)
+    result.trace.validate()
+
+
+@given(linear_networks(min_m=2), st.data())
+@settings(max_examples=100)
+def test_suffix_reduction_preserves_schedule(net, data):
+    start = data.draw(st.integers(min_value=1, max_value=net.m))
+    full = solve_linear_boundary(net)
+    reduced = solve_linear_boundary(replace_suffix(net, start))
+    assert np.isclose(reduced.makespan, full.makespan, rtol=1e-9)
+    assert np.allclose(reduced.alpha[:start], full.alpha[:start], rtol=1e-8, atol=1e-12)
+
+
+@given(linear_networks(), st.data())
+@settings(max_examples=100)
+def test_slowing_a_processor_never_helps(net, data):
+    idx = data.draw(st.integers(min_value=0, max_value=net.m))
+    factor = data.draw(st.floats(min_value=1.01, max_value=10.0))
+    base = solve_linear_boundary(net).makespan
+    slower = solve_linear_boundary(net.with_rates(idx, float(net.w[idx]) * factor)).makespan
+    assert slower >= base - 1e-9 * max(1.0, base)
+
+
+@given(linear_networks(), st.data())
+@settings(max_examples=100)
+def test_slowing_a_link_never_helps(net, data):
+    idx = data.draw(st.integers(min_value=0, max_value=net.m - 1))
+    factor = data.draw(st.floats(min_value=1.01, max_value=10.0))
+    z_new = net.z.copy()
+    z_new[idx] *= factor
+    base = solve_linear_boundary(net).makespan
+    slower = solve_linear_boundary(LinearNetwork(net.w, z_new)).makespan
+    assert slower >= base - 1e-9 * max(1.0, base)
+
+
+@given(linear_networks())
+@settings(max_examples=100)
+def test_makespan_bounded_by_root_alone(net):
+    # The schedule can always fall back to "the root does everything".
+    sched = solve_linear_boundary(net)
+    assert sched.makespan <= float(net.w[0]) + 1e-9
+
+
+@given(linear_networks())
+@settings(max_examples=100)
+def test_w_eq_is_monotone_toward_the_root(net):
+    # Each added helper weakly improves the equivalent time:
+    # w_eq[i] <= w[i] for every i.
+    sched = solve_linear_boundary(net)
+    assert np.all(sched.w_eq <= net.w + 1e-9)

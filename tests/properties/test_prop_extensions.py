@@ -1,0 +1,171 @@
+"""Property-based tests for the extension mechanisms (star, tree,
+interior origination): the paper's theorem properties hold on arbitrary
+instances, not just curated ones."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.strategies import MisbiddingAgent, SlowExecutionAgent, TruthfulAgent
+from repro.mechanism.dls_lil import DLSLILMechanism
+from repro.mechanism.star_mechanism import StarMechanism
+from repro.mechanism.tree_mechanism import TreeMechanism
+from repro.network.topology import TreeNetwork, TreeNode
+
+rate = st.floats(min_value=0.2, max_value=15.0, allow_nan=False)
+factor = st.floats(min_value=0.2, max_value=5.0)
+
+
+# ---------------------------------------------------------------------------
+# Star mechanism
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def star_instance(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    z = draw(st.lists(rate, min_size=n, max_size=n))
+    root = draw(rate)
+    true = draw(st.lists(rate, min_size=n, max_size=n))
+    return z, root, true
+
+
+def _star_run(z, root, true, overrides=None):
+    overrides = overrides or {}
+    agents = [
+        overrides.get(i, TruthfulAgent(i, float(t)))
+        for i, t in enumerate(true, start=1)
+    ]
+    return StarMechanism(z, root, agents, rng=np.random.default_rng(0)).run()
+
+
+@given(star_instance(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_star_truth_dominates(params, data):
+    z, root, true = params
+    i = data.draw(st.integers(min_value=1, max_value=len(true)))
+    f = data.draw(factor)
+    base = _star_run(z, root, true)
+    dev = _star_run(z, root, true, {i: MisbiddingAgent(i, float(true[i - 1]), bid_factor=f)})
+    truthful_u = base.utility(i)
+    assert dev.utility(i) <= truthful_u + 1e-7 * max(1.0, abs(truthful_u))
+
+
+@given(star_instance())
+@settings(max_examples=50, deadline=None)
+def test_star_voluntary_participation(params):
+    z, root, true = params
+    outcome = _star_run(z, root, true)
+    for i in range(1, len(true) + 1):
+        assert outcome.utility(i) >= -1e-9
+    assert abs(outcome.ledger.total_balance()) < 1e-9
+
+
+@given(star_instance(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_star_slow_execution_never_profits(params, data):
+    z, root, true = params
+    i = data.draw(st.integers(min_value=1, max_value=len(true)))
+    s = data.draw(st.floats(min_value=1.0, max_value=4.0))
+    base = _star_run(z, root, true)
+    dev = _star_run(z, root, true, {i: SlowExecutionAgent(i, float(true[i - 1]), slowdown=s)})
+    assert dev.utility(i) <= base.utility(i) + 1e-7 * max(1.0, abs(base.utility(i)))
+
+
+# ---------------------------------------------------------------------------
+# Tree mechanism
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def tree_instance(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    rates = draw(st.lists(rate, min_size=n, max_size=n))
+    links = draw(st.lists(rate, min_size=n, max_size=n))
+    nodes = [TreeNode(w=rates[0], label="P0")]
+    for i in range(1, n):
+        parent = nodes[draw(st.integers(min_value=0, max_value=i - 1))]
+        child = TreeNode(w=rates[i], link=links[i], label=f"P{i}")
+        parent.children.append(child)
+        nodes.append(child)
+    return TreeNetwork(root=nodes[0]), rates
+
+
+def _tree_run(tree, rates, overrides=None):
+    overrides = overrides or {}
+    agents = [
+        overrides.get(i, TruthfulAgent(i, float(rates[i])))
+        for i in range(1, tree.size)
+    ]
+    return TreeMechanism(tree, agents).run()
+
+
+@given(tree_instance(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_tree_truth_dominates(params, data):
+    tree, rates = params
+    i = data.draw(st.integers(min_value=1, max_value=tree.size - 1))
+    f = data.draw(factor)
+    base = _tree_run(tree, rates)
+    dev = _tree_run(tree, rates, {i: MisbiddingAgent(i, float(rates[i]), bid_factor=f)})
+    truthful_u = base.utility(i)
+    assert dev.utility(i) <= truthful_u + 1e-7 * max(1.0, abs(truthful_u))
+
+
+@given(tree_instance())
+@settings(max_examples=50, deadline=None)
+def test_tree_voluntary_participation(params):
+    tree, rates = params
+    outcome = _tree_run(tree, rates)
+    for i in range(1, tree.size):
+        assert outcome.utility(i) >= -1e-9
+    assert abs(outcome.ledger.total_balance()) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Interior-origination mechanism
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def interior_instance(draw):
+    n = draw(st.integers(min_value=2, max_value=5))  # n links -> n+1 nodes
+    z = draw(st.lists(rate, min_size=n, max_size=n))
+    w = draw(st.lists(rate, min_size=n + 1, max_size=n + 1))
+    root = draw(st.integers(min_value=1, max_value=n - 1))
+    return z, w, root
+
+
+def _lil_run(z, w, root, overrides=None):
+    overrides = overrides or {}
+    agents = [
+        overrides.get(i, TruthfulAgent(i, float(w[i])))
+        for i in range(len(w))
+        if i != root
+    ]
+    return DLSLILMechanism(z, root, float(w[root]), agents, rng=np.random.default_rng(0)).run()
+
+
+@given(interior_instance(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_interior_truth_dominates(params, data):
+    z, w, root = params
+    positions = [i for i in range(len(w)) if i != root]
+    i = data.draw(st.sampled_from(positions))
+    f = data.draw(factor)
+    base = _lil_run(z, w, root)
+    dev = _lil_run(z, w, root, {i: MisbiddingAgent(i, float(w[i]), bid_factor=f)})
+    truthful_u = base.utility(i)
+    assert dev.utility(i) <= truthful_u + 1e-7 * max(1.0, abs(truthful_u))
+
+
+@given(interior_instance())
+@settings(max_examples=40, deadline=None)
+def test_interior_voluntary_participation(params):
+    z, w, root = params
+    outcome = _lil_run(z, w, root)
+    assert outcome.completed
+    for i in range(len(w)):
+        assert outcome.utility(i) >= -1e-9
+    assert abs(outcome.ledger.total_balance()) < 1e-9
+    assert np.isclose(outcome.computed.sum(), 1.0, rtol=1e-9)

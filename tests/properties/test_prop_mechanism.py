@@ -1,0 +1,213 @@
+"""Property-based tests for the DLS-LBL mechanism.
+
+The headline invariants of Section 5, checked on *arbitrary* networks and
+deviations rather than curated examples:
+
+- truth-telling is never beaten by any swept bid (Theorem 5.3);
+- truthful utilities are non-negative (Theorem 5.4);
+- the ledger conserves money on every run, deviant or not;
+- honest agents are never fined regardless of who else deviates
+  (Lemma 5.2).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.strategies import (
+    ContradictoryBidAgent,
+    FalseAccuserAgent,
+    LoadSheddingAgent,
+    MisbiddingAgent,
+    MiscomputingAgent,
+    OverchargingAgent,
+    RelayTamperingAgent,
+    SlowExecutionAgent,
+    TruthfulAgent,
+)
+from repro.mechanism.dls_lbl import DLSLBLMechanism
+from repro.mechanism.properties import (
+    check_voluntary_participation,
+    run_truthful,
+    utility_of_bid,
+)
+
+rate = st.floats(min_value=0.2, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def chain(draw, min_m=1, max_m=6):
+    m = draw(st.integers(min_value=min_m, max_value=max_m))
+    z = draw(st.lists(rate, min_size=m, max_size=m))
+    root = draw(rate)
+    true = draw(st.lists(rate, min_size=m, max_size=m))
+    return z, root, true
+
+
+@given(chain(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_truth_beats_any_single_deviation(params, data):
+    z, root, true = params
+    m = len(true)
+    idx = data.draw(st.integers(min_value=1, max_value=m))
+    factor = data.draw(st.floats(min_value=0.1, max_value=8.0))
+    truthful = utility_of_bid(z, root, true, idx, true[idx - 1])
+    deviant = utility_of_bid(z, root, true, idx, factor * true[idx - 1])
+    assert deviant <= truthful + 1e-7 * max(1.0, abs(truthful))
+
+
+@given(chain(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_slow_execution_never_profits(params, data):
+    z, root, true = params
+    m = len(true)
+    idx = data.draw(st.integers(min_value=1, max_value=m))
+    slowdown = data.draw(st.floats(min_value=1.0, max_value=5.0))
+    truthful = utility_of_bid(z, root, true, idx, true[idx - 1])
+    slow = utility_of_bid(
+        z, root, true, idx, true[idx - 1], execution_rate=slowdown * true[idx - 1]
+    )
+    assert slow <= truthful + 1e-7 * max(1.0, abs(truthful))
+
+
+@given(chain())
+@settings(max_examples=60, deadline=None)
+def test_voluntary_participation_on_random_chains(params):
+    z, root, true = params
+    outcome = run_truthful(z, root, true)
+    assert outcome.completed
+    assert check_voluntary_participation(outcome)
+
+
+def _random_roster(z, true, data):
+    """A roster mixing truthful agents with random deviants."""
+    m = len(true)
+    agents = []
+    deviant_indices = set()
+    for i in range(1, m + 1):
+        kind = data.draw(
+            st.sampled_from(["truthful", "misbid", "slow", "shed", "overcharge"])
+        )
+        t = float(true[i - 1])
+        if kind == "truthful":
+            agents.append(TruthfulAgent(i, t))
+            continue
+        deviant_indices.add(i)
+        if kind == "misbid":
+            agents.append(MisbiddingAgent(i, t, bid_factor=data.draw(st.floats(0.3, 3.0))))
+        elif kind == "slow":
+            agents.append(SlowExecutionAgent(i, t, slowdown=data.draw(st.floats(1.0, 3.0))))
+        elif kind == "shed" and i < m:
+            agents.append(LoadSheddingAgent(i, t, shed_fraction=data.draw(st.floats(0.0, 0.9))))
+        elif kind == "overcharge":
+            agents.append(OverchargingAgent(i, t, overcharge=data.draw(st.floats(0.0, 2.0))))
+        else:
+            deviant_indices.discard(i)
+            agents.append(TruthfulAgent(i, t))
+    return agents, deviant_indices
+
+
+@given(chain(min_m=2, max_m=5), st.data())
+@settings(max_examples=50, deadline=None)
+def test_ledger_conserves_under_any_mixture(params, data):
+    z, root, true = params
+    agents, _ = _random_roster(z, true, data)
+    mech = DLSLBLMechanism(
+        z, root, agents, audit_probability=1.0, rng=np.random.default_rng(data.draw(st.integers(0, 1000)))
+    )
+    outcome = mech.run()
+    assert abs(outcome.ledger.total_balance()) < 1e-9
+
+
+@given(chain(min_m=2, max_m=5), st.data())
+@settings(max_examples=50, deadline=None)
+def test_honest_agents_never_fined(params, data):
+    z, root, true = params
+    agents, deviants = _random_roster(z, true, data)
+    mech = DLSLBLMechanism(
+        z, root, agents, audit_probability=1.0, rng=np.random.default_rng(data.draw(st.integers(0, 1000)))
+    )
+    outcome = mech.run()
+    for i, report in outcome.reports.items():
+        if i not in deviants:
+            assert report.fines == 0.0
+
+
+def _hostile_roster(z, true, data):
+    """A roster that may include protocol-aborting deviants (contradictory
+    bids, miscomputation, relay tampering, false accusations) in addition
+    to the economic ones."""
+    m = len(true)
+    agents = []
+    deviant_indices = set()
+    kinds = [
+        "truthful", "truthful", "misbid", "slow", "shed", "overcharge",
+        "contradict", "miscompute", "tamper", "accuse",
+    ]
+    for i in range(1, m + 1):
+        kind = data.draw(st.sampled_from(kinds))
+        t = float(true[i - 1])
+        if kind == "truthful":
+            agents.append(TruthfulAgent(i, t))
+            continue
+        deviant_indices.add(i)
+        if kind == "misbid":
+            agents.append(MisbiddingAgent(i, t, bid_factor=data.draw(st.floats(0.3, 3.0))))
+        elif kind == "slow":
+            agents.append(SlowExecutionAgent(i, t, slowdown=data.draw(st.floats(1.0, 3.0))))
+        elif kind == "shed" and i < m:
+            agents.append(LoadSheddingAgent(i, t, shed_fraction=data.draw(st.floats(0.1, 0.9))))
+        elif kind == "overcharge":
+            agents.append(OverchargingAgent(i, t, overcharge=data.draw(st.floats(0.1, 2.0))))
+        elif kind == "contradict":
+            agents.append(ContradictoryBidAgent(i, t))
+        elif kind == "miscompute" and i < m:
+            agents.append(MiscomputingAgent(i, t, w_bar_factor=data.draw(st.floats(0.5, 0.95))))
+        elif kind == "tamper" and i < m:
+            agents.append(RelayTamperingAgent(i, t, d_factor=data.draw(st.floats(0.5, 0.95))))
+        elif kind == "accuse":
+            agents.append(FalseAccuserAgent(i, t))
+        else:
+            deviant_indices.discard(i)
+            agents.append(TruthfulAgent(i, t))
+    return agents, deviant_indices
+
+
+@given(chain(min_m=2, max_m=5), st.data())
+@settings(max_examples=60, deadline=None)
+def test_hostile_populations_never_fine_the_honest(params, data):
+    """Lemma 5.2 under arbitrary hostile mixtures, including runs that
+    abort in Phase I/II: honest agents are never fined and the ledger
+    always conserves."""
+    z, root, true = params
+    agents, deviants = _hostile_roster(z, true, data)
+    mech = DLSLBLMechanism(
+        z, root, agents, audit_probability=1.0,
+        rng=np.random.default_rng(data.draw(st.integers(0, 1000))),
+    )
+    outcome = mech.run()
+    assert abs(outcome.ledger.total_balance()) < 1e-9
+    for i, report in outcome.reports.items():
+        if i not in deviants:
+            assert report.fines == 0.0
+    # Every substantiated verdict names an actual deviant; every
+    # exculpation fines the (deviant) false accuser.
+    for verdict in outcome.adjudications:
+        assert verdict.fined in deviants
+
+
+@given(chain(min_m=2, max_m=5), st.data())
+@settings(max_examples=40, deadline=None)
+def test_load_conservation_under_shedding(params, data):
+    # Whatever anyone sheds, the terminal mops up: total computed == load.
+    z, root, true = params
+    m = len(true)
+    agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(true, start=1)]
+    shedder = data.draw(st.integers(min_value=1, max_value=max(1, m - 1)))
+    if shedder < m:
+        agents[shedder - 1] = LoadSheddingAgent(
+            shedder, float(true[shedder - 1]), shed_fraction=data.draw(st.floats(0.1, 1.0))
+        )
+    mech = DLSLBLMechanism(z, root, agents, rng=np.random.default_rng(0))
+    outcome = mech.run()
+    assert np.isclose(outcome.computed.sum(), 1.0, rtol=1e-9)

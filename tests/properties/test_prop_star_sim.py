@@ -1,0 +1,64 @@
+"""Property-based tests for the star simulator and multiround planning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlt.multiround import multiround_makespan, plan_from_allocation
+from repro.dlt.star import solve_star
+from repro.network.topology import StarNetwork
+from repro.sim.star_sim import simulate_star
+
+rate = st.floats(min_value=0.1, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def stars(draw, max_children=5):
+    n = draw(st.integers(min_value=1, max_value=max_children))
+    w = draw(st.lists(rate, min_size=n + 1, max_size=n + 1))
+    z = draw(st.lists(rate, min_size=n, max_size=n))
+    return StarNetwork(w, z)
+
+
+@given(stars())
+@settings(max_examples=100, deadline=None)
+def test_single_round_sim_matches_closed_form(star):
+    sched = solve_star(star, order="by-link")
+    plan = [(c, float(sched.alpha[c])) for c in sched.order]
+    result = simulate_star(star, float(sched.alpha[0]), plan)
+    assert np.isclose(result.makespan, sched.makespan, rtol=1e-9)
+    assert np.allclose(result.finish_times, sched.makespan, rtol=1e-9)
+
+
+@given(stars(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=80, deadline=None)
+def test_fixed_totals_never_beat_single_round(star, rounds):
+    # Without reallocation the root share binds the makespan.
+    t1, _ = multiround_makespan(star, 1)
+    tr, result = multiround_makespan(star, rounds)
+    assert tr >= t1 - 1e-9
+    assert np.isclose(result.computed.sum(), 1.0, rtol=1e-9)
+    result.trace.check_one_port()
+
+
+@given(stars(), st.integers(min_value=1, max_value=4), st.floats(min_value=0.0, max_value=0.5))
+@settings(max_examples=60, deadline=None)
+def test_startup_monotonically_hurts(star, rounds, startup):
+    t0, _ = multiround_makespan(star, rounds, startup=0.0)
+    ts, _ = multiround_makespan(star, rounds, startup=startup)
+    assert ts >= t0 - 1e-9
+
+
+@given(stars(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_arbitrary_allocation_plans_conserve_load(star, data):
+    n = star.n_children
+    raw = np.array(data.draw(st.lists(
+        st.floats(min_value=0.01, max_value=1.0), min_size=n + 1, max_size=n + 1
+    )))
+    alpha = raw / raw.sum()
+    rounds = data.draw(st.integers(min_value=1, max_value=4))
+    plan = plan_from_allocation(star, alpha, rounds)
+    result = simulate_star(star, plan.root_share, plan.transmissions)
+    assert np.isclose(result.computed.sum(), 1.0, rtol=1e-9)
+    assert np.isclose(result.computed[0], alpha[0], rtol=1e-9)

@@ -1,0 +1,114 @@
+"""Property-based tests for the star/bus/tree comparator solvers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlt.bus import solve_bus
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.linear_interior import solve_linear_interior
+from repro.dlt.star import solve_star, star_finishing_times
+from repro.dlt.tree import solve_tree
+from repro.network.topology import (
+    BusNetwork,
+    LinearNetwork,
+    StarNetwork,
+    TreeNetwork,
+    TreeNode,
+)
+
+rate = st.floats(min_value=0.1, max_value=30.0, allow_nan=False)
+
+
+@st.composite
+def stars(draw, min_children=1, max_children=6):
+    n = draw(st.integers(min_value=min_children, max_value=max_children))
+    w = draw(st.lists(rate, min_size=n + 1, max_size=n + 1))
+    z = draw(st.lists(rate, min_size=n, max_size=n))
+    return StarNetwork(w, z)
+
+
+@st.composite
+def trees(draw, max_nodes=10):
+    """Random trees built by parent-index attachment."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    w = draw(st.lists(rate, min_size=n, max_size=n))
+    z = draw(st.lists(rate, min_size=n, max_size=n))
+    nodes = [TreeNode(w=w[0], label="P0")]
+    for i in range(1, n):
+        parent = nodes[draw(st.integers(min_value=0, max_value=i - 1))]
+        child = TreeNode(w=w[i], link=z[i], label=f"P{i}")
+        parent.children.append(child)
+        nodes.append(child)
+    return TreeNetwork(root=nodes[0])
+
+
+@given(stars())
+@settings(max_examples=150)
+def test_star_alpha_simplex_and_equal_finish(star):
+    sched = solve_star(star)
+    assert np.isclose(sched.alpha.sum(), 1.0, rtol=1e-9)
+    assert np.all(sched.alpha > 0)
+    t = star_finishing_times(star, sched.alpha, sched.order)
+    assert np.allclose(t, sched.makespan, rtol=1e-8)
+
+
+@given(stars(max_children=5))
+@settings(max_examples=60, deadline=None)
+def test_star_by_link_order_is_optimal(star):
+    by_link = solve_star(star, order="by-link")
+    brute = solve_star(star, order="bruteforce")
+    assert by_link.makespan <= brute.makespan * (1 + 1e-9)
+
+
+@given(st.lists(rate, min_size=2, max_size=7), rate)
+@settings(max_examples=100)
+def test_bus_is_order_invariant(w, z):
+    bus = BusNetwork(w, z)
+    star = bus.as_star()
+    n = star.n_children
+    forward = solve_star(star, order=tuple(range(1, n + 1))).makespan
+    backward = solve_star(star, order=tuple(range(n, 0, -1))).makespan
+    assert np.isclose(forward, backward, rtol=1e-9)
+    assert np.isclose(solve_bus(bus).makespan, forward, rtol=1e-9)
+
+
+@given(trees())
+@settings(max_examples=100)
+def test_tree_alpha_simplex(tree):
+    sched = solve_tree(tree)
+    assert np.isclose(sched.alpha.sum(), 1.0, rtol=1e-9)
+    assert np.all(sched.alpha > 0)
+    assert len(sched.alpha) == tree.size
+
+
+@given(st.lists(rate, min_size=2, max_size=8), st.data())
+@settings(max_examples=80)
+def test_unary_tree_equals_linear(w, data):
+    z = data.draw(st.lists(rate, min_size=len(w) - 1, max_size=len(w) - 1))
+    net = LinearNetwork(w, z)
+    lin = solve_linear_boundary(net)
+    tr = solve_tree(TreeNetwork.from_linear(net))
+    assert np.isclose(tr.makespan, lin.makespan, rtol=1e-9)
+    assert np.allclose(tr.alpha, lin.alpha, rtol=1e-8)
+
+
+@given(st.lists(rate, min_size=2, max_size=8), st.data())
+@settings(max_examples=60)
+def test_interior_at_boundary_equals_boundary(w, data):
+    z = data.draw(st.lists(rate, min_size=len(w) - 1, max_size=len(w) - 1))
+    net = LinearNetwork(w, z)
+    boundary = solve_linear_boundary(net)
+    interior = solve_linear_interior(w, z, 0)
+    assert np.isclose(interior.makespan, boundary.makespan, rtol=1e-9)
+    assert np.allclose(interior.alpha, boundary.alpha, rtol=1e-8)
+
+
+@given(st.lists(rate, min_size=3, max_size=8), st.data())
+@settings(max_examples=60)
+def test_interior_alpha_simplex_any_root(w, data):
+    z = data.draw(st.lists(rate, min_size=len(w) - 1, max_size=len(w) - 1))
+    r = data.draw(st.integers(min_value=0, max_value=len(w) - 1))
+    sched = solve_linear_interior(w, z, r)
+    assert np.isclose(sched.alpha.sum(), 1.0, rtol=1e-9)
+    assert np.all(sched.alpha > 0)

@@ -1,0 +1,135 @@
+"""Unit tests for the strategic agent classes."""
+
+import pytest
+
+from repro.agents.annoying import AnnoyingAgent, DataCorruptingAgent, DuplicatingAgent
+from repro.agents.base import ProcessorAgent
+from repro.agents.strategies import (
+    ContradictoryBidAgent,
+    FalseAccuserAgent,
+    LoadSheddingAgent,
+    MisbiddingAgent,
+    MiscomputingAgent,
+    OverchargingAgent,
+    RelayTamperingAgent,
+    SilentVictimAgent,
+    SlowExecutionAgent,
+    TruthfulAgent,
+)
+from repro.protocol.messages import GrievanceKind
+
+
+class TestBaseAgent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorAgent(-1, 2.0)
+        with pytest.raises(ValueError):
+            ProcessorAgent(1, -2.0)
+        # Index 0 is allowed (interior-origination arm terminals); the
+        # boundary mechanism rejects it at construction instead.
+        ProcessorAgent(0, 2.0)
+
+    def test_honest_defaults(self):
+        agent = ProcessorAgent(2, 3.0)
+        assert agent.choose_bid() == 3.0
+        assert agent.choose_execution_rate() == 3.0
+        assert agent.phase1_w_bar(1.5) == 1.5
+        assert agent.phase1_second_bid(1.5) is None
+        assert agent.phase2_validates()
+        assert agent.phase2_d_next(0.4) == 0.4
+        assert agent.phase2_echo_bid(1.1) == 1.1
+        assert agent.phase4_bill(2.2) == 2.2
+        assert agent.fabricates_accusation() is None
+        assert agent.reports_overload()
+        assert not agent.corrupts_data()
+
+    def test_honest_retention_absorbs_overload(self):
+        agent = ProcessorAgent(1, 2.0)
+        # Received more than assigned: retain everything not owed onward.
+        assert agent.choose_retention(assigned=0.3, received=0.5, expected_forward=0.1) == pytest.approx(0.4)
+
+    def test_honest_retention_normal_case(self):
+        agent = ProcessorAgent(1, 2.0)
+        assert agent.choose_retention(0.3, 0.4, 0.1) == pytest.approx(0.3)
+
+
+class TestStrategyParameters:
+    def test_misbidding(self):
+        agent = MisbiddingAgent(1, 2.0, bid_factor=1.5)
+        assert agent.choose_bid() == pytest.approx(3.0)
+        assert "1.5" in agent.strategy_name
+        with pytest.raises(ValueError):
+            MisbiddingAgent(1, 2.0, bid_factor=0.0)
+
+    def test_slow_execution(self):
+        agent = SlowExecutionAgent(1, 2.0, slowdown=1.5)
+        assert agent.choose_execution_rate() == pytest.approx(3.0)
+        assert agent.choose_bid() == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            SlowExecutionAgent(1, 2.0, slowdown=0.5)
+
+    def test_contradictory(self):
+        agent = ContradictoryBidAgent(1, 2.0, second_factor=2.0)
+        assert agent.phase1_second_bid(1.0) == pytest.approx(2.0)
+
+    def test_miscomputing(self):
+        agent = MiscomputingAgent(1, 2.0, w_bar_factor=0.8)
+        assert agent.phase1_w_bar(1.0) == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            MiscomputingAgent(1, 2.0, w_bar_factor=-1.0)
+
+    def test_relay_tampering(self):
+        agent = RelayTamperingAgent(1, 2.0, d_factor=0.5)
+        assert agent.phase2_d_next(0.4) == pytest.approx(0.2)
+
+    def test_load_shedding(self):
+        agent = LoadSheddingAgent(1, 2.0, shed_fraction=0.5)
+        # Retains half of the honest retention.
+        assert agent.choose_retention(0.4, 0.5, 0.1) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            LoadSheddingAgent(1, 2.0, shed_fraction=1.5)
+
+    def test_overcharging(self):
+        agent = OverchargingAgent(1, 2.0, overcharge=1.5)
+        assert agent.phase4_bill(2.0) == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            OverchargingAgent(1, 2.0, overcharge=-1.0)
+
+    def test_false_accuser(self):
+        assert FalseAccuserAgent(1, 2.0).fabricates_accusation() is GrievanceKind.OVERLOAD
+
+    def test_silent_victim(self):
+        assert not SilentVictimAgent(1, 2.0).reports_overload()
+
+    def test_truthful_is_base(self):
+        agent = TruthfulAgent(1, 2.0)
+        assert agent.strategy_name == "truthful"
+
+
+class TestAnnoyingAgents:
+    def test_base_wastes_nothing(self):
+        assert AnnoyingAgent(1, 2.0).wasted_fraction() == 0.0
+
+    def test_corruptor(self):
+        agent = DataCorruptingAgent(1, 2.0, corrupt_fraction=0.3)
+        assert agent.wasted_fraction() == pytest.approx(0.3)
+        assert agent.corrupts_data()
+        with pytest.raises(ValueError):
+            DataCorruptingAgent(1, 2.0, corrupt_fraction=2.0)
+
+    def test_duplicator(self):
+        agent = DuplicatingAgent(1, 2.0, duplicate_fraction=0.4)
+        assert agent.wasted_fraction() == pytest.approx(0.4)
+
+    def test_strategy_names_distinct(self):
+        agents = [
+            TruthfulAgent(1, 2.0),
+            MisbiddingAgent(1, 2.0, bid_factor=2.0),
+            SlowExecutionAgent(1, 2.0, slowdown=2.0),
+            LoadSheddingAgent(1, 2.0),
+            OverchargingAgent(1, 2.0),
+            FalseAccuserAgent(1, 2.0),
+            DataCorruptingAgent(1, 2.0),
+        ]
+        names = [a.strategy_name for a in agents]
+        assert len(set(names)) == len(names)

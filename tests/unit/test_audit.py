@@ -1,0 +1,68 @@
+"""Unit tests for the Phase IV audit process."""
+
+import numpy as np
+import pytest
+
+from repro.mechanism.audit import AuditRecord, Auditor
+
+
+class TestAuditor:
+    def test_q_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Auditor(0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            Auditor(1.5, 10.0, rng)
+
+    def test_penalty_is_fine_over_q(self):
+        auditor = Auditor(0.25, 10.0, np.random.default_rng(0))
+        assert auditor.penalty == pytest.approx(40.0)
+
+    def test_always_challenge_at_q1(self):
+        auditor = Auditor(1.0, 10.0, np.random.default_rng(0))
+        record = auditor.audit(1, 5.0, proof=object(), recompute=lambda p: (5.0, "ok"))
+        assert record.challenged
+        assert record.fine == 0.0
+
+    def test_challenge_frequency_matches_q(self):
+        auditor = Auditor(0.3, 10.0, np.random.default_rng(42))
+        challenged = sum(
+            auditor.audit(1, 1.0, object(), lambda p: (1.0, "ok")).challenged
+            for _ in range(2000)
+        )
+        assert challenged / 2000 == pytest.approx(0.3, abs=0.03)
+
+    def test_missing_proof_fined(self):
+        auditor = Auditor(1.0, 10.0, np.random.default_rng(0))
+        record = auditor.audit(1, 5.0, proof=None, recompute=lambda p: (5.0, "ok"))
+        assert record.fine == pytest.approx(10.0)
+        assert not record.proof_valid
+
+    def test_invalid_proof_fined(self):
+        auditor = Auditor(0.5, 10.0, np.random.default_rng(1))
+        # Find a challenged draw.
+        record = None
+        for _ in range(20):
+            record = auditor.audit(1, 5.0, object(), lambda p: (None, "bad signature"))
+            if record.challenged:
+                break
+        assert record is not None and record.challenged
+        assert record.fine == pytest.approx(20.0)
+        assert "bad signature" in record.reason
+
+    def test_overbilled_fined(self):
+        auditor = Auditor(1.0, 10.0, np.random.default_rng(0))
+        record = auditor.audit(1, 6.0, object(), lambda p: (5.0, "ok"))
+        assert record.fine == pytest.approx(10.0)
+        assert "exceeds" in record.reason
+
+    def test_underbilled_passes(self):
+        auditor = Auditor(1.0, 10.0, np.random.default_rng(0))
+        record = auditor.audit(1, 4.0, object(), lambda p: (5.0, "ok"))
+        assert record.fine == 0.0
+        assert record.proof_valid
+
+    def test_float_noise_tolerated(self):
+        auditor = Auditor(1.0, 10.0, np.random.default_rng(0))
+        record = auditor.audit(1, 5.0 + 1e-9, object(), lambda p: (5.0, "ok"))
+        assert record.fine == 0.0

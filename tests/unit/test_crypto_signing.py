@@ -1,0 +1,110 @@
+"""Unit tests for signed messages and canonical serialization."""
+
+import math
+
+import pytest
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signing import SignedMessage, canonical_bytes, dsm, sign, verify
+from repro.exceptions import ForgedSignatureError, MalformedMessageError
+
+
+@pytest.fixture
+def pki():
+    registry, pairs = KeyRegistry.for_processors(3, seed=b"test")
+    return registry, pairs
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        payload = {"b": 2, "a": [1.5, "x", None, True]}
+        assert canonical_bytes(payload) == canonical_bytes(payload)
+
+    def test_dict_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_distinguishes_types(self):
+        # 1 (int) vs 1.0 (float) vs "1" (str) vs True must all differ.
+        values = [1, 1.0, "1", True]
+        encodings = {canonical_bytes(v) for v in values}
+        assert len(encodings) == len(values)
+
+    def test_float_exactness(self):
+        # Two nearby floats must not collide.
+        a = 0.1 + 0.2
+        b = 0.3
+        assert a != b
+        assert canonical_bytes(a) != canonical_bytes(b)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(float("nan"))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_bytes({1: "x"})
+
+    def test_nested_structures(self):
+        payload = {"list": [[1, 2], {"inner": (3, 4)}], "bytes": b"\x00\xff"}
+        assert isinstance(canonical_bytes(payload), bytes)
+
+    def test_no_ambiguity_between_adjacent_strings(self):
+        # ["ab", "c"] vs ["a", "bc"] must encode differently
+        assert canonical_bytes(["ab", "c"]) != canonical_bytes(["a", "bc"])
+
+
+class TestSignVerify:
+    def test_roundtrip(self, pki):
+        registry, pairs = pki
+        msg = sign(pairs[1], {"type": "bid", "value": 3.5})
+        assert msg.verify(registry)
+        assert verify(msg, registry, expected_signer=1) is msg
+
+    def test_dsm_alias(self, pki):
+        registry, pairs = pki
+        assert dsm(pairs[0], 1.0).verify(registry)
+
+    def test_tampered_payload_fails(self, pki):
+        registry, pairs = pki
+        msg = sign(pairs[1], {"value": 3.5})
+        forged = SignedMessage(signer=1, payload={"value": 99.0}, signature=msg.signature)
+        assert not forged.verify(registry)
+        with pytest.raises(ForgedSignatureError):
+            forged.require_valid(registry)
+
+    def test_wrong_signer_claim_fails(self, pki):
+        registry, pairs = pki
+        msg = sign(pairs[1], {"value": 3.5})
+        stolen = SignedMessage(signer=2, payload=msg.payload, signature=msg.signature)
+        assert not stolen.verify(registry)
+
+    def test_expected_signer_mismatch(self, pki):
+        registry, pairs = pki
+        msg = sign(pairs[1], {"value": 3.5})
+        with pytest.raises(MalformedMessageError):
+            verify(msg, registry, expected_signer=2)
+
+    def test_non_message_rejected(self, pki):
+        registry, _ = pki
+        with pytest.raises(MalformedMessageError):
+            verify({"not": "a message"}, registry)
+
+    def test_content_digest_distinguishes_payloads(self, pki):
+        _, pairs = pki
+        a = sign(pairs[0], {"v": 1.0})
+        b = sign(pairs[0], {"v": 2.0})
+        assert a.content_digest() != b.content_digest()
+
+    def test_nested_signed_message_payload(self, pki):
+        registry, pairs = pki
+        inner = sign(pairs[2], {"v": 1.0})
+        outer = sign(pairs[1], {"relay": inner})
+        assert outer.verify(registry)
+        # Tampering with the inner message breaks the outer signature.
+        tampered_inner = SignedMessage(signer=2, payload={"v": 9.0}, signature=inner.signature)
+        tampered = SignedMessage(signer=1, payload={"relay": tampered_inner}, signature=outer.signature)
+        assert not tampered.verify(registry)

@@ -1,0 +1,69 @@
+"""Unit tests for interior-origination linear scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.linear_interior import solve_linear_interior
+from repro.exceptions import InvalidNetworkError
+from repro.network.generators import random_linear_network
+
+
+class TestBoundaryConsistency:
+    def test_root_at_zero_matches_boundary_solver(self, five_proc_network):
+        interior = solve_linear_interior(five_proc_network.w, five_proc_network.z, 0)
+        boundary = solve_linear_boundary(five_proc_network)
+        assert interior.makespan == pytest.approx(boundary.makespan)
+        assert np.allclose(interior.alpha, boundary.alpha)
+
+    def test_root_at_far_end_matches_reversed_boundary(self, five_proc_network):
+        n = five_proc_network.m
+        interior = solve_linear_interior(five_proc_network.w, five_proc_network.z, n)
+        boundary = solve_linear_boundary(five_proc_network.reversed())
+        assert interior.makespan == pytest.approx(boundary.makespan)
+        assert np.allclose(interior.alpha, boundary.alpha[::-1])
+
+
+class TestInteriorProperties:
+    @pytest.mark.parametrize("root_index", [1, 2, 3])
+    def test_alpha_is_simplex(self, five_proc_network, root_index):
+        sched = solve_linear_interior(five_proc_network.w, five_proc_network.z, root_index)
+        assert sched.alpha.sum() == pytest.approx(1.0)
+        assert np.all(sched.alpha > 0)
+
+    def test_single_processor(self):
+        sched = solve_linear_interior([4.0], [], 0)
+        assert sched.alpha == pytest.approx([1.0])
+        assert sched.makespan == pytest.approx(4.0)
+        assert sched.order == ()
+
+    def test_out_of_range_root(self, five_proc_network):
+        with pytest.raises(InvalidNetworkError):
+            solve_linear_interior(five_proc_network.w, five_proc_network.z, 9)
+
+    def test_best_interior_never_worse_than_boundary(self, rng):
+        for _ in range(10):
+            net = random_linear_network(6, rng)
+            boundary = solve_linear_boundary(net).makespan
+            best = min(
+                solve_linear_interior(net.w, net.z, r).makespan for r in range(net.size)
+            )
+            assert best <= boundary + 1e-12
+
+    def test_order_recorded(self, five_proc_network):
+        sched = solve_linear_interior(five_proc_network.w, five_proc_network.z, 2)
+        assert set(sched.order) == {"left", "right"}
+
+    def test_homogeneous_middle_beats_end(self):
+        # On a homogeneous chain the centre placement strictly wins for
+        # long chains (shorter relay paths on both sides).
+        w = [2.0] * 9
+        z = [0.5] * 8
+        end = solve_linear_interior(w, z, 0).makespan
+        mid = solve_linear_interior(w, z, 4).makespan
+        assert mid < end
+
+    def test_root_index_affects_makespan(self, rng):
+        net = random_linear_network(7, rng)
+        spans = {r: solve_linear_interior(net.w, net.z, r).makespan for r in range(net.size)}
+        assert len({round(v, 12) for v in spans.values()}) > 1

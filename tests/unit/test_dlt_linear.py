@@ -1,0 +1,131 @@
+"""Unit tests for Algorithm 1 (LINEAR BOUNDARY-LINEAR)."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear import (
+    alpha_from_alpha_hat,
+    equivalent_time,
+    phase1_bids,
+    solve_linear_boundary,
+    solve_linear_boundary_reference,
+    verify_schedule,
+)
+from repro.dlt.timing import finishing_times
+from repro.network.topology import LinearNetwork
+
+
+class TestTwoProcessorAnalytic:
+    """Closed-form checks on the w=(2,2), z=(1,) chain."""
+
+    def test_alpha(self, two_proc_network):
+        sched = solve_linear_boundary(two_proc_network)
+        assert sched.alpha == pytest.approx([0.6, 0.4])
+
+    def test_alpha_hat(self, two_proc_network):
+        sched = solve_linear_boundary(two_proc_network)
+        assert sched.alpha_hat == pytest.approx([0.6, 1.0])
+
+    def test_makespan(self, two_proc_network):
+        sched = solve_linear_boundary(two_proc_network)
+        assert sched.makespan == pytest.approx(1.2)
+
+    def test_w_eq(self, two_proc_network):
+        sched = solve_linear_boundary(two_proc_network)
+        assert sched.w_eq == pytest.approx([1.2, 2.0])
+
+    def test_received(self, two_proc_network):
+        sched = solve_linear_boundary(two_proc_network)
+        assert sched.received == pytest.approx([1.0, 0.4])
+
+
+class TestSolverProperties:
+    def test_alpha_sums_to_one(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        assert sched.alpha.sum() == pytest.approx(1.0)
+
+    def test_all_positive(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        assert np.all(sched.alpha > 0)
+
+    def test_equal_finish_times(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        t = finishing_times(five_proc_network, sched.alpha)
+        assert np.allclose(t, sched.makespan)
+
+    def test_verify_schedule_helper(self, five_proc_network):
+        assert verify_schedule(solve_linear_boundary(five_proc_network))
+
+    def test_terminal_alpha_hat_is_one(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        assert sched.alpha_hat[-1] == 1.0
+
+    def test_makespan_equals_w_eq0(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        assert sched.makespan == sched.w_eq[0]
+        assert equivalent_time(five_proc_network) == pytest.approx(sched.makespan)
+
+    def test_single_processor(self):
+        net = LinearNetwork(w=[4.0], z=[])
+        sched = solve_linear_boundary(net)
+        assert sched.alpha == pytest.approx([1.0])
+        assert sched.makespan == pytest.approx(4.0)
+
+    def test_scaled(self, two_proc_network):
+        sched = solve_linear_boundary(two_proc_network)
+        assert sched.scaled(10.0) == pytest.approx([6.0, 4.0])
+
+    def test_faster_tail_gets_more_relative_load(self):
+        # Making the tail processor much faster shifts load to it.
+        slow_tail = solve_linear_boundary(LinearNetwork(w=[2.0, 10.0], z=[0.1]))
+        fast_tail = solve_linear_boundary(LinearNetwork(w=[2.0, 0.5], z=[0.1]))
+        assert fast_tail.alpha[1] > slow_tail.alpha[1]
+
+    def test_slower_link_pushes_load_to_root(self):
+        fast_link = solve_linear_boundary(LinearNetwork(w=[2.0, 2.0], z=[0.1]))
+        slow_link = solve_linear_boundary(LinearNetwork(w=[2.0, 2.0], z=[5.0]))
+        assert slow_link.alpha[0] > fast_link.alpha[0]
+
+    def test_makespan_beats_fastest_single_processor(self, five_proc_network):
+        # Distributing load must not be worse than the ROOT doing everything
+        # (the root can always keep the whole load).
+        sched = solve_linear_boundary(five_proc_network)
+        assert sched.makespan <= five_proc_network.w[0]
+
+
+class TestReferenceAgreement:
+    @pytest.mark.parametrize("m", [1, 2, 5, 17, 64])
+    def test_vectorized_matches_reference(self, m, rng):
+        from repro.network.generators import random_linear_network
+
+        net = random_linear_network(m, rng)
+        vec = solve_linear_boundary(net)
+        ref = solve_linear_boundary_reference(net)
+        assert np.allclose(vec.alpha, ref.alpha, rtol=1e-12)
+        assert np.allclose(vec.w_eq, ref.w_eq, rtol=1e-12)
+        assert vec.makespan == pytest.approx(ref.makespan, rel=1e-12)
+
+
+class TestPhasedAPI:
+    def test_phase1_bids_shapes(self, five_proc_network):
+        alpha_hat, w_eq = phase1_bids(five_proc_network)
+        assert alpha_hat.shape == (5,)
+        assert w_eq.shape == (5,)
+        assert alpha_hat[-1] == 1.0
+
+    def test_alpha_from_alpha_hat_roundtrip(self, five_proc_network):
+        alpha_hat, _ = phase1_bids(five_proc_network)
+        alpha, received = alpha_from_alpha_hat(alpha_hat)
+        sched = solve_linear_boundary(five_proc_network)
+        assert np.allclose(alpha, sched.alpha)
+        assert np.allclose(received, sched.received)
+
+    def test_recurrence_identity(self, five_proc_network):
+        # Eq. 2.7: alpha_hat_i * w_i == (1 - alpha_hat_i)(w_eq_{i+1} + z_{i+1}).
+        alpha_hat, w_eq = phase1_bids(five_proc_network)
+        w = five_proc_network.w
+        z = five_proc_network.z
+        for i in range(five_proc_network.m):
+            lhs = alpha_hat[i] * w[i]
+            rhs = (1 - alpha_hat[i]) * (w_eq[i + 1] + z[i])
+            assert lhs == pytest.approx(rhs)

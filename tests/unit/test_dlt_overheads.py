@@ -1,0 +1,94 @@
+"""Unit tests for the assumption-audit overhead models."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.overheads import (
+    finishing_times_with_startup,
+    protocol_latency_overhead,
+    return_phase_duration,
+)
+from repro.dlt.timing import finishing_times
+
+
+class TestStartup:
+    def test_zero_startup_matches_base_model(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        base = finishing_times(five_proc_network, sched.alpha)
+        with_s = finishing_times_with_startup(five_proc_network, sched.alpha, 0.0)
+        assert np.allclose(base, with_s)
+
+    def test_accumulates_per_hop(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        s = 0.01
+        base = finishing_times(five_proc_network, sched.alpha)
+        with_s = finishing_times_with_startup(five_proc_network, sched.alpha, s)
+        # Processor j pays exactly j startups.
+        for j in range(five_proc_network.size):
+            assert with_s[j] - base[j] == pytest.approx(j * s)
+
+    def test_idle_processor_unchanged(self, five_proc_network):
+        alpha = np.array([0.5, 0.5, 0.0, 0.0, 0.0])
+        t = finishing_times_with_startup(five_proc_network, alpha, 0.1)
+        assert np.all(t[2:] == 0.0)
+
+    def test_negative_rejected(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        with pytest.raises(ValueError):
+            finishing_times_with_startup(five_proc_network, sched.alpha, -0.1)
+
+
+class TestProtocolLatency:
+    def test_two_m_hops(self):
+        assert protocol_latency_overhead(5, 0.01) == pytest.approx(0.1)
+
+    def test_audits_add_round_trips(self):
+        assert protocol_latency_overhead(5, 0.01, audited=3) == pytest.approx(0.16)
+
+    def test_zero_latency(self):
+        assert protocol_latency_overhead(100, 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            protocol_latency_overhead(5, -1.0)
+
+
+class TestReturnPhase:
+    def test_matches_event_replay(self, five_proc_network):
+        # Replay the reverse pipeline hop by hop: reverse link k starts
+        # when the accumulated results from downstream reach P_k.
+        sched = solve_linear_boundary(five_proc_network)
+        ratio = 0.2
+        alpha = sched.alpha
+        m = five_proc_network.m
+        clock = 0.0
+        carried = 0.0
+        for k in range(m, 0, -1):
+            carried += ratio * alpha[k]
+            clock += carried * five_proc_network.z[k - 1]
+        assert return_phase_duration(five_proc_network, alpha, ratio) == pytest.approx(clock)
+
+    def test_proportional_to_ratio(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        one = return_phase_duration(five_proc_network, sched.alpha, 1.0)
+        half = return_phase_duration(five_proc_network, sched.alpha, 0.5)
+        assert half == pytest.approx(0.5 * one)
+
+    def test_equals_forward_communication_at_ratio_one(self, five_proc_network):
+        # The reverse pipeline mirrors the forward one exactly.
+        sched = solve_linear_boundary(five_proc_network)
+        d = sched.received
+        forward_comm = float(np.sum(d[1:] * five_proc_network.z))
+        assert return_phase_duration(five_proc_network, sched.alpha, 1.0) == pytest.approx(forward_comm)
+
+    def test_single_processor_returns_nothing(self):
+        from repro.network.topology import LinearNetwork
+
+        net = LinearNetwork(w=[2.0], z=[])
+        assert return_phase_duration(net, np.array([1.0]), 0.5) == 0.0
+
+    def test_negative_rejected(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        with pytest.raises(ValueError):
+            return_phase_duration(five_proc_network, sched.alpha, -0.1)

@@ -1,0 +1,92 @@
+"""Unit tests for the equivalent-processor reduction (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.reduction import collapse_segment, collapse_suffix, reduce_pair, replace_suffix
+from repro.network.generators import random_linear_network
+from repro.network.topology import LinearNetwork
+
+
+class TestReducePair:
+    def test_analytic_pair(self):
+        alpha_hat, w_eq = reduce_pair(2.0, 1.0, 2.0)
+        assert alpha_hat == pytest.approx(0.6)
+        assert w_eq == pytest.approx(1.2)
+
+    def test_equivalent_faster_than_head(self):
+        # Adding a helper can only help: w_eq < w_head.
+        _, w_eq = reduce_pair(2.0, 1.0, 2.0)
+        assert w_eq < 2.0
+
+    def test_useless_tail_changes_little(self):
+        # A very slow tail behind a very slow link leaves w_eq ~ w_head.
+        _, w_eq = reduce_pair(2.0, 1e6, 1e6)
+        assert w_eq == pytest.approx(2.0, rel=1e-5)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            reduce_pair(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            reduce_pair(1.0, -1.0, 1.0)
+
+    def test_matches_two_processor_solve(self, rng):
+        for _ in range(20):
+            w0, w1 = rng.uniform(0.5, 10.0, 2)
+            z = rng.uniform(0.05, 5.0)
+            _, w_eq = reduce_pair(w0, z, w1)
+            sched = solve_linear_boundary(LinearNetwork([w0, w1], [z]))
+            assert w_eq == pytest.approx(sched.makespan)
+
+
+class TestCollapse:
+    def test_suffix_equals_segment_solve(self, five_proc_network):
+        for start in range(1, five_proc_network.m + 1):
+            assert collapse_suffix(five_proc_network, start) == pytest.approx(
+                collapse_segment(five_proc_network, start, five_proc_network.m)
+            )
+
+    def test_interior_segment(self, five_proc_network):
+        # Collapsing P1..P2 equals solving that chain standalone.
+        seg = five_proc_network.segment(1, 2)
+        assert collapse_segment(five_proc_network, 1, 2) == pytest.approx(
+            solve_linear_boundary(seg).makespan
+        )
+
+    def test_collapse_whole_chain_is_makespan(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        assert collapse_segment(five_proc_network, 0, five_proc_network.m) == pytest.approx(
+            sched.makespan
+        )
+
+
+class TestReplaceSuffix:
+    def test_preserves_makespan_and_prefix(self, rng):
+        net = random_linear_network(8, rng)
+        full = solve_linear_boundary(net)
+        for start in range(1, net.m + 1):
+            reduced_net = replace_suffix(net, start)
+            assert reduced_net.size == start + 1
+            reduced = solve_linear_boundary(reduced_net)
+            assert reduced.makespan == pytest.approx(full.makespan)
+            assert np.allclose(reduced.alpha[:start], full.alpha[:start])
+
+    def test_last_position_is_fig3_pairwise(self, five_proc_network):
+        # Replacing the final pair matches Fig. 3's illustration exactly.
+        m = five_proc_network.m
+        reduced = replace_suffix(five_proc_network, m - 1)
+        # The equivalent processor's rate equals the pairwise reduction of
+        # the last two processors.
+        _, w_eq = reduce_pair(
+            float(five_proc_network.w[m - 1]),
+            float(five_proc_network.z[m - 1]),
+            float(five_proc_network.w[m]),
+        )
+        assert reduced.w[-1] == pytest.approx(w_eq)
+
+    def test_invalid_start(self, five_proc_network):
+        with pytest.raises(ValueError):
+            replace_suffix(five_proc_network, 0)
+        with pytest.raises(ValueError):
+            replace_suffix(five_proc_network, 99)

@@ -1,0 +1,50 @@
+"""Unit tests for the solve() dispatch facade."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.bus import solve_bus
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.solver import solve
+from repro.dlt.star import solve_star
+from repro.dlt.tree import solve_tree
+from repro.network.topology import BusNetwork, LinearNetwork, StarNetwork, TreeNetwork
+
+
+def test_linear_dispatch(five_proc_network):
+    assert solve(five_proc_network).makespan == pytest.approx(
+        solve_linear_boundary(five_proc_network).makespan
+    )
+
+
+def test_star_dispatch():
+    star = StarNetwork([2.0, 3.0, 4.0], [0.5, 0.2])
+    assert solve(star).makespan == pytest.approx(solve_star(star).makespan)
+
+
+def test_bus_dispatch():
+    bus = BusNetwork([2.0, 3.0, 4.0], 0.5)
+    assert solve(bus).makespan == pytest.approx(solve_bus(bus).makespan)
+
+
+def test_tree_dispatch(five_proc_network):
+    tree = TreeNetwork.from_linear(five_proc_network)
+    assert solve(tree).makespan == pytest.approx(solve_tree(tree).makespan)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(TypeError, match="no divisible-load solver"):
+        solve("not a network")
+
+
+def test_all_schedules_are_unit_simplices(five_proc_network, rng):
+    from repro.network.generators import random_star_network, random_tree_network
+
+    for network in (
+        five_proc_network,
+        random_star_network(3, rng),
+        BusNetwork([1.0, 2.0], 0.5),
+        random_tree_network(5, rng),
+    ):
+        sched = solve(network)
+        assert np.isclose(sched.alpha.sum(), 1.0)

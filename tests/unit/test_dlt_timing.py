@@ -1,0 +1,114 @@
+"""Unit tests for the finishing-time model (eqs. 2.1/2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.timing import (
+    finishing_times,
+    is_optimal_allocation,
+    makespan,
+    received_loads,
+    validate_allocation,
+)
+from repro.exceptions import InvalidAllocationError
+from repro.network.topology import LinearNetwork
+
+
+class TestValidateAllocation:
+    def test_accepts_simplex_vector(self):
+        out = validate_allocation(np.array([0.25, 0.25, 0.5]))
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidAllocationError):
+            validate_allocation(np.array([-0.1, 1.1]))
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(InvalidAllocationError):
+            validate_allocation(np.array([0.5, 0.4]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidAllocationError):
+            validate_allocation(np.array([np.nan, 1.0]))
+
+    def test_rejects_empty_and_matrix(self):
+        with pytest.raises(InvalidAllocationError):
+            validate_allocation(np.array([]))
+        with pytest.raises(InvalidAllocationError):
+            validate_allocation(np.eye(2))
+
+    def test_custom_total(self):
+        validate_allocation(np.array([1.0, 1.0]), total=2.0)
+
+
+class TestReceivedLoads:
+    def test_d0_is_total(self):
+        d = received_loads(np.array([0.3, 0.5, 0.2]))
+        assert d[0] == pytest.approx(1.0)
+
+    def test_telescoping(self):
+        alpha = np.array([0.3, 0.5, 0.2])
+        d = received_loads(alpha)
+        assert d == pytest.approx([1.0, 0.7, 0.2])
+
+    def test_never_negative(self):
+        # Cancellation dust is clipped.
+        alpha = np.array([0.1] * 10)
+        d = received_loads(alpha)
+        assert np.all(d >= 0.0)
+
+
+class TestFinishingTimes:
+    def test_two_processor_analytic(self, two_proc_network):
+        # alpha=(0.6, 0.4): T0 = 1.2; T1 = 0.4*1 + 0.4*2 = 1.2.
+        t = finishing_times(two_proc_network, np.array([0.6, 0.4]))
+        assert t == pytest.approx([1.2, 1.2])
+
+    def test_root_only(self, two_proc_network):
+        t = finishing_times(two_proc_network, np.array([1.0, 0.0]))
+        assert t == pytest.approx([2.0, 0.0])
+
+    def test_idle_processor_finishes_at_zero(self, five_proc_network):
+        alpha = np.array([0.5, 0.5, 0.0, 0.0, 0.0])
+        t = finishing_times(five_proc_network, alpha)
+        assert np.all(t[2:] == 0.0)
+
+    def test_single_processor_chain(self):
+        net = LinearNetwork(w=[3.0], z=[])
+        t = finishing_times(net, np.array([1.0]))
+        assert t == pytest.approx([3.0])
+
+    def test_length_mismatch_rejected(self, two_proc_network):
+        with pytest.raises(InvalidAllocationError):
+            finishing_times(two_proc_network, np.array([1.0]))
+
+    def test_speed_override(self, two_proc_network):
+        # Doubling P1's unit time doubles only its compute term.
+        t = finishing_times(two_proc_network, np.array([0.6, 0.4]), w=np.array([2.0, 4.0]))
+        assert t[0] == pytest.approx(1.2)
+        assert t[1] == pytest.approx(0.4 * 1.0 + 0.4 * 4.0)
+
+    def test_communication_prefix_accumulates(self):
+        # Three processors, all load to the last one: T2 = z1 + z2 + w2.
+        net = LinearNetwork(w=[1.0, 1.0, 2.0], z=[0.5, 0.25])
+        t = finishing_times(net, np.array([0.0, 0.0, 1.0]))
+        assert t[2] == pytest.approx(0.5 + 0.25 + 2.0)
+
+
+class TestMakespanAndOptimality:
+    def test_makespan_is_max(self, five_proc_network):
+        alpha = np.full(5, 0.2)
+        t = finishing_times(five_proc_network, alpha)
+        assert makespan(five_proc_network, alpha) == pytest.approx(t.max())
+
+    def test_optimal_signature_true_for_solver_output(self, five_proc_network):
+        from repro.dlt.linear import solve_linear_boundary
+
+        sched = solve_linear_boundary(five_proc_network)
+        assert is_optimal_allocation(five_proc_network, sched.alpha)
+
+    def test_optimal_signature_false_for_uniform(self, five_proc_network):
+        assert not is_optimal_allocation(five_proc_network, np.full(5, 0.2))
+
+    def test_optimal_signature_false_when_someone_idles(self, two_proc_network):
+        assert not is_optimal_allocation(two_proc_network, np.array([1.0, 0.0]))

@@ -1,0 +1,27 @@
+"""Run the package's docstring examples as tests.
+
+Keeps the examples in module docstrings honest without requiring
+``--doctest-modules`` on every pytest invocation.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_DOCTESTS = [
+    "repro",
+    "repro.dlt.linear",
+    "repro.dlt.reduction",
+    "repro.dlt.solver",
+    "repro.mechanism.ledger",
+    "repro.sim.engine",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+    assert results.attempted > 0, f"no doctests found in {module_name}"

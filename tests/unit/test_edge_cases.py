@@ -1,0 +1,113 @@
+"""Edge-case tests across modules: paths the main suites don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.linear_interior import solve_linear_interior
+from repro.sim.interior_sim import simulate_interior_chain
+from repro.viz.gantt import render_gantt, render_schedule_table
+
+
+class TestInteriorGanttRendering:
+    def test_interior_trace_renders(self):
+        w = np.array([2.0, 3.0, 2.5, 4.0])
+        z = np.array([0.5, 0.3, 0.7])
+        sched = solve_linear_interior(w, z, 1)
+        left_idx = np.arange(0, -1, -1)
+        right_idx = np.arange(2, 4)
+        result = simulate_interior_chain(
+            w, z, 1, float(sched.alpha[1]),
+            {"left": float(sched.alpha[0]), "right": float(sched.alpha[right_idx].sum())},
+            {"left": sched.alpha[[0]], "right": sched.alpha[right_idx]},
+            order=sched.order,
+        )
+        chart = render_gantt(result.trace, 4)
+        # The interior root (P1) both sends and computes.
+        lines = chart.splitlines()
+        p1_comm = [l for l in lines if l.startswith("P1")][0]
+        assert "=" in p1_comm
+
+    def test_width_parameter(self, five_proc_network):
+        from repro.sim.linear_sim import simulate_linear_chain
+
+        sched = solve_linear_boundary(five_proc_network)
+        result = simulate_linear_chain(five_proc_network, sched.alpha)
+        narrow = render_gantt(result.trace, five_proc_network.size, width=30)
+        wide = render_gantt(result.trace, five_proc_network.size, width=100)
+        assert max(len(l) for l in narrow.splitlines()) < max(
+            len(l) for l in wide.splitlines()
+        )
+
+    def test_schedule_table_without_received(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        table = render_schedule_table(sched.alpha, np.zeros(5))
+        assert "nan" in table  # the received column placeholder
+
+
+class TestSingleArmInterior:
+    def test_right_boundary_root(self):
+        # Root at the far end: only a left arm exists.
+        w = [2.0, 3.0, 2.5]
+        z = [0.5, 0.3]
+        sched = solve_linear_interior(w, z, 2)
+        assert sched.alpha.sum() == pytest.approx(1.0)
+        assert sched.order == ("left",)
+
+    def test_two_processor_interior(self):
+        from repro.network.topology import LinearNetwork
+
+        sched = solve_linear_interior([2.0, 2.0], [1.0], 1)
+        # Mirror of the boundary case: same makespan by symmetry of rates.
+        boundary = solve_linear_boundary(LinearNetwork([2.0, 2.0], [1.0]))
+        assert sched.makespan == pytest.approx(boundary.makespan)
+
+
+class TestExceptionsCarryContext:
+    def test_protocol_violation_accused_field(self):
+        from repro.exceptions import InconsistentComputationError, ProtocolViolation
+
+        exc = InconsistentComputationError("bad math", accused=3)
+        assert isinstance(exc, ProtocolViolation)
+        assert exc.accused == 3
+
+    def test_accused_defaults_to_none(self):
+        from repro.exceptions import MalformedMessageError
+
+        assert MalformedMessageError("garbled").accused is None
+
+
+class TestStrategyproofnessReportAccessors:
+    def test_report_fields(self, chain_rates):
+        from repro.mechanism.properties import sweep_bids
+
+        z, root, true = chain_rates
+        report = sweep_bids(z, root, true, 2, factors=[0.5, 1.0, 2.0])
+        assert report.best_bid == pytest.approx(report.true_rate)
+        assert report.max_deviant_utility == pytest.approx(report.truthful_utility)
+        assert report.advantage_of_lying == pytest.approx(0.0, abs=1e-9)
+        assert report.truthful_is_optimal
+
+    def test_default_factor_grid(self, chain_rates):
+        from repro.mechanism.properties import sweep_bids
+
+        z, root, true = chain_rates
+        report = sweep_bids(z, root, true, 1)
+        assert len(report.bids) > 20  # the default under+over grid
+
+
+class TestAdjudicationRecord:
+    def test_unknown_grievance_kind_guard(self, five_proc_network):
+        # The Adjudication dataclass exposes the reason string for logs.
+        from repro.agents.strategies import LoadSheddingAgent, TruthfulAgent
+        from repro.mechanism.dls_lbl import DLSLBLMechanism
+
+        agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(five_proc_network.w[1:], start=1)]
+        agents[0] = LoadSheddingAgent(1, float(five_proc_network.w[1]), shed_fraction=0.5)
+        mech = DLSLBLMechanism(
+            five_proc_network.z, float(five_proc_network.w[0]), agents,
+            rng=np.random.default_rng(0),
+        )
+        outcome = mech.run()
+        [verdict] = outcome.adjudications
+        assert "received" in verdict.reason

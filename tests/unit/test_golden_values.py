@@ -1,0 +1,85 @@
+"""Golden-value regression tests.
+
+Pins the exact numbers of the reference chain (the instance used in
+docs/protocol_walkthrough.md and the README) so silent numeric
+regressions — a sign flip in the bonus, an off-by-one in the recurrence —
+fail loudly rather than shifting results quietly.  The values were
+derived analytically (2-processor case) or cross-validated between the
+vectorized solver, the literal reference transcription, and the
+discrete-event simulator when first recorded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear import solve_linear_boundary
+from repro.mechanism.properties import run_truthful
+from repro.network.topology import LinearNetwork
+
+# The reference chain of the walkthrough document.
+Z = [0.5, 0.3, 0.7, 0.2]
+ROOT = 2.0
+TRUE = [3.0, 2.5, 4.0, 1.5]
+
+
+class TestReferenceSchedule:
+    def test_alpha(self):
+        sched = solve_linear_boundary(LinearNetwork([ROOT] + TRUE, Z))
+        assert sched.alpha == pytest.approx(
+            [0.419268, 0.182723, 0.171506, 0.067554, 0.158949], abs=5e-7
+        )
+
+    def test_alpha_hat(self):
+        sched = solve_linear_boundary(LinearNetwork([ROOT] + TRUE, Z))
+        assert sched.alpha_hat == pytest.approx(
+            [0.419268, 0.314642, 0.430911, 0.298246, 1.0], abs=5e-7
+        )
+
+    def test_equivalent_times(self):
+        sched = solve_linear_boundary(LinearNetwork([ROOT] + TRUE, Z))
+        assert sched.w_eq == pytest.approx(
+            [0.838535, 0.943927, 1.077276, 1.192982, 1.5], abs=5e-7
+        )
+
+    def test_makespan(self):
+        sched = solve_linear_boundary(LinearNetwork([ROOT] + TRUE, Z))
+        assert sched.makespan == pytest.approx(0.8385351748510179, rel=1e-12)
+
+    def test_two_processor_exact_fractions(self):
+        # w=(2,2), z=1: alpha_0 = 3/5 exactly.
+        sched = solve_linear_boundary(LinearNetwork([2.0, 2.0], [1.0]))
+        assert sched.alpha[0] == pytest.approx(3.0 / 5.0, rel=1e-15)
+        assert sched.makespan == pytest.approx(6.0 / 5.0, rel=1e-15)
+
+
+class TestReferenceMechanismRun:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_truthful(Z, ROOT, TRUE)
+
+    def test_payments(self, outcome):
+        expected_q = {1: 1.709634, 2: 2.484839, 3: 1.692938, 4: 3.045442}
+        for i, q in expected_q.items():
+            assert outcome.reports[i].payment_correct == pytest.approx(q, abs=5e-7)
+
+    def test_utilities(self, outcome):
+        expected_u = {1: 1.161465, 2: 2.056073, 3: 1.422724, 4: 2.807018}
+        for i, u in expected_u.items():
+            assert outcome.utility(i) == pytest.approx(u, abs=5e-7)
+
+    def test_utilities_equal_bonus_identity(self, outcome):
+        # U_j = w_{j-1} - w_bar_{j-1} (eq. 5.2) against the pinned values.
+        w_eq = [0.838535, 0.943927, 1.077276, 1.192982]
+        bids = [ROOT] + TRUE
+        for j in range(1, 5):
+            assert outcome.utility(j) == pytest.approx(bids[j - 1] - w_eq[j - 1], abs=5e-6)
+
+    def test_default_fine(self):
+        from repro.agents.strategies import TruthfulAgent
+        from repro.mechanism.dls_lbl import DLSLBLMechanism
+
+        agents = [TruthfulAgent(i, t) for i, t in enumerate(TRUE, start=1)]
+        mech = DLSLBLMechanism(Z, ROOT, agents)
+        # recommended_fine with defaults on this chain (quoted in the
+        # walkthrough document as F = 96).
+        assert mech.fine == pytest.approx(96.0)

@@ -1,0 +1,55 @@
+"""Unit tests for the payment ledger."""
+
+import pytest
+
+from repro.exceptions import LedgerError
+from repro.mechanism.ledger import MECHANISM, LedgerEntry, PaymentLedger
+
+
+class TestEntries:
+    def test_negative_amount_rejected(self):
+        with pytest.raises(LedgerError):
+            LedgerEntry(debtor=1, creditor=2, amount=-1.0, memo="bad")
+
+    def test_zero_amount_allowed(self):
+        LedgerEntry(debtor=1, creditor=2, amount=0.0, memo="noop")
+
+
+class TestLedger:
+    def test_pay_and_fine(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, 5.0, "compensation")
+        ledger.fine(1, 2.0, "penalty")
+        assert ledger.balance(1) == pytest.approx(3.0)
+        assert ledger.balance(MECHANISM) == pytest.approx(-3.0)
+
+    def test_conservation(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, 5.0, "a")
+        ledger.fine(2, 3.0, "b")
+        ledger.transfer(1, 2, 1.5, "c")
+        assert ledger.total_balance() == pytest.approx(0.0)
+
+    def test_entries_for(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, 5.0, "a")
+        ledger.pay(2, 3.0, "b")
+        ledger.fine(1, 1.0, "c")
+        assert len(ledger.entries_for(1)) == 2
+        assert len(ledger.entries_for(2)) == 1
+        assert len(ledger.entries_for(3)) == 0
+
+    def test_mechanism_outlay(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, 5.0, "a")
+        ledger.fine(2, 2.0, "b")
+        assert ledger.mechanism_outlay() == pytest.approx(3.0)
+
+    def test_unknown_account_balance_is_zero(self):
+        assert PaymentLedger().balance(7) == 0.0
+
+    def test_entry_log_preserved(self):
+        ledger = PaymentLedger()
+        ledger.pay(1, 5.0, "first")
+        ledger.fine(1, 2.0, "second")
+        assert [e.memo for e in ledger.entries] == ["first", "second"]

@@ -1,0 +1,122 @@
+"""Unit tests for DLSLBLMechanism internals and outcome plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.agents.strategies import LoadSheddingAgent, TruthfulAgent
+from repro.mechanism.dls_lbl import DLSLBLMechanism
+from repro.mechanism.properties import FixedBehaviourAgent, run_truthful
+
+
+def make_mech(z, root, true, agents=None, **kw):
+    roster = agents or [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+    kw.setdefault("rng", np.random.default_rng(0))
+    return DLSLBLMechanism(z, root, roster, **kw)
+
+
+class TestFlows:
+    def test_honest_flows_match_schedule(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        # received = D * load for honest runs.
+        assert np.allclose(
+            outcome.sim_result.received, outcome.schedule.received
+        )
+
+    def test_shedder_flow_conserves_load(self, chain_rates):
+        z, root, true = chain_rates
+        agents = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+        agents[0] = LoadSheddingAgent(1, true[0], shed_fraction=0.7)
+        outcome = make_mech(z, root, true, agents).run()
+        assert outcome.computed.sum() == pytest.approx(1.0)
+        # The shed portion lands exactly one hop downstream.
+        assert outcome.computed[2] > outcome.assigned[2]
+
+    def test_retention_clipped_to_inflow(self, chain_rates):
+        # An agent demanding more than arrives is physically limited.
+        z, root, true = chain_rates
+
+        class Greedy(TruthfulAgent):
+            def choose_retention(self, assigned, received, expected_forward):
+                return received * 2.0
+
+        agents = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+        agents[1] = Greedy(2, true[1])
+        outcome = make_mech(z, root, true, agents).run()
+        assert outcome.computed[2] == pytest.approx(outcome.sim_result.received[2])
+        # Everything downstream starves.
+        assert outcome.computed[3] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestOutcomeAccessors:
+    def test_utility_accessor_matches_reports(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        for i in range(1, len(true) + 1):
+            assert outcome.utility(i) == outcome.reports[i].utility
+        assert outcome.utility(0) == 0.0
+
+    def test_total_payments_positive(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        assert outcome.total_payments() > 0
+
+    def test_schedule_from_bids_is_consistent(self, chain_rates):
+        z, root, true = chain_rates
+        outcome = run_truthful(z, root, true)
+        sched = outcome.schedule
+        assert sched.alpha.sum() == pytest.approx(1.0)
+        assert sched.makespan == pytest.approx(outcome.w_bar[0])
+
+    def test_aborted_outcome_shape(self, chain_rates):
+        from repro.agents.strategies import ContradictoryBidAgent
+
+        z, root, true = chain_rates
+        agents = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+        agents[1] = ContradictoryBidAgent(2, true[1])
+        outcome = make_mech(z, root, true, agents).run()
+        assert not outcome.completed
+        assert outcome.schedule is None
+        assert outcome.sim_result is None
+        assert outcome.makespan is None
+        assert outcome.assigned.sum() == 0.0
+        # Reports exist for every agent even on aborts.
+        assert set(outcome.reports) == {1, 2, 3, 4}
+
+
+class TestSingleAgentChain:
+    def test_m_equals_one(self):
+        outcome = make_mech([0.5], 2.0, [3.0]).run()
+        assert outcome.completed
+        # Two-processor closed form: alpha_0 = (w1+z)/(w0+w1+z).
+        expected_alpha0 = (3.0 + 0.5) / (2.0 + 3.0 + 0.5)
+        assert outcome.assigned[0] == pytest.approx(expected_alpha0)
+        assert outcome.utility(1) > 0
+
+    def test_terminal_is_also_first_agent(self):
+        # The single agent is terminal: alpha_hat = 1, w_bar = bid.
+        outcome = make_mech([0.5], 2.0, [3.0]).run()
+        assert outcome.w_bar[1] == pytest.approx(3.0)
+
+
+class TestFixedBehaviourClamp:
+    def test_execution_faster_than_capacity_is_clamped(self, chain_rates):
+        z, root, true = chain_rates
+        probe = FixedBehaviourAgent(2, true[1], bid=true[1], execution_rate=0.1)
+        agents = [TruthfulAgent(i, t) for i, t in enumerate(true, start=1)]
+        agents[1] = probe
+        outcome = make_mech(z, root, true, agents).run()
+        # Physics: cannot run faster than the true rate.
+        assert outcome.actual_rates[2] == pytest.approx(true[1])
+
+
+class TestCustomFine:
+    def test_explicit_fine_used(self, chain_rates):
+        z, root, true = chain_rates
+        mech = make_mech(z, root, true, fine=42.0)
+        assert mech.fine == 42.0
+
+    def test_default_fine_scales_with_rates(self):
+        small = make_mech([0.5], 2.0, [3.0])
+        big = make_mech([0.5], 20.0, [30.0])
+        assert big.fine > small.fine

@@ -1,0 +1,227 @@
+"""Unit tests for root-side grievance adjudication."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signing import sign
+from repro.dlt.linear import phase1_bids
+from repro.protocol.grievance import GrievanceCourt
+from repro.protocol.lambda_device import LambdaDevice
+from repro.protocol.messages import GMessage, Grievance, GrievanceKind, bid_payload, value_payload
+from repro.protocol.meter import TamperProofMeter
+
+FINE = 100.0
+
+
+@pytest.fixture
+def court_setup(five_proc_network):
+    net = five_proc_network
+    m = net.m
+    registry, keys = KeyRegistry.for_processors(m + 1, seed=b"court")
+    alpha_hat, w_bar = phase1_bids(net)
+    received = np.concatenate(([1.0], np.cumprod(1.0 - alpha_hat[:-1])))
+    device = LambdaDevice(1.0)
+    meter = TamperProofMeter(keys[0])
+    court = GrievanceCourt(registry, device, meter, net.z, FINE, total_load=1.0)
+
+    def scalar(signer, kind, proc, value):
+        return sign(keys[signer], value_payload(kind, proc, float(value)))
+
+    def honest_g(i: int) -> GMessage:
+        sender = i - 1
+        attestor = max(sender - 1, 0)
+        return GMessage(
+            recipient=i,
+            d_prev=scalar(attestor, "D", sender, received[sender]),
+            d_self=scalar(sender, "D", i, received[i]),
+            w_bar_prev=scalar(attestor, "w_bar", sender, w_bar[sender]),
+            w_prev=scalar(sender, "w", sender, net.w[sender]),
+            w_bar_self=scalar(sender, "w_bar", i, w_bar[i]),
+        )
+
+    return {
+        "net": net,
+        "registry": registry,
+        "keys": keys,
+        "alpha_hat": alpha_hat,
+        "w_bar": w_bar,
+        "received": received,
+        "device": device,
+        "meter": meter,
+        "court": court,
+        "scalar": scalar,
+        "honest_g": honest_g,
+    }
+
+
+class TestContradictoryMessages:
+    def test_substantiated(self, court_setup):
+        ctx = court_setup
+        a = sign(ctx["keys"][2], bid_payload(2, 3.0))
+        b = sign(ctx["keys"][2], bid_payload(2, 4.5))
+        grievance = Grievance(
+            kind=GrievanceKind.CONTRADICTORY_MESSAGES, accuser=1, accused=2,
+            conflicting=(a, b),
+        )
+        verdict = ctx["court"].adjudicate(grievance)
+        assert verdict.substantiated
+        assert verdict.fined == 2 and verdict.rewarded == 1
+        assert verdict.fine_amount == FINE
+
+    def test_identical_messages_exculpate(self, court_setup):
+        ctx = court_setup
+        a = sign(ctx["keys"][2], bid_payload(2, 3.0))
+        grievance = Grievance(
+            kind=GrievanceKind.CONTRADICTORY_MESSAGES, accuser=1, accused=2,
+            conflicting=(a, a),
+        )
+        verdict = ctx["court"].adjudicate(grievance)
+        assert not verdict.substantiated
+        assert verdict.fined == 1 and verdict.rewarded == 2
+
+    def test_forged_evidence_exculpates(self, court_setup):
+        ctx = court_setup
+        from repro.crypto.signing import SignedMessage
+
+        a = sign(ctx["keys"][2], bid_payload(2, 3.0))
+        forged = SignedMessage(signer=2, payload=bid_payload(2, 9.0), signature=a.signature)
+        grievance = Grievance(
+            kind=GrievanceKind.CONTRADICTORY_MESSAGES, accuser=1, accused=2,
+            conflicting=(a, forged),
+        )
+        assert not ctx["court"].adjudicate(grievance).substantiated
+
+    def test_messages_by_third_party_exculpate(self, court_setup):
+        ctx = court_setup
+        a = sign(ctx["keys"][3], bid_payload(3, 3.0))
+        b = sign(ctx["keys"][3], bid_payload(3, 4.0))
+        grievance = Grievance(
+            kind=GrievanceKind.CONTRADICTORY_MESSAGES, accuser=1, accused=2,
+            conflicting=(a, b),
+        )
+        assert not ctx["court"].adjudicate(grievance).substantiated
+
+    def test_missing_evidence_exculpates(self, court_setup):
+        grievance = Grievance(
+            kind=GrievanceKind.CONTRADICTORY_MESSAGES, accuser=1, accused=2,
+        )
+        assert not court_setup["court"].adjudicate(grievance).substantiated
+
+
+class TestComputationGrievances:
+    def test_failing_g_substantiated(self, court_setup):
+        ctx = court_setup
+        g = ctx["honest_g"](2)
+        bad = GMessage(
+            recipient=2, d_prev=g.d_prev,
+            d_self=ctx["scalar"](1, "D", 2, float(ctx["received"][2]) * 0.7),
+            w_bar_prev=g.w_bar_prev, w_prev=g.w_prev, w_bar_self=g.w_bar_self,
+        )
+        accuser_bid = sign(ctx["keys"][2], bid_payload(2, float(ctx["w_bar"][2])))
+        grievance = Grievance(
+            kind=GrievanceKind.INCONSISTENT_COMPUTATION, accuser=2, accused=1, g_message=bad,
+        )
+        verdict = ctx["court"].adjudicate(grievance, accuser_bid=accuser_bid)
+        assert verdict.substantiated
+        assert verdict.fined == 1 and verdict.rewarded == 2
+
+    def test_valid_g_exculpates(self, court_setup):
+        ctx = court_setup
+        g = ctx["honest_g"](2)
+        accuser_bid = sign(ctx["keys"][2], bid_payload(2, float(ctx["w_bar"][2])))
+        grievance = Grievance(
+            kind=GrievanceKind.INCONSISTENT_COMPUTATION, accuser=2, accused=1, g_message=g,
+        )
+        verdict = ctx["court"].adjudicate(grievance, accuser_bid=accuser_bid)
+        assert not verdict.substantiated
+        assert verdict.fined == 2
+
+    def test_missing_bid_exculpates(self, court_setup):
+        ctx = court_setup
+        grievance = Grievance(
+            kind=GrievanceKind.INCONSISTENT_COMPUTATION, accuser=2, accused=1,
+            g_message=ctx["honest_g"](2),
+        )
+        assert not ctx["court"].adjudicate(grievance).substantiated
+
+    def test_party_mismatch_exculpates(self, court_setup):
+        ctx = court_setup
+        accuser_bid = sign(ctx["keys"][3], bid_payload(3, float(ctx["w_bar"][3])))
+        grievance = Grievance(
+            kind=GrievanceKind.INCONSISTENT_COMPUTATION, accuser=3, accused=1,
+            g_message=ctx["honest_g"](2),
+        )
+        assert not ctx["court"].adjudicate(grievance, accuser_bid=accuser_bid).substantiated
+
+
+class TestOverloadGrievances:
+    def _grievance(self, ctx, *, received_amount, meter_rate=2.0, accuser=2):
+        device = ctx["device"]
+        amount = device.quantize(received_amount)
+        first = device.total_blocks - int(round(amount * device.blocks_per_unit))
+        cert = device.issue(accuser, first, amount)
+        meter_msg = ctx["meter"].record(accuser, meter_rate, amount)
+        return Grievance(
+            kind=GrievanceKind.OVERLOAD,
+            accuser=accuser,
+            accused=accuser - 1,
+            g_message=ctx["honest_g"](accuser),
+            certificate=cert,
+            meter_reading=meter_msg,
+            expected_received=float(ctx["received"][accuser]),
+        )
+
+    def test_real_overload_substantiated_with_surcharge(self, court_setup):
+        ctx = court_setup
+        expected = float(ctx["received"][2])
+        extra = 0.1
+        grievance = self._grievance(ctx, received_amount=expected + extra, meter_rate=2.0)
+        verdict = ctx["court"].adjudicate(grievance)
+        assert verdict.substantiated
+        assert verdict.surcharge == pytest.approx(extra * 2.0, rel=1e-4)
+        assert verdict.fine_amount == pytest.approx(FINE + extra * 2.0, rel=1e-4)
+        assert verdict.reward_amount == FINE
+
+    def test_no_overload_exculpates(self, court_setup):
+        ctx = court_setup
+        grievance = self._grievance(ctx, received_amount=float(ctx["received"][2]))
+        verdict = ctx["court"].adjudicate(grievance)
+        assert not verdict.substantiated
+        assert verdict.fined == 2  # the false accuser
+
+    def test_expected_comes_from_signed_commitment_not_claim(self, court_setup):
+        # An accuser lying about its assignment cannot win: the court reads
+        # D_i from the accused's own signed message.
+        ctx = court_setup
+        import dataclasses
+
+        grievance = self._grievance(ctx, received_amount=float(ctx["received"][2]))
+        lying = dataclasses.replace(grievance, expected_received=0.01)
+        verdict = ctx["court"].adjudicate(lying)
+        assert not verdict.substantiated
+
+    def test_unissued_certificate_exculpates(self, court_setup):
+        ctx = court_setup
+        from repro.protocol.lambda_device import LoadCertificate
+
+        fake_cert = LoadCertificate(
+            holder=2, first_block=0,
+            n_blocks=ctx["device"].total_blocks,
+            blocks_per_unit=ctx["device"].blocks_per_unit,
+        )
+        grievance = Grievance(
+            kind=GrievanceKind.OVERLOAD, accuser=2, accused=1,
+            g_message=ctx["honest_g"](2), certificate=fake_cert,
+            expected_received=float(ctx["received"][2]),
+        )
+        assert not ctx["court"].adjudicate(grievance).substantiated
+
+    def test_missing_certificate_exculpates(self, court_setup):
+        ctx = court_setup
+        grievance = Grievance(
+            kind=GrievanceKind.OVERLOAD, accuser=2, accused=1,
+            g_message=ctx["honest_g"](2),
+            expected_received=float(ctx["received"][2]),
+        )
+        assert not ctx["court"].adjudicate(grievance).substantiated

@@ -1,0 +1,83 @@
+"""Unit tests for the Λ load-certification device (footnote 1)."""
+
+import pytest
+
+from repro.protocol.lambda_device import LambdaDevice, LoadCertificate
+
+
+class TestIssueVerify:
+    def test_roundtrip(self):
+        device = LambdaDevice(1.0)
+        cert = device.issue(2, device.total_blocks // 2, 0.5)
+        assert device.verify(cert)
+        assert cert.amount == pytest.approx(0.5)
+
+    def test_unissued_holder_fails(self):
+        device = LambdaDevice(1.0)
+        cert = LoadCertificate(holder=3, first_block=0, n_blocks=100, blocks_per_unit=device.blocks_per_unit)
+        assert not device.verify(cert)
+
+    def test_inflated_certificate_fails(self):
+        # A processor cannot claim more blocks than it was issued —
+        # identifiers are unguessable.
+        device = LambdaDevice(1.0)
+        issued = device.issue(1, device.total_blocks - 1000, 1000 / device.blocks_per_unit)
+        forged = LoadCertificate(
+            holder=1,
+            first_block=issued.first_block,
+            n_blocks=issued.n_blocks + 500,
+            blocks_per_unit=device.blocks_per_unit,
+        )
+        assert not device.verify(forged)
+
+    def test_shifted_range_fails(self):
+        device = LambdaDevice(1.0)
+        issued = device.issue(1, 1000, 0.1)
+        shifted = LoadCertificate(
+            holder=1,
+            first_block=issued.first_block - 10,
+            n_blocks=issued.n_blocks,
+            blocks_per_unit=device.blocks_per_unit,
+        )
+        assert not device.verify(shifted)
+
+    def test_understating_is_allowed(self):
+        # Presenting fewer identifiers than received is possible (and
+        # never helps the holder).
+        device = LambdaDevice(1.0)
+        issued = device.issue(1, 0, 0.5)
+        partial = LoadCertificate(
+            holder=1,
+            first_block=issued.first_block,
+            n_blocks=issued.n_blocks - 100,
+            blocks_per_unit=device.blocks_per_unit,
+        )
+        assert device.verify(partial)
+
+    def test_out_of_range_issue_rejected(self):
+        device = LambdaDevice(1.0)
+        with pytest.raises(ValueError):
+            device.issue(1, device.total_blocks - 10, 1.0)
+        with pytest.raises(ValueError):
+            device.issue(1, -5, 0.1)
+
+    def test_quantize(self):
+        device = LambdaDevice(1.0, blocks_per_unit=1000)
+        assert device.quantize(0.12345678) == pytest.approx(0.123)
+
+    def test_larger_total_load(self):
+        device = LambdaDevice(5.0)
+        cert = device.issue(1, 0, 2.5)
+        assert device.verify(cert)
+        assert cert.amount == pytest.approx(2.5)
+
+    def test_wrong_block_granularity_fails(self):
+        device = LambdaDevice(1.0)
+        issued = device.issue(1, 0, 0.25)
+        mismatched = LoadCertificate(
+            holder=1,
+            first_block=issued.first_block,
+            n_blocks=issued.n_blocks,
+            blocks_per_unit=issued.blocks_per_unit * 2,
+        )
+        assert not device.verify(mismatched)

@@ -1,0 +1,81 @@
+"""Unit tests for the typed protocol messages."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signing import sign
+from repro.exceptions import MalformedMessageError
+from repro.protocol.messages import (
+    BidMessage,
+    GMessage,
+    bid_payload,
+    value_payload,
+)
+
+
+@pytest.fixture
+def pki():
+    return KeyRegistry.for_processors(4, seed=b"messages")
+
+
+class TestBidMessage:
+    def test_create_and_read(self, pki):
+        registry, keys = pki
+        bid = BidMessage.create(keys[2], 3.75)
+        assert bid.sender == 2
+        assert bid.w_bar == 3.75
+        bid.verify(registry, expected_sender=2)
+
+    def test_wrong_sender_rejected(self, pki):
+        registry, keys = pki
+        bid = BidMessage.create(keys[2], 3.75)
+        with pytest.raises(MalformedMessageError):
+            bid.verify(registry, expected_sender=1)
+
+    def test_wrong_payload_type_rejected(self, pki):
+        registry, keys = pki
+        not_a_bid = BidMessage(signed=sign(keys[2], value_payload("D", 2, 0.5)))
+        with pytest.raises(MalformedMessageError):
+            not_a_bid.verify(registry, expected_sender=2)
+
+
+class TestGMessage:
+    def _g(self, keys) -> GMessage:
+        return GMessage(
+            recipient=2,
+            d_prev=sign(keys[0], value_payload("D", 1, 0.7)),
+            d_self=sign(keys[1], value_payload("D", 2, 0.4)),
+            w_bar_prev=sign(keys[0], value_payload("w_bar", 1, 1.5)),
+            w_prev=sign(keys[1], value_payload("w", 1, 3.0)),
+            w_bar_self=sign(keys[1], value_payload("w_bar", 2, 1.2)),
+        )
+
+    def test_components_ordering(self, pki):
+        _, keys = pki
+        g = self._g(keys)
+        assert len(g.components()) == 5
+        assert g.components()[0] is g.d_prev
+
+    def test_payload_roundtrip(self, pki):
+        _, keys = pki
+        g = self._g(keys)
+        restored = GMessage.from_payload(g.as_payload())
+        assert restored.recipient == g.recipient
+        assert restored.d_self.payload == g.d_self.payload
+        assert restored.d_self.signature == g.d_self.signature
+
+    def test_payload_is_signable(self, pki):
+        registry, keys = pki
+        g = self._g(keys)
+        wrapped = sign(keys[2], g.as_payload())
+        assert wrapped.verify(registry)
+
+
+class TestPayloadHelpers:
+    def test_bid_payload_shape(self):
+        payload = bid_payload(3, 2.5)
+        assert payload == {"type": "bid", "proc": 3, "w_bar": 2.5}
+
+    def test_value_payload_casts_to_float(self):
+        payload = value_payload("D", 1, 1)
+        assert isinstance(payload["value"], float)

@@ -1,0 +1,52 @@
+"""Unit tests for the tamper-proof meter."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signing import SignedMessage
+from repro.protocol.meter import MeterReading, TamperProofMeter
+
+
+@pytest.fixture
+def pki():
+    registry, pairs = KeyRegistry.for_processors(3, seed=b"meter")
+    return registry, pairs
+
+
+class TestMeter:
+    def test_requires_root_key(self, pki):
+        _, pairs = pki
+        with pytest.raises(ValueError):
+            TamperProofMeter(pairs[1])
+
+    def test_record_and_parse(self, pki):
+        registry, pairs = pki
+        meter = TamperProofMeter(pairs[0])
+        msg = meter.record(2, 3.5, 0.4)
+        assert msg.verify(registry)
+        assert msg.signer == 0
+        reading = TamperProofMeter.parse(msg)
+        assert reading == MeterReading(proc=2, actual_rate=3.5, computed_amount=0.4)
+
+    def test_reading_lookup(self, pki):
+        _, pairs = pki
+        meter = TamperProofMeter(pairs[0])
+        meter.record(1, 2.0, 0.3)
+        assert meter.reading_for(1).actual_rate == 2.0
+        assert meter.reading_for(9) is None
+
+    def test_agent_cannot_alter_reading(self, pki):
+        registry, pairs = pki
+        meter = TamperProofMeter(pairs[0])
+        msg = meter.record(2, 3.5, 0.4)
+        doctored_payload = dict(msg.payload)
+        doctored_payload["actual_rate"] = 1.0  # claim to have run faster
+        doctored = SignedMessage(signer=0, payload=doctored_payload, signature=msg.signature)
+        assert not doctored.verify(registry)
+
+    def test_rerecord_overwrites(self, pki):
+        _, pairs = pki
+        meter = TamperProofMeter(pairs[0])
+        meter.record(1, 2.0, 0.3)
+        meter.record(1, 2.5, 0.3)
+        assert meter.reading_for(1).actual_rate == 2.5

@@ -1,0 +1,194 @@
+"""Unit tests for the Phase II relay-consistency checks."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signing import SignedMessage, sign
+from repro.dlt.linear import phase1_bids
+from repro.exceptions import (
+    ForgedSignatureError,
+    InconsistentComputationError,
+    MalformedMessageError,
+)
+from repro.network.topology import LinearNetwork
+from repro.protocol.messages import GMessage, bid_payload, value_payload
+from repro.protocol.verification import verify_g_message
+
+
+@pytest.fixture
+def protocol_chain(five_proc_network):
+    """An honest protocol state for the fixed 5-processor chain:
+    registry, keys, per-processor (w, w_bar, alpha_hat, D), and honest
+    ``G_i`` constructors."""
+    net = five_proc_network
+    m = net.m
+    registry, keys = KeyRegistry.for_processors(m + 1, seed=b"phase2")
+    alpha_hat, w_bar = phase1_bids(net)
+    received = np.concatenate(([1.0], np.cumprod(1.0 - alpha_hat[:-1])))
+
+    def scalar(signer, kind, proc, value):
+        return sign(keys[signer], value_payload(kind, proc, float(value)))
+
+    def honest_g(i: int) -> GMessage:
+        sender = i - 1
+        attestor = max(sender - 1, 0)
+        return GMessage(
+            recipient=i,
+            d_prev=scalar(attestor, "D", sender, received[sender]),
+            d_self=scalar(sender, "D", i, received[i]),
+            w_bar_prev=scalar(attestor, "w_bar", sender, w_bar[sender]),
+            w_prev=scalar(sender, "w", sender, net.w[sender]),
+            w_bar_self=scalar(sender, "w_bar", i, w_bar[i]),
+        )
+
+    return {
+        "net": net,
+        "registry": registry,
+        "keys": keys,
+        "alpha_hat": alpha_hat,
+        "w_bar": w_bar,
+        "received": received,
+        "honest_g": honest_g,
+        "scalar": scalar,
+    }
+
+
+class TestHonestMessagesPass:
+    @pytest.mark.parametrize("i", [1, 2, 3, 4])
+    def test_every_position_verifies(self, protocol_chain, i):
+        ctx = protocol_chain
+        result = verify_g_message(
+            ctx["honest_g"](i),
+            registry=ctx["registry"],
+            recipient=i,
+            own_w_bar=float(ctx["w_bar"][i]),
+            z_link=float(ctx["net"].z[i - 1]),
+        )
+        assert result.alpha_hat_prev == pytest.approx(float(ctx["alpha_hat"][i - 1]))
+        assert result.d_self == pytest.approx(float(ctx["received"][i]))
+
+
+class TestTamperingDetected:
+    def test_wrong_signer_rejected(self, protocol_chain):
+        ctx = protocol_chain
+        g = ctx["honest_g"](2)
+        # d_self must be signed by the sender (P1), not by P2.
+        forged = GMessage(
+            recipient=2,
+            d_prev=g.d_prev,
+            d_self=ctx["scalar"](2, "D", 2, ctx["received"][2]),
+            w_bar_prev=g.w_bar_prev,
+            w_prev=g.w_prev,
+            w_bar_self=g.w_bar_self,
+        )
+        with pytest.raises(MalformedMessageError):
+            verify_g_message(
+                forged, registry=ctx["registry"], recipient=2,
+                own_w_bar=float(ctx["w_bar"][2]), z_link=float(ctx["net"].z[1]),
+            )
+
+    def test_forged_signature_rejected(self, protocol_chain):
+        ctx = protocol_chain
+        g = ctx["honest_g"](2)
+        tampered_component = SignedMessage(
+            signer=g.d_self.signer,
+            payload=value_payload("D", 2, 0.123),
+            signature=g.d_self.signature,
+        )
+        forged = GMessage(
+            recipient=2, d_prev=g.d_prev, d_self=tampered_component,
+            w_bar_prev=g.w_bar_prev, w_prev=g.w_prev, w_bar_self=g.w_bar_self,
+        )
+        with pytest.raises(ForgedSignatureError):
+            verify_g_message(
+                forged, registry=ctx["registry"], recipient=2,
+                own_w_bar=float(ctx["w_bar"][2]), z_link=float(ctx["net"].z[1]),
+            )
+
+    def test_wrong_payload_type_rejected(self, protocol_chain):
+        ctx = protocol_chain
+        g = ctx["honest_g"](2)
+        wrong_type = GMessage(
+            recipient=2,
+            d_prev=g.d_prev,
+            d_self=ctx["scalar"](1, "w", 2, ctx["received"][2]),  # "w" not "D"
+            w_bar_prev=g.w_bar_prev, w_prev=g.w_prev, w_bar_self=g.w_bar_self,
+        )
+        with pytest.raises(MalformedMessageError):
+            verify_g_message(
+                wrong_type, registry=ctx["registry"], recipient=2,
+                own_w_bar=float(ctx["w_bar"][2]), z_link=float(ctx["net"].z[1]),
+            )
+
+    def test_echo_mismatch_detected(self, protocol_chain):
+        ctx = protocol_chain
+        g = ctx["honest_g"](2)
+        altered = GMessage(
+            recipient=2, d_prev=g.d_prev, d_self=g.d_self,
+            w_bar_prev=g.w_bar_prev, w_prev=g.w_prev,
+            w_bar_self=ctx["scalar"](1, "w_bar", 2, float(ctx["w_bar"][2]) * 1.1),
+        )
+        with pytest.raises(InconsistentComputationError, match="echoes"):
+            verify_g_message(
+                altered, registry=ctx["registry"], recipient=2,
+                own_w_bar=float(ctx["w_bar"][2]), z_link=float(ctx["net"].z[1]),
+            )
+
+    def test_tampered_d_breaks_reduction_identity(self, protocol_chain):
+        ctx = protocol_chain
+        g = ctx["honest_g"](2)
+        shrunk = GMessage(
+            recipient=2, d_prev=g.d_prev,
+            d_self=ctx["scalar"](1, "D", 2, float(ctx["received"][2]) * 0.7),
+            w_bar_prev=g.w_bar_prev, w_prev=g.w_prev, w_bar_self=g.w_bar_self,
+        )
+        with pytest.raises(InconsistentComputationError):
+            verify_g_message(
+                shrunk, registry=ctx["registry"], recipient=2,
+                own_w_bar=float(ctx["w_bar"][2]), z_link=float(ctx["net"].z[1]),
+            )
+
+    def test_miscomputed_w_bar_detected(self, protocol_chain):
+        ctx = protocol_chain
+        g = ctx["honest_g"](3)
+        wrong = GMessage(
+            recipient=3, d_prev=g.d_prev, d_self=g.d_self,
+            w_bar_prev=ctx["scalar"](1, "w_bar", 2, float(ctx["w_bar"][2]) * 0.8),
+            w_prev=g.w_prev, w_bar_self=g.w_bar_self,
+        )
+        with pytest.raises(InconsistentComputationError):
+            verify_g_message(
+                wrong, registry=ctx["registry"], recipient=3,
+                own_w_bar=float(ctx["w_bar"][3]), z_link=float(ctx["net"].z[2]),
+            )
+
+    def test_implausible_load_shares_detected(self, protocol_chain):
+        ctx = protocol_chain
+        g = ctx["honest_g"](2)
+        inverted = GMessage(
+            recipient=2,
+            d_prev=ctx["scalar"](0, "D", 1, 0.1),
+            d_self=ctx["scalar"](1, "D", 2, 0.9),  # D grows downstream: impossible
+            w_bar_prev=g.w_bar_prev, w_prev=g.w_prev, w_bar_self=g.w_bar_self,
+        )
+        with pytest.raises(InconsistentComputationError, match="implausible"):
+            verify_g_message(
+                inverted, registry=ctx["registry"], recipient=2,
+                own_w_bar=float(ctx["w_bar"][2]), z_link=float(ctx["net"].z[1]),
+            )
+
+    def test_accused_is_the_sender(self, protocol_chain):
+        ctx = protocol_chain
+        g = ctx["honest_g"](3)
+        wrong = GMessage(
+            recipient=3, d_prev=g.d_prev,
+            d_self=ctx["scalar"](2, "D", 3, float(ctx["received"][3]) * 0.5),
+            w_bar_prev=g.w_bar_prev, w_prev=g.w_prev, w_bar_self=g.w_bar_self,
+        )
+        with pytest.raises(InconsistentComputationError) as excinfo:
+            verify_g_message(
+                wrong, registry=ctx["registry"], recipient=3,
+                own_w_bar=float(ctx["w_bar"][3]), z_link=float(ctx["net"].z[2]),
+            )
+        assert excinfo.value.accused == 2

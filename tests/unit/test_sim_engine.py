@@ -1,0 +1,103 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(3.0, lambda s: order.append("c"))
+        sim.schedule_at(1.0, lambda s: order.append("a"))
+        sim.schedule_at(2.0, lambda s: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda s: order.append("first"))
+        sim.schedule_at(1.0, lambda s: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(2.5, lambda s: times.append(s.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda s: s.schedule_at(0.5, lambda s2: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(1.0, lambda s: s.schedule_after(2.0, lambda s2: hits.append(s2.now)))
+        sim.run()
+        assert hits == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, lambda s: None)
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule_at(1.0, lambda s: hits.append("cancelled"))
+        sim.schedule_at(2.0, lambda s: hits.append("kept"))
+        event.cancel()
+        sim.run()
+        assert hits == ["kept"]
+        assert sim.executed == 1
+
+    def test_cascading_events(self):
+        # Events scheduling events: a chain of n hops.
+        sim = Simulator()
+        count = [0]
+
+        def hop(s):
+            count[0] += 1
+            if count[0] < 10:
+                s.schedule_after(1.0, hop)
+
+        sim.schedule_at(0.0, hop)
+        sim.run()
+        assert count[0] == 10
+        assert sim.now == 9.0
+
+
+class TestRunControls:
+    def test_run_until(self):
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda s, t=t: hits.append(t))
+        sim.run(until=2.0)
+        assert hits == [1.0, 2.0]
+        assert sim.pending() == 1
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_max_events(self):
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda s, t=t: hits.append(t))
+        sim.run(max_events=2)
+        assert len(hits) == 2
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        a = sim.schedule_at(1.0, lambda s: None)
+        sim.schedule_at(2.0, lambda s: None)
+        a.cancel()
+        assert sim.pending() == 1

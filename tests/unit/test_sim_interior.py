@@ -1,0 +1,110 @@
+"""Unit tests for the interior-origination simulation."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear_interior import solve_linear_interior
+from repro.exceptions import InvalidAllocationError
+from repro.network.generators import random_linear_network
+from repro.sim.interior_sim import simulate_interior_chain
+
+W = np.array([2.0, 3.0, 2.5, 4.0, 1.5, 2.2])
+Z = np.array([0.5, 0.3, 0.7, 0.2, 0.4])
+
+
+def optimal_plan(w, z, root):
+    """Build simulate_interior_chain inputs from the closed-form schedule."""
+    sched = solve_linear_interior(w, z, root)
+    n = len(w) - 1
+    left_idx = np.arange(root - 1, -1, -1)
+    right_idx = np.arange(root + 1, n + 1)
+    shares = {
+        "left": float(sched.alpha[left_idx].sum()) if root >= 1 else 0.0,
+        "right": float(sched.alpha[right_idx].sum()) if root <= n - 1 else 0.0,
+    }
+    retained = {
+        "left": sched.alpha[left_idx],
+        "right": sched.alpha[right_idx],
+    }
+    return sched, float(sched.alpha[root]), shares, retained
+
+
+class TestOptimalReplay:
+    @pytest.mark.parametrize("root", [1, 2, 3, 4])
+    def test_everyone_finishes_at_makespan(self, root):
+        sched, root_keep, shares, retained = optimal_plan(W, Z, root)
+        result = simulate_interior_chain(
+            W, Z, root, root_keep, shares, retained, order=sched.order
+        )
+        assert np.allclose(result.finish_times, sched.makespan)
+        assert result.makespan == pytest.approx(sched.makespan)
+
+    @pytest.mark.parametrize("root", [1, 3])
+    def test_trace_structurally_valid(self, root):
+        sched, root_keep, shares, retained = optimal_plan(W, Z, root)
+        result = simulate_interior_chain(
+            W, Z, root, root_keep, shares, retained, order=sched.order
+        )
+        result.trace.validate()
+
+    def test_load_conserved(self):
+        sched, root_keep, shares, retained = optimal_plan(W, Z, 2)
+        result = simulate_interior_chain(W, Z, 2, root_keep, shares, retained, order=sched.order)
+        assert result.computed.sum() == pytest.approx(1.0)
+        assert result.received[2] == pytest.approx(1.0)
+
+    def test_boundary_root_single_arm(self):
+        sched, root_keep, shares, retained = optimal_plan(W, Z, 0)
+        result = simulate_interior_chain(W, Z, 0, root_keep, shares, retained, order=("right",))
+        assert np.allclose(result.finish_times, sched.makespan)
+
+    @pytest.mark.parametrize("m", [3, 6, 10])
+    def test_random_chains(self, m, rng):
+        net = random_linear_network(m, rng)
+        root = m // 2
+        sched, root_keep, shares, retained = optimal_plan(net.w, net.z, root)
+        result = simulate_interior_chain(
+            net.w, net.z, root, root_keep, shares, retained, order=sched.order
+        )
+        assert np.allclose(result.finish_times, sched.makespan)
+
+
+class TestOnePortSequencing:
+    def test_second_arm_waits(self):
+        # The second-served arm's head cannot start receiving before the
+        # first arm's transmission ends.
+        sched, root_keep, shares, retained = optimal_plan(W, Z, 2)
+        result = simulate_interior_chain(W, Z, 2, root_keep, shares, retained, order=sched.order)
+        sends = sorted(
+            (iv for iv in result.trace.of_kind("send") if iv.proc == 2),
+            key=lambda iv: iv.start,
+        )
+        assert len(sends) == 2
+        assert sends[1].start >= sends[0].end - 1e-12
+
+    def test_order_changes_makespan(self):
+        sched, root_keep, shares, retained = optimal_plan(W, Z, 2)
+        best = simulate_interior_chain(W, Z, 2, root_keep, shares, retained, order=sched.order)
+        other_order = tuple(reversed(sched.order))
+        worse = simulate_interior_chain(W, Z, 2, root_keep, shares, retained, order=other_order)
+        assert worse.makespan >= best.makespan - 1e-12
+
+
+class TestDeviantRuns:
+    def test_arm_shedding_overloads_outward_neighbour(self):
+        sched, root_keep, shares, retained = optimal_plan(W, Z, 2)
+        shed = dict(retained)
+        shed["right"] = retained["right"].copy()
+        shed["right"][0] *= 0.5  # the right-arm head sheds
+        result = simulate_interior_chain(W, Z, 2, root_keep, shares, shed, order=sched.order)
+        # P4 (next outward) receives more than planned.
+        planned = retained["right"][1:].sum()
+        assert result.received[4] > planned - retained["right"][1:].sum() + sched.alpha[4:].sum() - 1e-12
+        assert result.computed.sum() == pytest.approx(1.0)
+
+    def test_share_mismatch_rejected(self):
+        with pytest.raises(InvalidAllocationError):
+            simulate_interior_chain(
+                W, Z, 2, 0.5, {"left": 0.5, "right": 0.5},
+                {"left": np.array([0.3, 0.2]), "right": np.array([0.2, 0.2, 0.1])},
+            )

@@ -1,0 +1,110 @@
+"""Unit tests for the linear-chain discrete-event simulation."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.timing import finishing_times
+from repro.exceptions import InvalidAllocationError
+from repro.network.generators import random_linear_network
+from repro.sim.linear_sim import simulate_linear_chain
+
+
+class TestHonestExecution:
+    def test_matches_closed_form(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        result = simulate_linear_chain(five_proc_network, sched.alpha)
+        closed = finishing_times(five_proc_network, sched.alpha)
+        assert np.allclose(result.finish_times, closed)
+        assert result.makespan == pytest.approx(sched.makespan)
+
+    def test_trace_is_structurally_valid(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        result = simulate_linear_chain(five_proc_network, sched.alpha)
+        result.trace.validate()
+
+    def test_received_matches_schedule(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        result = simulate_linear_chain(five_proc_network, sched.alpha)
+        assert np.allclose(result.received, sched.received)
+        assert np.allclose(result.computed, sched.alpha)
+
+    def test_arrival_times_accumulate(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        result = simulate_linear_chain(five_proc_network, sched.alpha)
+        # Arrivals are the communication prefix sums of eq. 2.2.
+        d = sched.received
+        expected = np.concatenate(([0.0], np.cumsum(d[1:] * five_proc_network.z)))
+        assert np.allclose(result.arrival_times, expected)
+
+    def test_total_load_scaling(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        unit = simulate_linear_chain(five_proc_network, sched.alpha, total_load=1.0)
+        scaled = simulate_linear_chain(
+            five_proc_network, sched.alpha * 3.0, total_load=3.0
+        )
+        assert scaled.makespan == pytest.approx(3.0 * unit.makespan)
+
+    def test_single_processor(self):
+        from repro.network.topology import LinearNetwork
+
+        net = LinearNetwork(w=[2.0], z=[])
+        result = simulate_linear_chain(net, np.array([1.0]))
+        assert result.makespan == pytest.approx(2.0)
+
+
+class TestDeviantExecution:
+    def test_shedding_overloads_successor(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        retained = sched.alpha.copy()
+        retained[1] *= 0.5  # P1 sheds half its assignment
+        result = simulate_linear_chain(five_proc_network, retained)
+        assert result.received[2] > sched.received[2]
+        # Terminal absorbs everything that reaches it.
+        assert result.computed[-1] == pytest.approx(result.received[-1])
+
+    def test_shedding_conserves_load(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        retained = sched.alpha.copy()
+        retained[2] *= 0.3
+        result = simulate_linear_chain(five_proc_network, retained)
+        assert result.computed.sum() == pytest.approx(1.0)
+
+    def test_slow_execution_delays_finish(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        speeds = five_proc_network.w.copy()
+        speeds[2] *= 2.0
+        result = simulate_linear_chain(five_proc_network, sched.alpha, speeds=speeds)
+        assert result.finish_times[2] > sched.makespan
+        # Other processors are unaffected (front-end model).
+        assert result.finish_times[1] == pytest.approx(sched.makespan)
+
+    def test_retention_clipped_to_received(self, five_proc_network):
+        # Asking to retain more than arrives is physically clipped.
+        retained = np.array([0.1, 5.0, 0.0, 0.0, 0.0])
+        result = simulate_linear_chain(five_proc_network, retained)
+        assert result.computed[1] == pytest.approx(0.9)
+        assert result.computed[2:].sum() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self, five_proc_network):
+        with pytest.raises(InvalidAllocationError):
+            simulate_linear_chain(five_proc_network, np.array([1.0]))
+
+    def test_negative_retention_rejected(self, five_proc_network):
+        with pytest.raises(InvalidAllocationError):
+            simulate_linear_chain(five_proc_network, np.array([-0.1, 0.3, 0.3, 0.3, 0.2]))
+
+    def test_wrong_speed_length_rejected(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        with pytest.raises(InvalidAllocationError):
+            simulate_linear_chain(five_proc_network, sched.alpha, speeds=np.array([1.0]))
+
+    @pytest.mark.parametrize("m", [1, 3, 10, 30])
+    def test_random_chains_agree_with_closed_form(self, m, rng):
+        net = random_linear_network(m, rng)
+        sched = solve_linear_boundary(net)
+        result = simulate_linear_chain(net, sched.alpha)
+        closed = finishing_times(net, sched.alpha)
+        assert np.allclose(result.finish_times, closed)

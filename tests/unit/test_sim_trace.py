@@ -1,0 +1,101 @@
+"""Unit tests for Gantt traces and their structural checks."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import GanttTrace, Interval
+
+
+def make_trace(*intervals) -> GanttTrace:
+    trace = GanttTrace()
+    for iv in intervals:
+        trace.add(iv)
+    return trace
+
+
+class TestInterval:
+    def test_duration(self):
+        iv = Interval("compute", 0, 1.0, 3.0, 0.5)
+        assert iv.duration == pytest.approx(2.0)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval("compute", 0, 3.0, 1.0, 0.5)
+
+
+class TestQueries:
+    def test_of_kind_and_for_proc(self):
+        trace = make_trace(
+            Interval("send", 0, 0.0, 1.0, 0.5, peer=1),
+            Interval("recv", 1, 0.0, 1.0, 0.5, peer=0),
+            Interval("compute", 1, 1.0, 2.0, 0.5),
+        )
+        assert len(trace.of_kind("send")) == 1
+        assert len(trace.for_proc(1)) == 2
+
+    def test_finish_times(self):
+        trace = make_trace(
+            Interval("compute", 0, 0.0, 2.0, 1.0),
+            Interval("compute", 1, 1.0, 3.0, 1.0),
+        )
+        assert trace.finish_times(3) == pytest.approx([2.0, 3.0, 0.0])
+
+    def test_makespan_empty(self):
+        assert GanttTrace().makespan == 0.0
+
+    def test_makespan(self):
+        trace = make_trace(
+            Interval("send", 0, 0.0, 10.0, 1.0, peer=1),
+            Interval("compute", 0, 0.0, 2.0, 1.0),
+        )
+        # Only computes count toward the makespan (result return is free).
+        assert trace.makespan == pytest.approx(2.0)
+
+
+class TestStructuralChecks:
+    def test_one_port_violation_detected(self):
+        trace = make_trace(
+            Interval("send", 0, 0.0, 2.0, 1.0, peer=1),
+            Interval("send", 0, 1.0, 3.0, 1.0, peer=2),
+        )
+        with pytest.raises(AssertionError, match="one-port"):
+            trace.check_one_port()
+
+    def test_sequential_sends_pass(self):
+        trace = make_trace(
+            Interval("send", 0, 0.0, 2.0, 1.0, peer=1),
+            Interval("send", 0, 2.0, 3.0, 1.0, peer=2),
+        )
+        trace.check_one_port()
+
+    def test_store_and_forward_violation(self):
+        trace = make_trace(
+            Interval("recv", 1, 0.0, 2.0, 1.0, peer=0),
+            Interval("send", 1, 1.0, 3.0, 0.5, peer=2),
+        )
+        with pytest.raises(AssertionError, match="before fully receiving"):
+            trace.check_store_and_forward()
+
+    def test_compute_before_receive_violation(self):
+        trace = make_trace(
+            Interval("recv", 1, 0.0, 2.0, 1.0, peer=0),
+            Interval("compute", 1, 1.0, 3.0, 0.5),
+        )
+        with pytest.raises(AssertionError, match="before receiving"):
+            trace.check_compute_after_receive()
+
+    def test_validate_runs_all_checks(self):
+        trace = make_trace(
+            Interval("recv", 1, 0.0, 2.0, 1.0, peer=0),
+            Interval("send", 1, 2.0, 3.0, 0.5, peer=2),
+            Interval("compute", 1, 2.0, 4.0, 0.5),
+        )
+        trace.validate()
+
+    def test_root_needs_no_receive(self):
+        # The root never receives; its sends/computes at t=0 are fine.
+        trace = make_trace(
+            Interval("send", 0, 0.0, 1.0, 0.5, peer=1),
+            Interval("compute", 0, 0.0, 2.0, 0.5),
+        )
+        trace.validate()

@@ -1,0 +1,86 @@
+"""Unit tests for the solution-bonus variant (eq. 4.13)."""
+
+import numpy as np
+import pytest
+
+from repro.agents.annoying import DataCorruptingAgent, DuplicatingAgent
+from repro.agents.strategies import TruthfulAgent
+from repro.mechanism.solution_bonus import (
+    SolutionBonusConfig,
+    expected_solution_utility,
+    probability_solution_found,
+    simulate_solution_rounds,
+    wasted_load,
+)
+
+
+def chain_agents(corrupt_index=None, fraction=0.5, kind="corrupt"):
+    agents = [TruthfulAgent(i, 2.0) for i in range(1, 5)]
+    if corrupt_index is not None:
+        cls = DataCorruptingAgent if kind == "corrupt" else DuplicatingAgent
+        kw = {"corrupt_fraction": fraction} if kind == "corrupt" else {"duplicate_fraction": fraction}
+        agents[corrupt_index - 1] = cls(corrupt_index, 2.0, **kw)
+    return agents
+
+
+FORWARDED = np.array([1.0, 0.8, 0.6, 0.4, 0.0])  # flow through each proc
+
+
+class TestConfig:
+    def test_negative_s_rejected(self):
+        with pytest.raises(ValueError):
+            SolutionBonusConfig(s=-0.1)
+
+
+class TestClosedForm:
+    def test_honest_chain_finds_solution(self):
+        assert probability_solution_found(chain_agents(), FORWARDED) == 1.0
+
+    def test_corruptor_wastes_share_of_its_stream(self):
+        agents = chain_agents(corrupt_index=2, fraction=0.5)
+        p = probability_solution_found(agents, FORWARDED)
+        assert p == pytest.approx(1.0 - 0.5 * 0.6)
+
+    def test_duplicator_equivalent_waste(self):
+        corrupt = probability_solution_found(chain_agents(2, 0.5, "corrupt"), FORWARDED)
+        duplicate = probability_solution_found(chain_agents(2, 0.5, "duplicate"), FORWARDED)
+        assert corrupt == pytest.approx(duplicate)
+
+    def test_waste_capped_at_total(self):
+        agents = chain_agents(1, 1.0)
+        forwarded = np.array([0.0, 2.0, 0.0, 0.0, 0.0])  # pathological
+        assert probability_solution_found(agents, forwarded, total_load=1.0) == 0.0
+
+    def test_wasted_load_helper(self):
+        agents = chain_agents(3, 0.25)
+        assert wasted_load(agents, FORWARDED) == pytest.approx(0.25 * 0.4)
+
+
+class TestExpectedUtility:
+    def test_bonus_added_per_agent(self):
+        config = SolutionBonusConfig(s=0.5)
+        base = {1: 1.0, 2: 2.0}
+        out = expected_solution_utility(base, chain_agents(), FORWARDED, config)
+        assert out == {1: 1.5, 2: 2.5}
+
+    def test_corruptor_loses_expected_bonus(self):
+        config = SolutionBonusConfig(s=0.5)
+        base = {2: 2.0}
+        honest = expected_solution_utility(base, chain_agents(), FORWARDED, config)
+        vandal = expected_solution_utility(base, chain_agents(2, 0.5), FORWARDED, config)
+        assert vandal[2] < honest[2]
+        assert honest[2] - vandal[2] == pytest.approx(0.5 * 0.5 * 0.6)
+
+
+class TestMonteCarlo:
+    def test_matches_closed_form_single_vandal(self, rng):
+        agents = chain_agents(2, 0.5)
+        config = SolutionBonusConfig(s=0.5)
+        p_closed = probability_solution_found(agents, FORWARDED)
+        p_mc = simulate_solution_rounds(agents, FORWARDED, config, rng, n_rounds=50000)
+        assert p_mc == pytest.approx(p_closed, abs=0.01)
+
+    def test_honest_chain_always_finds(self, rng):
+        config = SolutionBonusConfig(s=0.5)
+        p = simulate_solution_rounds(chain_agents(), FORWARDED, config, rng, n_rounds=1000)
+        assert p == 1.0

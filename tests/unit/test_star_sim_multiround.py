@@ -1,0 +1,119 @@
+"""Unit tests for the star simulator and multiround planning."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.multiround import (
+    best_round_count,
+    equal_installment_plan,
+    multiround_makespan,
+    optimize_multiround_allocation,
+    plan_from_allocation,
+)
+from repro.dlt.star import solve_star
+from repro.exceptions import InvalidAllocationError
+from repro.network.generators import random_star_network
+from repro.network.topology import StarNetwork
+
+COMM_HEAVY = StarNetwork([3.0, 2.0, 2.5, 1.8], [1.0, 1.2, 0.8])
+
+
+class TestStarSim:
+    def test_single_round_matches_closed_form(self, rng):
+        from repro.sim.star_sim import simulate_star
+
+        for _ in range(10):
+            star = random_star_network(4, rng)
+            sched = solve_star(star, order="by-link")
+            plan = [(c, float(sched.alpha[c])) for c in sched.order]
+            result = simulate_star(star, float(sched.alpha[0]), plan)
+            assert result.makespan == pytest.approx(sched.makespan)
+            assert np.allclose(result.finish_times, sched.makespan)
+
+    def test_one_port_respected(self):
+        from repro.sim.star_sim import simulate_star
+
+        sched = solve_star(COMM_HEAVY, order="by-link")
+        plan = [(c, float(sched.alpha[c]) / 3) for _ in range(3) for c in sched.order]
+        result = simulate_star(COMM_HEAVY, float(sched.alpha[0]), plan)
+        result.trace.check_one_port()
+
+    def test_chunks_compute_fifo(self):
+        from repro.sim.star_sim import simulate_star
+
+        # Two chunks to the same child: second compute starts only after
+        # the first finishes (or arrives, whichever is later).
+        star = StarNetwork([10.0, 1.0], [0.1])
+        result = simulate_star(star, 0.0, [(1, 0.5), (1, 0.5)])
+        computes = sorted(
+            (iv for iv in result.trace.of_kind("compute") if iv.proc == 1),
+            key=lambda iv: iv.start,
+        )
+        assert len(computes) == 2
+        assert computes[1].start >= computes[0].end - 1e-12
+
+    def test_startup_delays_everything(self):
+        from repro.sim.star_sim import simulate_star
+
+        sched = solve_star(COMM_HEAVY, order="by-link")
+        plan = [(c, float(sched.alpha[c])) for c in sched.order]
+        base = simulate_star(COMM_HEAVY, float(sched.alpha[0]), plan)
+        with_s = simulate_star(COMM_HEAVY, float(sched.alpha[0]), plan, startup=0.05)
+        assert with_s.makespan > base.makespan
+
+    def test_invalid_plans_rejected(self):
+        from repro.sim.star_sim import simulate_star
+
+        with pytest.raises(InvalidAllocationError):
+            simulate_star(COMM_HEAVY, 0.5, [(99, 0.5)])
+        with pytest.raises(InvalidAllocationError):
+            simulate_star(COMM_HEAVY, 0.5, [(1, -0.5)])
+        with pytest.raises(InvalidAllocationError):
+            simulate_star(COMM_HEAVY, 0.5, [(1, 0.5)], startup=-1.0)
+
+    def test_load_accounted(self):
+        from repro.sim.star_sim import simulate_star
+
+        sched = solve_star(COMM_HEAVY, order="by-link")
+        plan = [(c, float(sched.alpha[c])) for c in sched.order]
+        result = simulate_star(COMM_HEAVY, float(sched.alpha[0]), plan)
+        assert result.computed.sum() == pytest.approx(1.0)
+
+
+class TestMultiroundPlans:
+    def test_equal_installment_conserves_load(self):
+        plan = equal_installment_plan(COMM_HEAVY, 4)
+        total = plan.root_share + sum(a for _, a in plan.transmissions)
+        assert total == pytest.approx(1.0)
+        assert plan.n_transmissions == 4 * COMM_HEAVY.n_children
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            equal_installment_plan(COMM_HEAVY, 0)
+
+    def test_fixed_totals_cannot_beat_single_round(self):
+        # Without reallocation the root share binds: same makespan.
+        t1, _ = multiround_makespan(COMM_HEAVY, 1)
+        t4, _ = multiround_makespan(COMM_HEAVY, 4)
+        assert t4 == pytest.approx(t1)
+
+    def test_plan_from_allocation_skips_zero_children(self):
+        alpha = np.array([0.5, 0.5, 0.0, 0.0])
+        plan = plan_from_allocation(COMM_HEAVY, alpha, 2)
+        assert all(child == 1 for child, _ in plan.transmissions)
+
+
+class TestOptimizedMultiround:
+    def test_reallocation_beats_single_round(self):
+        single = solve_star(COMM_HEAVY, order="by-link").makespan
+        _, t4 = optimize_multiround_allocation(COMM_HEAVY, 4)
+        assert t4 < single * 0.95  # >5% gain on this comm-heavy star
+
+    def test_alpha_is_simplex(self):
+        alpha, _ = optimize_multiround_allocation(COMM_HEAVY, 2)
+        assert alpha.sum() == pytest.approx(1.0)
+        assert np.all(alpha >= 0)
+
+    def test_startup_restores_single_round(self):
+        best_r, _ = best_round_count(COMM_HEAVY, max_rounds=8, startup=0.5)
+        assert best_r == 1

@@ -1,0 +1,92 @@
+"""Unit tests for visualization and the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.linear import solve_linear_boundary
+from repro.experiments.harness import ExperimentResult, Table
+from repro.experiments.workloads import WORKLOADS, Workload
+from repro.sim.linear_sim import simulate_linear_chain
+from repro.sim.trace import GanttTrace
+from repro.viz.gantt import render_gantt, render_schedule_table
+
+
+class TestGanttRendering:
+    def test_renders_all_processors(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        result = simulate_linear_chain(five_proc_network, sched.alpha)
+        chart = render_gantt(result.trace, five_proc_network.size)
+        for i in range(five_proc_network.size):
+            assert f"P{i}" in chart
+        assert "#" in chart  # computation marks
+        assert "=" in chart  # communication marks
+
+    def test_terminal_has_no_sends(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        result = simulate_linear_chain(five_proc_network, sched.alpha)
+        chart = render_gantt(result.trace, five_proc_network.size)
+        last_comm_row = [l for l in chart.splitlines() if l.startswith(f"P{five_proc_network.m}")][0]
+        assert "=" not in last_comm_row
+
+    def test_empty_trace(self):
+        assert render_gantt(GanttTrace(), 2) == "(empty trace)"
+
+    def test_schedule_table(self, five_proc_network):
+        sched = solve_linear_boundary(five_proc_network)
+        result = simulate_linear_chain(five_proc_network, sched.alpha)
+        table = render_schedule_table(sched.alpha, result.finish_times, received=sched.received)
+        assert table.count("\n") == five_proc_network.size  # header + rows
+        assert "P0" in table
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        table = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_aligns(self):
+        table = Table(title="demo", columns=["name", "value"], notes="a note")
+        table.add_row("x", 1.5)
+        table.add_row("longer", 2.25)
+        text = table.format()
+        assert "demo" in text and "note: a note" in text
+        assert "longer" in text
+
+    def test_format_empty_table(self):
+        table = Table(title="empty", columns=["a"])
+        assert "empty" in table.format()
+
+
+class TestExperimentResult:
+    def test_format_includes_verdict(self):
+        table = Table(title="t", columns=["a"])
+        table.add_row(1)
+        res = ExperimentResult("X", "demo", [table], True, "all good")
+        text = res.format()
+        assert "[PASS]" in text and "X" in text
+        res_fail = ExperimentResult("X", "demo", [table], False, "bad")
+        assert "[FAIL]" in res_fail.format()
+
+
+class TestWorkloads:
+    def test_networks_are_reproducible(self):
+        wl = WORKLOADS["small-uniform"]
+        a = [net.w for _, net in wl.networks()]
+        b = [net.w for _, net in wl.networks()]
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_instances_per_size(self):
+        wl = Workload("t", "uniform", sizes=(2, 3), seed=1, instances_per_size=4)
+        pairs = list(wl.networks())
+        assert len(pairs) == 8
+        assert sum(1 for m, _ in pairs if m == 2) == 4
+
+    def test_one_is_deterministic(self):
+        wl = WORKLOADS["small-uniform"]
+        assert np.array_equal(wl.one(5).w, wl.one(5).w)
+
+    def test_all_registered_workloads_generate(self):
+        for wl in WORKLOADS.values():
+            m, net = next(iter(wl.networks()))
+            assert net.size == m + 1
