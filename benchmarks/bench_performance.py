@@ -4,15 +4,21 @@ These are classic pytest-benchmark micro/meso benchmarks (many rounds,
 calibrated timings), complementing the experiment-level P1 report.
 """
 
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro.agents.strategies import TruthfulAgent
+from repro.dlt.batch import solve_linear_batch, stack_networks
 from repro.dlt.linear import solve_linear_boundary, solve_linear_boundary_reference
 from repro.experiments import run_p1_performance
+from repro.experiments.runner import write_benchmark
 from repro.mechanism.dls_lbl import DLSLBLMechanism
 from repro.network.generators import random_linear_network
 from repro.sim.linear_sim import simulate_linear_chain
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +63,36 @@ def test_full_mechanism_run(benchmark, m):
 
     outcome = benchmark(run)
     assert outcome.completed
+
+
+@pytest.mark.parametrize("n", [100, 1000])
+def test_batch_solver_throughput(benchmark, n):
+    rng = np.random.default_rng(505)
+    w, z = stack_networks([random_linear_network(10, rng) for _ in range(n)])
+    batch = benchmark(solve_linear_batch, w, z)
+    assert np.allclose(batch.alpha.sum(axis=1), 1.0)
+
+
+def test_batch_speedup_record():
+    """Regenerate ``BENCH_batch.json`` — the scalar-vs-batch and
+    serial-vs-parallel speedup trajectory (also via
+    ``python -m repro experiments --bench``)."""
+    record = write_benchmark(REPO_ROOT / "BENCH_batch.json")
+    solve = record["batch_solve"]
+    print(
+        f"\nbatch solve speedup: {solve['speedup']:.1f}x "
+        f"({solve['n_networks']} x {solve['m'] + 1}-processor chains); "
+        f"parallel runner speedup: {record['parallel_runner']['speedup']:.2f}x "
+        f"on {record['machine']['cpu_count']} cpu(s)"
+    )
+    assert solve["speedup"] >= 5.0
+
+
+def test_p3_report(benchmark, record_experiment):
+    from repro.experiments import run_p3_batch
+
+    result = benchmark.pedantic(run_p3_batch, rounds=1, iterations=1)
+    record_experiment(result)
 
 
 def test_p1_report(benchmark, record_experiment):

@@ -13,6 +13,10 @@ Commands
     Utility-vs-bid sweep for one agent (the Theorem 5.3 curve).
 ``experiment``
     Run one experiment from the DESIGN.md index (or ``all``).
+``experiments``
+    Run the experiment suite through the parallel runner
+    (``--jobs N`` worker processes, ``--batch`` vectorized solving,
+    ``--bench`` to record speedups in ``BENCH_batch.json``).
 """
 
 from __future__ import annotations
@@ -77,6 +81,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id (e.g. F2, T5.3, X4, A1, P2) or 'all'; omit with --list to enumerate",
     )
     exp.add_argument("--list", action="store_true", help="list available experiments and exit")
+
+    exps = sub.add_parser(
+        "experiments",
+        help="run the experiment suite via the parallel runner (see repro.experiments.runner)",
+    )
+    exps.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="experiment ids to run, in order (default: the whole registry)",
+    )
+    exps.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process serial)")
+    exps.add_argument(
+        "--batch", action="store_true",
+        help="use the vectorized batch solvers in experiments that support them",
+    )
+    exps.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed; derives a deterministic per-experiment seed (default: each experiment's pinned seed)",
+    )
+    exps.add_argument(
+        "--replications", type=int, default=None, metavar="N",
+        help="run a single experiment N times with per-replication derived seeds",
+    )
+    exps.add_argument(
+        "--bench", action="store_true",
+        help="measure scalar-vs-batch and serial-vs-parallel speedups and write them to --bench-path",
+    )
+    exps.add_argument("--bench-path", default="BENCH_batch.json", help="output path for --bench")
 
     return parser
 
@@ -255,12 +286,64 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_experiments(args) -> int:
+    from repro.experiments.runner import (
+        format_runs,
+        run_experiments,
+        run_replications,
+        write_benchmark,
+    )
+
+    if args.bench:
+        jobs = args.jobs if args.jobs > 1 else 4
+        record = write_benchmark(args.bench_path, jobs=jobs)
+        solve = record["batch_solve"]
+        par = record["parallel_runner"]
+        print(
+            f"batch solve: {solve['n_networks']} x {solve['m'] + 1}-processor chains, "
+            f"{solve['scalar_loop_s']:.4f}s scalar vs {solve['batch_s']:.4f}s batched "
+            f"({solve['speedup']:.1f}x)"
+        )
+        print(
+            f"parallel runner ({record['machine']['cpu_count']} cpus): "
+            f"{par['serial_s']:.3f}s serial vs {par['parallel_s']:.3f}s with "
+            f"--jobs {par['jobs']} ({par['speedup']:.2f}x)"
+        )
+        print(f"record written to {args.bench_path}")
+        return 0
+    try:
+        if args.replications is not None:
+            if len(args.ids) != 1:
+                raise SystemExit("--replications requires exactly one experiment id")
+            runs = run_replications(
+                args.ids[0],
+                args.replications,
+                jobs=args.jobs,
+                base_seed=args.seed if args.seed is not None else 0,
+                use_batch=args.batch,
+            )
+        else:
+            runs = run_experiments(
+                args.ids or None,
+                jobs=args.jobs,
+                use_batch=args.batch,
+                base_seed=args.seed,
+            )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(format_runs(runs))
+    total = sum(run.duration for run in runs)
+    print(f"(total task time {total:.2f}s across {args.jobs} job(s))")
+    return 0 if all(run.result.passed for run in runs) else 1
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "gantt": _cmd_gantt,
     "mechanism": _cmd_mechanism,
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
+    "experiments": _cmd_experiments,
 }
 
 

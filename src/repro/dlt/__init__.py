@@ -13,6 +13,15 @@ paper and its baselines:
 """
 
 from repro.dlt.allocation import InteriorSchedule, LinearSchedule, StarSchedule, TreeSchedule
+from repro.dlt.batch import (
+    BatchLinearSchedule,
+    BatchStarSchedule,
+    solve_linear_batch,
+    solve_linear_cached,
+    solve_many,
+    solve_star_batch,
+    stack_networks,
+)
 from repro.dlt.bus import solve_bus
 from repro.dlt.linear import equivalent_time, solve_linear_boundary
 from repro.dlt.linear_interior import solve_linear_interior
@@ -29,6 +38,8 @@ from repro.dlt.timing import (
 from repro.dlt.tree import solve_tree
 
 __all__ = [
+    "BatchLinearSchedule",
+    "BatchStarSchedule",
     "InteriorSchedule",
     "LinearSchedule",
     "StarSchedule",
@@ -42,9 +53,14 @@ __all__ = [
     "reduce_pair",
     "solve",
     "solve_bus",
+    "solve_linear_batch",
     "solve_linear_boundary",
+    "solve_linear_cached",
     "solve_linear_interior",
+    "solve_many",
     "solve_star",
+    "solve_star_batch",
     "solve_tree",
+    "stack_networks",
     "validate_allocation",
 ]

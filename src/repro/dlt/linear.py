@@ -32,7 +32,42 @@ from repro.dlt.allocation import LinearSchedule
 from repro.dlt.timing import finishing_times
 from repro.network.topology import LinearNetwork
 
-__all__ = ["solve_linear_boundary", "equivalent_time", "phase1_bids", "alpha_from_alpha_hat"]
+__all__ = [
+    "solve_linear_boundary",
+    "equivalent_time",
+    "phase1_bids",
+    "backward_pass",
+    "alpha_from_alpha_hat",
+]
+
+
+def backward_pass(w: np.ndarray, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The backward reduction recurrence (Algorithm 1 steps 1–6) as an
+    array kernel.
+
+    Accepts ``w`` of shape ``(..., m+1)`` and ``z`` of shape ``(..., m)``
+    with arbitrary (matching) leading batch dimensions and returns
+    ``(alpha_hat, w_eq)`` of shape ``(..., m+1)``.  The recurrence is
+    inherently sequential in ``m``, so the loop runs over the chain axis;
+    every step is elementwise over the batch axes, which is what makes
+    :mod:`repro.dlt.batch` fast.  The arithmetic per element is identical
+    to the scalar path, so batched and scalar results agree bitwise.
+    """
+    w_arr = np.asarray(w, dtype=np.float64)
+    z_arr = np.asarray(z, dtype=np.float64)
+    m = w_arr.shape[-1] - 1
+    alpha_hat = np.empty_like(w_arr)
+    w_eq = np.empty_like(w_arr)
+    alpha_hat[..., m] = 1.0
+    w_eq[..., m] = w_arr[..., m]
+    prev = np.array(w_arr[..., m])
+    for i in range(m - 1, -1, -1):
+        tail = prev + z_arr[..., i]
+        hat = tail / (w_arr[..., i] + tail)
+        alpha_hat[..., i] = hat
+        prev = hat * w_arr[..., i]
+        w_eq[..., i] = prev
+    return alpha_hat, w_eq
 
 
 def phase1_bids(network: LinearNetwork) -> tuple[np.ndarray, np.ndarray]:
@@ -47,8 +82,10 @@ def phase1_bids(network: LinearNetwork) -> tuple[np.ndarray, np.ndarray]:
     m = network.m
     # The recurrence is inherently sequential; numpy scalar indexing in a
     # tight loop is slower than plain floats (measured — see the P1
-    # benchmark), so the loop runs on Python lists and only the forward
-    # pass is vectorized.
+    # benchmark), so the single-network loop runs on Python lists and only
+    # the forward pass is vectorized.  The batched kernel
+    # (:func:`backward_pass`) performs the same IEEE operations per
+    # element, so the two paths agree bitwise (differential-tested).
     w = network.w.tolist()
     z = network.z.tolist()
     alpha_hat = [0.0] * (m + 1)
@@ -69,10 +106,13 @@ def alpha_from_alpha_hat(alpha_hat: np.ndarray) -> tuple[np.ndarray, np.ndarray]
     """The forward unrolling pass (Algorithm 1 steps 7–10), vectorized.
 
     Returns ``(alpha, received)`` where ``received[i]`` is ``D_i``, the
-    fraction of the original load arriving at ``P_i``.
+    fraction of the original load arriving at ``P_i``.  Operates on the
+    last axis, so stacked ``(..., m+1)`` inputs unroll all instances at
+    once.
     """
     hat = np.asarray(alpha_hat, dtype=np.float64)
-    received = np.concatenate(([1.0], np.cumprod(1.0 - hat[:-1])))
+    ones = np.ones(hat.shape[:-1] + (1,), dtype=np.float64)
+    received = np.concatenate((ones, np.cumprod(1.0 - hat[..., :-1], axis=-1)), axis=-1)
     return received * hat, received
 
 

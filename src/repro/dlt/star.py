@@ -24,6 +24,7 @@ and tests cross-check it against brute force over all permutations.
 
 from __future__ import annotations
 
+import math
 from itertools import permutations
 from typing import Literal, Sequence
 
@@ -33,9 +34,37 @@ from repro.dlt.allocation import StarSchedule
 from repro.exceptions import SolverError
 from repro.network.topology import BusNetwork, StarNetwork
 
-__all__ = ["solve_star", "star_makespan_for_order", "optimal_order_bruteforce"]
+__all__ = [
+    "solve_star",
+    "star_alpha_kernel",
+    "star_makespan_for_order",
+    "optimal_order_bruteforce",
+]
 
 OrderPolicy = Literal["by-link", "given", "bruteforce"]
+
+
+def star_alpha_kernel(w: np.ndarray, z: np.ndarray, order_cols: np.ndarray) -> np.ndarray:
+    """Equal-finish allocation as an array kernel.
+
+    Accepts ``w`` of shape ``(..., n+1)``, ``z`` of shape ``(..., n)``
+    and ``order_cols`` of shape ``(..., n)`` — integer child indices
+    ``1..n`` in service order, per instance — with arbitrary matching
+    leading batch dimensions; returns ``alpha`` of shape ``(..., n+1)``.
+    No validation is performed on ``order_cols`` (the callers own it).
+    """
+    w_arr = np.asarray(w, dtype=np.float64)
+    z_arr = np.asarray(z, dtype=np.float64)
+    cols = np.asarray(order_cols)
+    served_w = np.take_along_axis(w_arr, cols, axis=-1)
+    # ratio[k] = alpha_{sigma_k} / alpha_0, built by cumulative product.
+    prev_w = np.concatenate((w_arr[..., :1], served_w[..., :-1]), axis=-1)
+    denom = np.take_along_axis(z_arr, cols - 1, axis=-1) + served_w
+    ratios = np.cumprod(prev_w / denom, axis=-1)
+    alpha = np.empty_like(w_arr)
+    alpha[..., :1] = 1.0 / (1.0 + ratios.sum(axis=-1, keepdims=True))
+    np.put_along_axis(alpha, cols, alpha[..., :1] * ratios, axis=-1)
+    return alpha
 
 
 def _alpha_for_order(network: StarNetwork, order: Sequence[int]) -> np.ndarray:
@@ -52,7 +81,9 @@ def _alpha_for_order(network: StarNetwork, order: Sequence[int]) -> np.ndarray:
     denom = z[np.array(order) - 1] + w[order]
     ratios = np.cumprod(prev_w / denom)
     alpha = np.empty(n + 1, dtype=np.float64)
-    alpha[0] = 1.0 / (1.0 + ratios.sum())
+    # math.fsum: the normalization is the one accumulation-order-sensitive
+    # sum in this solver; exact summation keeps it independent of n.
+    alpha[0] = 1.0 / (1.0 + math.fsum(ratios))
     alpha[order] = alpha[0] * ratios
     return alpha
 
@@ -126,8 +157,10 @@ def star_finishing_times(network: StarNetwork, alpha: np.ndarray, order: Sequenc
     z = network.z
     t = np.zeros(network.size)
     t[0] = alpha[0] * w[0]
-    clock = 0.0
-    for child in order:
-        clock += alpha[child] * z[child - 1]
-        t[child] = clock + alpha[child] * w[child]
+    # One-port clock: cumulative transmission time in service order.
+    # np.cumsum accumulates left-to-right exactly like the former scalar
+    # += loop, so results are bit-identical — just vectorized.
+    idx = np.asarray(order, dtype=np.intp)
+    clock = np.cumsum(alpha[idx] * z[idx - 1])
+    t[idx] = clock + alpha[idx] * w[idx]
     return t

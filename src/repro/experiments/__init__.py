@@ -8,6 +8,15 @@ pytest-benchmark target that prints the same rows.
 """
 
 from repro.experiments.harness import ExperimentResult, Table
+from repro.experiments.runner import (
+    ExperimentRun,
+    benchmark_batch,
+    format_runs,
+    run_experiments,
+    run_replications,
+    task_seed,
+    write_benchmark,
+)
 from repro.experiments.workloads import WORKLOADS, Workload
 from repro.experiments.exp_fig1_topology import run_fig1_topology
 from repro.experiments.exp_fig2_gantt import gantt_chart_for, run_fig2_gantt
@@ -32,6 +41,7 @@ from repro.experiments.exp_a2_bonus_rule import marginal_bonus_chain, run_a2_bon
 from repro.experiments.exp_a3_assumptions import run_a3_assumptions
 from repro.experiments.exp_p1_performance import run_p1_performance
 from repro.experiments.exp_p2_overhead import run_p2_overhead
+from repro.experiments.exp_p3_batch import run_p3_batch
 
 #: Registry of all experiments keyed by experiment id (DESIGN.md index).
 ALL_EXPERIMENTS = {
@@ -58,14 +68,22 @@ ALL_EXPERIMENTS = {
     "A3": run_a3_assumptions,
     "P1": run_p1_performance,
     "P2": run_p2_overhead,
+    "P3": run_p3_batch,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
+    "ExperimentRun",
     "Table",
     "WORKLOADS",
     "Workload",
+    "benchmark_batch",
+    "format_runs",
+    "run_experiments",
+    "run_replications",
+    "task_seed",
+    "write_benchmark",
     "gantt_chart_for",
     "run_fig1_topology",
     "run_fig2_gantt",
@@ -91,6 +109,7 @@ __all__ = [
     "run_a2_bonus_rule",
     "run_a3_assumptions",
     "run_p2_overhead",
+    "run_p3_batch",
     "marginal_bonus_chain",
     "topology_makespans",
     "utility_curve",

@@ -1,0 +1,287 @@
+"""Parallel experiment runner: independent experiments and Monte-Carlo
+replications across worker processes.
+
+The experiments in :data:`repro.experiments.ALL_EXPERIMENTS` are pure
+functions of their parameters, so the suite parallelizes trivially —
+except that naive parallelism breaks reproducibility when seeds depend on
+*which worker* picks up a task.  Here every task's seed is derived from
+the task's *identity* (experiment id, replication index, base seed) via
+SHA-256, so a run with ``--jobs 4`` is byte-identical to a serial run:
+the pool only changes wall-clock time, never results.
+
+Results are always returned in submission order (``ids`` order,
+replication index order), regardless of completion order.
+
+:func:`benchmark_batch` measures the two speedups this layer exists for —
+vectorized batch solving vs. looped scalar solving, and the parallel
+runner vs. serial execution — and :func:`write_benchmark` records them in
+``BENCH_batch.json`` so future changes have a performance trajectory to
+compare against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import platform
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = [
+    "ExperimentRun",
+    "task_seed",
+    "run_experiments",
+    "run_replications",
+    "format_runs",
+    "benchmark_batch",
+    "write_benchmark",
+]
+
+
+def task_seed(name: str, base_seed: int = 0) -> int:
+    """Deterministic 32-bit seed for task ``name``.
+
+    Derived by hashing ``base_seed`` and the task name with SHA-256
+    (stable across processes and Python invocations, unlike ``hash()``),
+    so a task's seed depends only on *what* it is — never on which worker
+    runs it or in what order.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One executed experiment task."""
+
+    exp_id: str
+    result: ExperimentResult
+    duration: float
+    seed: int | None = None
+    replication: int | None = None
+
+
+def _call_experiment(
+    exp_id: str, seed: int | None, use_batch: bool, kwargs: Mapping[str, Any]
+) -> tuple[ExperimentResult, float]:
+    """Worker entry point: run one experiment with task-derived options.
+
+    ``seed``/``use_batch`` are forwarded only to experiments whose
+    signatures accept them; extra ``kwargs`` are passed verbatim (the
+    caller owns their validity).  Module-level so it pickles into worker
+    processes.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+
+    fn = ALL_EXPERIMENTS[exp_id]
+    params = inspect.signature(fn).parameters
+    call_kwargs = dict(kwargs)
+    if seed is not None and "seed" in params:
+        call_kwargs.setdefault("seed", seed)
+    if "use_batch" in params:
+        call_kwargs.setdefault("use_batch", use_batch)
+    start = time.perf_counter()
+    result = fn(**call_kwargs)
+    return result, time.perf_counter() - start
+
+
+def _execute(tasks: list[tuple[str, int | None, bool, dict[str, Any]]], jobs: int):
+    if jobs <= 1:
+        return [_call_experiment(*task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_call_experiment, *task) for task in tasks]
+        # Collected in submission order — worker scheduling cannot reorder
+        # or reseed anything.
+        return [future.result() for future in futures]
+
+
+def run_experiments(
+    ids: Sequence[str] | None = None,
+    *,
+    jobs: int = 1,
+    use_batch: bool = False,
+    base_seed: int | None = None,
+    experiment_kwargs: Mapping[str, Mapping[str, Any]] | None = None,
+) -> list[ExperimentRun]:
+    """Run experiments (default: the whole registry) across ``jobs`` workers.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids from :data:`~repro.experiments.ALL_EXPERIMENTS`,
+        run and returned in this order.  ``None`` runs the full registry.
+    jobs:
+        Worker processes; ``1`` runs in-process with no pool.
+    use_batch:
+        Forwarded to experiments that support vectorized batch solving.
+    base_seed:
+        When given, each experiment that accepts a ``seed`` gets
+        ``task_seed(exp_id, base_seed)``; when ``None`` (default) the
+        experiments keep their own pinned default seeds.
+    experiment_kwargs:
+        Optional per-id keyword overrides, e.g. reduced workloads for
+        smoke runs: ``{"T2.1": {"n_trials": 20}}``.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+
+    chosen = list(ids) if ids else list(ALL_EXPERIMENTS)
+    unknown = [exp_id for exp_id in chosen if exp_id not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiment ids {unknown}; choose from {list(ALL_EXPERIMENTS)}")
+    overrides = experiment_kwargs or {}
+    tasks = [
+        (
+            exp_id,
+            task_seed(exp_id, base_seed) if base_seed is not None else None,
+            use_batch,
+            dict(overrides.get(exp_id, {})),
+        )
+        for exp_id in chosen
+    ]
+    outcomes = _execute(tasks, jobs)
+    return [
+        ExperimentRun(exp_id=task[0], result=result, duration=duration, seed=task[1])
+        for task, (result, duration) in zip(tasks, outcomes)
+    ]
+
+
+def run_replications(
+    exp_id: str,
+    n: int,
+    *,
+    jobs: int = 1,
+    base_seed: int = 0,
+    use_batch: bool = False,
+    **kwargs: Any,
+) -> list[ExperimentRun]:
+    """Monte-Carlo replications of one experiment with per-replication seeds.
+
+    Replication ``i`` always receives ``task_seed(f"{exp_id}/rep{i}",
+    base_seed)`` — derived from its index, not from worker order — so the
+    replication set is identical at any ``jobs`` count.  The experiment
+    must accept a ``seed`` parameter for the replications to differ.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if exp_id not in ALL_EXPERIMENTS:
+        raise ValueError(f"unknown experiment id {exp_id!r}")
+    tasks = [
+        (exp_id, task_seed(f"{exp_id}/rep{i}", base_seed), use_batch, dict(kwargs))
+        for i in range(n)
+    ]
+    outcomes = _execute(tasks, jobs)
+    return [
+        ExperimentRun(
+            exp_id=exp_id, result=result, duration=duration, seed=task[1], replication=i
+        )
+        for i, (task, (result, duration)) in enumerate(zip(tasks, outcomes))
+    ]
+
+
+def format_runs(runs: Sequence[ExperimentRun]) -> str:
+    """Render a run set as deterministic text (no timings — byte-identical
+    for identical results, which is what the determinism tests compare)."""
+    blocks = []
+    for run in runs:
+        label = ""
+        if run.replication is not None:
+            label = f"--- {run.exp_id}#{run.replication} (seed {run.seed}) ---\n"
+        blocks.append(label + run.result.format())
+    failed = [run.exp_id for run in runs if not run.result.passed]
+    footer = f"{len(runs)} experiment runs, {len(failed)} failed"
+    if failed:
+        footer += f": {failed}"
+    return "\n\n".join(blocks + [footer])
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+#: Experiments timed by the serial-vs-parallel benchmark: mid-weight ids
+#: whose combined runtime is long enough to amortize pool startup.
+BENCH_EXPERIMENT_IDS = ("T2.1", "X1", "X2", "X4", "T5.4", "X9")
+
+
+def benchmark_batch(
+    *,
+    n_networks: int = 1000,
+    m: int = 10,
+    seed: int = 7,
+    experiment_ids: Sequence[str] = BENCH_EXPERIMENT_IDS,
+    jobs: int = 4,
+) -> dict[str, Any]:
+    """Measure the two speedups of this layer and return the record.
+
+    1. *Batch solving*: ``n_networks`` random ``(m+1)``-processor chains
+       solved by a scalar :func:`~repro.dlt.linear.solve_linear_boundary`
+       loop vs. one :func:`~repro.dlt.batch.solve_linear_batch` call
+       (timed both pre-stacked and end-to-end including stacking).
+    2. *Parallel running*: ``experiment_ids`` executed serially vs. with
+       ``jobs`` worker processes.
+
+    All timings are best-of-3 wall clock.  ``cpu_count`` is recorded
+    because the parallel speedup is bounded by the cores actually
+    available — on a single-core machine it cannot exceed 1.
+    """
+    import numpy as np
+
+    from repro.dlt.batch import solve_linear_batch, stack_networks
+    from repro.dlt.linear import solve_linear_boundary
+    from repro.network.generators import random_linear_network
+
+    rng = np.random.default_rng(seed)
+    networks = [random_linear_network(m, rng) for _ in range(n_networks)]
+    scalar_s = _best_of(lambda: [solve_linear_boundary(net) for net in networks])
+    w, z = stack_networks(networks)
+    batch_s = _best_of(lambda: solve_linear_batch(w, z))
+    batch_total_s = _best_of(lambda: solve_linear_batch(*stack_networks(networks)))
+
+    ids = list(experiment_ids)
+    serial_s = _best_of(lambda: run_experiments(ids, jobs=1), repeats=1)
+    parallel_s = _best_of(lambda: run_experiments(ids, jobs=jobs), repeats=1)
+
+    return {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "batch_solve": {
+            "n_networks": n_networks,
+            "m": m,
+            "scalar_loop_s": scalar_s,
+            "batch_s": batch_s,
+            "batch_with_stacking_s": batch_total_s,
+            "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+            "speedup_with_stacking": scalar_s / batch_total_s if batch_total_s > 0 else float("inf"),
+        },
+        "parallel_runner": {
+            "experiment_ids": ids,
+            "jobs": jobs,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        },
+    }
+
+
+def write_benchmark(path: str | os.PathLike[str] = "BENCH_batch.json", **kwargs: Any) -> dict[str, Any]:
+    """Run :func:`benchmark_batch` and write the record to ``path`` as JSON."""
+    record = benchmark_batch(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return record

@@ -14,11 +14,13 @@
 
 from repro.mechanism.ledger import LedgerEntry, PaymentLedger
 from repro.mechanism.payments import (
+    BatchPaymentBreakdown,
     PaymentBreakdown,
     adjusted_equivalent_time,
     bonus,
     compensation,
     payment_breakdown,
+    payment_breakdown_batch,
     recommended_fine,
     recompense,
     valuation,
@@ -40,6 +42,7 @@ __all__ = [
     "AgentReport",
     "AuditRecord",
     "Auditor",
+    "BatchPaymentBreakdown",
     "DLSLBLMechanism",
     "DLSLILMechanism",
     "InteriorOutcome",
@@ -60,6 +63,7 @@ __all__ = [
     "compensation",
     "expected_solution_utility",
     "payment_breakdown",
+    "payment_breakdown_batch",
     "recommended_fine",
     "recompense",
     "sweep_bids",

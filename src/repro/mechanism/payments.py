@@ -37,8 +37,12 @@ execution the two branches of the max coincide and the bonus is largest
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dlt imports nothing from mechanism)
+    from repro.dlt.batch import BatchLinearSchedule
 
 __all__ = [
     "valuation",
@@ -48,6 +52,8 @@ __all__ = [
     "bonus",
     "PaymentBreakdown",
     "payment_breakdown",
+    "BatchPaymentBreakdown",
+    "payment_breakdown_batch",
     "recommended_fine",
 ]
 
@@ -229,6 +235,98 @@ def payment_breakdown(
         recompense=e,
         bonus=b,
         payment=c + b,
+    )
+
+
+@dataclass(frozen=True)
+class BatchPaymentBreakdown:
+    """Phase IV payment terms for the ``m`` strategic agents of ``N``
+    stacked networks; every field is an ``(N, m)`` array whose column
+    ``j-1`` is agent :math:`P_j`'s term (same semantics as the scalar
+    :class:`PaymentBreakdown` fields)."""
+
+    assigned: np.ndarray
+    computed: np.ndarray
+    actual_rate: np.ndarray
+    valuation: np.ndarray
+    compensation: np.ndarray
+    recompense: np.ndarray
+    bonus: np.ndarray
+    payment: np.ndarray
+
+    @property
+    def utility_before_transfers(self) -> np.ndarray:
+        """``V_j + Q_j`` (eq. 4.4) — before grievance fines/rewards."""
+        return self.valuation + self.payment
+
+
+def payment_breakdown_batch(
+    schedule: "BatchLinearSchedule",
+    *,
+    computed: np.ndarray | None = None,
+    actual_rates: np.ndarray | None = None,
+) -> BatchPaymentBreakdown:
+    """Assemble the Phase IV payments for every agent of every stacked
+    network at once — the batch counterpart of :func:`payment_breakdown`.
+
+    Parameters
+    ----------
+    schedule:
+        A :class:`~repro.dlt.batch.BatchLinearSchedule` solved from the
+        *bids* (``schedule.w[:, 1:]`` are the agent bids, ``w[:, 0]`` the
+        obedient root).
+    computed:
+        Amounts actually computed, shape ``(N, m)``; defaults to the
+        assigned fractions (obedient execution).
+    actual_rates:
+        Metered actual unit times :math:`\\tilde w_j`, shape ``(N, m)``;
+        defaults to the bids (truthful full-speed execution).
+
+    The elementwise formulas are exactly eqs. 4.5–4.11; column ``m-1`` is
+    the terminal processor (eq. 4.10), every other column uses eq. 4.11.
+    Differential tests pin this against the scalar path to 1e-9.
+    """
+    bids = schedule.w[:, 1:]
+    z = schedule.z
+    assigned = schedule.alpha[:, 1:]
+    alpha_hat = schedule.alpha_hat[:, 1:]
+    w_bar = schedule.w_eq[:, 1:]
+    computed_arr = np.asarray(computed, dtype=np.float64) if computed is not None else assigned
+    rates = np.asarray(actual_rates, dtype=np.float64) if actual_rates is not None else bids
+    if computed_arr.shape != assigned.shape or rates.shape != assigned.shape:
+        raise ValueError(
+            f"computed/actual_rates must have shape {assigned.shape}, "
+            f"got {computed_arr.shape} and {rates.shape}"
+        )
+
+    v = -computed_arr * rates  # eq. 4.5
+    e = np.where(computed_arr >= assigned, (computed_arr - assigned) * rates, 0.0)  # eq. 4.8
+    c = assigned * rates + e  # eq. 4.7
+    # Adjusted equivalent bid w_hat (eqs. 4.10/4.11): terminal column uses
+    # the actual rate verbatim; interior columns keep w_bar unless the
+    # processor ran slower than it bid.
+    w_hat = np.where(rates >= bids, alpha_hat * rates, w_bar)
+    w_hat[:, -1] = rates[:, -1]
+    # Bonus (eq. 4.9): two-processor system {P_{j-1}, equiv P_j} allocated
+    # from the bids, evaluated at the actual performance.
+    predecessor_bid = schedule.w[:, :-1]
+    alpha_hat_prev = (w_bar + z) / (predecessor_bid + w_bar + z)
+    w_eval = np.maximum(
+        alpha_hat_prev * predecessor_bid,
+        (1.0 - alpha_hat_prev) * (z + w_hat),
+    )
+    b = predecessor_bid - w_eval
+    participating = computed_arr > 0.0  # eq. 4.6: Q_j = 0 for alpha~_j = 0
+    zero = np.zeros_like(assigned)
+    return BatchPaymentBreakdown(
+        assigned=assigned,
+        computed=computed_arr,
+        actual_rate=rates,
+        valuation=v,
+        compensation=np.where(participating, c, zero),
+        recompense=np.where(participating, e, zero),
+        bonus=np.where(participating, b, zero),
+        payment=np.where(participating, c + b, zero),
     )
 
 

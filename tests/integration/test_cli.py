@@ -99,6 +99,40 @@ class TestExperiment:
             main(["experiment"])
 
 
+class TestExperiments:
+    def test_serial_run(self, capsys):
+        assert main(["experiments", "F1", "F3", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== F1" in out and "=== F3" in out and "[PASS]" in out
+        assert "2 experiment runs, 0 failed" in out
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(["experiments", "F1", "F3"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiments", "F1", "F3", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical tables modulo wall-clock footer.
+        strip = lambda s: [l for l in s.splitlines() if not l.startswith("(total")]
+        assert strip(serial) == strip(parallel)
+
+    def test_batch_flag(self, capsys):
+        assert main(["experiments", "F1", "--batch"]) == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+    def test_replications(self, capsys):
+        assert main(["experiments", "F1", "--replications", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "F1#0" in out and "F1#1" in out
+
+    def test_replications_require_single_id(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "F1", "F3", "--replications", "2"])
+
+    def test_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "nope"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

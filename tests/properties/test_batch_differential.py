@@ -1,0 +1,230 @@
+"""Differential tests: the batch solvers against the scalar path.
+
+Hypothesis generates stacked populations of networks — varying sizes,
+heterogeneous rates, degenerate near-zero link costs — and asserts the
+vectorized :mod:`repro.dlt.batch` kernels reproduce the scalar solvers
+elementwise to 1e-9 (in practice bitwise for the linear chain, since the
+batched recurrence performs the same IEEE operations per element).  The
+batched Phase IV payments are differential-tested against the scalar
+:func:`~repro.mechanism.payments.payment_breakdown` the same way.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlt.batch import (
+    linear_cache_clear,
+    solve_linear_batch,
+    solve_linear_cached,
+    solve_many,
+    solve_star_batch,
+    stack_networks,
+)
+from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.solver import solve
+from repro.dlt.star import solve_star
+from repro.mechanism.payments import payment_breakdown, payment_breakdown_batch
+from repro.network.topology import LinearNetwork, StarNetwork
+
+TOL = 1e-9
+
+rate = st.floats(min_value=0.05, max_value=50.0, allow_nan=False, allow_infinity=False)
+# Link times include a near-zero band: degenerate almost-free links are
+# where accumulation-order bugs in the vectorization would surface first.
+link = st.one_of(
+    rate,
+    st.floats(min_value=1e-9, max_value=1e-6, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def linear_stacks(draw, min_m=0, max_m=8, max_n=5):
+    """A stack of ``n`` same-size linear networks (``m`` may be 0: a
+    single-processor chain with no links)."""
+    m = draw(st.integers(min_value=min_m, max_value=max_m))
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    w = draw(
+        st.lists(st.lists(rate, min_size=m + 1, max_size=m + 1), min_size=n, max_size=n)
+    )
+    z = draw(st.lists(st.lists(link, min_size=m, max_size=m), min_size=n, max_size=n))
+    return np.array(w), np.array(z, dtype=np.float64).reshape(n, m)
+
+
+@st.composite
+def star_stacks(draw, max_children=6, max_n=5):
+    children = draw(st.integers(min_value=1, max_value=max_children))
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    w = draw(
+        st.lists(
+            st.lists(rate, min_size=children + 1, max_size=children + 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    z = draw(
+        st.lists(st.lists(link, min_size=children, max_size=children), min_size=n, max_size=n)
+    )
+    return np.array(w), np.array(z)
+
+
+@given(linear_stacks())
+@settings(max_examples=200)
+def test_linear_batch_matches_scalar(stack):
+    w, z = stack
+    batch = solve_linear_batch(w, z)
+    for i in range(w.shape[0]):
+        scalar = solve_linear_boundary(LinearNetwork(w[i], z[i]))
+        assert np.allclose(batch.alpha[i], scalar.alpha, rtol=TOL, atol=TOL)
+        assert np.allclose(batch.alpha_hat[i], scalar.alpha_hat, rtol=TOL, atol=TOL)
+        assert np.allclose(batch.received[i], scalar.received, rtol=TOL, atol=TOL)
+        assert np.allclose(batch.w_eq[i], scalar.w_eq, rtol=TOL, atol=TOL)
+        assert np.isclose(batch.makespan[i], scalar.makespan, rtol=TOL, atol=TOL)
+
+
+@given(linear_stacks())
+@settings(max_examples=200)
+def test_linear_batch_allocations_are_simplexes(stack):
+    w, z = stack
+    batch = solve_linear_batch(w, z)
+    assert np.all(batch.alpha > 0)
+    assert np.allclose(batch.alpha.sum(axis=1), 1.0, rtol=TOL, atol=TOL)
+    # The unstacked rows round-trip into valid scalar schedules.
+    sched = batch.schedule(0)
+    assert np.isclose(sched.alpha.sum(), 1.0, rtol=TOL)
+    assert sched.makespan == batch.makespan[0]
+
+
+@given(star_stacks())
+@settings(max_examples=200)
+def test_star_batch_matches_scalar(stack):
+    w, z = stack
+    batch = solve_star_batch(w, z)
+    for i in range(w.shape[0]):
+        scalar = solve_star(StarNetwork(w[i], z[i]))
+        assert tuple(int(c) for c in batch.orders[i]) == scalar.order
+        assert np.allclose(batch.alpha[i], scalar.alpha, rtol=TOL, atol=TOL)
+        assert np.isclose(batch.makespan[i], scalar.makespan, rtol=TOL, atol=TOL)
+    assert np.allclose(batch.alpha.sum(axis=1), 1.0, rtol=TOL, atol=TOL)
+
+
+@given(star_stacks(), st.data())
+@settings(max_examples=50)
+def test_star_batch_explicit_orders(stack, data):
+    w, z = stack
+    n_children = w.shape[1] - 1
+    perm = data.draw(st.permutations(list(range(1, n_children + 1))))
+    orders = np.tile(np.array(perm, dtype=np.intp), (w.shape[0], 1))
+    batch = solve_star_batch(w, z, orders=orders)
+    for i in range(w.shape[0]):
+        scalar = solve_star(StarNetwork(w[i], z[i]), order=perm)
+        assert np.allclose(batch.alpha[i], scalar.alpha, rtol=TOL, atol=TOL)
+
+
+@given(st.lists(linear_stacks(max_n=2), min_size=1, max_size=3))
+@settings(max_examples=50)
+def test_solve_many_matches_solve_across_mixed_sizes(stacks):
+    networks = [
+        LinearNetwork(w[i], z[i]) for w, z in stacks for i in range(w.shape[0])
+    ]
+    batched = solve_many(networks)
+    for net, sched in zip(networks, batched):
+        scalar = solve(net)
+        assert sched.network is net
+        assert np.allclose(sched.alpha, scalar.alpha, rtol=TOL, atol=TOL)
+        assert np.isclose(sched.makespan, scalar.makespan, rtol=TOL, atol=TOL)
+
+
+@given(linear_stacks(min_m=1))
+@settings(max_examples=200)
+def test_batch_payments_match_scalar(stack):
+    w, z = stack
+    batch = solve_linear_batch(w, z)
+    # Truthful full-speed agents: the default batched payment path.
+    pay = payment_breakdown_batch(batch)
+    for i in range(w.shape[0]):
+        m = w.shape[1] - 1
+        sched = solve_linear_boundary(LinearNetwork(w[i], z[i]))
+        for j in range(1, m + 1):
+            scalar = payment_breakdown(
+                proc=j,
+                is_terminal=(j == m),
+                assigned=float(sched.alpha[j]),
+                computed=float(sched.alpha[j]),
+                actual_rate=float(w[i, j]),
+                own_bid=float(w[i, j]),
+                own_w_bar=float(sched.w_eq[j]),
+                own_alpha_hat=float(sched.alpha_hat[j]),
+                predecessor_bid=float(w[i, j - 1]),
+                z_link=float(z[i, j - 1]),
+            )
+            col = j - 1
+            assert np.isclose(pay.compensation[i, col], scalar.compensation, rtol=TOL, atol=TOL)
+            assert np.isclose(pay.bonus[i, col], scalar.bonus, rtol=TOL, atol=TOL)
+            assert np.isclose(pay.payment[i, col], scalar.payment, rtol=TOL, atol=TOL)
+            assert np.isclose(
+                pay.utility_before_transfers[i, col],
+                scalar.utility_before_transfers,
+                rtol=TOL,
+                atol=TOL,
+            )
+
+
+@given(linear_stacks(min_m=1), st.data())
+@settings(max_examples=100)
+def test_batch_payments_match_scalar_under_deviation(stack, data):
+    """Slow execution, overload work, and shirked (zero) work all take the
+    same branches as the scalar eqs. 4.5-4.11."""
+    w, z = stack
+    n, size = w.shape
+    m = size - 1
+    batch = solve_linear_batch(w, z)
+    factors = data.draw(
+        st.lists(
+            st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    loads = data.draw(
+        st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=1.5), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    rates = w[:, 1:] * np.array(factors)
+    computed = batch.alpha[:, 1:] * np.array(loads)
+    pay = payment_breakdown_batch(batch, computed=computed, actual_rates=rates)
+    for i in range(n):
+        for j in range(1, m + 1):
+            scalar = payment_breakdown(
+                proc=j,
+                is_terminal=(j == m),
+                assigned=float(batch.alpha[i, j]),
+                computed=float(computed[i, j - 1]),
+                actual_rate=float(rates[i, j - 1]),
+                own_bid=float(w[i, j]),
+                own_w_bar=float(batch.w_eq[i, j]),
+                own_alpha_hat=float(batch.alpha_hat[i, j]),
+                predecessor_bid=float(w[i, j - 1]),
+                z_link=float(z[i, j - 1]),
+            )
+            col = j - 1
+            assert np.isclose(pay.valuation[i, col], scalar.valuation, rtol=TOL, atol=TOL)
+            assert np.isclose(pay.recompense[i, col], scalar.recompense, rtol=TOL, atol=TOL)
+            assert np.isclose(pay.payment[i, col], scalar.payment, rtol=TOL, atol=TOL)
+
+
+@given(linear_stacks(min_m=1, max_n=2))
+@settings(max_examples=50)
+def test_cached_solve_matches_scalar(stack):
+    w, z = stack
+    linear_cache_clear()
+    net = LinearNetwork(w[0], z[0])
+    first = solve_linear_cached(net)
+    again = solve_linear_cached(LinearNetwork(w[0].copy(), z[0].copy()))
+    assert again is first  # structural key, not object identity
+    scalar = solve_linear_boundary(net)
+    assert np.allclose(first.alpha, scalar.alpha, rtol=TOL, atol=TOL)
+    assert first.makespan == scalar.makespan

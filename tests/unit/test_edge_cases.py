@@ -63,6 +63,74 @@ class TestSingleArmInterior:
         assert sched.makespan == pytest.approx(boundary.makespan)
 
 
+class TestDegenerateChains:
+    """Float-fragility cases surfaced while vectorizing: single-processor
+    chains (no recurrence steps at all) and near-zero communication costs
+    (the link terms all but cancel in eq. 2.7)."""
+
+    def test_single_processor_scalar(self):
+        from repro.network.topology import LinearNetwork
+
+        sched = solve_linear_boundary(LinearNetwork([3.0], []))
+        assert sched.alpha == pytest.approx([1.0])
+        assert sched.makespan == pytest.approx(3.0)
+
+    def test_single_processor_batch(self):
+        from repro.dlt.batch import solve_linear_batch, solve_many
+        from repro.network.topology import LinearNetwork
+
+        batch = solve_linear_batch(np.array([[3.0], [5.0]]), np.empty((2, 0)))
+        assert np.array_equal(batch.alpha, [[1.0], [1.0]])
+        assert np.array_equal(batch.makespan, [3.0, 5.0])
+        [sched] = solve_many([LinearNetwork([3.0], [])])
+        assert sched.makespan == pytest.approx(3.0)
+
+    def test_near_zero_link_costs(self):
+        from repro.dlt.batch import solve_linear_batch, stack_networks
+        from repro.dlt.timing import finishing_times
+        from repro.network.topology import LinearNetwork
+
+        # z -> 0: communication is all but free, so the chain behaves like
+        # processors in parallel; fractions must stay a clean simplex.
+        net = LinearNetwork([2.0, 3.0, 2.5, 4.0], [1e-12, 1e-12, 1e-12])
+        sched = solve_linear_boundary(net)
+        assert sched.alpha.sum() == pytest.approx(1.0, rel=1e-12)
+        assert np.all(sched.alpha > 0)
+        times = finishing_times(net, sched.alpha)
+        assert np.allclose(times, sched.makespan, rtol=1e-9)
+        # Harmonic limit: alpha_i proportional to 1/w_i as z -> 0.
+        expected = (1.0 / net.w) / (1.0 / net.w).sum()
+        assert sched.alpha == pytest.approx(expected, rel=1e-9)
+        batch = solve_linear_batch(*stack_networks([net]))
+        assert np.array_equal(batch.alpha[0], sched.alpha)
+
+    def test_near_zero_star_links_match_batch(self):
+        from repro.dlt.batch import solve_star_batch, stack_networks
+        from repro.dlt.star import solve_star, star_finishing_times
+        from repro.network.topology import StarNetwork
+
+        net = StarNetwork([2.0, 3.0, 1.5, 4.0], [1e-12, 1e-12, 1e-12])
+        sched = solve_star(net)
+        assert sched.alpha.sum() == pytest.approx(1.0, rel=1e-12)
+        times = star_finishing_times(net, sched.alpha, sched.order)
+        assert np.allclose(times, sched.makespan, rtol=1e-9)
+        batch = solve_star_batch(*stack_networks([net]))
+        assert np.allclose(batch.alpha[0], sched.alpha, rtol=1e-9, atol=1e-9)
+
+    def test_wide_star_normalization_is_exact(self):
+        # 200 children: math.fsum keeps the normalization sum exact no
+        # matter the accumulation length (the audit that motivated it).
+        from repro.dlt.star import solve_star, star_finishing_times
+        from repro.network.topology import StarNetwork
+
+        rng = np.random.default_rng(42)
+        net = StarNetwork(rng.uniform(1.0, 10.0, 201), rng.uniform(0.01, 0.5, 200))
+        sched = solve_star(net)
+        assert sched.alpha.sum() == pytest.approx(1.0, abs=1e-12)
+        times = star_finishing_times(net, sched.alpha, sched.order)
+        assert np.allclose(times, sched.makespan, rtol=1e-9)
+
+
 class TestExceptionsCarryContext:
     def test_protocol_violation_accused_field(self):
         from repro.exceptions import InconsistentComputationError, ProtocolViolation

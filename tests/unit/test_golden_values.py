@@ -12,7 +12,9 @@ discrete-event simulator when first recorded.
 import numpy as np
 import pytest
 
+from repro.dlt.batch import solve_linear_batch, stack_networks
 from repro.dlt.linear import solve_linear_boundary
+from repro.mechanism.payments import payment_breakdown_batch
 from repro.mechanism.properties import run_truthful
 from repro.network.topology import LinearNetwork
 
@@ -50,6 +52,63 @@ class TestReferenceSchedule:
         sched = solve_linear_boundary(LinearNetwork([2.0, 2.0], [1.0]))
         assert sched.alpha[0] == pytest.approx(3.0 / 5.0, rel=1e-15)
         assert sched.makespan == pytest.approx(6.0 / 5.0, rel=1e-15)
+
+
+class TestBatchSolverGolden:
+    """Pinned batch-solver outputs for the canonical 3- and 5-processor
+    linear instances, so a vectorization bug cannot silently shift the
+    Figure/Theorem numbers.  Values cross-validated against the scalar
+    solver (which has its own pins above) when first recorded."""
+
+    # 3-processor canonical instance: the walkthrough chain's prefix.
+    W3 = [2.0, 3.0, 2.5]
+    Z3 = [0.5, 0.3]
+
+    def test_three_processor_pins(self):
+        batch = solve_linear_batch([self.W3], [self.Z3])
+        assert batch.alpha[0] == pytest.approx(
+            [0.493450, 0.244541, 0.262009], abs=5e-7
+        )
+        assert batch.alpha_hat[0] == pytest.approx(
+            [0.493450, 0.482759, 1.0], abs=5e-7
+        )
+        assert batch.w_eq[0] == pytest.approx([0.986900, 1.448276, 2.5], abs=5e-7)
+        assert batch.makespan[0] == pytest.approx(0.9868995633187773, rel=1e-12)
+
+    def test_five_processor_pins(self):
+        batch = solve_linear_batch([[ROOT] + TRUE], [Z])
+        assert batch.alpha[0] == pytest.approx(
+            [0.419268, 0.182723, 0.171506, 0.067554, 0.158949], abs=5e-7
+        )
+        assert batch.makespan[0] == pytest.approx(0.8385351748510179, rel=1e-12)
+
+    def test_pins_survive_embedding_in_a_mixed_batch(self):
+        # The canonical rows must be unchanged by whatever else is stacked
+        # alongside them — the definition of correct vectorization.
+        w = np.array([[ROOT] + TRUE, [9.0, 0.1, 7.3, 2.2, 0.4], [1.0, 1.0, 1.0, 1.0, 1.0]])
+        z = np.array([Z, [3.0, 0.01, 2.0, 0.5], [1.0, 1.0, 1.0, 1.0]])
+        batch = solve_linear_batch(w, z)
+        solo = solve_linear_batch(w[:1], z[:1])
+        assert np.array_equal(batch.alpha[0], solo.alpha[0])
+        assert batch.makespan[0] == pytest.approx(0.8385351748510179, rel=1e-12)
+
+    def test_batch_equals_scalar_bitwise_on_reference_chain(self):
+        scalar = solve_linear_boundary(LinearNetwork([ROOT] + TRUE, Z))
+        batch = solve_linear_batch(*stack_networks([LinearNetwork([ROOT] + TRUE, Z)]))
+        assert np.array_equal(batch.alpha[0], scalar.alpha)
+        assert np.array_equal(batch.w_eq[0], scalar.w_eq)
+        assert batch.makespan[0] == scalar.makespan
+
+    def test_batched_payments_reproduce_mechanism_pins(self):
+        batch = solve_linear_batch([[ROOT] + TRUE], [Z])
+        pay = payment_breakdown_batch(batch)
+        expected_q = {1: 1.709634, 2: 2.484839, 3: 1.692938, 4: 3.045442}
+        expected_u = {1: 1.161465, 2: 2.056073, 3: 1.422724, 4: 2.807018}
+        for j in range(1, 5):
+            assert pay.payment[0, j - 1] == pytest.approx(expected_q[j], abs=5e-7)
+            assert pay.utility_before_transfers[0, j - 1] == pytest.approx(
+                expected_u[j], abs=5e-7
+            )
 
 
 class TestReferenceMechanismRun:
