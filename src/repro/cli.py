@@ -17,6 +17,13 @@ Commands
     Run the experiment suite through the parallel runner
     (``--jobs N`` worker processes, ``--batch`` vectorized solving,
     ``--bench`` to record speedups in ``BENCH_batch.json``).
+``run``
+    Population runs of the mechanism with structured tracing:
+    ``python -m repro run --m 4 --count 10 --trace out.jsonl --metrics
+    metrics.json``.  The trace is byte-identical at any ``--jobs``.
+``trace``
+    Work with recorded traces: ``python -m repro trace summarize
+    out.jsonl [--metrics metrics.json]``.
 """
 
 from __future__ import annotations
@@ -109,6 +116,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exps.add_argument("--bench-path", default="BENCH_batch.json", help="output path for --bench")
 
+    run = sub.add_parser(
+        "run",
+        help="population runs of the mechanism with structured tracing (see repro.mechanism.population)",
+    )
+    run.add_argument("--m", type=int, default=4, help="links per chain (m+1 processors)")
+    run.add_argument("--count", type=int, default=10, help="number of mechanism runs")
+    run.add_argument("--seed", type=int, default=0, help="base seed; run i uses task_seed('mech/i', seed)")
+    run.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process serial)")
+    run.add_argument("--audit-probability", type=float, default=0.25)
+    run.add_argument(
+        "--deviant",
+        default=None,
+        metavar="INDEX:KIND[:PARAM]",
+        help="inject the same deviant into every run, e.g. 2:shed:0.5",
+    )
+    run.add_argument("--trace", default=None, metavar="PATH", help="write the merged JSONL trace to PATH")
+    run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the merged metrics report (JSON) to PATH",
+    )
+
+    trace = sub.add_parser("trace", help="work with recorded JSONL traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser("summarize", help="human-readable rollup of a trace file")
+    summarize.add_argument("path", help="JSONL trace written by 'repro run --trace'")
+    summarize.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="metrics report written by 'repro run --metrics'; adds wall-clock and cache sections",
+    )
+
     return parser
 
 
@@ -161,36 +202,12 @@ def _cmd_gantt(args) -> int:
 
 
 def _make_deviant(spec: str, true_rates: Sequence[float]):
-    from repro.agents import (
-        ContradictoryBidAgent,
-        FalseAccuserAgent,
-        LoadSheddingAgent,
-        MisbiddingAgent,
-        MiscomputingAgent,
-        OverchargingAgent,
-        RelayTamperingAgent,
-        SlowExecutionAgent,
-    )
+    from repro.mechanism.population import make_deviant
 
-    parts = spec.split(":")
-    index = int(parts[0])
-    kind = parts[1]
-    param = float(parts[2]) if len(parts) > 2 else None
-    t = float(true_rates[index - 1])
-    factories = {
-        "shed": lambda: LoadSheddingAgent(index, t, shed_fraction=param if param is not None else 0.5),
-        "overcharge": lambda: OverchargingAgent(index, t, overcharge=param if param is not None else 1.0),
-        "misbid": lambda: MisbiddingAgent(index, t, bid_factor=param if param is not None else 1.5),
-        "slow": lambda: SlowExecutionAgent(index, t, slowdown=param if param is not None else 2.0),
-        "contradict": lambda: ContradictoryBidAgent(index, t),
-        "miscompute": lambda: MiscomputingAgent(index, t, w_bar_factor=param if param is not None else 0.8),
-        "tamper": lambda: RelayTamperingAgent(index, t, d_factor=param if param is not None else 0.7),
-        "accuse": lambda: FalseAccuserAgent(index, t),
-    }
     try:
-        return factories[kind]()
-    except KeyError:
-        raise SystemExit(f"unknown deviant kind {kind!r}; choose from {sorted(factories)}")
+        return make_deviant(spec, true_rates)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _cmd_mechanism(args) -> int:
@@ -337,6 +354,62 @@ def _cmd_experiments(args) -> int:
     return 0 if all(run.result.passed for run in runs) else 1
 
 
+def _cmd_run(args) -> int:
+    from repro.mechanism.population import run_population
+    from repro.obs.report import write_metrics_report
+    from repro.obs.tracer import write_trace
+
+    try:
+        result = run_population(
+            args.m,
+            args.count,
+            seed=args.seed,
+            jobs=args.jobs,
+            audit_probability=args.audit_probability,
+            deviant=args.deviant,
+            trace=args.trace is not None,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    completed = sum(1 for r in result.runs if r["completed"])
+    print(
+        f"{len(result.runs)} runs on {args.m + 1}-processor chains "
+        f"(seed {args.seed}, jobs {args.jobs}): {completed} completed, "
+        f"{len(result.runs) - completed} aborted"
+    )
+    header = f"{'run':>4} {'seed':>11} {'status':>10} {'makespan':>9} {'fines':>9} {'griev':>6} {'audits':>7}"
+    print(header)
+    for r in result.runs:
+        status = "ok" if r["completed"] else f"abort P{r['aborted_phase']}"
+        makespan = f"{r['makespan']:.4f}" if r["makespan"] is not None else "-"
+        print(
+            f"{r['index']:>4} {r['seed']:>11} {status:>10} {makespan:>9} "
+            f"{r['fines_total']:>9.3f} {r['n_grievances']:>6} {r['n_audits']:>7}"
+        )
+    if args.trace:
+        write_trace(args.trace, result.events)
+        print(f"trace: {len(result.events)} events -> {args.trace}")
+    if args.metrics:
+        write_metrics_report(args.metrics, result.metrics)
+        print(f"metrics -> {args.metrics}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs.summary import summarize_trace
+    from repro.obs.tracer import read_trace
+
+    events = read_trace(args.path)
+    metrics = None
+    if args.metrics:
+        with open(args.metrics, encoding="utf-8") as fh:
+            metrics = json.load(fh)
+    print(summarize_trace(events, metrics=metrics))
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "gantt": _cmd_gantt,
@@ -344,6 +417,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
     "experiments": _cmd_experiments,
+    "run": _cmd_run,
+    "trace": _cmd_trace,
 }
 
 

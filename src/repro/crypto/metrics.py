@@ -1,34 +1,58 @@
-"""Lightweight instrumentation counters for the crypto substrate.
+"""Crypto instrumentation counters — a compatibility shim.
 
-The protocol-overhead experiment (P2) measures how many signatures are
-created and verified per mechanism run as the chain grows — the
-practical cost of the "with verification" part of the mechanism.
-Counters are global to the process (the protocol is single-threaded) and
-reset explicitly by the measuring code.
+Historically this module owned a process-global :class:`CryptoCounters`
+pair; the counters now live in the observability layer's metrics
+registry (:mod:`repro.obs.metrics`) under ``crypto.signatures_created``
+and ``crypto.verifications_performed``, which gives them per-worker
+snapshot-and-merge: counts from :class:`~concurrent.futures.ProcessPoolExecutor`
+workers are no longer silently dropped.
+
+The shim keeps the original API — ``COUNTERS.signatures_created``,
+``COUNTERS.reset()``, ``COUNTERS.snapshot()`` — so the P2 overhead
+experiment and existing callers work unchanged; reads and writes proxy
+to whichever registry is active (see :func:`repro.obs.metrics.collecting`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.obs.metrics import get_registry
 
-__all__ = ["CryptoCounters", "COUNTERS"]
+__all__ = ["CryptoCounters", "COUNTERS", "SIGNATURES", "VERIFICATIONS"]
+
+#: Registry counter names backing the shim.
+SIGNATURES = "crypto.signatures_created"
+VERIFICATIONS = "crypto.verifications_performed"
 
 
-@dataclass
 class CryptoCounters:
-    """Running totals since the last :meth:`reset`."""
+    """View of the crypto counters in the active metrics registry."""
 
-    signatures_created: int = 0
-    verifications_performed: int = 0
+    @property
+    def signatures_created(self) -> int:
+        return int(get_registry().counter(SIGNATURES))
+
+    @signatures_created.setter
+    def signatures_created(self, value: int) -> None:
+        get_registry().set_counter(SIGNATURES, value)
+
+    @property
+    def verifications_performed(self) -> int:
+        return int(get_registry().counter(VERIFICATIONS))
+
+    @verifications_performed.setter
+    def verifications_performed(self, value: int) -> None:
+        get_registry().set_counter(VERIFICATIONS, value)
 
     def reset(self) -> None:
-        self.signatures_created = 0
-        self.verifications_performed = 0
+        """Zero both crypto counters in the active registry."""
+        registry = get_registry()
+        registry.set_counter(SIGNATURES, 0)
+        registry.set_counter(VERIFICATIONS, 0)
 
     def snapshot(self) -> tuple[int, int]:
         return (self.signatures_created, self.verifications_performed)
 
 
-#: Process-global counters used by :mod:`repro.crypto.signing` and
-#: :mod:`repro.crypto.keys`.
+#: Process-global view used by :mod:`repro.crypto.signing` and
+#: :mod:`repro.crypto.keys` (kept for backwards compatibility).
 COUNTERS = CryptoCounters()

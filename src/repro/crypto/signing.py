@@ -101,9 +101,9 @@ class SignedMessage:
     def verify(self, registry: KeyRegistry) -> bool:
         """Return ``True`` iff the signature is valid under ``signer``'s
         registered key."""
-        from repro.crypto.metrics import COUNTERS
+        from repro.obs.metrics import get_registry
 
-        COUNTERS.verifications_performed += 1
+        get_registry().inc("crypto.verifications_performed")
         expected = registry.expected_mac(self.signer, canonical_bytes(self.payload))
         return _constant_time_eq(expected, self.signature)
 
@@ -128,9 +128,9 @@ def _constant_time_eq(a: str, b: str) -> bool:
 
 def sign(pair: KeyPair, payload: Any) -> SignedMessage:
     """Sign ``payload`` with ``pair`` — the paper's ``sig_i(m)``."""
-    from repro.crypto.metrics import COUNTERS
+    from repro.obs.metrics import get_registry
 
-    COUNTERS.signatures_created += 1
+    get_registry().inc("crypto.signatures_created")
     return SignedMessage(
         signer=pair.owner,
         payload=payload,

@@ -36,6 +36,7 @@ from repro.dlt.linear import alpha_from_alpha_hat, backward_pass, solve_linear_b
 from repro.dlt.star import star_alpha_kernel
 from repro.exceptions import InvalidNetworkError
 from repro.network.topology import BusNetwork, LinearNetwork, StarNetwork
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "BatchLinearSchedule",
@@ -47,6 +48,7 @@ __all__ = [
     "solve_linear_cached",
     "linear_cache_info",
     "linear_cache_clear",
+    "record_cache_metrics",
 ]
 
 
@@ -200,8 +202,12 @@ def solve_linear_batch(w: np.ndarray, z: np.ndarray) -> BatchLinearSchedule:
     [1.2, 1.2]
     """
     w_arr, z_arr = _validate_stack(np.atleast_2d(w), np.atleast_2d(np.asarray(z, dtype=np.float64)))
-    alpha_hat, w_eq = backward_pass(w_arr, z_arr)
-    alpha, received = alpha_from_alpha_hat(alpha_hat)
+    registry = get_registry()
+    registry.inc("dlt.batch.linear_calls")
+    registry.inc("dlt.batch.linear_instances", w_arr.shape[0])
+    with registry.timer("dlt.batch.linear"):
+        alpha_hat, w_eq = backward_pass(w_arr, z_arr)
+        alpha, received = alpha_from_alpha_hat(alpha_hat)
     return BatchLinearSchedule(
         w=w_arr,
         z=z_arr,
@@ -243,7 +249,11 @@ def solve_star_batch(
             )
         if not np.array_equal(np.sort(cols, axis=-1), np.arange(1, w_arr.shape[1])[None, :].repeat(len(cols), 0)):
             raise InvalidNetworkError("each order row must be a permutation of 1..n")
-    alpha = star_alpha_kernel(w_arr, z_arr, cols)
+    registry = get_registry()
+    registry.inc("dlt.batch.star_calls")
+    registry.inc("dlt.batch.star_instances", w_arr.shape[0])
+    with registry.timer("dlt.batch.star"):
+        alpha = star_alpha_kernel(w_arr, z_arr, cols)
     return BatchStarSchedule(
         w=w_arr,
         z=z_arr,
@@ -315,3 +325,21 @@ def linear_cache_info():
 def linear_cache_clear() -> None:
     """Drop all cached :func:`solve_linear_cached` entries."""
     _solve_linear_from_key.cache_clear()
+
+
+def record_cache_metrics() -> None:
+    """Publish :func:`solve_linear_cached` statistics as registry gauges.
+
+    ``functools.lru_cache`` keeps its own counters; this copies them into
+    the active registry (``cache.solve_linear.hits`` / ``.misses`` /
+    ``.size`` / ``.maxsize``) so they land in metrics snapshots and the
+    ``trace summarize`` report.  Gauges use replace-on-merge semantics, so
+    call this at the end of the work whose cache behaviour you want
+    recorded (each worker process has its own cache and its own numbers).
+    """
+    info = linear_cache_info()
+    registry = get_registry()
+    registry.set_gauge("cache.solve_linear.hits", info.hits)
+    registry.set_gauge("cache.solve_linear.misses", info.misses)
+    registry.set_gauge("cache.solve_linear.size", info.currsize)
+    registry.set_gauge("cache.solve_linear.maxsize", info.maxsize)

@@ -132,6 +132,9 @@ def solve_linear_boundary(network: LinearNetwork) -> LinearSchedule:
     >>> float(round(sched.makespan, 4))
     1.2
     """
+    from repro.obs.metrics import get_registry
+
+    get_registry().inc("dlt.scalar.linear_solves")
     alpha_hat, w_eq = phase1_bids(network)
     alpha, received = alpha_from_alpha_hat(alpha_hat)
     return LinearSchedule(

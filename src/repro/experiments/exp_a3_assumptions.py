@@ -36,8 +36,16 @@ def run_a3_assumptions(
     startups: tuple[float, ...] = (0.001, 0.01, 0.1),
     latencies: tuple[float, ...] = (0.001, 0.01, 0.1),
     result_ratios: tuple[float, ...] = (0.01, 0.1, 0.5),
+    use_batch: bool = False,
 ) -> ExperimentResult:
     workload = workload or WORKLOADS["small-uniform"]
+    networks = {m: workload.one(m) for m in sizes}
+    if use_batch:
+        from repro.dlt.batch import solve_many
+
+        schedules = dict(zip(sizes, solve_many([networks[m] for m in sizes])))
+    else:
+        schedules = {m: solve_linear_boundary(networks[m]) for m in sizes}
 
     startup_table = Table(
         title="A3(i) — link startup cost: makespan inflation (schedule held fixed)",
@@ -57,8 +65,8 @@ def run_a3_assumptions(
 
     all_ok = True
     for m in sizes:
-        network = workload.one(m)
-        sched = solve_linear_boundary(network)
+        network = networks[m]
+        sched = schedules[m]
         base = sched.makespan
 
         prev_inflation = 1.0

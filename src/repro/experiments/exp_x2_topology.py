@@ -27,22 +27,29 @@ from repro.experiments.workloads import WORKLOADS, Workload
 __all__ = ["run_x2_topology", "topology_makespans"]
 
 
-def topology_makespans(network: LinearNetwork) -> dict[str, float]:
+def topology_makespans(
+    network: LinearNetwork, *, precomputed: dict[str, float] | None = None
+) -> dict[str, float]:
     """Optimal makespans of the same resources under each architecture.
 
     The processor pool is ``network.w`` and the link pool ``network.z``;
-    the bus uses the mean link rate (one shared medium).
+    the bus uses the mean link rate (one shared medium).  ``precomputed``
+    supplies already-solved makespans by architecture name (the batch
+    path solves chain/star/bus for the whole workload in one pass).
     """
     w = network.w
     z = network.z
+    pre = precomputed or {}
     spans = {
-        "linear-boundary": solve_linear_boundary(network).makespan,
+        "linear-boundary": pre["linear-boundary"]
+        if "linear-boundary" in pre
+        else solve_linear_boundary(network).makespan,
         "linear-interior": solve_linear_interior(w, z, int(network.m // 2)).makespan,
         "linear-best-root": min(
             solve_linear_interior(w, z, r).makespan for r in range(network.size)
         ),
-        "star": solve_star(StarNetwork(w, z)).makespan,
-        "bus": solve_bus(BusNetwork(w, float(z.mean()))).makespan,
+        "star": pre["star"] if "star" in pre else solve_star(StarNetwork(w, z)).makespan,
+        "bus": pre["bus"] if "bus" in pre else solve_bus(BusNetwork(w, float(z.mean()))).makespan,
     }
     # A random tree over the same node pool (seeded by the instance size
     # for determinism).
@@ -52,7 +59,9 @@ def topology_makespans(network: LinearNetwork) -> dict[str, float]:
     return spans
 
 
-def run_x2_topology(workload: Workload | None = None) -> ExperimentResult:
+def run_x2_topology(
+    workload: Workload | None = None, *, use_batch: bool = False
+) -> ExperimentResult:
     workload = workload or WORKLOADS["medium-uniform"]
     table = Table(
         title="X2 — optimal makespan by architecture (same resources)",
@@ -69,9 +78,25 @@ def run_x2_topology(workload: Workload | None = None) -> ExperimentResult:
         notes="star speedup = linear-boundary / star; grows with m (relay penalty of chains)",
     )
     all_ok = True
+    pairs = list(workload.networks())
+    precomputed: list[dict[str, float]] = [{} for _ in pairs]
+    if use_batch:
+        # One batched pass per architecture over the whole workload;
+        # chain/star/bus kernels are elementwise across instances.  The
+        # interior-root and tree solves have no batch kernel and stay
+        # scalar either way.
+        from repro.dlt.batch import solve_many
+
+        chains = solve_many([net for _m, net in pairs])
+        stars = solve_many([StarNetwork(net.w, net.z) for _m, net in pairs])
+        buses = solve_many([BusNetwork(net.w, float(net.z.mean())) for _m, net in pairs])
+        for pre, chain, star, bus in zip(precomputed, chains, stars, buses):
+            pre["linear-boundary"] = chain.makespan
+            pre["star"] = star.makespan
+            pre["bus"] = bus.makespan
     by_m: dict[int, list[dict[str, float]]] = {}
-    for m, network in workload.networks():
-        by_m.setdefault(m, []).append(topology_makespans(network))
+    for (m, network), pre in zip(pairs, precomputed):
+        by_m.setdefault(m, []).append(topology_makespans(network, precomputed=pre))
     for m in sorted(by_m):
         rows = by_m[m]
         means = {k: float(np.mean([r[k] for r in rows])) for k in rows[0]}

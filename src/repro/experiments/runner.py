@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.experiments.harness import ExperimentResult
+from repro.obs.metrics import collecting, get_registry
 
 __all__ = [
     "ExperimentRun",
@@ -40,6 +41,7 @@ __all__ = [
     "run_experiments",
     "run_replications",
     "format_runs",
+    "timing_report",
     "benchmark_batch",
     "write_benchmark",
 ]
@@ -59,24 +61,34 @@ def task_seed(name: str, base_seed: int = 0) -> int:
 
 @dataclass(frozen=True)
 class ExperimentRun:
-    """One executed experiment task."""
+    """One executed experiment task.
+
+    ``metrics`` is the task's own metrics delta — the registry snapshot
+    collected around just this experiment call, whichever process ran it.
+    """
 
     exp_id: str
     result: ExperimentResult
     duration: float
     seed: int | None = None
     replication: int | None = None
+    metrics: dict[str, Any] | None = None
 
 
 def _call_experiment(
     exp_id: str, seed: int | None, use_batch: bool, kwargs: Mapping[str, Any]
-) -> tuple[ExperimentResult, float]:
+) -> tuple[ExperimentResult, float, dict[str, Any]]:
     """Worker entry point: run one experiment with task-derived options.
 
     ``seed``/``use_batch`` are forwarded only to experiments whose
     signatures accept them; extra ``kwargs`` are passed verbatim (the
     caller owns their validity).  Module-level so it pickles into worker
     processes.
+
+    The call runs inside :func:`~repro.obs.metrics.collecting`, so the
+    returned snapshot is this task's metrics *delta* — pool workers are
+    reused across tasks, and scoping per task is what keeps a worker's
+    earlier tasks from being counted again.
     """
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -88,18 +100,29 @@ def _call_experiment(
     if "use_batch" in params:
         call_kwargs.setdefault("use_batch", use_batch)
     start = time.perf_counter()
-    result = fn(**call_kwargs)
-    return result, time.perf_counter() - start
+    with collecting() as registry:
+        result = fn(**call_kwargs)
+        snapshot = registry.snapshot()
+    return result, time.perf_counter() - start, snapshot
 
 
 def _execute(tasks: list[tuple[str, int | None, bool, dict[str, Any]]], jobs: int):
     if jobs <= 1:
+        # In-process: collecting() inside _call_experiment already merged
+        # each task's delta into this process's registry.
         return [_call_experiment(*task) for task in tasks]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [pool.submit(_call_experiment, *task) for task in tasks]
         # Collected in submission order — worker scheduling cannot reorder
         # or reseed anything.
-        return [future.result() for future in futures]
+        outcomes = [future.result() for future in futures]
+    # Worker-side counts would otherwise die with the pool; merging the
+    # per-task snapshots here is what closes the old blind spot where
+    # e.g. crypto counters ignored everything run under --jobs > 1.
+    registry = get_registry()
+    for _result, _duration, snapshot in outcomes:
+        registry.merge(snapshot)
+    return outcomes
 
 
 def run_experiments(
@@ -147,8 +170,10 @@ def run_experiments(
     ]
     outcomes = _execute(tasks, jobs)
     return [
-        ExperimentRun(exp_id=task[0], result=result, duration=duration, seed=task[1])
-        for task, (result, duration) in zip(tasks, outcomes)
+        ExperimentRun(
+            exp_id=task[0], result=result, duration=duration, seed=task[1], metrics=metrics
+        )
+        for task, (result, duration, metrics) in zip(tasks, outcomes)
     ]
 
 
@@ -179,9 +204,14 @@ def run_replications(
     outcomes = _execute(tasks, jobs)
     return [
         ExperimentRun(
-            exp_id=exp_id, result=result, duration=duration, seed=task[1], replication=i
+            exp_id=exp_id,
+            result=result,
+            duration=duration,
+            seed=task[1],
+            replication=i,
+            metrics=metrics,
         )
-        for i, (task, (result, duration)) in enumerate(zip(tasks, outcomes))
+        for i, (task, (result, duration, metrics)) in enumerate(zip(tasks, outcomes))
     ]
 
 
@@ -199,6 +229,35 @@ def format_runs(runs: Sequence[ExperimentRun]) -> str:
     if failed:
         footer += f": {failed}"
     return "\n\n".join(blocks + [footer])
+
+
+def timing_report(
+    runs: Sequence[ExperimentRun], *, jobs: int = 1, wall_s: float | None = None
+) -> dict[str, Any]:
+    """Per-task timings and worker utilization for a completed run set.
+
+    ``busy_s`` is the summed task time; with ``wall_s`` (the caller's
+    measured wall clock for the whole set) the report also includes
+    ``worker_utilization = busy_s / (jobs * wall_s)`` — how much of the
+    pool's capacity the tasks actually filled.  The shape matches the
+    ``BENCH_*.json`` records so it can be dropped into a benchmark file.
+    """
+    tasks = []
+    for run in runs:
+        label = run.exp_id if run.replication is None else f"{run.exp_id}#{run.replication}"
+        tasks.append({"task": label, "duration_s": run.duration, "seed": run.seed})
+    busy = float(sum(run.duration for run in runs))
+    report: dict[str, Any] = {
+        "jobs": jobs,
+        "n_tasks": len(tasks),
+        "busy_s": busy,
+        "max_task_s": max((t["duration_s"] for t in tasks), default=0.0),
+        "tasks": tasks,
+    }
+    if wall_s is not None and wall_s > 0:
+        report["wall_s"] = wall_s
+        report["worker_utilization"] = busy / (jobs * wall_s)
+    return report
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -238,7 +297,14 @@ def benchmark_batch(
     """
     import numpy as np
 
-    from repro.dlt.batch import solve_linear_batch, stack_networks
+    from repro.dlt.batch import (
+        linear_cache_clear,
+        linear_cache_info,
+        record_cache_metrics,
+        solve_linear_batch,
+        solve_linear_cached,
+        stack_networks,
+    )
     from repro.dlt.linear import solve_linear_boundary
     from repro.network.generators import random_linear_network
 
@@ -248,6 +314,20 @@ def benchmark_batch(
     w, z = stack_networks(networks)
     batch_s = _best_of(lambda: solve_linear_batch(w, z))
     batch_total_s = _best_of(lambda: solve_linear_batch(*stack_networks(networks)))
+
+    # Cache behaviour on a replay workload: a cold pass misses every
+    # instance, a second pass over the same networks hits every one.
+    linear_cache_clear()
+    cold_start = time.perf_counter()
+    for net in networks:
+        solve_linear_cached(net)
+    cold_s = time.perf_counter() - cold_start
+    warm_start = time.perf_counter()
+    for net in networks:
+        solve_linear_cached(net)
+    warm_s = time.perf_counter() - warm_start
+    cache = linear_cache_info()
+    record_cache_metrics()
 
     ids = list(experiment_ids)
     serial_s = _best_of(lambda: run_experiments(ids, jobs=1), repeats=1)
@@ -267,6 +347,19 @@ def benchmark_batch(
             "batch_with_stacking_s": batch_total_s,
             "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
             "speedup_with_stacking": scalar_s / batch_total_s if batch_total_s > 0 else float("inf"),
+        },
+        "solve_cache": {
+            "n_networks": n_networks,
+            "cold_pass_s": cold_s,
+            "warm_pass_s": warm_s,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": cache.hits / (cache.hits + cache.misses)
+            if (cache.hits + cache.misses)
+            else 0.0,
+            "size": cache.currsize,
+            "maxsize": cache.maxsize,
+            "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
         },
         "parallel_runner": {
             "experiment_ids": ids,

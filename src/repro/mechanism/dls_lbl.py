@@ -24,12 +24,15 @@ so the conservation invariant is checkable afterwards.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.agents.base import ProcessorAgent
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.crypto.signing import SignedMessage, sign
 from repro.dlt.allocation import LinearSchedule
@@ -139,6 +142,11 @@ class DLSLBLMechanism:
         deterministic).
     key_seed:
         Optional deterministic seed for the simulated PKI.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when given, the run
+        emits ``run``/``phase_*`` spans plus ``grievance``, ``fine``,
+        ``audit``, ``ledger_transfer`` and ``sim_interval`` events.
+        ``None`` (the default) records nothing and costs nothing.
     """
 
     def __init__(
@@ -153,6 +161,7 @@ class DLSLBLMechanism:
         rng: np.random.Generator | None = None,
         key_seed: bytes | None = b"dls-lbl",
         enforcement: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.z = np.asarray(link_rates, dtype=np.float64)
         if self.z.ndim != 1 or self.z.size == 0:
@@ -184,13 +193,45 @@ class DLSLBLMechanism:
         #: Exists only so experiment A1 can quantify what each enforcement
         #: component is worth; a deployment would never disable it.
         self.enforcement = bool(enforcement)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
+    def _span(self, kind: str, **attrs):
+        """A tracer span, or a no-op context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(kind, **attrs)
+
     def run(self) -> MechanismOutcome:
-        """Execute Phases I–IV and return the full outcome."""
+        """Execute Phases I–IV and return the full outcome.
+
+        The run is wrapped in a ``run`` trace span with one nested span
+        per protocol phase; per-phase wall-clock goes to the metrics
+        registry (``time.mechanism.phase_*``), never into the trace.
+        """
+        registry = get_registry()
+        registry.inc("mechanism.runs")
+        with registry.timer("mechanism.run"), self._span(
+            "run",
+            m=self.m,
+            fine=self.fine,
+            audit_probability=self.audit_probability,
+            total_load=self.total_load,
+            enforcement=self.enforcement,
+        ) as run_span:
+            outcome = self._run_phases(registry)
+        if run_span is not None:
+            run_span.set(
+                completed=outcome.completed,
+                aborted_phase=outcome.aborted_phase,
+                makespan=outcome.makespan,
+            )
+        return outcome
+
+    def _run_phases(self, registry) -> MechanismOutcome:
         m = self.m
-        ledger = PaymentLedger()
+        ledger = PaymentLedger(tracer=self.tracer)
         lambda_device = LambdaDevice(self.total_load)
         meter = TamperProofMeter(self._keys[0])
         court = GrievanceCourt(
@@ -208,51 +249,52 @@ class DLSLBLMechanism:
         w_bar = np.empty(m + 1)
         alpha_hat = np.empty(m + 1)
         bid_messages: dict[int, SignedMessage] = {}
-        for i in range(m, 0, -1):
-            agent = self.agents[i]
-            if i == m:
-                honest = bids[m]
-            else:
-                tail = w_bar[i + 1] + self.z[i]  # link i+1 is z[i]
-                hat = tail / (bids[i] + tail)
-                honest = hat * bids[i]
-            reported = agent.phase1_w_bar(honest)
-            w_bar[i] = reported
-            if i == m:
-                # The terminal's equivalent bid IS its raw bid
-                # (alpha_hat_m = 1), so a "miscomputed" report is simply a
-                # different bid.
-                bids[m] = reported
-                alpha_hat[i] = 1.0
-            else:
-                # The local fraction consistent with the agent's own signed
-                # story (honest agents: the true alpha_hat).
-                alpha_hat[i] = reported / bids[i]
-            message = sign(self._keys[i], bid_payload(i, reported))
-            bid_messages[i] = message
-            if self.enforcement and agent.phase1_sends_malformed():
-                # "Processor P_{i-1} terminates the protocol if it ...
-                # receives malformed or inauthentic messages."  With no
-                # authentic evidence there is nobody to fine.
-                return self._aborted(1, bids, w_bar, adjudications, ledger)
-            second = agent.phase1_second_bid(reported)
-            if self.enforcement and second is not None and second != reported:
-                # Deviation (i): the recipient P_{i-1} holds two authentic,
-                # different bids and submits both to the root.
-                conflicting = sign(self._keys[i], bid_payload(i, second))
-                grievance = Grievance(
-                    kind=GrievanceKind.CONTRADICTORY_MESSAGES,
-                    accuser=i - 1,
-                    accused=i,
-                    conflicting=(message, conflicting),
-                )
-                adjudications.append(self._settle(court.adjudicate(grievance), ledger))
-                return self._aborted(1, bids, w_bar, adjudications, ledger)
+        with registry.timer("mechanism.phase_1"), self._span("phase_1", m=m):
+            for i in range(m, 0, -1):
+                agent = self.agents[i]
+                if i == m:
+                    honest = bids[m]
+                else:
+                    tail = w_bar[i + 1] + self.z[i]  # link i+1 is z[i]
+                    hat = tail / (bids[i] + tail)
+                    honest = hat * bids[i]
+                reported = agent.phase1_w_bar(honest)
+                w_bar[i] = reported
+                if i == m:
+                    # The terminal's equivalent bid IS its raw bid
+                    # (alpha_hat_m = 1), so a "miscomputed" report is simply a
+                    # different bid.
+                    bids[m] = reported
+                    alpha_hat[i] = 1.0
+                else:
+                    # The local fraction consistent with the agent's own signed
+                    # story (honest agents: the true alpha_hat).
+                    alpha_hat[i] = reported / bids[i]
+                message = sign(self._keys[i], bid_payload(i, reported))
+                bid_messages[i] = message
+                if self.enforcement and agent.phase1_sends_malformed():
+                    # "Processor P_{i-1} terminates the protocol if it ...
+                    # receives malformed or inauthentic messages."  With no
+                    # authentic evidence there is nobody to fine.
+                    return self._aborted(1, bids, w_bar, adjudications, ledger)
+                second = agent.phase1_second_bid(reported)
+                if self.enforcement and second is not None and second != reported:
+                    # Deviation (i): the recipient P_{i-1} holds two authentic,
+                    # different bids and submits both to the root.
+                    conflicting = sign(self._keys[i], bid_payload(i, second))
+                    grievance = Grievance(
+                        kind=GrievanceKind.CONTRADICTORY_MESSAGES,
+                        accuser=i - 1,
+                        accused=i,
+                        conflicting=(message, conflicting),
+                    )
+                    adjudications.append(self._settle(court.adjudicate(grievance), ledger))
+                    return self._aborted(1, bids, w_bar, adjudications, ledger)
 
-        # Root-side head of the reduction (the root is obedient).
-        tail0 = w_bar[1] + self.z[0]
-        alpha_hat[0] = tail0 / (bids[0] + tail0)
-        w_bar[0] = alpha_hat[0] * bids[0]
+            # Root-side head of the reduction (the root is obedient).
+            tail0 = w_bar[1] + self.z[0]
+            alpha_hat[0] = tail0 / (bids[0] + tail0)
+            w_bar[0] = alpha_hat[0] * bids[0]
 
         # ---------------- Phase II: top-down G cascade --------------------
         received_share = np.empty(m + 1)  # D_i per unit load, per the bids
@@ -262,52 +304,53 @@ class DLSLBLMechanism:
         def scalar(signer: int, kind: str, proc: int, value: float) -> SignedMessage:
             return sign(self._keys[signer], value_payload(kind, proc, value))
 
-        # Root constructs G_1 (eq. 4.1) — all components root-signed.
-        received_share[1] = 1.0 - alpha_hat[0]
-        g_messages[1] = GMessage(
-            recipient=1,
-            d_prev=scalar(0, "D", 0, 1.0),
-            d_self=scalar(0, "D", 1, received_share[1]),
-            w_bar_prev=scalar(0, "w_bar", 0, w_bar[0]),
-            w_prev=scalar(0, "w", 0, bids[0]),
-            w_bar_self=scalar(0, "w_bar", 1, w_bar[1]),
-        )
+        with registry.timer("mechanism.phase_2"), self._span("phase_2"):
+            # Root constructs G_1 (eq. 4.1) — all components root-signed.
+            received_share[1] = 1.0 - alpha_hat[0]
+            g_messages[1] = GMessage(
+                recipient=1,
+                d_prev=scalar(0, "D", 0, 1.0),
+                d_self=scalar(0, "D", 1, received_share[1]),
+                w_bar_prev=scalar(0, "w_bar", 0, w_bar[0]),
+                w_prev=scalar(0, "w", 0, bids[0]),
+                w_bar_self=scalar(0, "w_bar", 1, w_bar[1]),
+            )
 
-        for i in range(1, m + 1):
-            agent = self.agents[i]
-            g = g_messages[i]
-            if self.enforcement and agent.phase2_validates():
-                try:
-                    verify_g_message(
-                        g,
-                        registry=self.registry,
-                        recipient=i,
-                        own_w_bar=w_bar[i],
-                        z_link=float(self.z[i - 1]),
+            for i in range(1, m + 1):
+                agent = self.agents[i]
+                g = g_messages[i]
+                if self.enforcement and agent.phase2_validates():
+                    try:
+                        verify_g_message(
+                            g,
+                            registry=self.registry,
+                            recipient=i,
+                            own_w_bar=w_bar[i],
+                            z_link=float(self.z[i - 1]),
+                        )
+                    except ProtocolViolation:
+                        grievance = Grievance(
+                            kind=GrievanceKind.INCONSISTENT_COMPUTATION,
+                            accuser=i,
+                            accused=i - 1,
+                            g_message=g,
+                        )
+                        verdict = court.adjudicate(grievance, accuser_bid=bid_messages[i])
+                        adjudications.append(self._settle(verdict, ledger))
+                        return self._aborted(2, bids, w_bar, adjudications, ledger)
+                if i < m:
+                    honest_d_next = received_share[i] * (1.0 - alpha_hat[i])
+                    d_next = agent.phase2_d_next(honest_d_next)
+                    received_share[i + 1] = d_next
+                    echo = agent.phase2_echo_bid(w_bar[i + 1])
+                    g_messages[i + 1] = GMessage(
+                        recipient=i + 1,
+                        d_prev=g.d_self,  # relay dsm_{i-1}(D_i)
+                        d_self=scalar(i, "D", i + 1, d_next),
+                        w_bar_prev=g.w_bar_self,  # relay dsm_{i-1}(w_bar_i)
+                        w_prev=scalar(i, "w", i, bids[i]),
+                        w_bar_self=scalar(i, "w_bar", i + 1, echo),
                     )
-                except ProtocolViolation:
-                    grievance = Grievance(
-                        kind=GrievanceKind.INCONSISTENT_COMPUTATION,
-                        accuser=i,
-                        accused=i - 1,
-                        g_message=g,
-                    )
-                    verdict = court.adjudicate(grievance, accuser_bid=bid_messages[i])
-                    adjudications.append(self._settle(verdict, ledger))
-                    return self._aborted(2, bids, w_bar, adjudications, ledger)
-            if i < m:
-                honest_d_next = received_share[i] * (1.0 - alpha_hat[i])
-                d_next = agent.phase2_d_next(honest_d_next)
-                received_share[i + 1] = d_next
-                echo = agent.phase2_echo_bid(w_bar[i + 1])
-                g_messages[i + 1] = GMessage(
-                    recipient=i + 1,
-                    d_prev=g.d_self,  # relay dsm_{i-1}(D_i)
-                    d_self=scalar(i, "D", i + 1, d_next),
-                    w_bar_prev=g.w_bar_self,  # relay dsm_{i-1}(w_bar_i)
-                    w_prev=scalar(i, "w", i, bids[i]),
-                    w_bar_self=scalar(i, "w_bar", i + 1, echo),
-                )
 
         # The bid-derived schedule (what an outside observer would compute
         # from the reported values).
@@ -315,124 +358,154 @@ class DLSLBLMechanism:
         schedule = self._schedule_from_bids(bids, w_bar, alpha_hat, received_share)
 
         # ---------------- Phase III: distribution & computation ----------
-        actual_rates = np.empty(m + 1)
-        actual_rates[0] = self.root_rate
-        for i in range(1, m + 1):
-            agent = self.agents[i]
-            actual_rates[i] = max(agent.choose_execution_rate(), agent.true_rate)
+        with registry.timer("mechanism.phase_3"), self._span("phase_3") as phase3_span:
+            actual_rates = np.empty(m + 1)
+            actual_rates[0] = self.root_rate
+            for i in range(1, m + 1):
+                agent = self.agents[i]
+                actual_rates[i] = max(agent.choose_execution_rate(), agent.true_rate)
 
-        retained, received_actual = self._flows(assigned, received_share)
-        network = LinearNetwork(actual_rates, self.z)
-        sim_result = simulate_linear_chain(
-            network, retained, speeds=actual_rates, total_load=self.total_load
-        )
-        computed = sim_result.computed
+            retained, received_actual = self._flows(assigned, received_share)
+            network = LinearNetwork(actual_rates, self.z)
+            sim_result = simulate_linear_chain(
+                network, retained, speeds=actual_rates, total_load=self.total_load
+            )
+            computed = sim_result.computed
+            if self.tracer is not None:
+                sim_result.trace.record_to(self.tracer)
+            if phase3_span is not None:
+                phase3_span.set(makespan=sim_result.makespan)
 
-        # Λ certificates: processor i holds the trailing block range of
-        # what actually reached it.
-        certificates: dict[int, LoadCertificate] = {}
-        for i in range(1, m + 1):
-            amount = lambda_device.quantize(received_actual[i])
-            first_block = lambda_device.total_blocks - int(round(amount * lambda_device.blocks_per_unit))
-            certificates[i] = lambda_device.issue(i, first_block, amount)
+            # Λ certificates: processor i holds the trailing block range of
+            # what actually reached it.
+            certificates: dict[int, LoadCertificate] = {}
+            for i in range(1, m + 1):
+                amount = lambda_device.quantize(received_actual[i])
+                first_block = lambda_device.total_blocks - int(round(amount * lambda_device.blocks_per_unit))
+                certificates[i] = lambda_device.issue(i, first_block, amount)
 
-        # Meter readings (root-signed).
-        meter_msgs: dict[int, SignedMessage] = {}
-        for i in range(1, m + 1):
-            meter_msgs[i] = meter.record(i, actual_rates[i], float(computed[i]))
+            # Meter readings (root-signed).
+            meter_msgs: dict[int, SignedMessage] = {}
+            for i in range(1, m + 1):
+                meter_msgs[i] = meter.record(i, actual_rates[i], float(computed[i]))
 
-        # Overload grievances (honest victims report; Phase III grievances
-        # do not abort the run).
-        for i in range(1, m + 1) if self.enforcement else ():
-            expected = received_share[i] * self.total_load
-            if received_actual[i] > expected + _LOAD_TOL and self.agents[i].reports_overload():
-                grievance = Grievance(
-                    kind=GrievanceKind.OVERLOAD,
-                    accuser=i,
-                    accused=i - 1,
-                    g_message=g_messages[i],
-                    certificate=certificates[i],
-                    meter_reading=meter_msgs[i],
-                    expected_received=expected,
-                )
-                adjudications.append(self._settle(court.adjudicate(grievance), ledger))
+            # Overload grievances (honest victims report; Phase III grievances
+            # do not abort the run).
+            for i in range(1, m + 1) if self.enforcement else ():
+                expected = received_share[i] * self.total_load
+                if received_actual[i] > expected + _LOAD_TOL and self.agents[i].reports_overload():
+                    grievance = Grievance(
+                        kind=GrievanceKind.OVERLOAD,
+                        accuser=i,
+                        accused=i - 1,
+                        g_message=g_messages[i],
+                        certificate=certificates[i],
+                        meter_reading=meter_msgs[i],
+                        expected_received=expected,
+                    )
+                    adjudications.append(self._settle(court.adjudicate(grievance), ledger))
 
-        # Fabricated accusations (deviation (v)).
-        for i in range(1, m + 1) if self.enforcement else ():
-            agent = self.agents[i]
-            kind = agent.fabricates_accusation()
-            if kind is not None and received_actual[i] <= received_share[i] * self.total_load + _LOAD_TOL:
-                grievance = Grievance(
-                    kind=GrievanceKind.OVERLOAD,
-                    accuser=i,
-                    accused=i - 1,
-                    g_message=g_messages[i],
-                    certificate=certificates[i],
-                    meter_reading=meter_msgs[i],
-                    expected_received=received_share[i] * self.total_load,
-                )
-                adjudications.append(self._settle(court.adjudicate(grievance), ledger))
+            # Fabricated accusations (deviation (v)).
+            for i in range(1, m + 1) if self.enforcement else ():
+                agent = self.agents[i]
+                kind = agent.fabricates_accusation()
+                if kind is not None and received_actual[i] <= received_share[i] * self.total_load + _LOAD_TOL:
+                    grievance = Grievance(
+                        kind=GrievanceKind.OVERLOAD,
+                        accuser=i,
+                        accused=i - 1,
+                        g_message=g_messages[i],
+                        certificate=certificates[i],
+                        meter_reading=meter_msgs[i],
+                        expected_received=received_share[i] * self.total_load,
+                    )
+                    adjudications.append(self._settle(court.adjudicate(grievance), ledger))
 
         # ---------------- Phase IV: payments ------------------------------
-        # Root reimbursement (eq. 4.3): U_0 = 0 by construction.
-        ledger.pay(0, float(assigned[0] * self.root_rate), "root reimbursement")
+        with registry.timer("mechanism.phase_4"), self._span("phase_4"):
+            # Root reimbursement (eq. 4.3): U_0 = 0 by construction.
+            ledger.pay(0, float(assigned[0] * self.root_rate), "root reimbursement")
 
-        auditor = Auditor(self.audit_probability, self.fine, self.rng)
-        audits: list[AuditRecord] = []
-        correct_q = np.zeros(m + 1)
-        billed_q = np.zeros(m + 1)
-        for i in range(1, m + 1):
-            agent = self.agents[i]
-            breakdown = payment_breakdown(
-                proc=i,
-                is_terminal=(i == m),
-                assigned=float(assigned[i]),
-                computed=float(computed[i]),
-                actual_rate=float(actual_rates[i]),
-                own_bid=float(bids[i]),
-                own_w_bar=float(w_bar[i]),
-                own_alpha_hat=float(alpha_hat[i]),
-                predecessor_bid=float(bids[i - 1]),
-                z_link=float(self.z[i - 1]),
-            )
-            correct_q[i] = breakdown.payment
-            bill = agent.phase4_bill(breakdown.payment)
-            billed_q[i] = bill
-            # Q_j may be negative (a heavily misreporting agent owes the
-            # mechanism — the bonus term can exceed the compensation in
-            # magnitude); the ledger direction follows the sign.
-            if bill >= 0:
-                ledger.pay(i, bill, "phase IV bill")
-            else:
-                ledger.fine(i, -bill, "phase IV bill (negative payment)")
+            auditor = Auditor(self.audit_probability, self.fine, self.rng)
+            audits: list[AuditRecord] = []
+            correct_q = np.zeros(m + 1)
+            billed_q = np.zeros(m + 1)
+            for i in range(1, m + 1):
+                agent = self.agents[i]
+                breakdown = payment_breakdown(
+                    proc=i,
+                    is_terminal=(i == m),
+                    assigned=float(assigned[i]),
+                    computed=float(computed[i]),
+                    actual_rate=float(actual_rates[i]),
+                    own_bid=float(bids[i]),
+                    own_w_bar=float(w_bar[i]),
+                    own_alpha_hat=float(alpha_hat[i]),
+                    predecessor_bid=float(bids[i - 1]),
+                    z_link=float(self.z[i - 1]),
+                )
+                correct_q[i] = breakdown.payment
+                bill = agent.phase4_bill(breakdown.payment)
+                billed_q[i] = bill
+                # Q_j may be negative (a heavily misreporting agent owes the
+                # mechanism — the bonus term can exceed the compensation in
+                # magnitude); the ledger direction follows the sign.
+                if bill >= 0:
+                    ledger.pay(i, bill, "phase IV bill")
+                else:
+                    ledger.fine(i, -bill, "phase IV bill (negative payment)")
 
-            if not self.enforcement:
-                continue
-            proof = PaymentProof(
-                proc=i,
-                g_message=g_messages[i],
-                successor_bid=bid_messages.get(i + 1),
-                own_bid=scalar(i, "w", i, float(bids[i])),
-                meter=meter_msgs[i],
-                certificate=certificates[i],
-            )
-            record = auditor.audit(
-                i,
-                bill,
-                proof,
-                lambda p: recompute_payment_from_proof(
-                    p,
-                    registry=self.registry,
-                    meter=meter,
-                    lambda_device=lambda_device,
-                    link_rates=self.z,
-                    n_processors=m + 1,
-                    total_load=self.total_load,
-                ),
-            )
-            audits.append(record)
-            if record.fine > 0:
-                ledger.fine(i, record.fine, f"audit penalty (P{i})")
+                if not self.enforcement:
+                    continue
+                proof = PaymentProof(
+                    proc=i,
+                    g_message=g_messages[i],
+                    successor_bid=bid_messages.get(i + 1),
+                    own_bid=scalar(i, "w", i, float(bids[i])),
+                    meter=meter_msgs[i],
+                    certificate=certificates[i],
+                )
+                record = auditor.audit(
+                    i,
+                    bill,
+                    proof,
+                    lambda p: recompute_payment_from_proof(
+                        p,
+                        registry=self.registry,
+                        meter=meter,
+                        lambda_device=lambda_device,
+                        link_rates=self.z,
+                        n_processors=m + 1,
+                        total_load=self.total_load,
+                    ),
+                )
+                audits.append(record)
+                registry.inc("mechanism.audits")
+                if record.challenged:
+                    registry.inc("mechanism.audits_challenged")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "audit",
+                        proc=record.proc,
+                        challenged=record.challenged,
+                        billed=record.billed,
+                        recomputed=record.recomputed,
+                        proof_valid=record.proof_valid,
+                        fine=record.fine,
+                        reason=record.reason,
+                    )
+                if record.fine > 0:
+                    ledger.fine(i, record.fine, f"audit penalty (P{i})")
+                    registry.inc("mechanism.fines")
+                    registry.inc("mechanism.fine_volume", record.fine)
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "fine",
+                            proc=i,
+                            amount=record.fine,
+                            source="audit",
+                            reason=record.reason,
+                        )
 
         reports = self._reports(
             bids, w_bar, actual_rates, assigned, computed, correct_q, billed_q, ledger
@@ -503,7 +576,35 @@ class DLSLBLMechanism:
         The root needs no incentives, so rewards addressed to it are
         retained by the mechanism (its utility stays 0 per eq. 4.3).
         """
+        registry = get_registry()
+        registry.inc("mechanism.grievances")
+        if verdict.substantiated:
+            registry.inc("mechanism.grievances_substantiated")
+        if self.tracer is not None:
+            self.tracer.event(
+                "grievance",
+                grievance_kind=verdict.grievance.kind.value,
+                accuser=verdict.grievance.accuser,
+                accused=verdict.grievance.accused,
+                substantiated=verdict.substantiated,
+                fined=verdict.fined,
+                fine_amount=verdict.fine_amount,
+                rewarded=verdict.rewarded,
+                reward_amount=verdict.reward_amount,
+                reason=verdict.reason,
+            )
         ledger.fine(verdict.fined, verdict.fine_amount, f"grievance fine ({verdict.grievance.kind.value})")
+        if verdict.fine_amount > 0:
+            registry.inc("mechanism.fines")
+            registry.inc("mechanism.fine_volume", verdict.fine_amount)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "fine",
+                    proc=verdict.fined,
+                    amount=verdict.fine_amount,
+                    source="grievance",
+                    reason=verdict.grievance.kind.value,
+                )
         if verdict.rewarded != 0:
             ledger.pay(verdict.rewarded, verdict.reward_amount, f"grievance reward ({verdict.grievance.kind.value})")
         return verdict
@@ -518,6 +619,9 @@ class DLSLBLMechanism:
     ) -> MechanismOutcome:
         """An aborted run: nobody computes, utilities are transfer-only
         ("processors not partaking in complaints receive zero utility")."""
+        registry = get_registry()
+        registry.inc("mechanism.aborts")
+        registry.inc(f"mechanism.aborts.phase_{phase}")
         m = self.m
         zeros = np.zeros(m + 1)
         reports = self._reports(bids, w_bar, zeros, zeros, zeros, zeros, zeros, ledger)

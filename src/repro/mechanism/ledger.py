@@ -9,9 +9,13 @@ zero — the conservation invariant the property tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from repro.exceptions import LedgerError
+from repro.obs.metrics import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 __all__ = ["LedgerEntry", "PaymentLedger", "MECHANISM"]
 
@@ -50,9 +54,11 @@ class PaymentLedger:
     0.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer: "Tracer | None" = None) -> None:
         self.entries: list[LedgerEntry] = []
         self._balances: dict[Account, float] = {}
+        #: Optional event tracer; every transfer emits ``ledger_transfer``.
+        self.tracer = tracer
 
     def transfer(self, debtor: Account, creditor: Account, amount: float, memo: str) -> None:
         """Record a transfer from ``debtor`` to ``creditor``."""
@@ -60,6 +66,17 @@ class PaymentLedger:
         self.entries.append(entry)
         self._balances[debtor] = self._balances.get(debtor, 0.0) - entry.amount
         self._balances[creditor] = self._balances.get(creditor, 0.0) + entry.amount
+        registry = get_registry()
+        registry.inc("ledger.transfers")
+        registry.inc("ledger.volume", entry.amount)
+        if self.tracer is not None:
+            self.tracer.event(
+                "ledger_transfer",
+                debtor=debtor,
+                creditor=creditor,
+                amount=entry.amount,
+                memo=memo,
+            )
 
     def pay(self, proc: Account, amount: float, memo: str) -> None:
         """Mechanism pays ``proc`` (compensation, bonus, reward)."""

@@ -1,0 +1,193 @@
+"""Population runs of DLS-LBL: many mechanism instances, one trace.
+
+This is the observability layer's workhorse: draw ``count`` random
+linear networks, run the mechanism on each, and collect every run's
+trace events and metrics into a single deterministic record.  Seeds are
+derived from run *identity* (``task_seed(f"mech/{index}", seed)``), the
+per-run traces carry only simulated time and logical ids, and
+:func:`~repro.obs.tracer.merge_traces` rebases ids in submission order —
+so the merged trace is byte-identical at any ``--jobs`` count and across
+repeated invocations.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import task_seed
+from repro.obs.metrics import collecting, get_registry, merge_snapshots
+from repro.obs.tracer import TraceEvent, Tracer, merge_traces
+
+__all__ = ["PopulationResult", "make_deviant", "run_population"]
+
+#: Deviant strategies injectable via ``INDEX:KIND[:PARAM]`` specs
+#: (kind -> (agent class name, default parameter)).
+_DEVIANT_KINDS = (
+    "shed",
+    "overcharge",
+    "misbid",
+    "slow",
+    "contradict",
+    "miscompute",
+    "tamper",
+    "accuse",
+)
+
+
+def make_deviant(spec: str, true_rates: Sequence[float]):
+    """Build a deviant agent from an ``INDEX:KIND[:PARAM]`` spec.
+
+    ``INDEX`` is the 1-based agent index into ``true_rates``; ``KIND``
+    is one of ``shed``, ``overcharge``, ``misbid``, ``slow``,
+    ``contradict``, ``miscompute``, ``tamper``, ``accuse``.  Raises
+    :class:`ValueError` on unknown kinds or malformed specs.
+    """
+    from repro.agents import (
+        ContradictoryBidAgent,
+        FalseAccuserAgent,
+        LoadSheddingAgent,
+        MisbiddingAgent,
+        MiscomputingAgent,
+        OverchargingAgent,
+        RelayTamperingAgent,
+        SlowExecutionAgent,
+    )
+
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise ValueError(f"deviant spec must be INDEX:KIND[:PARAM], got {spec!r}")
+    index = int(parts[0])
+    kind = parts[1]
+    param = float(parts[2]) if len(parts) > 2 else None
+    if not 1 <= index <= len(true_rates):
+        raise ValueError(f"deviant index {index} outside 1..{len(true_rates)}")
+    t = float(true_rates[index - 1])
+    factories = {
+        "shed": lambda: LoadSheddingAgent(index, t, shed_fraction=param if param is not None else 0.5),
+        "overcharge": lambda: OverchargingAgent(index, t, overcharge=param if param is not None else 1.0),
+        "misbid": lambda: MisbiddingAgent(index, t, bid_factor=param if param is not None else 1.5),
+        "slow": lambda: SlowExecutionAgent(index, t, slowdown=param if param is not None else 2.0),
+        "contradict": lambda: ContradictoryBidAgent(index, t),
+        "miscompute": lambda: MiscomputingAgent(index, t, w_bar_factor=param if param is not None else 0.8),
+        "tamper": lambda: RelayTamperingAgent(index, t, d_factor=param if param is not None else 0.7),
+        "accuse": lambda: FalseAccuserAgent(index, t),
+    }
+    if kind not in factories:
+        raise ValueError(f"unknown deviant kind {kind!r}; choose from {sorted(factories)}")
+    return factories[kind]()
+
+
+@dataclass(frozen=True)
+class PopulationResult:
+    """Outcome of :func:`run_population`.
+
+    Attributes
+    ----------
+    runs:
+        One summary dict per mechanism run, in index order.
+    events:
+        Merged trace events (empty unless tracing was requested); ids
+        rebased so the stream is identical at any jobs count.
+    metrics:
+        Merged metrics snapshot over all runs (wall-clock timers live
+        here, never in ``events``).
+    """
+
+    runs: list[dict[str, Any]]
+    events: list[TraceEvent] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+def _run_one(
+    index: int,
+    m: int,
+    seed: int,
+    audit_probability: float,
+    deviant: str | None,
+    trace: bool,
+) -> tuple[dict[str, Any], list[TraceEvent], dict[str, Any]]:
+    """Execute one population member.  Module-level so it pickles into
+    pool workers; everything returned is picklable."""
+    from repro.agents import TruthfulAgent
+    from repro.mechanism.dls_lbl import DLSLBLMechanism
+    from repro.mechanism.ledger import MECHANISM
+    from repro.network.generators import random_linear_network
+
+    run_seed = task_seed(f"mech/{index}", seed)
+    rng = np.random.default_rng(run_seed)
+    network = random_linear_network(m, rng)
+    true_rates = [float(x) for x in network.w[1:]]
+    agents = [TruthfulAgent(i, t) for i, t in enumerate(true_rates, start=1)]
+    if deviant is not None:
+        agent = make_deviant(deviant, true_rates)
+        agents[agent.index - 1] = agent
+    tracer = Tracer() if trace else None
+    with collecting() as registry:
+        mech = DLSLBLMechanism(
+            network.z,
+            float(network.w[0]),
+            agents,
+            audit_probability=audit_probability,
+            rng=rng,
+            tracer=tracer,
+        )
+        outcome = mech.run()
+        snapshot = registry.snapshot()
+    fines = sum(e.amount for e in outcome.ledger.entries if e.creditor == MECHANISM)
+    summary = {
+        "index": index,
+        "seed": run_seed,
+        "m": m,
+        "completed": outcome.completed,
+        "aborted_phase": outcome.aborted_phase,
+        "makespan": outcome.makespan,
+        "fines_total": fines,
+        "n_grievances": len(outcome.adjudications),
+        "n_audits": len(outcome.audits),
+        "mechanism_outlay": outcome.ledger.mechanism_outlay(),
+    }
+    events = tracer.events if tracer is not None else []
+    return summary, events, snapshot
+
+
+def run_population(
+    m: int,
+    count: int,
+    *,
+    seed: int = 0,
+    jobs: int = 1,
+    audit_probability: float = 0.25,
+    deviant: str | None = None,
+    trace: bool = False,
+) -> PopulationResult:
+    """Run the mechanism on ``count`` random ``(m+1)``-processor chains.
+
+    Run ``i`` draws its network and mechanism randomness from
+    ``task_seed(f"mech/{i}", seed)``, so results (and the merged trace)
+    are functions of ``(m, count, seed, audit_probability, deviant)``
+    only — ``jobs`` changes wall-clock, never output.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    tasks = [(i, m, seed, audit_probability, deviant, trace) for i in range(count)]
+    if jobs <= 1:
+        outcomes = [_run_one(*task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_one, *task) for task in tasks]
+            # Submission order, not completion order — determinism.
+            outcomes = [future.result() for future in futures]
+        # In-process runs merged their deltas via collecting(); worker
+        # runs only merged into the (discarded) worker registry, so
+        # bring their snapshots home here.
+        registry = get_registry()
+        for _summary, _events, snapshot in outcomes:
+            registry.merge(snapshot)
+    summaries = [summary for summary, _events, _snapshot in outcomes]
+    events = merge_traces([events for _summary, events, _snapshot in outcomes])
+    metrics = merge_snapshots([snapshot for _summary, _events, snapshot in outcomes])
+    return PopulationResult(runs=summaries, events=events, metrics=metrics)

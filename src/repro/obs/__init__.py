@@ -1,0 +1,51 @@
+"""Observability layer: structured tracing, metrics, profiling reports.
+
+Three pieces, shared by the mechanism, the simulators, the DLT kernels
+and the experiment runner:
+
+- :mod:`repro.obs.tracer` — deterministic JSONL span/event records with
+  simulated-time stamps (byte-identical across ``--jobs`` counts);
+- :mod:`repro.obs.metrics` — named counters/gauges/histograms/timers
+  with per-worker snapshot-and-merge;
+- :mod:`repro.obs.report` / :mod:`repro.obs.summary` —
+  ``BENCH_*.json``-compatible metrics reports and the
+  ``trace summarize`` rollups.
+
+See ``docs/observability.md`` for the event schema and metric names.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collecting,
+    get_registry,
+    merge_snapshots,
+)
+from repro.obs.report import machine_info, metrics_report, write_metrics_report
+from repro.obs.summary import summarize_trace
+from repro.obs.tracer import (
+    TraceEvent,
+    Tracer,
+    event_to_json,
+    events_to_jsonl,
+    merge_traces,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "collecting",
+    "event_to_json",
+    "events_to_jsonl",
+    "get_registry",
+    "machine_info",
+    "merge_snapshots",
+    "merge_traces",
+    "metrics_report",
+    "read_trace",
+    "summarize_trace",
+    "write_metrics_report",
+    "write_trace",
+]

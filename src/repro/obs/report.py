@@ -1,0 +1,55 @@
+"""Metrics reports in the ``BENCH_*.json`` house style.
+
+The repo records performance trajectories as small JSON documents with a
+``machine`` stanza (see ``BENCH_batch.json``); this module renders a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot the same way so
+profiling output from any entry point — the CLI ``run`` command, the
+experiment runner's ``--metrics`` flag, the batch benchmark — is
+uniform and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Any, Mapping
+
+from repro.obs.metrics import get_registry
+
+__all__ = ["machine_info", "metrics_report", "write_metrics_report"]
+
+
+def machine_info() -> dict[str, Any]:
+    """The ``machine`` stanza used by every BENCH record."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+    }
+
+
+def metrics_report(snapshot: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """A BENCH-compatible report: machine info plus a metrics snapshot.
+
+    ``snapshot`` defaults to the active registry's current state.
+    """
+    snap = dict(snapshot) if snapshot is not None else get_registry().snapshot()
+    return {
+        "machine": machine_info(),
+        "counters": dict(sorted(snap.get("counters", {}).items())),
+        "gauges": dict(sorted(snap.get("gauges", {}).items())),
+        "histograms": dict(sorted(snap.get("histograms", {}).items())),
+    }
+
+
+def write_metrics_report(
+    path: str | os.PathLike[str], snapshot: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """Write :func:`metrics_report` to ``path`` as indented JSON."""
+    report = metrics_report(snapshot)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report

@@ -1,0 +1,242 @@
+"""Structured event tracing: deterministic JSONL span/event records.
+
+A :class:`Tracer` collects :class:`TraceEvent` records — point events and
+spans — with monotonically assigned ids and *simulated-time* stamps only.
+Nothing non-deterministic (wall clock, pids, object ids) ever enters a
+trace, so two runs of the same seeded workload produce byte-identical
+JSONL, regardless of worker count or machine.  Wall-clock profiling
+belongs in :mod:`repro.obs.metrics`.
+
+Event kinds used by the instrumented layers:
+
+=================  ====================================================
+``run``            One mechanism execution (span).
+``phase_1``..``4`` The four DLS-LBL protocol phases (spans, nested in
+                   ``run``).
+``grievance``      A grievance adjudicated by the court.
+``fine``           Money levied from a processor (grievance or audit).
+``audit``          One Phase IV audit draw and its outcome.
+``ledger_transfer``Every :class:`~repro.mechanism.ledger.PaymentLedger`
+                   movement.
+``sim_interval``   One Gantt bar (recv/send/compute) bridged from the
+                   discrete-event simulator; ``t0``/``t1`` are simulated
+                   times.
+=================  ====================================================
+
+Traces from parallel workers are merged with :func:`merge_traces`, which
+rebases ids in submission order — the merged trace is identical to the
+serial one.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "event_to_json",
+    "events_to_jsonl",
+    "read_trace",
+    "write_trace",
+    "merge_traces",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce ``value`` to a deterministic JSON-serializable form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item") and getattr(value, "ndim", None) == 0:
+        # numpy scalars; .item() yields the matching Python type.
+        return _jsonable(value.item())
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "tolist"):
+        return _jsonable(value.tolist())
+    return str(value)
+
+
+@dataclass
+class TraceEvent:
+    """One trace record.
+
+    Attributes
+    ----------
+    id:
+        Monotonic per-tracer id (0, 1, 2, ...), assigned at creation.
+    parent:
+        Id of the enclosing span, or ``None`` at top level.
+    kind:
+        Event kind (see module docstring).
+    t0, t1:
+        Simulated-time bounds where applicable (``None`` for purely
+        logical events; equal for point events with a timestamp).
+    attrs:
+        JSON-serializable payload.
+    """
+
+    id: int
+    parent: int | None
+    kind: str
+    t0: float | None = None
+    t1: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attrs: Any) -> "TraceEvent":
+        """Attach further attributes (spans fill in results on close)."""
+        for key, value in attrs.items():
+            self.attrs[key] = _jsonable(value)
+        return self
+
+
+def event_to_json(event: TraceEvent) -> str:
+    """Canonical one-line JSON for ``event`` (sorted keys, no spaces)."""
+    record = {
+        "id": event.id,
+        "parent": event.parent,
+        "kind": event.kind,
+        "t0": event.t0,
+        "t1": event.t1,
+        "attrs": event.attrs,
+    }
+    return json.dumps(record, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def events_to_jsonl(events: Sequence[TraceEvent]) -> str:
+    """The full JSONL document (one event per line, trailing newline)."""
+    return "".join(event_to_json(e) + "\n" for e in events)
+
+
+class Tracer:
+    """Collects events with deterministic ids and parent nesting.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("run", m=2) as run:
+    ...     _ = tracer.event("fine", proc=1, amount=3.5)
+    >>> [(e.id, e.parent, e.kind) for e in tracer.events]
+    [(0, None, 'run'), (1, 0, 'fine')]
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._next_id = 0
+        self._span_stack: list[int] = []
+
+    def _new(self, kind: str, parent: int | None, t0: float | None, t1: float | None, attrs: dict[str, Any]) -> TraceEvent:
+        if parent is None and self._span_stack:
+            parent = self._span_stack[-1]
+        event = TraceEvent(
+            id=self._next_id,
+            parent=parent,
+            kind=kind,
+            t0=None if t0 is None else float(t0),
+            t1=None if t1 is None else float(t1),
+            attrs={k: _jsonable(v) for k, v in attrs.items()},
+        )
+        self._next_id += 1
+        self.events.append(event)
+        return event
+
+    def event(
+        self,
+        kind: str,
+        *,
+        t0: float | None = None,
+        t1: float | None = None,
+        parent: int | None = None,
+        **attrs: Any,
+    ) -> TraceEvent:
+        """Record a point event (parent defaults to the open span)."""
+        return self._new(kind, parent, t0, t1 if t1 is not None else t0, attrs)
+
+    @contextmanager
+    def span(
+        self,
+        kind: str,
+        *,
+        t0: float | None = None,
+        parent: int | None = None,
+        **attrs: Any,
+    ) -> Iterator[TraceEvent]:
+        """Open a span; events recorded inside nest under it.
+
+        The span event is appended at open time (ids follow opening
+        order); callers may attach results before exit via
+        :meth:`TraceEvent.set`.
+        """
+        event = self._new(kind, parent, t0, None, attrs)
+        self._span_stack.append(event.id)
+        try:
+            yield event
+        finally:
+            self._span_stack.pop()
+
+    def to_jsonl(self) -> str:
+        return events_to_jsonl(self.events)
+
+
+def write_trace(path: str, events: Sequence[TraceEvent]) -> None:
+    """Write ``events`` as JSONL to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(events_to_jsonl(events))
+
+
+def read_trace(source: str | Iterable[str]) -> list[TraceEvent]:
+    """Parse a JSONL trace from a file path or an iterable of lines."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(source)
+    events = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(
+            TraceEvent(
+                id=int(record["id"]),
+                parent=record["parent"],
+                kind=record["kind"],
+                t0=record.get("t0"),
+                t1=record.get("t1"),
+                attrs=record.get("attrs", {}),
+            )
+        )
+    return events
+
+
+def merge_traces(event_lists: Sequence[Sequence[TraceEvent]]) -> list[TraceEvent]:
+    """Concatenate per-task traces, rebasing ids in submission order.
+
+    Each task's tracer starts numbering at 0; rebasing by the running
+    offset makes the merged trace independent of *where* each task ran —
+    a pool merge equals the serial trace byte for byte.
+    """
+    merged: list[TraceEvent] = []
+    offset = 0
+    for events in event_lists:
+        for event in events:
+            merged.append(
+                TraceEvent(
+                    id=event.id + offset,
+                    parent=None if event.parent is None else event.parent + offset,
+                    kind=event.kind,
+                    t0=event.t0,
+                    t1=event.t1,
+                    attrs=dict(event.attrs),
+                )
+            )
+        offset += len(events)
+    return merged

@@ -79,20 +79,30 @@ class Simulator:
     def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or
         ``max_events`` have executed."""
-        while self._queue:
-            if max_events is not None and self.executed >= max_events:
-                return
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                # Put it back so a later run() continues correctly.
-                heapq.heappush(self._queue, event)
-                self.now = until
-                return
-            self.now = event.time
-            self.executed += 1
-            event.action(self)
+        start_executed = self.executed
+        try:
+            while self._queue:
+                if max_events is not None and self.executed >= max_events:
+                    return
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Put it back so a later run() continues correctly.
+                    heapq.heappush(self._queue, event)
+                    self.now = until
+                    return
+                self.now = event.time
+                self.executed += 1
+                event.action(self)
+        finally:
+            # One registry update per run() call, not per event — the
+            # counter is observability, not part of the hot loop.
+            executed = self.executed - start_executed
+            if executed:
+                from repro.obs.metrics import get_registry
+
+                get_registry().inc("sim.events_executed", executed)
 
     def pending(self) -> int:
         """Number of not-yet-cancelled queued events."""

@@ -10,9 +10,12 @@ after fully receiving).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 __all__ = ["Interval", "GanttTrace"]
 
@@ -129,3 +132,22 @@ class GanttTrace:
         self.check_one_port()
         self.check_store_and_forward()
         self.check_compute_after_receive()
+
+    def record_to(self, tracer: "Tracer", *, parent: int | None = None) -> None:
+        """Bridge every interval into ``tracer`` as a ``sim_interval``
+        event (``t0``/``t1`` are the simulated-time bounds).
+
+        Intervals are emitted in recorded order, so the resulting event
+        stream is as deterministic as the simulation itself.
+        """
+        for iv in self.intervals:
+            tracer.event(
+                "sim_interval",
+                t0=iv.start,
+                t1=iv.end,
+                parent=parent,
+                activity=iv.kind,
+                proc=iv.proc,
+                amount=iv.amount,
+                peer=iv.peer,
+            )

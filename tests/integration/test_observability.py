@@ -1,0 +1,153 @@
+"""Integration tests for the observability layer: trace determinism
+across jobs counts, the golden DLS-LBL trace, worker metrics merging,
+and the ``run`` / ``trace summarize`` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.mechanism.population import run_population
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer, events_to_jsonl, read_trace
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "..", "data", "golden_trace_m2_shed.jsonl")
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+def _shed_run_events() -> list:
+    from repro.agents import LoadSheddingAgent, TruthfulAgent
+    from repro.mechanism.dls_lbl import DLSLBLMechanism
+
+    tracer = Tracer()
+    agents = [LoadSheddingAgent(1, 2.0, shed_fraction=0.5), TruthfulAgent(2, 3.0)]
+    mech = DLSLBLMechanism(
+        [0.5, 0.7],
+        1.5,
+        agents,
+        audit_probability=0.5,
+        rng=np.random.default_rng(2024),
+        tracer=tracer,
+    )
+    outcome = mech.run()
+    assert outcome.completed
+    return tracer.events
+
+
+class TestGoldenTrace:
+    def test_three_processor_shed_run_matches_golden(self):
+        with open(GOLDEN, encoding="utf-8") as fh:
+            golden = fh.read()
+        assert events_to_jsonl(_shed_run_events()) == golden
+
+    def test_golden_trace_fines_the_shedding_agent(self):
+        events = read_trace(GOLDEN)
+        fines = [e for e in events if e.kind == "fine"]
+        assert len(fines) == 1
+        assert fines[0].attrs["proc"] == 1
+        assert fines[0].attrs["source"] == "grievance"
+        assert fines[0].attrs["amount"] > 0
+        grievances = [e for e in events if e.kind == "grievance"]
+        assert grievances and grievances[0].attrs["substantiated"] is True
+        # Ledger transfers mirror the court's fine and reward.
+        memos = {e.attrs["memo"] for e in events if e.kind == "ledger_transfer"}
+        assert "grievance fine (overload)" in memos
+        assert "grievance reward (overload)" in memos
+
+
+class TestTraceDeterminism:
+    def test_repeated_invocations_are_byte_identical(self):
+        first = run_population(3, 4, seed=11, deviant="2:shed:0.5", trace=True)
+        second = run_population(3, 4, seed=11, deviant="2:shed:0.5", trace=True)
+        assert events_to_jsonl(first.events) == events_to_jsonl(second.events)
+
+    def test_jobs_1_vs_jobs_2_traces_match(self):
+        serial = run_population(3, 4, seed=11, jobs=1, deviant="2:shed:0.5", trace=True)
+        pooled = run_population(3, 4, seed=11, jobs=2, deviant="2:shed:0.5", trace=True)
+        assert events_to_jsonl(serial.events) == events_to_jsonl(pooled.events)
+        assert serial.runs == pooled.runs
+
+    def test_wall_clock_never_enters_the_trace(self):
+        result = run_population(2, 2, seed=0, trace=True)
+        for event in result.events:
+            for bound in (event.t0, event.t1):
+                # Simulated makespans are tiny; a perf_counter leak would
+                # show up as a huge timestamp.
+                assert bound is None or 0.0 <= bound < 1e3
+
+
+class TestWorkerMetricsMerge:
+    def test_pool_counters_match_serial(self):
+        get_registry().reset()
+        run_population(3, 4, seed=5, jobs=1)
+        serial = get_registry().snapshot()["counters"]
+        get_registry().reset()
+        run_population(3, 4, seed=5, jobs=2)
+        pooled = get_registry().snapshot()["counters"]
+        for name in ("crypto.signatures_created", "crypto.verifications_performed",
+                     "mechanism.runs", "ledger.transfers", "sim.events_executed"):
+            assert serial[name] == pooled[name] > 0, name
+
+    def test_experiment_runner_pool_counters_match_serial(self):
+        from repro.experiments.runner import run_experiments
+
+        get_registry().reset()
+        run_experiments(["P2"], jobs=1)
+        serial = get_registry().counter("crypto.signatures_created")
+        get_registry().reset()
+        runs = run_experiments(["P2"], jobs=2)
+        pooled = get_registry().counter("crypto.signatures_created")
+        assert serial == pooled > 0
+        assert runs[0].metrics["counters"]["crypto.signatures_created"] == serial
+
+
+class TestCli:
+    def test_run_and_summarize(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "out.jsonl")
+        metrics_path = str(tmp_path / "metrics.json")
+        rc = main(
+            [
+                "run", "--m", "3", "--count", "3", "--seed", "9",
+                "--deviant", "2:shed:0.5",
+                "--trace", trace_path, "--metrics", metrics_path,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 runs" in out
+
+        report = json.loads(open(metrics_path).read())
+        assert report["counters"]["mechanism.runs"] == 3
+        assert "time.mechanism.run" in report["histograms"]
+
+        rc = main(["trace", "summarize", trace_path, "--metrics", metrics_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The summary covers phases, fines, ledger and crypto sections.
+        for needle in ("phase_1", "phase_4", "fines", "ledger:", "crypto:", "mechanism wall-clock"):
+            assert needle in out, needle
+
+    def test_run_trace_is_deterministic_across_cli_jobs(self, tmp_path, capsys):
+        paths = []
+        for jobs in ("1", "2"):
+            path = str(tmp_path / f"out{jobs}.jsonl")
+            rc = main(["run", "--m", "2", "--count", "3", "--seed", "4", "--jobs", jobs, "--trace", path])
+            assert rc == 0
+            paths.append(path)
+        capsys.readouterr()
+        with open(paths[0]) as a, open(paths[1]) as b:
+            assert a.read() == b.read()
+
+    def test_run_rejects_bad_deviant(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--m", "2", "--count", "1", "--deviant", "1:warp"])

@@ -1,0 +1,160 @@
+"""Unit tests for the metrics registry (repro.obs.metrics) and the
+crypto-counter compatibility shim that now rides on it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collecting,
+    get_registry,
+    merge_snapshots,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_root_registry():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+class TestRegistryBasics:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2.5)
+        assert reg.counter("a") == 3.5
+        assert reg.counter("missing") == 0.0
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 7.0)
+        assert reg.gauge("g") == 7.0
+        assert reg.gauge("missing") is None
+
+    def test_histograms_track_count_total_min_max_mean(self):
+        reg = MetricsRegistry()
+        for v in (2.0, 4.0, 6.0):
+            reg.observe("h", v)
+        hist = reg.snapshot()["histograms"]["h"]
+        assert hist == {"count": 3, "total": 12.0, "min": 2.0, "max": 6.0, "mean": 4.0}
+
+    def test_timer_records_seconds_histogram(self):
+        reg = MetricsRegistry()
+        with reg.timer("solve"):
+            pass
+        hist = reg.snapshot()["histograms"]["time.solve"]
+        assert hist["count"] == 1
+        assert hist["total"] >= 0.0
+
+    def test_reset_prefix(self):
+        reg = MetricsRegistry()
+        reg.inc("crypto.sigs")
+        reg.inc("ledger.transfers")
+        reg.reset("crypto.")
+        snap = reg.snapshot()
+        assert "crypto.sigs" not in snap["counters"]
+        assert snap["counters"]["ledger.transfers"] == 1.0
+
+
+def _snap(counters=(), gauges=(), observations=()):
+    reg = MetricsRegistry()
+    for name, value in counters:
+        reg.inc(name, value)
+    for name, value in gauges:
+        reg.set_gauge(name, value)
+    for name, value in observations:
+        reg.observe(name, value)
+    return reg.snapshot()
+
+
+class TestMergeAssociativity:
+    # Values are exactly representable in binary so float addition cannot
+    # introduce grouping-dependent rounding.
+    A = _snap(counters=[("c", 1.0), ("only_a", 2.0)], gauges=[("g", 1.0)], observations=[("h", 2.0)])
+    B = _snap(counters=[("c", 4.0)], gauges=[("g", 2.0)], observations=[("h", 8.0), ("h", 0.5)])
+    C = _snap(counters=[("c", 0.25)], gauges=[("g", 3.0), ("only_c", 1.0)], observations=[("h", 64.0)])
+
+    def test_merge_is_associative(self):
+        assert merge_snapshots([merge_snapshots([self.A, self.B]), self.C]) == merge_snapshots(
+            [self.A, merge_snapshots([self.B, self.C])]
+        )
+
+    def test_merge_matches_flat_fold(self):
+        flat = merge_snapshots([self.A, self.B, self.C])
+        assert flat["counters"]["c"] == 5.25
+        assert flat["gauges"]["g"] == 3.0  # last write wins
+        assert flat["histograms"]["h"]["count"] == 4
+        assert flat["histograms"]["h"]["min"] == 0.5
+        assert flat["histograms"]["h"]["max"] == 64.0
+
+    def test_empty_histogram_snapshot_merges_as_noop(self):
+        reg = MetricsRegistry()
+        reg.merge({"histograms": {"h": {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}}})
+        snap = reg.snapshot()
+        assert snap["histograms"] == {}
+
+
+class TestCollecting:
+    def test_collecting_scopes_a_delta(self):
+        get_registry().inc("n", 10.0)
+        with collecting() as scoped:
+            get_registry().inc("n", 3.0)
+            assert scoped.counter("n") == 3.0
+        # The delta folded back into the enclosing registry on exit.
+        assert get_registry().counter("n") == 13.0
+
+    def test_collecting_nests(self):
+        with collecting() as outer:
+            get_registry().inc("n")
+            with collecting() as inner:
+                get_registry().inc("n", 5.0)
+                assert inner.counter("n") == 5.0
+            assert outer.counter("n") == 6.0
+
+    def test_snapshot_inside_scope_is_picklable_plain_dict(self):
+        import pickle
+
+        with collecting() as scoped:
+            get_registry().inc("n")
+            snap = scoped.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+class TestCryptoShim:
+    def test_counters_proxy_the_active_registry(self):
+        from repro.crypto.metrics import COUNTERS
+
+        COUNTERS.reset()
+        get_registry().inc("crypto.signatures_created", 3)
+        get_registry().inc("crypto.verifications_performed", 2)
+        assert COUNTERS.signatures_created == 3
+        assert COUNTERS.verifications_performed == 2
+        assert COUNTERS.snapshot() == (3, 2)
+        COUNTERS.reset()
+        assert COUNTERS.snapshot() == (0, 0)
+
+    def test_signing_and_verification_hit_the_registry(self):
+        from repro.crypto.keys import KeyRegistry
+        from repro.crypto.metrics import COUNTERS
+        from repro.crypto.signing import sign
+
+        registry, keys = KeyRegistry.for_processors(2, seed=b"obs-test")
+        COUNTERS.reset()
+        message = sign(keys[0], {"x": 1.0})
+        assert message.verify(registry)
+        assert COUNTERS.signatures_created == 1
+        assert COUNTERS.verifications_performed == 1
+
+    def test_shim_respects_collecting_scope(self):
+        from repro.crypto.metrics import COUNTERS
+
+        COUNTERS.reset()
+        with collecting():
+            get_registry().inc("crypto.signatures_created")
+            assert COUNTERS.signatures_created == 1
+        # After the scope folds back, the root registry has the count too.
+        assert COUNTERS.signatures_created == 1

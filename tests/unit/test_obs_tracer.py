@@ -1,0 +1,127 @@
+"""Unit tests for the structured event tracer (repro.obs.tracer)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.tracer import (
+    TraceEvent,
+    Tracer,
+    event_to_json,
+    events_to_jsonl,
+    merge_traces,
+    read_trace,
+    write_trace,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("run", m=2, fine=3.5) as run:
+        with tracer.span("phase_1", m=2):
+            tracer.event("fine", proc=1, amount=1.25, source="grievance")
+        tracer.event("sim_interval", t0=0.0, t1=0.5, activity="compute", proc=0)
+        run.set(completed=True)
+    return tracer
+
+
+class TestIdsAndNesting:
+    def test_ids_are_monotonic_from_zero(self):
+        tracer = _sample_tracer()
+        assert [e.id for e in tracer.events] == list(range(len(tracer.events)))
+
+    def test_events_nest_under_open_span(self):
+        tracer = _sample_tracer()
+        run, phase, fine, interval = tracer.events
+        assert run.parent is None
+        assert phase.parent == run.id
+        assert fine.parent == phase.id
+        # Recorded after phase_1 closed, so it re-attaches to the run span.
+        assert interval.parent == run.id
+
+    def test_parent_defaults_to_open_span_else_none(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            event = tracer.event("fine", proc=1, amount=1.0)
+        assert event.parent == 0
+        orphan = tracer.event("fine", proc=2, amount=1.0)
+        assert orphan.parent is None
+
+    def test_point_event_t1_defaults_to_t0(self):
+        tracer = Tracer()
+        event = tracer.event("sim_interval", t0=2.5)
+        assert event.t0 == event.t1 == 2.5
+
+    def test_span_set_attaches_results(self):
+        tracer = _sample_tracer()
+        assert tracer.events[0].attrs["completed"] is True
+
+
+class TestSerialization:
+    def test_canonical_json_is_sorted_and_compact(self):
+        line = event_to_json(TraceEvent(id=0, parent=None, kind="run", attrs={"b": 1, "a": 2}))
+        assert line == '{"attrs":{"a":2,"b":1},"id":0,"kind":"run","parent":null,"t0":null,"t1":null}'
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(path, tracer.events)
+        events = read_trace(path)
+        assert events == tracer.events
+        # And the round trip is byte-stable.
+        assert events_to_jsonl(events) == events_to_jsonl(tracer.events)
+
+    def test_read_trace_from_lines(self):
+        tracer = _sample_tracer()
+        lines = events_to_jsonl(tracer.events).splitlines()
+        assert read_trace(lines) == tracer.events
+
+    def test_every_line_is_valid_json_with_schema_keys(self):
+        for line in events_to_jsonl(_sample_tracer().events).splitlines():
+            record = json.loads(line)
+            assert set(record) == {"id", "parent", "kind", "t0", "t1", "attrs"}
+
+    def test_numpy_values_are_coerced(self):
+        tracer = Tracer()
+        tracer.event("fine", proc=np.int64(3), amount=np.float64(1.5), vec=np.arange(2))
+        record = json.loads(event_to_json(tracer.events[0]))
+        assert record["attrs"] == {"proc": 3, "amount": 1.5, "vec": [0, 1]}
+
+    def test_nan_rejected(self):
+        tracer = Tracer()
+        tracer.event("fine", amount=float("nan"))
+        with pytest.raises(ValueError):
+            event_to_json(tracer.events[0])
+
+
+class TestMergeTraces:
+    def test_merge_rebases_ids_and_parents(self):
+        first, second = _sample_tracer(), _sample_tracer()
+        merged = merge_traces([first.events, second.events])
+        n = len(first.events)
+        assert [e.id for e in merged] == list(range(2 * n))
+        assert merged[n].parent is None  # second run's root span
+        assert merged[n + 1].parent == merged[n].id
+
+    def test_merge_equals_sequential_recording(self):
+        # Two per-task tracers merged == one tracer that recorded both
+        # tasks back to back: the property the jobs-independence of the
+        # population trace rests on.
+        serial = Tracer()
+        for _ in range(2):
+            with serial.span("run"):
+                serial.event("fine", proc=1, amount=1.0)
+        parts = []
+        for _ in range(2):
+            t = Tracer()
+            with t.span("run"):
+                t.event("fine", proc=1, amount=1.0)
+            parts.append(t.events)
+        assert events_to_jsonl(merge_traces(parts)) == events_to_jsonl(serial.events)
+
+    def test_merge_empty_lists(self):
+        assert merge_traces([]) == []
+        assert merge_traces([[], []]) == []
