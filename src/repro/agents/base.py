@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.protocol.messages import GrievanceKind
+    from repro.protocol.messages import GrievanceKind, PaymentProof
 
 __all__ = ["ProcessorAgent"]
 
@@ -138,6 +138,14 @@ class ProcessorAgent:
         ``F`` makes reporting dominant)."""
         return True
 
+    def phase3_forward_delay(self) -> float:
+        """Extra (simulated) time the agent sits on the downstream load
+        before forwarding it.  Honest agents forward immediately; a
+        delaying agent only pushes its successors' start times later,
+        never changing any payment, so the deviation is dominated
+        (Theorem 5.2 flavour)."""
+        return 0.0
+
     # ------------------------------------------------------------------
     # Phase IV — payment
     # ------------------------------------------------------------------
@@ -146,6 +154,14 @@ class ProcessorAgent:
         """The bill submitted to the payment infrastructure.  Deviation
         (iv) submits more than the recomputable :math:`Q_j`."""
         return correct_payment
+
+    def phase4_proof(self, proof: "PaymentProof") -> "PaymentProof":
+        """The evidence bundle attached to the bill.  Honest agents
+        forward the meter reading and Λ certificate untouched; tampering
+        (inflating the certificate, forging the meter message) makes the
+        proof fail the audit's recomputation and draws the :math:`F/q`
+        fine when challenged."""
+        return proof
 
     # ------------------------------------------------------------------
     # Accusations

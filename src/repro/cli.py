@@ -24,6 +24,11 @@ Commands
 ``trace``
     Work with recorded traces: ``python -m repro trace summarize
     out.jsonl [--metrics metrics.json]``.
+``faults``
+    Declarative fault injection (see :mod:`repro.faults`):
+    ``python -m repro faults list`` shows the scenario catalog,
+    ``python -m repro faults run --scenario shed --seed 0 --jobs 2
+    --trace out.jsonl`` runs one (deterministic at any ``--jobs``).
 """
 
 from __future__ import annotations
@@ -136,6 +141,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         default=None,
         metavar="PATH",
+        help="write the merged metrics report (JSON) to PATH",
+    )
+
+    faults = sub.add_parser("faults", help="declarative fault injection (see repro.faults)")
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_list = faults_sub.add_parser("list", help="show the scenario catalog")
+    faults_list.add_argument(
+        "--kinds", action="store_true", help="list the injectable fault kinds instead"
+    )
+    faults_run = faults_sub.add_parser("run", help="run one scenario (or 'all')")
+    faults_run.add_argument(
+        "--scenario",
+        required=True,
+        help="catalog scenario name (see 'faults list'), or 'all' for the whole catalog",
+    )
+    faults_run.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="load the scenario from a JSON ScenarioSpec file instead of the catalog",
+    )
+    faults_run.add_argument("--seed", type=int, default=0, help="base seed for the derived per-run streams")
+    faults_run.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process serial)")
+    faults_run.add_argument("--runs", type=int, default=None, help="override the scenario's run count")
+    faults_run.add_argument("--trace", default=None, metavar="PATH", help="write the merged JSONL trace to PATH")
+    faults_run.add_argument(
+        "--metrics", default=None, metavar="PATH",
         help="write the merged metrics report (JSON) to PATH",
     )
 
@@ -395,6 +425,84 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import BUILTIN_SCENARIOS, FAULT_KINDS, ScenarioSpec, run_scenario
+
+    if args.faults_command == "list":
+        if args.kinds:
+            print(f"{'kind':>14} {'expected':>9} {'theorem':>28}  description")
+            for kind in FAULT_KINDS.values():
+                print(f"{kind.name:>14} {kind.expected:>9} {kind.theorem:>28}  {kind.description}")
+            return 0
+        print(f"{'scenario':>22} {'faults':>6} {'runs':>5}  description")
+        for spec in BUILTIN_SCENARIOS.values():
+            print(f"{spec.name:>22} {len(spec.faults):>6} {spec.runs:>5}  {spec.description}")
+        return 0
+
+    if args.spec is not None:
+        with open(args.spec, encoding="utf-8") as fh:
+            scenarios = [ScenarioSpec.from_json(fh.read())]
+    elif args.scenario == "all":
+        scenarios = list(BUILTIN_SCENARIOS.values())
+    elif args.scenario in BUILTIN_SCENARIOS:
+        scenarios = [BUILTIN_SCENARIOS[args.scenario]]
+    else:
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r}; choose from {sorted(BUILTIN_SCENARIOS)} or 'all'"
+        )
+
+    all_events = []
+    all_metrics = []
+    exit_code = 0
+    for scenario in scenarios:
+        try:
+            result = run_scenario(
+                scenario,
+                seed=args.seed,
+                jobs=args.jobs,
+                runs=args.runs,
+                trace=args.trace is not None,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        all_events.append(result.events)
+        all_metrics.append(result.metrics)
+        print(
+            f"scenario {scenario.name!r} (m={scenario.m}, q={scenario.audit_probability:g}, "
+            f"seed {args.seed}, jobs {args.jobs}): "
+            f"{'OK' if result.all_ok else 'VIOLATION'}"
+        )
+        header = f"{'run':>4} {'status':>9} {'faults':>26} {'detected':>9} {'gain':>12} {'verdict':>8}"
+        print(header)
+        for r in result.runs:
+            status = "ok" if r["completed"] else f"abort P{r['aborted_phase']}"
+            faults_desc = (
+                ",".join(f"{f['kind']}@P{f['target']}" for f in r["active"]) or "-"
+            )
+            detected = (
+                "/".join("yes" if d["detected"] else "no" for d in r["deviators"]) or "-"
+            )
+            print(
+                f"{r['run']:>4} {status:>9} {faults_desc:>26} {detected:>9} "
+                f"{r['joint_gain']:>12.4e} {'OK' if r['ok'] else 'FAIL':>8}"
+            )
+        if not result.all_ok:
+            exit_code = 1
+    if args.trace:
+        from repro.obs.tracer import merge_traces, write_trace
+
+        merged = merge_traces(all_events)
+        write_trace(args.trace, merged)
+        print(f"trace: {len(merged)} events -> {args.trace}")
+    if args.metrics:
+        from repro.obs.metrics import merge_snapshots
+        from repro.obs.report import write_metrics_report
+
+        write_metrics_report(args.metrics, merge_snapshots(all_metrics))
+        print(f"metrics -> {args.metrics}")
+    return exit_code
+
+
 def _cmd_trace(args) -> int:
     import json
 
@@ -419,6 +527,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
 }
 
 

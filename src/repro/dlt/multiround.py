@@ -67,11 +67,28 @@ def equal_installment_plan(network: StarNetwork, rounds: int) -> MultiroundPlan:
 
 
 def multiround_makespan(
-    network: StarNetwork, rounds: int, *, startup: float = 0.0
+    network: StarNetwork, rounds: int, *, startup: float = 0.0, tracer=None
 ) -> tuple[float, StarSimResult]:
-    """Makespan of the equal-installment plan with ``rounds`` rounds."""
+    """Makespan of the equal-installment plan with ``rounds`` rounds.
+
+    When ``tracer`` (a :class:`repro.obs.tracer.Tracer`) is given, the
+    run is wrapped in a ``multiround`` span and every Gantt bar of the
+    installment simulation is bridged in as a ``sim_interval`` event.
+    """
     plan = equal_installment_plan(network, rounds)
-    result = simulate_star(network, plan.root_share, plan.transmissions, startup=startup)
+    if tracer is None:
+        result = simulate_star(network, plan.root_share, plan.transmissions, startup=startup)
+        return result.makespan, result
+    with tracer.span(
+        "multiround",
+        n=network.n_children,
+        rounds=rounds,
+        startup=startup,
+        n_transmissions=plan.n_transmissions,
+    ) as span:
+        result = simulate_star(network, plan.root_share, plan.transmissions, startup=startup)
+        result.trace.record_to(tracer)
+        span.set(makespan=result.makespan)
     return result.makespan, result
 
 

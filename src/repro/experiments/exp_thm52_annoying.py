@@ -40,6 +40,7 @@ def run_thm52_annoying(
     m: int = 5,
     s: float = 0.5,
     seed: int = 202,
+    use_batch: bool = False,
 ) -> ExperimentResult:
     workload = workload or WORKLOADS["small-uniform"]
     network = workload.one(m)
@@ -69,7 +70,11 @@ def run_thm52_annoying(
         base = {i: outcome.utility(i) for i in range(1, m + 1)}
         with_s = expected_solution_utility(base, agents, forwarded, config)
         p = probability_solution_found(agents, forwarded)
-        mc = simulate_solution_rounds(agents, forwarded, config, rng, n_rounds=20000)
+        # The vectorized estimator draws the same positions and applies
+        # the same predicates, so both paths return identical estimates.
+        mc = simulate_solution_rounds(
+            agents, forwarded, config, rng, n_rounds=20000, vectorized=use_batch
+        )
         return base, with_s, p, mc
 
     honest_agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(network.w[1:], start=1)]

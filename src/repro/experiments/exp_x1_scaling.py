@@ -18,7 +18,34 @@ from repro.mechanism.properties import run_truthful
 __all__ = ["run_x1_scaling"]
 
 
-def run_x1_scaling(workload: Workload | None = None) -> ExperimentResult:
+def _batch_cost_rows(networks) -> list[tuple[float, float, float, float]]:
+    """(makespan, compute cost, bonus total, outlay) per instance, via one
+    batched solve — the all-truthful analytic path (no fines, bill = Q)."""
+    from repro.dlt.batch import solve_linear_batch, stack_networks
+    from repro.mechanism.payments import payment_breakdown_batch
+    from repro.sim.linear_sim import _EPS_LOAD
+
+    w, z = stack_networks(networks)
+    schedule = solve_linear_batch(w, z)
+    # The Phase III simulator drops dust loads (<= _EPS_LOAD), so agents
+    # with dust assignments never compute and take no payment (eq. 4.6);
+    # mirror that participation threshold or deep chains over-count.
+    assigned = schedule.alpha[:, 1:]
+    computed = np.where(assigned > _EPS_LOAD, assigned, 0.0)
+    payments = payment_breakdown_batch(schedule, computed=computed)
+    compute_cost = np.sum(schedule.alpha * w, axis=1)
+    bonus_total = payments.bonus.sum(axis=1)
+    root_reimbursement = schedule.alpha[:, 0] * w[:, 0]
+    outlay = root_reimbursement + payments.payment.sum(axis=1)
+    return [
+        (float(schedule.makespan[i]), float(compute_cost[i]), float(bonus_total[i]), float(outlay[i]))
+        for i in range(len(networks))
+    ]
+
+
+def run_x1_scaling(
+    workload: Workload | None = None, *, use_batch: bool = False
+) -> ExperimentResult:
     workload = workload or WORKLOADS["scaling"]
     table = Table(
         title="X1 — mechanism cost vs chain length (truthful agents)",
@@ -34,15 +61,29 @@ def run_x1_scaling(workload: Workload | None = None) -> ExperimentResult:
     )
     all_ok = True
     by_m: dict[int, list[tuple[float, float, float, float]]] = {}
-    for m, network in workload.networks():
-        outcome = run_truthful(network.z, float(network.w[0]), network.w[1:])
-        compute_cost = float(np.sum(outcome.assigned * outcome.actual_rates))
-        bonus_total = sum(
-            r.payment_correct - r.assigned * r.actual_rate for r in outcome.reports.values()
-        )
-        outlay = outcome.total_payments()
-        all_ok &= outcome.completed and outlay >= compute_cost - 1e-9
-        by_m.setdefault(m, []).append((outcome.makespan, compute_cost, bonus_total, outlay))
+    pairs = list(workload.networks())
+    if use_batch:
+        # One stacked solve per chain length replaces the protocol runs;
+        # truthful outlay accounting is closed-form (root reimbursement
+        # plus eq. 4.6 payments).
+        sizes: dict[int, list[int]] = {}
+        for idx, (m, _net) in enumerate(pairs):
+            sizes.setdefault(m, []).append(idx)
+        for m, indices in sizes.items():
+            rows = _batch_cost_rows([pairs[i][1] for i in indices])
+            for span, cost, bonus_total, outlay in rows:
+                all_ok &= outlay >= cost - 1e-9
+                by_m.setdefault(m, []).append((span, cost, bonus_total, outlay))
+    else:
+        for m, network in pairs:
+            outcome = run_truthful(network.z, float(network.w[0]), network.w[1:])
+            compute_cost = float(np.sum(outcome.assigned * outcome.actual_rates))
+            bonus_total = sum(
+                r.payment_correct - r.assigned * r.actual_rate for r in outcome.reports.values()
+            )
+            outlay = outcome.total_payments()
+            all_ok &= outcome.completed and outlay >= compute_cost - 1e-9
+            by_m.setdefault(m, []).append((outcome.makespan, compute_cost, bonus_total, outlay))
     for m in sorted(by_m):
         rows = np.array(by_m[m])
         span, cost, bonus_total, outlay = rows.mean(axis=0)

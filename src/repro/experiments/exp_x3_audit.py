@@ -27,6 +27,45 @@ def expected_overcharge_gain(delta: float, fine: float, q: float) -> float:
     return delta - fine
 
 
+class _ForcedDraw:
+    """An rng stub whose every challenge draw returns a fixed value.
+
+    ``audit`` challenges iff ``rng.random() < q``, so ``1.0`` forces
+    "never challenged" and ``0.0`` forces "always challenged" (honest
+    agents pass their forced audits; only the overcharger is fined).
+    """
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def random(self) -> float:
+        return self.value
+
+
+def _vectorized_gains(
+    z, root, agents, mid: int, q: float, truthful_u: float, draws: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Monte-Carlo gains of the overcharger, bitwise equal to the loop.
+
+    A run's only randomness is one Bernoulli challenge draw per agent in
+    index order, and only the overcharger's own draw moves its utility —
+    every other agent's bill survives its audit.  Two forced-draw runs
+    yield the unchallenged/challenged utilities; the draws matrix (the
+    same rng stream the scalar loop would consume, reshaped ``(n_runs,
+    m)``) then selects per run.  Returns ``(gains, fine)``.
+    """
+    u_by_challenge = {}
+    for label, forced in (("unchallenged", 1.0), ("challenged", 0.0)):
+        mech = DLSLBLMechanism(z, root, agents, audit_probability=q, rng=_ForcedDraw(forced))
+        u_by_challenge[label] = mech.run().utility(mid)
+        fine = mech.fine
+    challenged_mid = draws[:, mid - 1] < q
+    utilities = np.where(
+        challenged_mid, u_by_challenge["challenged"], u_by_challenge["unchallenged"]
+    )
+    return utilities - truthful_u, fine
+
+
 def run_x3_audit(
     workload: Workload | None = None,
     *,
@@ -35,6 +74,7 @@ def run_x3_audit(
     qs: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0),
     n_runs: int = 400,
     seed: int = 303,
+    use_batch: bool = False,
 ) -> ExperimentResult:
     workload = workload or WORKLOADS["small-uniform"]
     network = workload.one(m)
@@ -56,14 +96,21 @@ def run_x3_audit(
         for q in qs:
             agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(true, start=1)]
             agents[mid - 1] = OverchargingAgent(mid, float(true[mid - 1]), overcharge=delta)
-            # One mechanism per q; audit draws consume the shared rng so
-            # runs are independent samples.
-            mech = DLSLBLMechanism(z, root, agents, audit_probability=q, rng=rng)
-            fine = mech.fine
-            gains = np.empty(n_runs)
-            for k in range(n_runs):
-                outcome = mech.run()
-                gains[k] = outcome.utility(mid) - truthful_u
+            if use_batch:
+                # The batch path consumes the identical rng stream (m
+                # draws per run, row-major) so the sample — and every
+                # later cell — is bitwise equal to the scalar loop.
+                draws = rng.random((n_runs, m))
+                gains, fine = _vectorized_gains(z, root, agents, mid, q, truthful_u, draws)
+            else:
+                # One mechanism per q; audit draws consume the shared rng so
+                # runs are independent samples.
+                mech = DLSLBLMechanism(z, root, agents, audit_probability=q, rng=rng)
+                fine = mech.fine
+                gains = np.empty(n_runs)
+                for k in range(n_runs):
+                    outcome = mech.run()
+                    gains[k] = outcome.utility(mid) - truthful_u
             analytic = expected_overcharge_gain(delta, fine, q)
             mc = float(gains.mean())
             # Standard error of the MC mean bounds the acceptable gap.

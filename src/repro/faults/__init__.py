@@ -1,0 +1,38 @@
+"""Declarative fault injection and adversarial scenarios.
+
+The mechanism's whole point is robustness to strategic deviation
+(Theorems 5.1-5.4): every protocol manipulation is either *detected and
+fined* or *utility-dominated* by honest play.  This package turns that
+claim into an executable test surface:
+
+- :mod:`repro.faults.spec` — :class:`FaultSpec`/:class:`ScenarioSpec`,
+  JSON-round-trippable descriptions of injectable faults with
+  deterministic, seed-derived activation.
+- :mod:`repro.faults.injector` — :class:`FaultyAgent`, a single agent
+  class that applies active fault effects through the existing
+  :class:`~repro.agents.base.ProcessorAgent` hook seams and falls
+  through to the honest behaviour otherwise (no forked code paths).
+- :mod:`repro.faults.catalog` — the built-in scenario catalog covering
+  every deviation class the paper analyses.
+- :mod:`repro.faults.runner` — :func:`run_scenario`, a deterministic
+  parallel scenario runner producing merged traces (with
+  ``fault_injected``/``fault_detected`` events) and per-run verdicts.
+"""
+
+from repro.faults.catalog import BUILTIN_SCENARIOS, get_scenario
+from repro.faults.injector import FaultyAgent, build_agents
+from repro.faults.spec import FAULT_KINDS, FaultKind, FaultSpec, ScenarioSpec
+from repro.faults.runner import ScenarioResult, run_scenario
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "FAULT_KINDS",
+    "FaultKind",
+    "FaultSpec",
+    "FaultyAgent",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build_agents",
+    "get_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,157 @@
+"""Built-in adversarial scenarios — one per catalogued deviation class.
+
+Every :data:`~repro.faults.spec.FAULT_KINDS` entry appears in at least
+one scenario, plus a zero-fault differential baseline (``none``), a
+collusive coalition, and a probabilistic-activation demo.  The X11
+experiment sweeps this whole catalog and asserts the Theorem 5.1-5.4
+guarantee scenario by scenario.
+"""
+
+from __future__ import annotations
+
+from repro.faults.spec import FaultSpec, ScenarioSpec
+
+__all__ = ["BUILTIN_SCENARIOS", "get_scenario"]
+
+
+def _scenario(name: str, description: str, *faults: FaultSpec, **kwargs) -> ScenarioSpec:
+    return ScenarioSpec(name=name, description=description, faults=faults, **kwargs)
+
+
+_SCENARIOS = (
+    _scenario(
+        "none",
+        "zero faults: the differential baseline (bit-identical to the honest path)",
+    ),
+    _scenario(
+        "misbid_over",
+        "one agent over-reports its rate by 1.5x (Thm 5.3)",
+        FaultSpec("misbid", target=2, param=1.5),
+    ),
+    _scenario(
+        "misbid_under",
+        "one agent under-reports its rate by 0.6x (Thm 5.3)",
+        FaultSpec("misbid", target=2, param=0.6),
+    ),
+    _scenario(
+        "slow",
+        "one agent throttles execution to 2x its true rate (Thm 5.3 case ii)",
+        FaultSpec("slow", target=2, param=2.0),
+    ),
+    _scenario(
+        "contradict",
+        "one agent signs two different Phase I bids (Lemma 5.1 i)",
+        FaultSpec("contradict", target=2),
+    ),
+    _scenario(
+        "miscompute",
+        "one agent reports a w_bar violating the recurrence (Lemma 5.1 ii)",
+        FaultSpec("miscompute", target=2, param=0.8),
+    ),
+    _scenario(
+        "misreport_z",
+        "one agent folds a 1.5x misreported link time into its w_bar (Lemma 5.1 ii)",
+        FaultSpec("misreport_z", target=2, param=1.5),
+    ),
+    _scenario(
+        "relay_tamper",
+        "one agent signs a wrong D_{i+1} into the relayed bundle (Lemma 5.1 ii)",
+        FaultSpec("relay_tamper", target=2, param=0.7),
+    ),
+    _scenario(
+        "echo_tamper",
+        "one agent tampers with the countersigned successor-bid echo (Lemma 5.1 ii)",
+        FaultSpec("echo_tamper", target=2, param=1.2),
+    ),
+    _scenario(
+        "shed",
+        "one agent sheds half its assignment downstream (Thm 5.1)",
+        FaultSpec("shed", target=2, param=0.5),
+    ),
+    _scenario(
+        "msg_delay",
+        "one agent delays forwarding by 0.5 time units (Thm 5.2)",
+        FaultSpec("msg_delay", target=2, param=0.5),
+    ),
+    _scenario(
+        "msg_drop",
+        "one agent drops its Phase I message, aborting the run (Thm 5.2)",
+        FaultSpec("msg_drop", target=2),
+    ),
+    _scenario(
+        "sig_corrupt",
+        "one agent sends an unverifiable signature, aborting the run (Thm 5.2)",
+        FaultSpec("sig_corrupt", target=2),
+    ),
+    _scenario(
+        "overcharge",
+        "one agent bills 1.0 above the provable payment (Lemma 5.1 iv)",
+        FaultSpec("overcharge", target=2, param=1.0),
+    ),
+    _scenario(
+        "meter_tamper",
+        "one agent forges the meter reading in its payment proof (Lemma 5.1 iv)",
+        FaultSpec("meter_tamper", target=2, param=0.5),
+    ),
+    _scenario(
+        "lambda_tamper",
+        "one agent inflates its Lambda certificate in the payment proof (Lemma 5.1 iv)",
+        FaultSpec("lambda_tamper", target=2, param=1000.0),
+    ),
+    _scenario(
+        "false_accuse",
+        "one agent fabricates an overload grievance (Lemma 5.1 v) — the accuser is fined",
+        FaultSpec("false_accuse", target=3),
+    ),
+    _scenario(
+        "no_validate",
+        "one agent skips the Phase II checks (forfeits nothing when nobody cheats)",
+        FaultSpec("no_validate", target=2),
+    ),
+    _scenario(
+        "crash_phase1",
+        "one agent stops participating in Phase I (Thm 5.4)",
+        FaultSpec("crash", target=2, param=1),
+    ),
+    _scenario(
+        "crash_phase3",
+        "one agent stops computing in Phase III, dumping its load (Thm 5.4)",
+        FaultSpec("crash", target=2, param=3),
+    ),
+    _scenario(
+        "crash_phase4",
+        "one agent never bills in Phase IV (Thm 5.4)",
+        FaultSpec("crash", target=2, param=4),
+    ),
+    _scenario(
+        "collude_shed_silent",
+        "coalition: P2 sheds onto P3, who silently absorbs the overload (Thm 5.1/X8)",
+        FaultSpec("shed", target=2, param=0.5),
+        FaultSpec("silent_victim", target=3),
+    ),
+    _scenario(
+        "random_target_shed",
+        "shedding with seed-derived target selection",
+        FaultSpec("shed", target=None, param=0.5),
+        runs=4,
+    ),
+    _scenario(
+        "flaky_misbid",
+        "probabilistic activation: the misbid fires in ~half the runs",
+        FaultSpec("misbid", target=2, param=1.5, probability=0.5),
+        runs=6,
+    ),
+)
+
+#: name -> :class:`~repro.faults.spec.ScenarioSpec` for the whole catalog.
+BUILTIN_SCENARIOS: dict[str, ScenarioSpec] = {s.name: s for s in _SCENARIOS}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a built-in scenario by name (:class:`KeyError`-free)."""
+    try:
+        return BUILTIN_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(BUILTIN_SCENARIOS)}"
+        ) from None

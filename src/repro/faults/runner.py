@@ -1,0 +1,309 @@
+"""Deterministic parallel scenario runner.
+
+Mirrors :mod:`repro.mechanism.population`: every run of a scenario
+derives all randomness from run *identity* (``task_seed`` over the
+scenario name, the run index and the base seed), per-run traces carry
+only simulated time and logical ids, and
+:func:`~repro.obs.tracer.merge_traces` rebases ids in submission order —
+so the merged trace is byte-identical at any ``--jobs`` count.
+
+Each run executes the faulty population *and* (when any fault activated)
+a truthful baseline on the same network, then classifies every deviator:
+
+- ``detected`` — a grievance verdict or Phase IV audit fined it;
+- ``dominated`` — its utility does not exceed the truthful baseline.
+
+A run is ``ok`` when every deviator is detected-and-fined or dominated
+and no honest processor was fined — the empirical content of Theorems
+5.1-5.4.  Coalitions get the X8 treatment instead: DLS-LBL is not
+group-strategyproof, so a multi-deviator run is alternatively ``ok``
+when the coalition is *unstable* — its joint surplus stays below the
+reporting reward ``F`` a betraying member would collect.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.experiments.runner import task_seed
+from repro.faults.catalog import get_scenario
+from repro.faults.injector import FaultyAgent, build_agents
+from repro.faults.spec import ScenarioSpec
+from repro.obs.metrics import collecting, get_registry, merge_snapshots
+from repro.obs.tracer import TraceEvent, Tracer, events_to_jsonl, merge_traces
+
+__all__ = ["ScenarioResult", "run_scenario", "zero_fault_differential"]
+
+#: Utility-dominance slack, relative to the truthful baseline's scale.
+GAIN_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of :func:`run_scenario`.
+
+    Attributes
+    ----------
+    scenario:
+        The resolved spec.
+    runs:
+        One verdict dict per run, in index order.
+    events:
+        Merged trace events (``fault_injected``/``fault_detected`` plus
+        the usual mechanism events); empty unless tracing was requested.
+    metrics:
+        Merged metrics snapshot (faulty runs and truthful baselines both
+        count toward ``mechanism.runs``).
+    """
+
+    scenario: ScenarioSpec
+    runs: list[dict[str, Any]]
+    events: list[TraceEvent] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r["ok"] for r in self.runs)
+
+
+def _fines_against(outcome, proc: int) -> float:
+    """Total grievance + audit fines levied on ``proc`` in ``outcome``."""
+    total = sum(
+        v.fine_amount
+        for v in outcome.adjudications
+        if v.fined == proc and v.fine_amount > 0
+    )
+    total += sum(a.fine for a in outcome.audits if a.proc == proc and a.fine > 0)
+    return float(total)
+
+
+def _run_scenario_once(
+    scenario: ScenarioSpec,
+    run_index: int,
+    seed: int,
+    trace: bool,
+) -> tuple[dict[str, Any], list[TraceEvent], dict[str, Any]]:
+    """Execute one scenario run.  Module-level so it pickles into pool
+    workers; everything returned is picklable."""
+    from repro.agents import TruthfulAgent
+    from repro.mechanism.dls_lbl import DLSLBLMechanism
+    from repro.network.generators import random_linear_network
+
+    run_seed = task_seed(f"faults/{scenario.name}/net/{run_index}", seed)
+    rng = np.random.default_rng(run_seed)
+    network = random_linear_network(scenario.m, rng)
+    true_rates = [float(x) for x in network.w[1:]]
+
+    act_rng = np.random.default_rng(
+        task_seed(f"faults/{scenario.name}/activate/{run_index}", seed)
+    )
+    agents, active = build_agents(scenario, act_rng, true_rates, network.z)
+
+    tracer = Tracer() if trace else None
+    if tracer is not None:
+        for fault in active:
+            tracer.event(
+                "fault_injected",
+                run=run_index,
+                fault_kind=fault["kind"],
+                target=fault["target"],
+                param=fault["param"],
+                probability=fault["probability"],
+                expected=fault["expected"],
+                theorem=fault["theorem"],
+            )
+
+    with collecting() as registry:
+        mech = DLSLBLMechanism(
+            network.z,
+            float(network.w[0]),
+            agents,
+            audit_probability=scenario.audit_probability,
+            rng=rng,
+            tracer=tracer,
+        )
+        outcome = mech.run()
+
+        baseline = None
+        if active:
+            baseline_rng = np.random.default_rng(
+                task_seed(f"faults/{scenario.name}/baseline/{run_index}", seed)
+            )
+            baseline_mech = DLSLBLMechanism(
+                network.z,
+                float(network.w[0]),
+                [TruthfulAgent(i, t) for i, t in enumerate(true_rates, start=1)],
+                audit_probability=scenario.audit_probability,
+                rng=baseline_rng,
+            )
+            baseline = baseline_mech.run()
+        snapshot = registry.snapshot()
+
+    deviator_targets = sorted({fault["target"] for fault in active})
+    deviators: list[dict[str, Any]] = []
+    joint_gain = 0.0
+    all_individually_ok = True
+    for target in deviator_targets:
+        kinds = [f["kind"] for f in active if f["target"] == target]
+        utility = outcome.reports[target].utility
+        truthful_utility = baseline.reports[target].utility if baseline is not None else 0.0
+        gain = utility - truthful_utility
+        joint_gain += gain
+        fines = _fines_against(outcome, target)
+        detected = fines > 0
+        tol = GAIN_TOL * max(1.0, abs(truthful_utility))
+        dominated = gain <= tol
+        ok = detected or dominated
+        all_individually_ok = all_individually_ok and ok
+        deviators.append(
+            {
+                "target": target,
+                "kinds": kinds,
+                "utility": utility,
+                "truthful_utility": truthful_utility,
+                "gain": gain,
+                "detected": detected,
+                "fines": fines,
+                "dominated": dominated,
+                "ok": ok,
+            }
+        )
+        if tracer is not None and detected:
+            tracer.event(
+                "fault_detected",
+                run=run_index,
+                target=target,
+                kinds=kinds,
+                fines=fines,
+            )
+
+    honest_fined = any(
+        _fines_against(outcome, i) > 0
+        for i in range(1, scenario.m + 1)
+        if i not in deviator_targets
+    )
+    # Coalitions can have positive surplus (DLS-LBL is not
+    # group-strategyproof); the paper's guarantee — measured by X8 — is
+    # instability: the betrayal reward F exceeds any coalition surplus.
+    coalition_unstable = len(deviators) > 1 and joint_gain < mech.fine
+    ok = (all_individually_ok or coalition_unstable) and not honest_fined
+
+    summary = {
+        "scenario": scenario.name,
+        "run": run_index,
+        "seed": run_seed,
+        "m": scenario.m,
+        "completed": outcome.completed,
+        "aborted_phase": outcome.aborted_phase,
+        "makespan": outcome.makespan,
+        "fine": mech.fine,
+        "active": active,
+        "deviators": deviators,
+        "joint_gain": joint_gain,
+        "coalition_unstable": coalition_unstable,
+        "honest_fined": honest_fined,
+        "ok": ok,
+    }
+    events = tracer.events if tracer is not None else []
+    return summary, events, snapshot
+
+
+def run_scenario(
+    scenario: ScenarioSpec | str,
+    *,
+    seed: int = 0,
+    jobs: int = 1,
+    trace: bool = False,
+    runs: int | None = None,
+) -> ScenarioResult:
+    """Run every instance of ``scenario`` (a spec or a catalog name).
+
+    Run ``i`` derives its network, activation and audit randomness from
+    ``task_seed`` over ``(scenario.name, i, seed)``, so results and the
+    merged trace are functions of ``(scenario, seed)`` only — ``jobs``
+    changes wall-clock, never output.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    count = runs if runs is not None else scenario.runs
+    if count < 1:
+        raise ValueError("runs must be at least 1")
+    tasks = [(scenario, i, seed, trace) for i in range(count)]
+    if jobs <= 1:
+        outcomes = [_run_scenario_once(*task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_scenario_once, *task) for task in tasks]
+            # Submission order, not completion order — determinism.
+            outcomes = [future.result() for future in futures]
+        # Worker runs merged only into the worker-local registries;
+        # bring their metric deltas home (population.py does the same).
+        registry = get_registry()
+        for _summary, _events, snapshot in outcomes:
+            registry.merge(snapshot)
+    summaries = [summary for summary, _events, _snapshot in outcomes]
+    events = merge_traces([events for _summary, events, _snapshot in outcomes])
+    metrics = merge_snapshots([snapshot for _summary, _events, snapshot in outcomes])
+    return ScenarioResult(scenario=scenario, runs=summaries, events=events, metrics=metrics)
+
+
+def zero_fault_differential(
+    m: int = 4,
+    *,
+    seed: int = 0,
+    audit_probability: float = 1.0,
+) -> dict[str, Any]:
+    """Differential check: a :class:`FaultyAgent` population with *no*
+    active faults must be bit-identical to the honest path.
+
+    Runs the mechanism twice on the same network and seed — once with
+    empty-fault :class:`FaultyAgent`\\ s, once with plain
+    ``TruthfulAgent``\\ s — and compares every outcome array, the agent
+    reports, the ledger entries, and the full JSONL traces byte for
+    byte.
+    """
+    from repro.agents import TruthfulAgent
+    from repro.mechanism.dls_lbl import DLSLBLMechanism
+    from repro.network.generators import random_linear_network
+
+    run_seed = task_seed("faults/differential", seed)
+    network = random_linear_network(m, np.random.default_rng(run_seed))
+    true_rates = [float(x) for x in network.w[1:]]
+
+    def execute(agents):
+        tracer = Tracer()
+        mech = DLSLBLMechanism(
+            network.z,
+            float(network.w[0]),
+            agents,
+            audit_probability=audit_probability,
+            rng=np.random.default_rng(run_seed + 1),
+            tracer=tracer,
+        )
+        return mech.run(), tracer
+
+    faulty_outcome, faulty_tracer = execute(
+        [FaultyAgent(i, t) for i, t in enumerate(true_rates, start=1)]
+    )
+    honest_outcome, honest_tracer = execute(
+        [TruthfulAgent(i, t) for i, t in enumerate(true_rates, start=1)]
+    )
+
+    arrays_equal = all(
+        np.array_equal(getattr(faulty_outcome, name), getattr(honest_outcome, name))
+        for name in ("bids", "w_bar", "assigned", "computed", "actual_rates")
+    )
+    reports_equal = faulty_outcome.reports == honest_outcome.reports
+    ledger_equal = list(faulty_outcome.ledger.entries) == list(honest_outcome.ledger.entries)
+    traces_equal = events_to_jsonl(faulty_tracer.events) == events_to_jsonl(honest_tracer.events)
+    return {
+        "arrays_equal": arrays_equal,
+        "reports_equal": reports_equal,
+        "ledger_equal": ledger_equal,
+        "traces_equal": traces_equal,
+        "identical": arrays_equal and reports_equal and ledger_equal and traces_equal,
+    }

@@ -1,0 +1,211 @@
+"""Fault and scenario specifications.
+
+A :class:`FaultSpec` names one injectable deviation (which protocol
+manipulation, against whom, how strong, with what activation
+probability); a :class:`ScenarioSpec` bundles several of them with the
+population parameters.  Both round-trip through plain dicts and JSON so
+scenarios can live in files, CLI arguments, and CI matrices.
+
+The :data:`FAULT_KINDS` registry is the catalog's source of truth: every
+kind carries its parameter semantics, the theorem/lemma it exercises,
+and the *expected* mechanism response — ``detected`` (the deviation is
+provably attributed and fined) or ``dominated`` (the deviator's utility
+cannot exceed the truthful baseline).  The scenario runner checks the
+observed outcome against this expectation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["FAULT_KINDS", "FaultKind", "FaultSpec", "ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """Registry entry for one injectable fault kind."""
+
+    name: str
+    description: str
+    #: Meaning of :attr:`FaultSpec.param` (``None`` = kind takes no parameter).
+    param: str | None
+    default_param: float | None
+    #: Paper result the deviation exercises.
+    theorem: str
+    #: ``"detected"`` (attributed + fined) or ``"dominated"`` (utility
+    #: <= truthful baseline; possibly both hold, this is the guarantee
+    #: the runner asserts).
+    expected: str
+    #: Protocol phase the deviation acts in (for reporting; ``crash``
+    #: takes the phase as its parameter instead).
+    phase: int | None = None
+    #: The deviation needs a downstream neighbour (cannot target ``P_m``).
+    needs_successor: bool = False
+
+
+_KINDS = (
+    FaultKind("misbid", "report bid_factor * t_i instead of the true rate",
+              "bid factor", 1.5, "Thm 5.3 / Lemma 5.3", "dominated", phase=1),
+    FaultKind("misreport_z", "fold a misreported link time into the equivalent bid",
+              "z factor", 1.5, "Lemma 5.1 (ii)", "detected", phase=1, needs_successor=True),
+    FaultKind("slow", "execute at slowdown * t_i (meter exposes the real rate)",
+              "slowdown", 2.0, "Thm 5.3 case (ii)", "dominated", phase=3),
+    FaultKind("contradict", "sign and send two different Phase I bids",
+              "second-bid factor", 1.5, "Lemma 5.1 (i)", "detected", phase=1),
+    FaultKind("miscompute", "report an equivalent bid violating the reduction recurrence",
+              "w_bar factor", 0.8, "Lemma 5.1 (ii)", "detected", phase=1),
+    FaultKind("relay_tamper", "sign a wrong D_{i+1} into the relayed G bundle",
+              "D factor", 0.7, "Lemma 5.1 (ii)", "detected", phase=2, needs_successor=True),
+    FaultKind("echo_tamper", "tamper with the countersigned echo of the successor's bid",
+              "echo factor", 1.2, "Lemma 5.1 (ii)", "detected", phase=2, needs_successor=True),
+    FaultKind("shed", "retain less than assigned, dumping load downstream",
+              "shed fraction", 0.5, "Thm 5.1 / Lemma 5.1 (iii)", "detected", phase=3,
+              needs_successor=True),
+    FaultKind("msg_delay", "sit on the downstream load before forwarding it",
+              "delay (time units)", 0.5, "Thm 5.2", "dominated", phase=3, needs_successor=True),
+    FaultKind("msg_drop", "drop the Phase I message instead of sending it",
+              None, None, "Thm 5.2", "dominated", phase=1),
+    FaultKind("sig_corrupt", "send a corrupted / unverifiable signature",
+              None, None, "Thm 5.2", "dominated", phase=1),
+    FaultKind("overcharge", "bill more than the recomputable payment Q_j",
+              "overcharge amount", 1.0, "Lemma 5.1 (iv)", "detected", phase=4),
+    FaultKind("meter_tamper", "forge the meter reading inside the payment proof",
+              "rate factor", 0.5, "Lemma 5.1 (iv)", "detected", phase=4),
+    FaultKind("lambda_tamper", "inflate the Lambda certificate inside the payment proof",
+              "extra blocks", 1000.0, "Lemma 5.1 (iv)", "detected", phase=4),
+    FaultKind("false_accuse", "fabricate an overload grievance without evidence",
+              None, None, "Lemma 5.1 (v)", "detected", phase=3),
+    FaultKind("silent_victim", "absorb an overload without reporting it",
+              None, None, "Thm 5.1 (reporting incentive)", "dominated", phase=3),
+    FaultKind("no_validate", "skip the Phase II checks on the incoming G bundle",
+              None, None, "Lemma 5.1 (ii), victim side", "dominated", phase=2),
+    FaultKind("crash", "stop participating at the given phase (1, 3 or 4)",
+              "crash phase", 3.0, "Thm 5.4 (participation)", "dominated"),
+)
+
+#: name -> :class:`FaultKind` for every injectable deviation.
+FAULT_KINDS: dict[str, FaultKind] = {k.name: k for k in _KINDS}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault.
+
+    Attributes
+    ----------
+    kind:
+        A :data:`FAULT_KINDS` name.
+    target:
+        1-based processor index, or ``None`` to draw the target
+        deterministically from the per-run activation stream.
+    param:
+        Kind-specific magnitude (``None`` = the kind's default).
+    probability:
+        Per-run activation probability; the Bernoulli draw comes from
+        the seed-derived activation stream, so activation is a pure
+        function of ``(scenario, run index, seed)``.
+    """
+
+    kind: str
+    target: int | None = None
+    param: float | None = None
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {sorted(FAULT_KINDS)}"
+            )
+        if self.target is not None and self.target < 1:
+            raise ValueError("fault target must be a 1-based processor index")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("activation probability must be in [0, 1]")
+        if self.kind == "crash" and self.param is not None and int(self.param) not in (1, 3, 4):
+            raise ValueError("crash phase must be 1, 3 or 4")
+
+    @property
+    def info(self) -> FaultKind:
+        return FAULT_KINDS[self.kind]
+
+    @property
+    def effective_param(self) -> float | None:
+        return self.param if self.param is not None else self.info.default_param
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        known = {f for f in ("kind", "target", "param", "probability")}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(extra)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named adversarial scenario: faults plus population parameters.
+
+    ``runs`` mechanism instances are drawn on random ``(m+1)``-processor
+    chains; every fault is (probabilistically) injected into each run.
+    Multiple faults form a coalition — the runner evaluates both
+    individual and joint utility against the truthful baseline.
+    """
+
+    name: str
+    description: str = ""
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+    m: int = 4
+    runs: int = 3
+    #: Audit probability q; the catalog pins 1.0 so Phase IV detection
+    #: is deterministic (X3 covers the q < 1 expected-fine economics).
+    audit_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.m < 1:
+            raise ValueError("m must be at least 1")
+        if self.runs < 1:
+            raise ValueError("runs must be at least 1")
+        if not 0.0 < self.audit_probability <= 1.0:
+            raise ValueError("audit_probability must be in (0, 1]")
+        for fault in self.faults:
+            if fault.target is not None and fault.target > self.m:
+                raise ValueError(
+                    f"fault target {fault.target} outside 1..{self.m}"
+                )
+            if fault.info.needs_successor and fault.target == self.m and self.m > 1:
+                raise ValueError(
+                    f"fault {fault.kind!r} needs a successor; target {fault.target} is terminal"
+                )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "faults": [f.to_dict() for f in self.faults],
+            "m": self.m,
+            "runs": self.runs,
+            "audit_probability": self.audit_probability,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        data = dict(data)
+        faults = tuple(FaultSpec.from_dict(f) for f in data.pop("faults", ()))
+        known = {"name", "description", "m", "runs", "audit_probability"}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown ScenarioSpec fields: {sorted(extra)}")
+        return cls(faults=faults, **data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))

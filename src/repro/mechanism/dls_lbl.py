@@ -237,6 +237,7 @@ class DLSLBLMechanism:
         court = GrievanceCourt(
             self.registry, lambda_device, meter, self.z, self.fine, total_load=self.total_load
         )
+        self._court = court
         adjudications: list[Adjudication] = []
 
         # Raw bids w_i.  The terminal's Phase I "computation" is its bid.
@@ -361,14 +362,22 @@ class DLSLBLMechanism:
         with registry.timer("mechanism.phase_3"), self._span("phase_3") as phase3_span:
             actual_rates = np.empty(m + 1)
             actual_rates[0] = self.root_rate
+            delays = np.zeros(m + 1)
             for i in range(1, m + 1):
                 agent = self.agents[i]
                 actual_rates[i] = max(agent.choose_execution_rate(), agent.true_rate)
+                delays[i] = max(agent.phase3_forward_delay(), 0.0)
 
             retained, received_actual = self._flows(assigned, received_share)
             network = LinearNetwork(actual_rates, self.z)
             sim_result = simulate_linear_chain(
-                network, retained, speeds=actual_rates, total_load=self.total_load
+                network,
+                retained,
+                speeds=actual_rates,
+                total_load=self.total_load,
+                # Only pass the seam when somebody actually delays: the
+                # honest path must stay byte-identical to older traces.
+                send_delays=delays if np.any(delays > 0.0) else None,
             )
             computed = sim_result.computed
             if self.tracer is not None:
@@ -465,6 +474,10 @@ class DLSLBLMechanism:
                     meter=meter_msgs[i],
                     certificate=certificates[i],
                 )
+                # The agent forwards its own evidence bundle; tampering
+                # here (meter/Λ forgery) is what the audit recomputation
+                # is designed to expose.
+                proof = agent.phase4_proof(proof)
                 record = auditor.audit(
                     i,
                     bill,
@@ -571,43 +584,14 @@ class DLSLBLMechanism:
         )
 
     def _settle(self, verdict: Adjudication, ledger: PaymentLedger) -> Adjudication:
-        """Apply an adjudication's transfers to the ledger.
+        """Apply an adjudication via the court's shared settlement path.
 
-        The root needs no incentives, so rewards addressed to it are
-        retained by the mechanism (its utility stays 0 per eq. 4.3).
+        Delegates to :meth:`GrievanceCourt.apply` so that every verdict —
+        including frivolous grievances where the *accuser* is fined —
+        produces the same ledger entries, metrics and trace events
+        regardless of which caller adjudicated it.
         """
-        registry = get_registry()
-        registry.inc("mechanism.grievances")
-        if verdict.substantiated:
-            registry.inc("mechanism.grievances_substantiated")
-        if self.tracer is not None:
-            self.tracer.event(
-                "grievance",
-                grievance_kind=verdict.grievance.kind.value,
-                accuser=verdict.grievance.accuser,
-                accused=verdict.grievance.accused,
-                substantiated=verdict.substantiated,
-                fined=verdict.fined,
-                fine_amount=verdict.fine_amount,
-                rewarded=verdict.rewarded,
-                reward_amount=verdict.reward_amount,
-                reason=verdict.reason,
-            )
-        ledger.fine(verdict.fined, verdict.fine_amount, f"grievance fine ({verdict.grievance.kind.value})")
-        if verdict.fine_amount > 0:
-            registry.inc("mechanism.fines")
-            registry.inc("mechanism.fine_volume", verdict.fine_amount)
-            if self.tracer is not None:
-                self.tracer.event(
-                    "fine",
-                    proc=verdict.fined,
-                    amount=verdict.fine_amount,
-                    source="grievance",
-                    reason=verdict.grievance.kind.value,
-                )
-        if verdict.rewarded != 0:
-            ledger.pay(verdict.rewarded, verdict.reward_amount, f"grievance reward ({verdict.grievance.kind.value})")
-        return verdict
+        return self._court.apply(verdict, ledger, tracer=self.tracer)
 
     def _aborted(
         self,

@@ -27,6 +27,8 @@ __all__ = [
     "StrategyproofnessReport",
     "utility_of_bid",
     "sweep_bids",
+    "sweep_bids_batch",
+    "truthful_utilities_batch",
     "check_voluntary_participation",
     "run_truthful",
 ]
@@ -186,6 +188,93 @@ def sweep_bids(
         bids=bids,
         utilities=utilities,
         truthful_utility=truthful,
+    )
+
+
+def _batch_utilities(w: np.ndarray, z: np.ndarray, actual_rates: np.ndarray | None = None) -> np.ndarray:
+    """Per-agent utilities ``V_j + Q_j`` of ``N`` stacked compliant runs.
+
+    The closed form of what :func:`run_truthful` / :func:`utility_of_bid`
+    measure through the full protocol when nobody triggers a grievance or
+    a false bill: every agent computes its assignment, bills the correct
+    amount, and the ledger holds exactly the Phase IV payment.  Shape
+    ``(N, m)``; differential tests pin it against the mechanism runs.
+    """
+    from repro.dlt.batch import solve_linear_batch
+    from repro.mechanism.payments import payment_breakdown_batch
+
+    schedule = solve_linear_batch(w, z)
+    payments = payment_breakdown_batch(schedule, actual_rates=actual_rates)
+    return payments.utility_before_transfers
+
+
+def truthful_utilities_batch(
+    link_rates: Sequence[float],
+    root_rate: float,
+    true_rates: Sequence[float],
+) -> dict[int, float]:
+    """All-truthful utilities via the batch kernels (no protocol run).
+
+    Equals ``{i: run_truthful(...).utility(i)}`` — the all-truthful run
+    levies no fines, so utility is exactly eq. 4.4's ``V_j + Q_j``.
+    """
+    true = np.asarray(true_rates, dtype=np.float64)
+    w = np.concatenate(([float(root_rate)], true))[None, :]
+    z = np.asarray(link_rates, dtype=np.float64)[None, :]
+    utilities = _batch_utilities(w, z)[0]
+    return {i: float(utilities[i - 1]) for i in range(1, true.size + 1)}
+
+
+def sweep_bids_batch(
+    link_rates: Sequence[float],
+    root_rate: float,
+    true_rates: Sequence[float],
+    agent_index: int,
+    *,
+    factors: Sequence[float] | None = None,
+    execution_rate: float | None = None,
+    seed: int = 0,
+) -> StrategyproofnessReport:
+    """Vectorized :func:`sweep_bids`: one batched solve for the whole grid.
+
+    Stacks one network per swept bid (plus a truthful row) and evaluates
+    eq. 4.4 directly through :func:`~repro.dlt.batch.solve_linear_batch`
+    and :func:`~repro.mechanism.payments.payment_breakdown_batch`.  Valid
+    because the probe stays protocol-compliant — a misreported bid or a
+    slow execution changes payments, never draws a fine — so mechanism
+    utility is exactly ``V_j + Q_j``.  ``seed`` is accepted for signature
+    parity with :func:`sweep_bids`; the compliant path consumes no
+    randomness.
+    """
+    del seed
+    true = np.asarray(true_rates, dtype=np.float64)
+    m = true.size
+    true_rate = float(true[agent_index - 1])
+    if factors is None:
+        factors = np.concatenate(
+            (np.linspace(0.1, 1.0, 19), np.linspace(1.0, 5.0, 21)[1:])
+        )
+    bids = np.asarray(factors, dtype=np.float64) * true_rate
+    n = bids.size
+    # Row layout: one network per swept bid, the truthful reference last
+    # (truthful bid at capacity, regardless of the probe's slowdown).
+    w = np.empty((n + 1, m + 1))
+    w[:, 0] = float(root_rate)
+    w[:, 1:] = true
+    w[:n, agent_index] = bids
+    z = np.tile(np.asarray(link_rates, dtype=np.float64), (n + 1, 1))
+    # The mechanism meters max(execution_rate, capacity); everyone else
+    # is truthful, so their metered rate equals their bid.
+    actual = max(execution_rate, true_rate) if execution_rate is not None else true_rate
+    rates = w[:, 1:].copy()
+    rates[:n, agent_index - 1] = actual
+    utilities = _batch_utilities(w, z, actual_rates=rates)[:, agent_index - 1]
+    return StrategyproofnessReport(
+        agent_index=agent_index,
+        true_rate=true_rate,
+        bids=bids,
+        utilities=utilities[:n].copy(),
+        truthful_utility=float(utilities[n]),
     )
 
 

@@ -104,6 +104,7 @@ def simulate_solution_rounds(
     *,
     n_rounds: int = 1000,
     total_load: float = 1.0,
+    vectorized: bool = False,
 ) -> float:
     """Monte Carlo estimate of ``P(found)``: each round hides the solution
     uniformly in the load and checks whether it fell in a wasted span.
@@ -112,6 +113,11 @@ def simulate_solution_rounds(
     forwarded stream (the layout does not affect the probability for a
     uniform solution; it only needs to be consistent).  Used by tests to
     validate the closed form within sampling error.
+
+    With ``vectorized=True`` the span membership test runs as one numpy
+    pass over all rounds.  The positions come from the same single
+    ``rng.uniform`` draw and the comparisons are the same IEEE-754
+    predicates, so both paths return the identical estimate.
     """
     spans: list[tuple[float, float]] = []
     for agent in agents:
@@ -121,8 +127,13 @@ def simulate_solution_rounds(
             # The stream through agent i is the trailing `fwd` units.
             start = total_load - fwd
             spans.append((start, start + wasted))
-    hits = 0
     positions = rng.uniform(0.0, total_load, n_rounds)
+    if vectorized:
+        in_wasted = np.zeros(n_rounds, dtype=bool)
+        for a, b in spans:
+            in_wasted |= (a <= positions) & (positions < b)
+        return int(n_rounds - in_wasted.sum()) / n_rounds
+    hits = 0
     for x in positions:
         if not any(a <= x < b for a, b in spans):
             hits += 1

@@ -32,6 +32,7 @@ overcharging — are handled with the same fines and audits as DLS-LBL.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -47,6 +48,8 @@ from repro.mechanism.dls_lbl import AgentReport
 from repro.mechanism.ledger import PaymentLedger
 from repro.mechanism.payments import recommended_fine
 from repro.network.topology import BusNetwork, StarNetwork
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer
 from repro.protocol.grievance import Adjudication
 from repro.protocol.messages import bid_payload
 from repro.protocol.meter import TamperProofMeter
@@ -139,6 +142,7 @@ class StarMechanism:
         total_load: float = 1.0,
         rng: np.random.Generator | None = None,
         key_seed: bytes | None = b"dls-sl",
+        tracer: Tracer | None = None,
     ) -> None:
         agents_sorted = sorted(agents, key=lambda a: a.index)
         n = len(agents_sorted)
@@ -167,11 +171,41 @@ class StarMechanism:
             if fine is not None
             else recommended_fine(true_rates, total_load=self.total_load, max_overcharge=10.0 * true_rates.max())
         )
+        self.tracer = tracer
+
+    def _span(self, kind: str, **attrs):
+        """A tracer span, or a no-op context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(kind, **attrs)
 
     def run(self) -> StarOutcome:
-        """Execute the mechanism and return the outcome."""
+        """Execute the mechanism and return the outcome.
+
+        When a tracer is attached the run is wrapped in a ``run`` span
+        (``topology="star"``); fines, audits, and ledger transfers emit
+        the same event kinds as DLS-LBL.  Star runs count under
+        ``mechanism.star_runs`` to keep the chain-mechanism run counter
+        untouched.
+        """
+        registry = get_registry()
+        registry.inc("mechanism.star_runs")
+        with registry.timer("mechanism.star_run"), self._span(
+            "run",
+            topology="star",
+            n=self.n,
+            fine=self.fine,
+            audit_probability=self.audit_probability,
+            total_load=self.total_load,
+        ) as run_span:
+            outcome = self._run_protocol(registry)
+        if run_span is not None:
+            run_span.set(completed=outcome.completed, makespan=outcome.makespan)
+        return outcome
+
+    def _run_protocol(self, registry) -> StarOutcome:
         n = self.n
-        ledger = PaymentLedger()
+        ledger = PaymentLedger(tracer=self.tracer)
         meter = TamperProofMeter(self._keys[0])
         adjudications: list[Adjudication] = []
 
@@ -189,6 +223,16 @@ class StarMechanism:
             second = agent.phase1_second_bid(float(bid))
             if second is not None and second != bid:
                 ledger.fine(i, self.fine, "contradictory bids (root-detected)")
+                registry.inc("mechanism.fines")
+                registry.inc("mechanism.fine_volume", self.fine)
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "fine",
+                        proc=i,
+                        amount=self.fine,
+                        source="root",
+                        reason="contradictory bids",
+                    )
                 return self._aborted(bids, ledger)
 
         # Schedule from bids: children served in non-decreasing link time
@@ -215,6 +259,16 @@ class StarMechanism:
         for i in range(1, n + 1):
             if computed[i] < assigned[i] - _WORK_TOL:
                 ledger.fine(i, self.fine, "abandoned assigned work (meter-detected)")
+                registry.inc("mechanism.fines")
+                registry.inc("mechanism.fine_volume", self.fine)
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "fine",
+                        proc=i,
+                        amount=self.fine,
+                        source="meter",
+                        reason="abandoned assigned work",
+                    )
 
         # Phase IV: payments.
         ledger.pay(0, float(assigned[0]) * self.root_rate, "root reimbursement")
@@ -258,8 +312,32 @@ class StarMechanism:
 
             record = auditor.audit(i, bill, object(), recompute)
             audits.append(record)
+            registry.inc("mechanism.audits")
+            if record.challenged:
+                registry.inc("mechanism.audits_challenged")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "audit",
+                    proc=record.proc,
+                    challenged=record.challenged,
+                    billed=record.billed,
+                    recomputed=record.recomputed,
+                    proof_valid=record.proof_valid,
+                    fine=record.fine,
+                    reason=record.reason,
+                )
             if record.fine > 0:
                 ledger.fine(i, record.fine, f"audit penalty (P{i})")
+                registry.inc("mechanism.fines")
+                registry.inc("mechanism.fine_volume", record.fine)
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "fine",
+                        proc=i,
+                        amount=record.fine,
+                        source="audit",
+                        reason=record.reason,
+                    )
 
         reports = self._reports(bids, actual_rates, assigned, computed, correct_q, billed_q, ledger)
         return StarOutcome(

@@ -30,6 +30,7 @@ the truth.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -43,6 +44,8 @@ from repro.mechanism.ledger import PaymentLedger
 from repro.mechanism.payments import bonus as pair_bonus
 from repro.mechanism.payments import recommended_fine
 from repro.network.topology import StarNetwork, TreeNetwork, TreeNode
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer
 
 __all__ = ["TreeMechanism", "TreeOutcome", "TreeNodeInfo"]
 
@@ -115,6 +118,7 @@ class TreeMechanism:
         *,
         fine: float | None = None,
         total_load: float = 1.0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.tree = tree
         self.nodes = _flatten(tree)
@@ -133,6 +137,13 @@ class TreeMechanism:
             if fine is not None
             else recommended_fine(true_rates, total_load=self.total_load)
         )
+        self.tracer = tracer
+
+    def _span(self, kind: str, **attrs):
+        """A tracer span, or a no-op context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(kind, **attrs)
 
     # -- core computations -------------------------------------------------
 
@@ -175,9 +186,31 @@ class TreeMechanism:
         return alpha
 
     def run(self) -> TreeOutcome:
-        """Collect bids, schedule, meter, and pay."""
+        """Collect bids, schedule, meter, and pay.
+
+        When a tracer is attached the run is wrapped in a ``run`` span
+        (``topology="tree"``) and every ledger movement emits a
+        ``ledger_transfer`` event.  Tree runs count under
+        ``mechanism.tree_runs`` to keep the chain-mechanism run counter
+        untouched.
+        """
+        registry = get_registry()
+        registry.inc("mechanism.tree_runs")
+        with registry.timer("mechanism.tree_run"), self._span(
+            "run",
+            topology="tree",
+            n=len(self.nodes) - 1,
+            fine=self.fine,
+            total_load=self.total_load,
+        ) as run_span:
+            outcome = self._run_protocol()
+        if run_span is not None:
+            run_span.set(completed=True, makespan=outcome.makespan)
+        return outcome
+
+    def _run_protocol(self) -> TreeOutcome:
         size = len(self.nodes)
-        ledger = PaymentLedger()
+        ledger = PaymentLedger(tracer=self.tracer)
 
         bids = np.zeros(size)
         bids[0] = self.root_rate

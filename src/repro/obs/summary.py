@@ -86,6 +86,21 @@ def summarize_trace(
     else:
         lines.append("fines: none")
 
+    # ---- injected faults --------------------------------------------
+    injected = [e for e in events if e.kind == "fault_injected"]
+    if injected:
+        by_kind = Counter(str(e.attrs.get("fault_kind", "?")) for e in injected)
+        detected_events = [e for e in events if e.kind == "fault_detected"]
+        detected_targets = {
+            (e.attrs.get("run"), e.attrs.get("target")) for e in detected_events
+        }
+        rendered = ", ".join(f"{kind} x{count}" for kind, count in sorted(by_kind.items()))
+        lines.append("")
+        lines.append(
+            f"faults: {len(injected)} injected ({rendered}); "
+            f"{len(detected_targets)} deviator(s) detected and fined"
+        )
+
     # ---- grievances and audits --------------------------------------
     grievances = [e for e in events if e.kind == "grievance"]
     if grievances:

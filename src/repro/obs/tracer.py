@@ -10,7 +10,9 @@ belongs in :mod:`repro.obs.metrics`.
 Event kinds used by the instrumented layers:
 
 =================  ====================================================
-``run``            One mechanism execution (span).
+``run``            One mechanism execution (span); star/tree runs carry
+                   a ``topology`` attribute.
+``multiround``     One multi-installment star simulation (span).
 ``phase_1``..``4`` The four DLS-LBL protocol phases (spans, nested in
                    ``run``).
 ``grievance``      A grievance adjudicated by the court.
@@ -21,6 +23,10 @@ Event kinds used by the instrumented layers:
 ``sim_interval``   One Gantt bar (recv/send/compute) bridged from the
                    discrete-event simulator; ``t0``/``t1`` are simulated
                    times.
+``fault_injected`` One activated fault from a :mod:`repro.faults`
+                   scenario (kind, target, parameter, expectation).
+``fault_detected`` A deviator attributed and fined (grievance or audit)
+                   by the scenario runner's classification.
 =================  ====================================================
 
 Traces from parallel workers are merged with :func:`merge_traces`, which

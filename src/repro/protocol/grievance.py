@@ -15,13 +15,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signing import SignedMessage
 from repro.exceptions import ProtocolViolation
+from repro.obs.metrics import get_registry
 from repro.protocol.lambda_device import LambdaDevice
 from repro.protocol.messages import Grievance, GrievanceKind
 from repro.protocol.meter import TamperProofMeter
 from repro.protocol.verification import verify_g_message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mechanism.ledger import PaymentLedger
+    from repro.obs.tracer import Tracer
 
 __all__ = ["Adjudication", "GrievanceCourt"]
 
@@ -122,6 +129,54 @@ class GrievanceCourt:
             surcharge=0.0,
             reason=reason,
         )
+
+    def apply(
+        self,
+        verdict: Adjudication,
+        ledger: "PaymentLedger",
+        *,
+        tracer: "Tracer | None" = None,
+    ) -> Adjudication:
+        """Apply an adjudication's transfers to ``ledger``.
+
+        Every verdict — substantiated or frivolous — goes through here, so
+        the fined party (accused *or* accuser) always produces the same
+        ledger fine entry, metrics and trace events.  The root needs no
+        incentives, so rewards addressed to it are retained by the
+        mechanism (its utility stays 0 per eq. 4.3).
+        """
+        registry = get_registry()
+        registry.inc("mechanism.grievances")
+        if verdict.substantiated:
+            registry.inc("mechanism.grievances_substantiated")
+        if tracer is not None:
+            tracer.event(
+                "grievance",
+                grievance_kind=verdict.grievance.kind.value,
+                accuser=verdict.grievance.accuser,
+                accused=verdict.grievance.accused,
+                substantiated=verdict.substantiated,
+                fined=verdict.fined,
+                fine_amount=verdict.fine_amount,
+                rewarded=verdict.rewarded,
+                reward_amount=verdict.reward_amount,
+                reason=verdict.reason,
+            )
+        ledger.fine(verdict.fined, verdict.fine_amount, f"grievance fine ({verdict.grievance.kind.value})")
+        if verdict.fine_amount > 0:
+            registry.inc("mechanism.fines")
+            registry.inc("mechanism.fine_volume", verdict.fine_amount)
+            if tracer is not None:
+                tracer.event(
+                    "fine",
+                    proc=verdict.fined,
+                    amount=verdict.fine_amount,
+                    source="grievance",
+                    reason=verdict.grievance.kind.value,
+                )
+        if verdict.rewarded != 0:
+            ledger.pay(verdict.rewarded, verdict.reward_amount, f"grievance reward ({verdict.grievance.kind.value})")
+        return verdict
 
     # -- evidence checks ---------------------------------------------------
 

@@ -75,6 +75,7 @@ def simulate_linear_chain(
     speeds: np.ndarray | None = None,
     total_load: float = 1.0,
     eps_load: float = _EPS_LOAD,
+    send_delays: np.ndarray | None = None,
 ) -> LinearChainResult:
     """Simulate Phase III on ``network``.
 
@@ -96,6 +97,11 @@ def simulate_linear_chain(
         transmitted or computed (floating-point dust on very deep or very
         link-dominated chains).  Pass ``0.0`` for exact replay of
         arbitrarily small fractions.
+    send_delays:
+        Optional per-processor delay inserted before the forward send —
+        processor ``i`` sits on the downstream load for ``send_delays[i]``
+        time units before transmitting.  ``None`` means every processor
+        forwards immediately (honest store-and-forward behaviour).
 
     Returns
     -------
@@ -114,6 +120,15 @@ def simulate_linear_chain(
     w = network.w if speeds is None else np.asarray(speeds, dtype=np.float64)
     if w.size != n:
         raise InvalidAllocationError(f"speeds has length {w.size}, expected {n}")
+    delays = None
+    if send_delays is not None:
+        delays = np.asarray(send_delays, dtype=np.float64)
+        if delays.size != n:
+            raise InvalidAllocationError(
+                f"send_delays has length {delays.size}, expected {n}"
+            )
+        if np.any(delays < 0):
+            raise InvalidAllocationError("send_delays must be non-negative")
 
     sim = Simulator()
     trace = GanttTrace()
@@ -139,11 +154,12 @@ def simulate_linear_chain(
         if proc < n - 1 and forward > eps_load:
             z = network.z[proc]
             duration = forward * z
-            start = sim.now
+            delay = 0.0 if delays is None else delays[proc]
+            start = sim.now + delay
             trace.add(Interval("send", proc, start, start + duration, forward, peer=proc + 1))
             trace.add(Interval("recv", proc + 1, start, start + duration, forward, peer=proc))
             sim.schedule_after(
-                duration,
+                delay + duration,
                 lambda s, p=proc + 1, amt=forward: handle_arrival(p, amt),
                 label=f"arrive P{proc + 1}",
             )

@@ -151,3 +151,92 @@ class TestCli:
     def test_run_rejects_bad_deviant(self, capsys):
         with pytest.raises(SystemExit):
             main(["run", "--m", "2", "--count", "1", "--deviant", "1:warp"])
+
+
+class TestTopologyTracing:
+    """Tracer support on the star/tree mechanisms and the multiround sim."""
+
+    def _star(self, tracer=None):
+        from repro.agents import TruthfulAgent
+        from repro.mechanism.star_mechanism import StarMechanism
+
+        agents = [TruthfulAgent(i, r) for i, r in enumerate([2.0, 3.0, 2.5], start=1)]
+        return StarMechanism(
+            [0.5, 0.7, 0.6], 1.5, agents,
+            audit_probability=1.0, rng=np.random.default_rng(0), tracer=tracer,
+        )
+
+    def test_star_run_span_and_events(self):
+        tracer = Tracer()
+        outcome = self._star(tracer).run()
+        assert outcome.completed
+        kinds = [e.kind for e in tracer.events]
+        run_span = tracer.events[0]
+        assert run_span.kind == "run"
+        assert run_span.attrs["topology"] == "star"
+        assert run_span.attrs["completed"] is True
+        assert "audit" in kinds and "ledger_transfer" in kinds
+        # nested under the run span
+        assert all(e.parent == run_span.id for e in tracer.events[1:])
+
+    def test_star_traced_run_identical_to_untraced(self):
+        traced = self._star(Tracer()).run()
+        plain = self._star().run()
+        assert np.array_equal(traced.assigned, plain.assigned)
+        assert traced.makespan == plain.makespan
+        assert traced.ledger.entries == plain.ledger.entries
+
+    def test_star_counter_is_distinct_from_chain_runs(self):
+        registry = get_registry()
+        self._star().run()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"].get("mechanism.star_runs") == 1.0
+        assert "mechanism.runs" not in snapshot["counters"]
+
+    def test_star_abort_emits_fine_event(self):
+        from repro.agents import ContradictoryBidAgent, TruthfulAgent
+        from repro.mechanism.star_mechanism import StarMechanism
+
+        tracer = Tracer()
+        agents = [ContradictoryBidAgent(1, 2.0), TruthfulAgent(2, 3.0)]
+        mech = StarMechanism(
+            [0.5, 0.7], 1.5, agents, rng=np.random.default_rng(0), tracer=tracer
+        )
+        outcome = mech.run()
+        assert not outcome.completed
+        fines = [e for e in tracer.events if e.kind == "fine"]
+        assert fines and fines[0].attrs["source"] == "root"
+        assert tracer.events[0].attrs["completed"] is False
+
+    def test_tree_run_span_and_ledger_events(self):
+        from repro.agents import TruthfulAgent
+        from repro.mechanism.tree_mechanism import TreeMechanism
+        from repro.network.topology import TreeNetwork, TreeNode
+
+        tracer = Tracer()
+        tree = TreeNetwork(
+            TreeNode(1.5, children=[TreeNode(2.0, link=0.5), TreeNode(2.5, link=0.6)])
+        )
+        agents = [TruthfulAgent(1, 2.0), TruthfulAgent(2, 2.5)]
+        outcome = TreeMechanism(tree, agents, tracer=tracer).run()
+        run_span = tracer.events[0]
+        assert run_span.attrs["topology"] == "tree"
+        assert run_span.attrs["makespan"] == outcome.makespan
+        assert any(e.kind == "ledger_transfer" for e in tracer.events)
+        assert get_registry().snapshot()["counters"].get("mechanism.tree_runs") == 1.0
+
+    def test_multiround_bridges_sim_intervals(self):
+        from repro.dlt.multiround import multiround_makespan
+        from repro.network.topology import StarNetwork
+
+        net = StarNetwork(np.array([1.5, 2.0, 3.0]), np.array([0.4, 0.6]))
+        tracer = Tracer()
+        makespan, _result = multiround_makespan(net, 3, startup=0.01, tracer=tracer)
+        plain_makespan, _ = multiround_makespan(net, 3, startup=0.01)
+        assert makespan == plain_makespan
+        span = tracer.events[0]
+        assert span.kind == "multiround"
+        assert span.attrs["rounds"] == 3
+        assert span.attrs["makespan"] == makespan
+        intervals = [e for e in tracer.events if e.kind == "sim_interval"]
+        assert intervals and all(e.parent == span.id for e in intervals)

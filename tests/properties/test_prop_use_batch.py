@@ -1,0 +1,83 @@
+"""Differential tests: the experiments' ``use_batch`` fast paths.
+
+Each new batch path claims equivalence with the scalar protocol runs it
+replaces — ``sweep_bids_batch`` / ``truthful_utilities_batch`` against
+the full mechanism, the vectorized solution-bonus Monte Carlo against
+the scalar loop (bitwise: same draws, same predicates), and the X3 audit
+Monte Carlo against the run-by-run loop (bitwise: same rng stream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.annoying import DataCorruptingAgent, DuplicatingAgent
+from repro.agents.strategies import TruthfulAgent
+from repro.experiments.exp_x3_audit import run_x3_audit
+from repro.experiments.workloads import WORKLOADS
+from repro.mechanism.properties import (
+    run_truthful,
+    sweep_bids,
+    sweep_bids_batch,
+    truthful_utilities_batch,
+)
+from repro.mechanism.solution_bonus import SolutionBonusConfig, simulate_solution_rounds
+
+TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def network():
+    return WORKLOADS["small-uniform"].one(5)
+
+
+class TestSweepBidsBatch:
+    def test_matches_mechanism_sweep(self, network):
+        z, root, true = network.z, float(network.w[0]), network.w[1:]
+        for agent_index in (1, 3, 5):
+            scalar = sweep_bids(z, root, true, agent_index)
+            batch = sweep_bids_batch(z, root, true, agent_index)
+            np.testing.assert_allclose(batch.utilities, scalar.utilities, atol=TOL)
+            assert abs(batch.truthful_utility - scalar.truthful_utility) <= TOL
+            assert batch.truthful_is_optimal == scalar.truthful_is_optimal
+
+    def test_matches_mechanism_with_slowdown(self, network):
+        z, root, true = network.z, float(network.w[0]), network.w[1:]
+        rate = 2.0 * float(true[1])
+        scalar = sweep_bids(z, root, true, 2, execution_rate=rate)
+        batch = sweep_bids_batch(z, root, true, 2, execution_rate=rate)
+        np.testing.assert_allclose(batch.utilities, scalar.utilities, atol=TOL)
+
+    def test_truthful_utilities_match_protocol_run(self, network):
+        z, root, true = network.z, float(network.w[0]), network.w[1:]
+        outcome = run_truthful(z, root, true)
+        batch = truthful_utilities_batch(z, root, true)
+        for i in range(1, len(true) + 1):
+            assert abs(batch[i] - outcome.utility(i)) <= TOL
+
+
+class TestVectorizedSolutionRounds:
+    def test_bitwise_equal_to_scalar_loop(self, network):
+        agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(network.w[1:], start=1)]
+        agents[1] = DataCorruptingAgent(2, float(network.w[2]), corrupt_fraction=0.5)
+        agents[2] = DuplicatingAgent(3, float(network.w[3]), duplicate_fraction=0.3)
+        forwarded = np.array([0.0, 0.4, 0.3, 0.2, 0.1, 0.0])
+        config = SolutionBonusConfig(s=0.5)
+        scalar = simulate_solution_rounds(
+            agents, forwarded, config, np.random.default_rng(9), n_rounds=5000
+        )
+        vectorized = simulate_solution_rounds(
+            agents, forwarded, config, np.random.default_rng(9),
+            n_rounds=5000, vectorized=True,
+        )
+        assert scalar == vectorized
+
+
+class TestX3AuditBatch:
+    def test_bitwise_equal_monte_carlo(self):
+        scalar = run_x3_audit(n_runs=30, deltas=(0.5, 8.0), qs=(0.25, 1.0))
+        batch = run_x3_audit(n_runs=30, deltas=(0.5, 8.0), qs=(0.25, 1.0), use_batch=True)
+        assert scalar.passed and batch.passed
+        for ts, tb in zip(scalar.tables, batch.tables):
+            assert ts.rows == tb.rows

@@ -1,0 +1,108 @@
+"""Unit tests for the declarative fault/scenario model (repro.faults.spec)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.catalog import BUILTIN_SCENARIOS, get_scenario
+from repro.faults.injector import FaultyAgent, build_agents
+from repro.faults.spec import FAULT_KINDS, FaultSpec, ScenarioSpec
+
+
+class TestFaultKindCatalog:
+    def test_every_kind_has_theorem_and_expectation(self):
+        for name, kind in FAULT_KINDS.items():
+            assert kind.name == name
+            assert kind.expected in ("detected", "dominated")
+            assert kind.theorem
+            assert kind.description
+
+    def test_parameterized_kinds_carry_defaults(self):
+        assert FAULT_KINDS["misbid"].default_param == 1.5
+        assert FAULT_KINDS["shed"].default_param == 0.5
+        assert FAULT_KINDS["crash"].default_param == 3.0
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="teleport")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(kind="misbid", probability=1.5)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec(kind="misbid", target=0)
+
+    def test_effective_param_falls_back_to_default(self):
+        assert FaultSpec(kind="misbid").effective_param == 1.5
+        assert FaultSpec(kind="misbid", param=2.5).effective_param == 2.5
+
+    def test_round_trip(self):
+        spec = FaultSpec(kind="shed", target=2, param=0.3, probability=0.5)
+        again = FaultSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+
+class TestScenarioSpec:
+    def test_round_trip_via_json(self):
+        scenario = BUILTIN_SCENARIOS["collude_shed_silent"]
+        again = ScenarioSpec.from_json(scenario.to_json())
+        assert again == scenario
+        # and the JSON itself is valid and self-describing
+        payload = json.loads(scenario.to_json())
+        assert payload["name"] == "collude_shed_silent"
+
+    def test_target_beyond_chain_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            ScenarioSpec(name="bad", faults=(FaultSpec(kind="misbid", target=9),), m=4)
+
+    def test_needs_successor_cannot_target_terminal(self):
+        with pytest.raises(ValueError, match="successor"):
+            ScenarioSpec(name="bad", faults=(FaultSpec(kind="shed", target=4),), m=4)
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_builtin_catalog_is_valid(self):
+        for name, scenario in BUILTIN_SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.m >= 1 and scenario.runs >= 1
+
+
+class TestBuildAgents:
+    def test_empty_fault_agent_reports_truthful_strategy(self):
+        agent = FaultyAgent(1, 2.0)
+        assert agent.strategy_name == "truthful"
+
+    def test_faulty_agent_strategy_names_faults(self):
+        agent = FaultyAgent(1, 2.0, faults=(FaultSpec(kind="misbid"),))
+        assert agent.strategy_name == "fault:misbid"
+
+    def test_probability_activation_is_seed_deterministic(self):
+        scenario = BUILTIN_SCENARIOS["flaky_misbid"]
+        rates = np.array([2.0, 3.0, 2.5, 4.0])
+        links = np.array([0.5, 0.3, 0.7, 0.4])
+        picks = []
+        for _ in range(2):
+            rng = np.random.default_rng(7)
+            _agents, active = build_agents(scenario, rng, rates, links)
+            picks.append([a["kind"] for a in active])
+        assert picks[0] == picks[1]
+
+    def test_random_target_stays_in_range(self):
+        scenario = BUILTIN_SCENARIOS["random_target_shed"]
+        rates = np.array([2.0, 3.0, 2.5, 4.0])
+        links = np.array([0.5, 0.3, 0.7, 0.4])
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            _agents, active = build_agents(scenario, rng, rates, links)
+            for fault in active:
+                # shed needs a successor, so the terminal is excluded
+                assert 1 <= fault["target"] < scenario.m
