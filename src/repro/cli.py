@@ -16,7 +16,9 @@ Commands
 ``experiments``
     Run the experiment suite through the parallel runner
     (``--jobs N`` worker processes, ``--batch`` vectorized solving,
-    ``--bench`` to record speedups in ``BENCH_batch.json``).
+    ``--bench`` to record speedups in ``BENCH_batch.json``,
+    ``--checkpoint PATH`` to journal finished tasks so an interrupted
+    run resumes with identical results).
 ``run``
     Population runs of the mechanism with structured tracing:
     ``python -m repro run --m 4 --count 10 --trace out.jsonl --metrics
@@ -28,7 +30,9 @@ Commands
     Declarative fault injection (see :mod:`repro.faults`):
     ``python -m repro faults list`` shows the scenario catalog,
     ``python -m repro faults run --scenario shed --seed 0 --jobs 2
-    --trace out.jsonl`` runs one (deterministic at any ``--jobs``).
+    --trace out.jsonl`` runs one (deterministic at any ``--jobs``), and
+    ``python -m repro faults fuzz --seed 7 --count 20`` checks random
+    fault combinations with shrink-on-failure reporting.
 """
 
 from __future__ import annotations
@@ -120,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure scalar-vs-batch and serial-vs-parallel speedups and write them to --bench-path",
     )
     exps.add_argument("--bench-path", default="BENCH_batch.json", help="output path for --bench")
+    exps.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed tasks to PATH (JSONL); re-running with the same "
+        "journal resumes, skipping finished tasks with identical results",
+    )
 
     run = sub.add_parser(
         "run",
@@ -167,6 +176,20 @@ def build_parser() -> argparse.ArgumentParser:
     faults_run.add_argument(
         "--metrics", default=None, metavar="PATH",
         help="write the merged metrics report (JSON) to PATH",
+    )
+    faults_fuzz = faults_sub.add_parser(
+        "fuzz", help="random fault combinations gated by the verdict checker"
+    )
+    faults_fuzz.add_argument("--seed", type=int, default=0, help="fuzz batch seed")
+    faults_fuzz.add_argument("--count", type=int, default=20, help="scenarios to generate")
+    faults_fuzz.add_argument("--jobs", type=int, default=1, help="worker processes per scenario")
+    faults_fuzz.add_argument("--m", type=int, default=4, help="links per chain (m+1 processors)")
+    faults_fuzz.add_argument(
+        "--max-faults", type=int, default=3, help="max faults per generated scenario"
+    )
+    faults_fuzz.add_argument("--runs", type=int, default=1, help="runs per generated scenario")
+    faults_fuzz.add_argument(
+        "--report", default=None, metavar="PATH", help="write the JSON fuzz report to PATH"
     )
 
     trace = sub.add_parser("trace", help="work with recorded JSONL traces")
@@ -368,6 +391,7 @@ def _cmd_experiments(args) -> int:
                 jobs=args.jobs,
                 base_seed=args.seed if args.seed is not None else 0,
                 use_batch=args.batch,
+                checkpoint=args.checkpoint,
             )
         else:
             runs = run_experiments(
@@ -375,6 +399,7 @@ def _cmd_experiments(args) -> int:
                 jobs=args.jobs,
                 use_batch=args.batch,
                 base_seed=args.seed,
+                checkpoint=args.checkpoint,
             )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -439,6 +464,37 @@ def _cmd_faults(args) -> int:
             print(f"{spec.name:>22} {len(spec.faults):>6} {spec.runs:>5}  {spec.description}")
         return 0
 
+    if args.faults_command == "fuzz":
+        from repro.faults.fuzz import fuzz_scenarios
+
+        report = fuzz_scenarios(
+            args.seed,
+            args.count,
+            jobs=args.jobs,
+            m=args.m,
+            max_faults=args.max_faults,
+            runs=args.runs,
+        )
+        print(report.format())
+        if args.report:
+            import json
+
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "seed": report.seed,
+                        "count": report.count,
+                        "cases": report.cases,
+                        "failures": report.failures,
+                    },
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+                fh.write("\n")
+            print(f"report -> {args.report}")
+        return 0 if report.all_ok else 1
+
     if args.spec is not None:
         with open(args.spec, encoding="utf-8") as fh:
             scenarios = [ScenarioSpec.from_json(fh.read())]
@@ -479,12 +535,19 @@ def _cmd_faults(args) -> int:
             faults_desc = (
                 ",".join(f"{f['kind']}@P{f['target']}" for f in r["active"]) or "-"
             )
-            detected = (
-                "/".join("yes" if d["detected"] else "no" for d in r["deviators"]) or "-"
-            )
+            if "deviators" in r:
+                detected = (
+                    "/".join("yes" if d["detected"] else "no" for d in r["deviators"]) or "-"
+                )
+                gain = f"{r['joint_gain']:>12.4e}"
+            else:
+                # Infrastructure run: runtime verdicts instead of deviator
+                # detection, makespan penalty instead of strategic gain.
+                detected = "/".join(v["verdict"] for v in r["verdicts"]) or "-"
+                gain = f"{r['makespan_penalty']:>12.4e}"
             print(
                 f"{r['run']:>4} {status:>9} {faults_desc:>26} {detected:>9} "
-                f"{r['joint_gain']:>12.4e} {'OK' if r['ok'] else 'FAIL':>8}"
+                f"{gain} {'OK' if r['ok'] else 'FAIL':>8}"
             )
         if not result.all_ok:
             exit_code = 1

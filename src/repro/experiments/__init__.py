@@ -37,6 +37,7 @@ from repro.experiments.exp_x8_collusion import run_x8_collusion
 from repro.experiments.exp_x9_regimes import run_x9_regimes
 from repro.experiments.exp_x10_multiround import run_x10_multiround
 from repro.experiments.exp_x11_faults import run_x11_faults
+from repro.experiments.exp_x12_resilience import run_x12_resilience
 from repro.experiments.exp_a1_ablation import run_a1_ablation
 from repro.experiments.exp_a2_bonus_rule import marginal_bonus_chain, run_a2_bonus_rule
 from repro.experiments.exp_a3_assumptions import run_a3_assumptions
@@ -65,6 +66,7 @@ ALL_EXPERIMENTS = {
     "X9": run_x9_regimes,
     "X10": run_x10_multiround,
     "X11": run_x11_faults,
+    "X12": run_x12_resilience,
     "A1": run_a1_ablation,
     "A2": run_a2_bonus_rule,
     "A3": run_a3_assumptions,
@@ -108,6 +110,7 @@ __all__ = [
     "run_x9_regimes",
     "run_x10_multiround",
     "run_x11_faults",
+    "run_x12_resilience",
     "run_a1_ablation",
     "run_a2_bonus_rule",
     "run_a3_assumptions",

@@ -36,6 +36,8 @@ def run_x11_faults(*, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     )
     all_ok = True
     for name, scenario in BUILTIN_SCENARIOS.items():
+        if scenario.layer != "strategic":
+            continue  # infrastructure faults are X12's matrix
         result = run_scenario(scenario, seed=seed, jobs=jobs)
         injected = sum(len(r["active"]) for r in result.runs)
         detected = sum(1 for r in result.runs for d in r["deviators"] if d["detected"])

@@ -28,12 +28,13 @@ import os
 import platform
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.experiments.harness import ExperimentResult
 from repro.obs.metrics import collecting, get_registry
+from repro.runtime.checkpoint import CheckpointJournal, task_key
 
 __all__ = [
     "ExperimentRun",
@@ -45,6 +46,14 @@ __all__ = [
     "benchmark_batch",
     "write_benchmark",
 ]
+
+
+def _as_journal(
+    checkpoint: str | os.PathLike[str] | CheckpointJournal | None,
+) -> CheckpointJournal | None:
+    if checkpoint is None or isinstance(checkpoint, CheckpointJournal):
+        return checkpoint
+    return CheckpointJournal(checkpoint)
 
 
 def task_seed(name: str, base_seed: int = 0) -> int:
@@ -106,22 +115,91 @@ def _call_experiment(
     return result, time.perf_counter() - start, snapshot
 
 
-def _execute(tasks: list[tuple[str, int | None, bool, dict[str, Any]]], jobs: int):
+def _execute(
+    tasks: list[tuple[str, int | None, bool, dict[str, Any]]],
+    jobs: int,
+    *,
+    journal: CheckpointJournal | None = None,
+    replications: Sequence[int | None] | None = None,
+):
+    if journal is None:
+        if jobs <= 1:
+            # In-process: collecting() inside _call_experiment already merged
+            # each task's delta into this process's registry.
+            return [_call_experiment(*task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_call_experiment, *task) for task in tasks]
+            # Collected in submission order — worker scheduling cannot reorder
+            # or reseed anything.
+            outcomes = [future.result() for future in futures]
+        # Worker-side counts would otherwise die with the pool; merging the
+        # per-task snapshots here is what closes the old blind spot where
+        # e.g. crypto counters ignored everything run under --jobs > 1.
+        registry = get_registry()
+        for _result, _duration, snapshot in outcomes:
+            registry.merge(snapshot)
+        return outcomes
+    return _execute_journaled(tasks, jobs, journal, replications)
+
+
+def _execute_journaled(
+    tasks: list[tuple[str, int | None, bool, dict[str, Any]]],
+    jobs: int,
+    journal: CheckpointJournal,
+    replications: Sequence[int | None] | None,
+):
+    """Checkpointed execution: journaled tasks restore, the rest run.
+
+    Each finished task is appended to the journal *as it completes* (not
+    in submission order), so a kill at any point loses at most the tasks
+    still in flight.  Results are still assembled in submission order, and
+    seeds derive from task identity, so a resumed run's output is
+    byte-identical to an uninterrupted one.
+    """
+    reps = list(replications) if replications is not None else [None] * len(tasks)
+    keys = [
+        task_key(exp_id, seed, use_batch, kwargs, rep)
+        for (exp_id, seed, use_batch, kwargs), rep in zip(tasks, reps)
+    ]
+    outcomes: list[Any] = [None] * len(tasks)
+    restored: list[bool] = [False] * len(tasks)
+    pending: list[int] = []
+    for idx, key in enumerate(keys):
+        cached = journal.get(key)
+        if cached is not None:
+            outcomes[idx] = cached
+            restored[idx] = True
+        else:
+            pending.append(idx)
+
+    def _journal(idx: int, outcome) -> None:
+        outcomes[idx] = outcome
+        journal.record(
+            keys[idx],
+            outcome,
+            exp_id=tasks[idx][0],
+            seed=tasks[idx][1],
+            replication=reps[idx],
+        )
+
     if jobs <= 1:
-        # In-process: collecting() inside _call_experiment already merged
-        # each task's delta into this process's registry.
-        return [_call_experiment(*task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_call_experiment, *task) for task in tasks]
-        # Collected in submission order — worker scheduling cannot reorder
-        # or reseed anything.
-        outcomes = [future.result() for future in futures]
-    # Worker-side counts would otherwise die with the pool; merging the
-    # per-task snapshots here is what closes the old blind spot where
-    # e.g. crypto counters ignored everything run under --jobs > 1.
+        for idx in pending:
+            _journal(idx, _call_experiment(*tasks[idx]))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_call_experiment, *tasks[idx]): idx for idx in pending
+            }
+            for future in as_completed(futures):
+                _journal(futures[future], future.result())
+
+    # Merge metrics deltas the in-process path did not already absorb:
+    # restored tasks always (their work happened in a previous run), and
+    # fresh tasks when they ran in pool workers.
     registry = get_registry()
-    for _result, _duration, snapshot in outcomes:
-        registry.merge(snapshot)
+    for idx in range(len(tasks)):
+        if restored[idx] or jobs > 1:
+            registry.merge(outcomes[idx][2])
     return outcomes
 
 
@@ -132,6 +210,7 @@ def run_experiments(
     use_batch: bool = False,
     base_seed: int | None = None,
     experiment_kwargs: Mapping[str, Mapping[str, Any]] | None = None,
+    checkpoint: str | os.PathLike[str] | CheckpointJournal | None = None,
 ) -> list[ExperimentRun]:
     """Run experiments (default: the whole registry) across ``jobs`` workers.
 
@@ -151,6 +230,11 @@ def run_experiments(
     experiment_kwargs:
         Optional per-id keyword overrides, e.g. reduced workloads for
         smoke runs: ``{"T2.1": {"n_trials": 20}}``.
+    checkpoint:
+        Journal path (or a :class:`~repro.runtime.checkpoint.CheckpointJournal`)
+        enabling checkpoint/resume: completed tasks restore from the
+        journal instead of re-running, and each fresh completion is
+        appended durably.  Results are identical to an uncheckpointed run.
     """
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -168,7 +252,7 @@ def run_experiments(
         )
         for exp_id in chosen
     ]
-    outcomes = _execute(tasks, jobs)
+    outcomes = _execute(tasks, jobs, journal=_as_journal(checkpoint))
     return [
         ExperimentRun(
             exp_id=task[0], result=result, duration=duration, seed=task[1], metrics=metrics
@@ -184,6 +268,7 @@ def run_replications(
     jobs: int = 1,
     base_seed: int = 0,
     use_batch: bool = False,
+    checkpoint: str | os.PathLike[str] | CheckpointJournal | None = None,
     **kwargs: Any,
 ) -> list[ExperimentRun]:
     """Monte-Carlo replications of one experiment with per-replication seeds.
@@ -192,6 +277,8 @@ def run_replications(
     base_seed)`` — derived from its index, not from worker order — so the
     replication set is identical at any ``jobs`` count.  The experiment
     must accept a ``seed`` parameter for the replications to differ.
+    ``checkpoint`` enables journal-based resume exactly as in
+    :func:`run_experiments`.
     """
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -201,7 +288,9 @@ def run_replications(
         (exp_id, task_seed(f"{exp_id}/rep{i}", base_seed), use_batch, dict(kwargs))
         for i in range(n)
     ]
-    outcomes = _execute(tasks, jobs)
+    outcomes = _execute(
+        tasks, jobs, journal=_as_journal(checkpoint), replications=list(range(n))
+    )
     return [
         ExperimentRun(
             exp_id=exp_id,

@@ -17,22 +17,37 @@ claim into an executable test surface:
 - :mod:`repro.faults.runner` — :func:`run_scenario`, a deterministic
   parallel scenario runner producing merged traces (with
   ``fault_injected``/``fault_detected`` events) and per-run verdicts.
+- :mod:`repro.faults.fuzz` — :func:`fuzz_scenarios`, randomized fault
+  combinations gated by the verdict checker, with shrink-on-failure
+  minimal failing spec reports.
 """
 
 from repro.faults.catalog import BUILTIN_SCENARIOS, get_scenario
+from repro.faults.fuzz import FuzzReport, fuzz_scenarios
 from repro.faults.injector import FaultyAgent, build_agents
-from repro.faults.spec import FAULT_KINDS, FaultKind, FaultSpec, ScenarioSpec
+from repro.faults.spec import (
+    FAULT_KINDS,
+    TOPOLOGIES,
+    TOPOLOGY_KINDS,
+    FaultKind,
+    FaultSpec,
+    ScenarioSpec,
+)
 from repro.faults.runner import ScenarioResult, run_scenario
 
 __all__ = [
     "BUILTIN_SCENARIOS",
     "FAULT_KINDS",
+    "TOPOLOGIES",
+    "TOPOLOGY_KINDS",
     "FaultKind",
     "FaultSpec",
     "FaultyAgent",
+    "FuzzReport",
     "ScenarioResult",
     "ScenarioSpec",
     "build_agents",
+    "fuzz_scenarios",
     "get_scenario",
     "run_scenario",
 ]

@@ -141,6 +141,83 @@ _SCENARIOS = (
         FaultSpec("misbid", target=2, param=1.5, probability=0.5),
         runs=6,
     ),
+    # -- star/bus topology (DLS-SL, the [14] sibling) ------------------
+    _scenario(
+        "star_misbid",
+        "star: one child over-reports its rate by 1.5x (marginal bonus dominates)",
+        FaultSpec("misbid", target=2, param=1.5),
+        topology="star",
+    ),
+    _scenario(
+        "star_contradict",
+        "star: one child signs two different bids (the root detects directly)",
+        FaultSpec("contradict", target=2),
+        topology="star",
+    ),
+    _scenario(
+        "star_slow",
+        "star: one child throttles execution to 2x its true rate",
+        FaultSpec("slow", target=2, param=2.0),
+        topology="star",
+    ),
+    _scenario(
+        "star_abandon",
+        "star: one child abandons half its assignment (meter-detected; no downstream victim)",
+        FaultSpec("shed", target=2, param=0.5),
+        topology="star",
+    ),
+    _scenario(
+        "star_overcharge",
+        "star: one child bills 1.0 above the provable payment (audit-detected)",
+        FaultSpec("overcharge", target=2, param=1.0),
+        topology="star",
+    ),
+    # -- tree topology (DLS-T, the [9] sibling) ------------------------
+    _scenario(
+        "tree_misbid",
+        "tree: one node over-reports its rate by 1.5x (pair bonus dominates)",
+        FaultSpec("misbid", target=2, param=1.5),
+        topology="tree",
+    ),
+    _scenario(
+        "tree_slow",
+        "tree: one node throttles execution to 2x its true rate",
+        FaultSpec("slow", target=2, param=2.0),
+        topology="tree",
+    ),
+    # -- infrastructure faults (repro.runtime resilience layer) --------
+    _scenario(
+        "net_flaky_link",
+        "runtime: the network loses P2's first two bid sends (retries absorb it)",
+        FaultSpec("net_drop", target=2, param=2),
+    ),
+    _scenario(
+        "net_dead_link",
+        "runtime: every send from P2 is lost; it is excluded before allocation",
+        FaultSpec("net_drop", target=2, param=99),
+    ),
+    _scenario(
+        "net_slow_dup",
+        "runtime: P3's deliveries are delayed and P1's first send is duplicated",
+        FaultSpec("net_delay", target=3, param=0.4),
+        FaultSpec("net_dup", target=1, param=1),
+    ),
+    _scenario(
+        "net_corrupt",
+        "runtime: P2's first send arrives with a damaged signature (rejected, grievance filed)",
+        FaultSpec("msg_corrupt", target=2, param=1),
+    ),
+    _scenario(
+        "crash_midrun",
+        "runtime: P2 dies halfway through its compute window; load re-allocated over survivors",
+        FaultSpec("crash_exec", target=2, param=0.5),
+    ),
+    _scenario(
+        "crash_cascade",
+        "runtime: two processors die in successive epochs; two re-allocations",
+        FaultSpec("crash_exec", target=1, param=0.4),
+        FaultSpec("crash_exec", target=3, param=0.6),
+    ),
 )
 
 #: name -> :class:`~repro.faults.spec.ScenarioSpec` for the whole catalog.

@@ -1,0 +1,201 @@
+"""Fuzzed scenario generation with shrink-on-failure.
+
+The catalog (:mod:`repro.faults.catalog`) pins one scenario per
+deviation class; this module explores the space *between* catalog
+entries: random fault combinations — strategic coalitions and
+infrastructure fault mixes, across every supported topology — each
+gated by the scenario runner's verdict checker.  A failing draw is
+shrunk to a minimal failing spec by greedy delta-debugging (drop one
+fault at a time while the failure reproduces), so a fuzz report names
+the smallest counterexample, not the noisiest one.
+
+Determinism: the generator draws everything from one seeded stream, and
+each generated scenario gets a unique name (``fuzz/<seed>/<index>``),
+which is what the runner hashes for its per-run network/activation
+streams — a ``(seed, count)`` pair always produces the same scenarios,
+verdicts, and report at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultSpec,
+    ScenarioSpec,
+    TOPOLOGY_KINDS,
+)
+
+__all__ = ["FuzzReport", "fuzz_scenarios", "random_scenario", "shrink_scenario"]
+
+#: Kinds whose parameter is drawn as a small positive integer.
+_COUNT_KINDS = {"net_drop", "net_dup", "msg_corrupt"}
+
+
+def _draw_param(kind: str, rng: np.random.Generator) -> float | None:
+    """A valid, deterministic parameter for ``kind``."""
+    info = FAULT_KINDS[kind]
+    if kind == "crash":
+        return float(rng.choice([1, 3, 4]))
+    if kind == "crash_exec":
+        return float(np.round(rng.uniform(0.1, 0.9), 3))
+    if kind in _COUNT_KINDS:
+        return float(int(rng.integers(1, 4)))
+    if info.param is None:
+        return None
+    default = info.default_param if info.default_param is not None else 1.0
+    return float(np.round(default * rng.uniform(0.6, 1.6), 3))
+
+
+def random_scenario(
+    rng: np.random.Generator,
+    index: int,
+    *,
+    seed: int,
+    m: int = 4,
+    max_faults: int = 3,
+    runs: int = 1,
+) -> ScenarioSpec:
+    """Draw one random scenario (topology, layer, fault combination).
+
+    Every draw consumes a fixed, outcome-independent prefix of the
+    stream per fault slot, so scenario ``i`` of a given seed is stable.
+    """
+    topology = str(rng.choice(["linear", "star", "tree"]))
+    if topology == "linear":
+        layer = "infrastructure" if rng.random() < 0.5 else "strategic"
+    else:
+        layer = "strategic"
+    pool = sorted(
+        kind
+        for kind in TOPOLOGY_KINDS[topology]
+        if FAULT_KINDS[kind].layer == layer
+    )
+    n_faults = int(rng.integers(1, max_faults + 1))
+    faults: list[FaultSpec] = []
+    for _ in range(n_faults):
+        kind = str(rng.choice(pool))
+        info = FAULT_KINDS[kind]
+        hi = m - 1 if (info.needs_successor and m > 1) else m
+        target = int(rng.integers(1, hi + 1))
+        faults.append(FaultSpec(kind, target=target, param=_draw_param(kind, rng)))
+    return ScenarioSpec(
+        name=f"fuzz/{seed}/{index}",
+        description=f"fuzzed {layer} combination on {topology}",
+        faults=tuple(faults),
+        m=m,
+        runs=runs,
+        topology=topology,
+    )
+
+
+def shrink_scenario(
+    scenario: ScenarioSpec, fails: Callable[[ScenarioSpec], bool]
+) -> ScenarioSpec:
+    """Greedy delta-debugging: the smallest fault subset still failing.
+
+    Repeatedly tries dropping one fault; whenever the reduced scenario
+    still fails, the reduction is kept.  ``fails`` must be deterministic
+    (the runner is, given a fixed seed).
+    """
+    current = scenario
+    shrinking = True
+    while shrinking and len(current.faults) > 1:
+        shrinking = False
+        for drop in range(len(current.faults)):
+            faults = current.faults[:drop] + current.faults[drop + 1 :]
+            candidate = dataclasses.replace(
+                current, name=current.name + "-", faults=faults
+            )
+            if fails(candidate):
+                current = candidate
+                shrinking = True
+                break
+    return current
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz batch."""
+
+    seed: int
+    count: int
+    cases: list[dict[str, Any]] = field(default_factory=list)
+    failures: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines = [f"fuzz seed={self.seed} count={self.count}"]
+        for case in self.cases:
+            status = "ok" if case["ok"] else "FAIL"
+            kinds = "+".join(f["kind"] for f in case["scenario"]["faults"]) or "none"
+            lines.append(
+                f"  [{status}] {case['scenario']['name']} "
+                f"({case['scenario']['topology']}, {kinds})"
+            )
+        for failure in self.failures:
+            lines.append(f"  minimal failing spec for {failure['scenario']['name']}:")
+            lines.append(f"    {failure['shrunk']}")
+        lines.append(
+            f"{len(self.cases)} scenarios, {len(self.failures)} failing"
+        )
+        return "\n".join(lines)
+
+
+def fuzz_scenarios(
+    seed: int,
+    count: int,
+    *,
+    jobs: int = 1,
+    m: int = 4,
+    max_faults: int = 3,
+    runs: int = 1,
+) -> FuzzReport:
+    """Generate and check ``count`` random scenarios.
+
+    Each scenario runs through :func:`repro.faults.runner.run_scenario`
+    with the batch seed; any scenario whose verdict checks fail is
+    shrunk to a minimal failing spec and reported.  The report is a pure
+    function of ``(seed, count, m, max_faults, runs)`` — ``jobs`` only
+    parallelizes the per-scenario runs.
+    """
+    from repro.faults.runner import run_scenario
+
+    rng = np.random.default_rng([seed, 0xFA112])
+    report = FuzzReport(seed=seed, count=count)
+
+    def fails(spec: ScenarioSpec) -> bool:
+        return not run_scenario(spec, seed=seed, jobs=1).all_ok
+
+    for index in range(count):
+        scenario = random_scenario(
+            rng, index, seed=seed, m=m, max_faults=max_faults, runs=runs
+        )
+        result = run_scenario(scenario, seed=seed, jobs=jobs)
+        case = {
+            "scenario": scenario.to_dict(),
+            "ok": result.all_ok,
+            "runs": [
+                {"run": r["run"], "ok": r["ok"], "topology": r["topology"]}
+                for r in result.runs
+            ],
+        }
+        report.cases.append(case)
+        if not result.all_ok:
+            shrunk = shrink_scenario(scenario, fails)
+            report.failures.append(
+                {
+                    "scenario": scenario.to_dict(),
+                    "shrunk": shrunk.to_dict(),
+                    "runs": [r for r in result.runs if not r["ok"]],
+                }
+            )
+    return report

@@ -27,7 +27,7 @@ from repro.agents.strategies import TruthfulAgent
 from repro.faults.spec import FaultSpec, ScenarioSpec
 from repro.protocol.messages import GrievanceKind, PaymentProof
 
-__all__ = ["FaultyAgent", "build_agents"]
+__all__ = ["FaultyAgent", "activate_faults", "build_agents", "fault_records"]
 
 
 class FaultyAgent(ProcessorAgent):
@@ -186,6 +186,48 @@ class FaultyAgent(ProcessorAgent):
         return super().phase4_proof(proof)
 
 
+def activate_faults(
+    scenario: ScenarioSpec, rng: np.random.Generator, m: int | None = None
+) -> list[tuple[FaultSpec, int]]:
+    """Draw this run's fault activations from the activation stream.
+
+    ``rng`` is the scenario's *activation stream* for one run — every
+    fault consumes exactly one Bernoulli draw (plus one target draw when
+    ``target is None``), so the activation pattern is a pure function of
+    the stream's seed, independent of worker layout.
+
+    Returns ``(spec, resolved_target)`` pairs in spec order.
+    """
+    m = scenario.m if m is None else m
+    chosen: list[tuple[FaultSpec, int]] = []
+    for spec in scenario.faults:
+        if float(rng.random()) >= spec.probability:
+            continue
+        target = spec.target
+        if target is None:
+            hi = m - 1 if (spec.info.needs_successor and m > 1) else m
+            target = int(rng.integers(1, hi + 1))
+        chosen.append((spec, target))
+    return chosen
+
+
+def fault_records(chosen: Sequence[tuple[FaultSpec, int]]) -> list[dict[str, Any]]:
+    """JSON-ready records of activated faults (kind, target, parameter,
+    expectation) — the payload of ``fault_injected`` trace events and the
+    runner's ``active`` summary field."""
+    return [
+        {
+            "kind": spec.kind,
+            "target": target,
+            "param": spec.effective_param,
+            "probability": spec.probability,
+            "expected": spec.info.expected,
+            "theorem": spec.info.theorem,
+        }
+        for spec, target in chosen
+    ]
+
+
 def build_agents(
     scenario: ScenarioSpec,
     rng: np.random.Generator,
@@ -194,35 +236,16 @@ def build_agents(
 ) -> tuple[list[ProcessorAgent], list[dict[str, Any]]]:
     """Draw fault activations and build the agent population.
 
-    ``rng`` is the scenario's *activation stream* for one run — every
-    fault consumes exactly one Bernoulli draw (plus one target draw when
-    ``target is None``), so the activation pattern is a pure function of
-    the stream's seed, independent of worker layout.
-
-    Returns ``(agents, active)`` where ``active`` records each injected
-    fault (kind, resolved target, parameter, expectation) in spec order.
+    The activation draws come from :func:`activate_faults` (one stream
+    position per fault, regardless of outcome).  Returns ``(agents,
+    active)`` where ``active`` records each injected fault in spec order.
     """
     m = len(true_rates)
+    chosen = activate_faults(scenario, rng, m)
     per_target: dict[int, list[FaultSpec]] = {}
-    active: list[dict[str, Any]] = []
-    for spec in scenario.faults:
-        if float(rng.random()) >= spec.probability:
-            continue
-        target = spec.target
-        if target is None:
-            hi = m - 1 if (spec.info.needs_successor and m > 1) else m
-            target = int(rng.integers(1, hi + 1))
+    for spec, target in chosen:
         per_target.setdefault(target, []).append(spec)
-        active.append(
-            {
-                "kind": spec.kind,
-                "target": target,
-                "param": spec.effective_param,
-                "probability": spec.probability,
-                "expected": spec.info.expected,
-                "theorem": spec.info.theorem,
-            }
-        )
+    active = fault_records(chosen)
     agents: list[ProcessorAgent] = []
     for i in range(1, m + 1):
         t = float(true_rates[i - 1])

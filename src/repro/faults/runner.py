@@ -31,7 +31,12 @@ import numpy as np
 
 from repro.experiments.runner import task_seed
 from repro.faults.catalog import get_scenario
-from repro.faults.injector import FaultyAgent, build_agents
+from repro.faults.injector import (
+    FaultyAgent,
+    activate_faults,
+    build_agents,
+    fault_records,
+)
 from repro.faults.spec import ScenarioSpec
 from repro.obs.metrics import collecting, get_registry, merge_snapshots
 from repro.obs.tracer import TraceEvent, Tracer, events_to_jsonl, merge_traces
@@ -40,6 +45,9 @@ __all__ = ["ScenarioResult", "run_scenario", "zero_fault_differential"]
 
 #: Utility-dominance slack, relative to the truthful baseline's scale.
 GAIN_TOL = 1e-9
+
+#: Conservation slack for the resilient runtime's load accounting.
+_LOAD_TOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -71,14 +79,90 @@ class ScenarioResult:
 
 
 def _fines_against(outcome, proc: int) -> float:
-    """Total grievance + audit fines levied on ``proc`` in ``outcome``."""
+    """Total grievance + audit fines levied on ``proc`` in ``outcome``.
+
+    The tree mechanism models the tamper-proof level (no grievances or
+    audits), so both collections default to empty — but root-side and
+    meter-side fines still appear in its ledger, which is covered below.
+    """
     total = sum(
         v.fine_amount
-        for v in outcome.adjudications
+        for v in getattr(outcome, "adjudications", ())
         if v.fined == proc and v.fine_amount > 0
     )
-    total += sum(a.fine for a in outcome.audits if a.proc == proc and a.fine > 0)
+    total += sum(
+        a.fine for a in getattr(outcome, "audits", ()) if a.proc == proc and a.fine > 0
+    )
+    # Star-topology fines that bypass the grievance court: the root
+    # detects contradictions itself and the meter detects abandonment.
+    total += sum(
+        e.amount
+        for e in outcome.ledger.entries_for(proc)
+        if e.debtor == proc and ("root-detected" in e.memo or "meter-detected" in e.memo)
+    )
     return float(total)
+
+
+def _preorder_rates(tree) -> list[float]:
+    """Per-node ``w`` in preorder (the tree mechanism's node indexing)."""
+    rates: list[float] = []
+
+    def visit(node) -> None:
+        rates.append(float(node.w))
+        for child in node.children:
+            visit(child)
+
+    visit(tree.root)
+    return rates
+
+
+def _build_mechanism(scenario, network, agents, rng, tracer):
+    """Construct the scenario's mechanism for its topology."""
+    if scenario.topology == "linear":
+        from repro.mechanism.dls_lbl import DLSLBLMechanism
+
+        return DLSLBLMechanism(
+            network.z,
+            float(network.w[0]),
+            agents,
+            audit_probability=scenario.audit_probability,
+            rng=rng,
+            tracer=tracer,
+        )
+    if scenario.topology == "star":
+        from repro.mechanism.star_mechanism import StarMechanism
+
+        return StarMechanism(
+            network.z,
+            float(network.w[0]),
+            agents,
+            audit_probability=scenario.audit_probability,
+            rng=rng,
+            tracer=tracer,
+        )
+    from repro.mechanism.tree_mechanism import TreeMechanism
+
+    return TreeMechanism(network, agents, tracer=tracer)
+
+
+def _draw_network(scenario, rng):
+    """The run's random network and the strategic agents' true rates."""
+    if scenario.topology == "linear":
+        from repro.network.generators import random_linear_network
+
+        network = random_linear_network(scenario.m, rng)
+        return network, [float(x) for x in network.w[1:]], network.z
+    if scenario.topology == "star":
+        from repro.network.generators import random_star_network
+
+        network = random_star_network(scenario.m, rng)
+        # No relaying on the star: misreport_z is unsupported, so the
+        # injector's z_next values are never consulted.
+        return network, [float(x) for x in network.w[1:]], np.zeros(scenario.m + 1)
+    from repro.network.generators import random_tree_network
+
+    tree = random_tree_network(scenario.m + 1, rng)
+    return tree, _preorder_rates(tree)[1:], np.zeros(scenario.m + 1)
 
 
 def _run_scenario_once(
@@ -90,18 +174,18 @@ def _run_scenario_once(
     """Execute one scenario run.  Module-level so it pickles into pool
     workers; everything returned is picklable."""
     from repro.agents import TruthfulAgent
-    from repro.mechanism.dls_lbl import DLSLBLMechanism
-    from repro.network.generators import random_linear_network
+
+    if scenario.layer == "infrastructure":
+        return _run_infrastructure_once(scenario, run_index, seed, trace)
 
     run_seed = task_seed(f"faults/{scenario.name}/net/{run_index}", seed)
     rng = np.random.default_rng(run_seed)
-    network = random_linear_network(scenario.m, rng)
-    true_rates = [float(x) for x in network.w[1:]]
+    network, true_rates, z_for_agents = _draw_network(scenario, rng)
 
     act_rng = np.random.default_rng(
         task_seed(f"faults/{scenario.name}/activate/{run_index}", seed)
     )
-    agents, active = build_agents(scenario, act_rng, true_rates, network.z)
+    agents, active = build_agents(scenario, act_rng, true_rates, z_for_agents)
 
     tracer = Tracer() if trace else None
     if tracer is not None:
@@ -118,14 +202,7 @@ def _run_scenario_once(
             )
 
     with collecting() as registry:
-        mech = DLSLBLMechanism(
-            network.z,
-            float(network.w[0]),
-            agents,
-            audit_probability=scenario.audit_probability,
-            rng=rng,
-            tracer=tracer,
-        )
+        mech = _build_mechanism(scenario, network, agents, rng, tracer)
         outcome = mech.run()
 
         baseline = None
@@ -133,12 +210,12 @@ def _run_scenario_once(
             baseline_rng = np.random.default_rng(
                 task_seed(f"faults/{scenario.name}/baseline/{run_index}", seed)
             )
-            baseline_mech = DLSLBLMechanism(
-                network.z,
-                float(network.w[0]),
+            baseline_mech = _build_mechanism(
+                scenario,
+                network,
                 [TruthfulAgent(i, t) for i, t in enumerate(true_rates, start=1)],
-                audit_probability=scenario.audit_probability,
-                rng=baseline_rng,
+                baseline_rng,
+                None,
             )
             baseline = baseline_mech.run()
         snapshot = registry.snapshot()
@@ -197,8 +274,9 @@ def _run_scenario_once(
         "run": run_index,
         "seed": run_seed,
         "m": scenario.m,
-        "completed": outcome.completed,
-        "aborted_phase": outcome.aborted_phase,
+        "topology": scenario.topology,
+        "completed": getattr(outcome, "completed", True),
+        "aborted_phase": getattr(outcome, "aborted_phase", None),
         "makespan": outcome.makespan,
         "fine": mech.fine,
         "active": active,
@@ -206,6 +284,132 @@ def _run_scenario_once(
         "joint_gain": joint_gain,
         "coalition_unstable": coalition_unstable,
         "honest_fined": honest_fined,
+        "ok": ok,
+    }
+    events = tracer.events if tracer is not None else []
+    return summary, events, snapshot
+
+
+#: Acceptable runtime verdicts per expected verdict: a fault expected to
+#: be tolerated may legitimately degrade the run when its magnitude
+#: exceeds the retry budget (e.g. more drops than attempts); a fault
+#: expected to be detected must actually be detected.
+_VERDICT_OK = {
+    "tolerated": {"tolerated", "degraded"},
+    "degraded": {"degraded", "tolerated"},
+    "detected": {"detected"},
+}
+
+
+def _run_infrastructure_once(
+    scenario: ScenarioSpec,
+    run_index: int,
+    seed: int,
+    trace: bool,
+) -> tuple[dict[str, Any], list[TraceEvent], dict[str, Any]]:
+    """One run of an infrastructure scenario through the resilient runtime.
+
+    Instead of deviator utilities, the verdict checks are the runtime's
+    recovery guarantees: the session completes, computed load sums to W,
+    the ledger balances, honest survivors are never fined, and every
+    injected fault lands on an acceptable tolerated/degraded/detected
+    verdict (never ``failed``).
+    """
+    from repro.network.generators import random_linear_network
+    from repro.runtime.session import run_resilient
+
+    run_seed = task_seed(f"faults/{scenario.name}/net/{run_index}", seed)
+    rng = np.random.default_rng(run_seed)
+    network = random_linear_network(scenario.m, rng)
+
+    act_rng = np.random.default_rng(
+        task_seed(f"faults/{scenario.name}/activate/{run_index}", seed)
+    )
+    chosen = activate_faults(scenario, act_rng)
+    active = fault_records(chosen)
+
+    tracer = Tracer() if trace else None
+    if tracer is not None:
+        for fault in active:
+            tracer.event(
+                "fault_injected",
+                run=run_index,
+                fault_kind=fault["kind"],
+                target=fault["target"],
+                param=fault["param"],
+                probability=fault["probability"],
+                expected=fault["expected"],
+                theorem=fault["theorem"],
+            )
+
+    with collecting() as registry:
+        outcome = run_resilient(
+            network.w,
+            network.z,
+            faults=[
+                {"kind": spec.kind, "target": target, "param": spec.effective_param}
+                for spec, target in chosen
+            ],
+            seed=run_seed,
+            tracer=tracer,
+        )
+        snapshot = registry.snapshot()
+
+    conserved = abs(outcome.total_computed - 1.0) <= _LOAD_TOL
+    ledger_balanced = abs(outcome.ledger.total_balance()) <= _LOAD_TOL
+    survivors_clean = not any(
+        entry.debtor == i
+        for i in range(1, scenario.m + 1)
+        if i not in outcome.dead
+        for entry in outcome.ledger.entries_for(i)
+    )
+    checks = []
+    for fault, verdict in zip(active, outcome.verdicts):
+        verdict_ok = verdict["verdict"] in _VERDICT_OK.get(fault["expected"], set())
+        checks.append({**verdict, "expected": fault["expected"], "ok": verdict_ok})
+        if tracer is not None and verdict["verdict"] == "detected":
+            tracer.event(
+                "fault_detected",
+                run=run_index,
+                target=verdict["target"],
+                kinds=[verdict["kind"]],
+                fines=0.0,
+            )
+    ok = (
+        outcome.completed
+        and conserved
+        and ledger_balanced
+        and survivors_clean
+        and all(c["ok"] for c in checks)
+    )
+
+    summary = {
+        "scenario": scenario.name,
+        "run": run_index,
+        "seed": run_seed,
+        "m": scenario.m,
+        "topology": scenario.topology,
+        "completed": outcome.completed,
+        "aborted_phase": None,
+        "makespan": outcome.makespan,
+        "baseline_makespan": outcome.baseline_makespan,
+        "makespan_penalty": outcome.makespan_penalty,
+        "active": active,
+        "verdicts": checks,
+        "dead": list(outcome.dead),
+        "unresponsive": list(outcome.unresponsive),
+        "retries": outcome.retries,
+        "crashes": outcome.crashes,
+        "reallocations": outcome.reallocations,
+        "rejections": outcome.rejections,
+        "forfeits": {str(k): v for k, v in outcome.forfeits.items()},
+        "total_computed": outcome.total_computed,
+        "conserved": conserved,
+        "ledger_balanced": ledger_balanced,
+        "survivors_clean": survivors_clean,
+        # All processors are honest here; a fine against a *live* one
+        # would be a bug (crashed processors legitimately forfeit).
+        "honest_fined": not survivors_clean,
         "ok": ok,
     }
     events = tracer.events if tracer is not None else []

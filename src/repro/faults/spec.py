@@ -8,10 +8,18 @@ scenarios can live in files, CLI arguments, and CI matrices.
 
 The :data:`FAULT_KINDS` registry is the catalog's source of truth: every
 kind carries its parameter semantics, the theorem/lemma it exercises,
-and the *expected* mechanism response — ``detected`` (the deviation is
-provably attributed and fined) or ``dominated`` (the deviator's utility
-cannot exceed the truthful baseline).  The scenario runner checks the
-observed outcome against this expectation.
+and the *expected* mechanism response.  Strategic deviations expect
+``detected`` (provably attributed and fined) or ``dominated`` (the
+deviator's utility cannot exceed the truthful baseline); infrastructure
+faults — handled by :mod:`repro.runtime` rather than the incentive
+machinery — expect ``tolerated`` (absorbed with no loss of capacity),
+``degraded`` (completed over fewer processors, with a makespan penalty)
+or ``detected`` (rejected with evidence).  The scenario runner checks
+the observed outcome against this expectation.
+
+Scenarios also carry a ``topology``: the chain mechanism (``linear``),
+its star/bus and tree siblings (``star``/``tree``), each supporting the
+subset of deviations its protocol surface exposes.
 """
 
 from __future__ import annotations
@@ -19,7 +27,14 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["FAULT_KINDS", "FaultKind", "FaultSpec", "ScenarioSpec"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultKind",
+    "FaultSpec",
+    "ScenarioSpec",
+    "TOPOLOGIES",
+    "TOPOLOGY_KINDS",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +57,10 @@ class FaultKind:
     phase: int | None = None
     #: The deviation needs a downstream neighbour (cannot target ``P_m``).
     needs_successor: bool = False
+    #: ``"strategic"`` (a self-interested agent deviates; Theorems
+    #: 5.1-5.4) or ``"infrastructure"`` (the network or hardware fails;
+    #: handled by :mod:`repro.runtime.session`).
+    layer: str = "strategic"
 
 
 _KINDS = (
@@ -82,10 +101,41 @@ _KINDS = (
               None, None, "Lemma 5.1 (ii), victim side", "dominated", phase=2),
     FaultKind("crash", "stop participating at the given phase (1, 3 or 4)",
               "crash phase", 3.0, "Thm 5.4 (participation)", "dominated"),
+    # -- infrastructure faults (repro.runtime) -------------------------
+    FaultKind("net_drop", "the network loses the target's first k bid sends",
+              "sends lost", 2.0, "Thm 5.2 (runtime: retry/backoff)", "tolerated",
+              phase=1, layer="infrastructure"),
+    FaultKind("net_delay", "the network adds fixed latency to the target's deliveries",
+              "latency (time units)", 0.5, "Thm 5.2 (runtime: deadlines)", "tolerated",
+              phase=1, layer="infrastructure"),
+    FaultKind("net_dup", "the network delivers the target's first k sends twice",
+              "duplicated sends", 1.0, "Thm 5.2 (runtime: dedup)", "tolerated",
+              phase=1, layer="infrastructure"),
+    FaultKind("msg_corrupt", "the network damages the signature on the target's first k sends",
+              "corrupted sends", 1.0, "Lemma 5.2 (runtime: verification)", "detected",
+              phase=1, layer="infrastructure"),
+    FaultKind("crash_exec", "the target's hardware dies partway through its compute window",
+              "crash fraction of compute window", 0.5, "Thm 5.4 (runtime: re-allocation)",
+              "degraded", phase=3, layer="infrastructure"),
 )
 
 #: name -> :class:`FaultKind` for every injectable deviation.
 FAULT_KINDS: dict[str, FaultKind] = {k.name: k for k in _KINDS}
+
+#: Supported scenario topologies.
+TOPOLOGIES = ("linear", "star", "tree")
+
+#: Fault kinds each topology's protocol surface exposes.  The chain
+#: mechanism exercises the full strategic catalog plus the runtime's
+#: infrastructure faults; the star mechanism has no relaying (so no
+#: Phase II/relay deviations — its hooks are bids, contradictions,
+#: execution rate, work abandonment, and billing); the tree baseline
+#: models the tamper-proof level only (bids and execution rate).
+TOPOLOGY_KINDS: dict[str, frozenset[str]] = {
+    "linear": frozenset(FAULT_KINDS),
+    "star": frozenset({"misbid", "contradict", "slow", "shed", "overcharge", "crash"}),
+    "tree": frozenset({"misbid", "slow"}),
+}
 
 
 @dataclass(frozen=True)
@@ -123,6 +173,14 @@ class FaultSpec:
             raise ValueError("activation probability must be in [0, 1]")
         if self.kind == "crash" and self.param is not None and int(self.param) not in (1, 3, 4):
             raise ValueError("crash phase must be 1, 3 or 4")
+        if self.kind == "crash_exec" and self.param is not None and not 0.0 <= self.param <= 1.0:
+            raise ValueError("crash_exec fraction must be in [0, 1]")
+        if (
+            self.kind in ("net_drop", "net_delay", "net_dup", "msg_corrupt")
+            and self.param is not None
+            and self.param < 0
+        ):
+            raise ValueError(f"{self.kind} parameter must be non-negative")
 
     @property
     def info(self) -> FaultKind:
@@ -148,10 +206,14 @@ class FaultSpec:
 class ScenarioSpec:
     """A named adversarial scenario: faults plus population parameters.
 
-    ``runs`` mechanism instances are drawn on random ``(m+1)``-processor
-    chains; every fault is (probabilistically) injected into each run.
+    ``runs`` mechanism instances are drawn on random networks of the
+    scenario's ``topology`` (``m`` strategic processors beside the
+    root); every fault is (probabilistically) injected into each run.
     Multiple faults form a coalition — the runner evaluates both
     individual and joint utility against the truthful baseline.
+    Infrastructure-layer faults route to the resilient runtime instead
+    of the incentive mechanism and cannot mix with strategic ones in a
+    single scenario (the two layers answer different questions).
     """
 
     name: str
@@ -162,6 +224,8 @@ class ScenarioSpec:
     #: Audit probability q; the catalog pins 1.0 so Phase IV detection
     #: is deterministic (X3 covers the q < 1 expected-fine economics).
     audit_probability: float = 1.0
+    #: Which mechanism family the scenario runs against.
+    topology: str = "linear"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -173,7 +237,26 @@ class ScenarioSpec:
             raise ValueError("runs must be at least 1")
         if not 0.0 < self.audit_probability <= 1.0:
             raise ValueError("audit_probability must be in (0, 1]")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; choose from {TOPOLOGIES}"
+            )
+        supported = TOPOLOGY_KINDS[self.topology]
+        layers = {f.info.layer for f in self.faults}
+        if len(layers) > 1:
+            raise ValueError(
+                "cannot mix strategic and infrastructure faults in one scenario"
+            )
+        if "infrastructure" in layers and self.topology != "linear":
+            raise ValueError(
+                "infrastructure faults run on the linear runtime only"
+            )
         for fault in self.faults:
+            if fault.kind not in supported:
+                raise ValueError(
+                    f"fault {fault.kind!r} is not supported on topology "
+                    f"{self.topology!r} (supported: {sorted(supported)})"
+                )
             if fault.target is not None and fault.target > self.m:
                 raise ValueError(
                     f"fault target {fault.target} outside 1..{self.m}"
@@ -183,6 +266,15 @@ class ScenarioSpec:
                     f"fault {fault.kind!r} needs a successor; target {fault.target} is terminal"
                 )
 
+    @property
+    def layer(self) -> str:
+        """``"strategic"`` or ``"infrastructure"`` (``"strategic"`` when
+        the scenario has no faults — the zero-fault differential runs the
+        mechanism path)."""
+        for fault in self.faults:
+            return fault.info.layer
+        return "strategic"
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
@@ -191,13 +283,14 @@ class ScenarioSpec:
             "m": self.m,
             "runs": self.runs,
             "audit_probability": self.audit_probability,
+            "topology": self.topology,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
         data = dict(data)
         faults = tuple(FaultSpec.from_dict(f) for f in data.pop("faults", ()))
-        known = {"name", "description", "m", "runs", "audit_probability"}
+        known = {"name", "description", "m", "runs", "audit_probability", "topology"}
         extra = set(data) - known
         if extra:
             raise ValueError(f"unknown ScenarioSpec fields: {sorted(extra)}")

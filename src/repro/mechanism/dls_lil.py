@@ -30,6 +30,7 @@ sweeps in ``tests/integration/test_dls_lil.py`` confirm it.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -45,6 +46,8 @@ from repro.mechanism.dls_lbl import AgentReport
 from repro.mechanism.ledger import PaymentLedger
 from repro.mechanism.payments import payment_breakdown, recommended_fine
 from repro.network.topology import StarNetwork
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer
 from repro.protocol.grievance import Adjudication, GrievanceCourt
 from repro.protocol.lambda_device import LambdaDevice, LoadCertificate
 from repro.protocol.messages import (
@@ -166,6 +169,7 @@ class DLSLILMechanism:
         total_load: float = 1.0,
         rng: np.random.Generator | None = None,
         key_seed: bytes | None = b"dls-lil",
+        tracer: Tracer | None = None,
     ) -> None:
         self.z = np.asarray(link_rates, dtype=np.float64)
         n = self.z.size
@@ -186,6 +190,7 @@ class DLSLILMechanism:
         self.total_load = float(total_load)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.audit_probability = float(audit_probability)
+        self.tracer = tracer
 
         self.registry, keys = KeyRegistry.for_processors(n + 1, seed=key_seed)
         self._keys: dict[int, KeyPair] = {pair.owner: pair for pair in keys}
@@ -222,11 +227,40 @@ class DLSLILMechanism:
 
     # ------------------------------------------------------------------
 
+    def _span(self, kind: str, **attrs):
+        """A tracer span, or a no-op context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(kind, **attrs)
+
     def run(self) -> InteriorOutcome:
-        """Execute the four phases and return the outcome."""
+        """Execute the four phases and return the outcome.
+
+        When a tracer is attached the run is wrapped in a ``run`` span
+        (``topology="linear-interior"``, with the root position as
+        ``root``).  Interior runs count under ``mechanism.lil_runs`` to
+        keep the boundary-chain run counter untouched.
+        """
+        registry = get_registry()
+        registry.inc("mechanism.lil_runs")
+        with registry.timer("mechanism.lil_run"), self._span(
+            "run",
+            topology="linear-interior",
+            n=self.n,
+            root=self.root_index,
+            fine=self.fine,
+            audit_probability=self.audit_probability,
+            total_load=self.total_load,
+        ) as run_span:
+            outcome = self._run_protocol()
+        if run_span is not None:
+            run_span.set(completed=outcome.completed, makespan=outcome.makespan)
+        return outcome
+
+    def _run_protocol(self) -> InteriorOutcome:
         n = self.n
         r = self.root_index
-        ledger = PaymentLedger()
+        ledger = PaymentLedger(tracer=self.tracer)
         lambda_device = LambdaDevice(self.total_load)
         meter = TamperProofMeter(self._keys[r], owner=r)
         court = GrievanceCourt(

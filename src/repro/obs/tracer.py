@@ -27,6 +27,24 @@ Event kinds used by the instrumented layers:
                    scenario (kind, target, parameter, expectation).
 ``fault_detected`` A deviator attributed and fined (grievance or audit)
                    by the scenario runner's classification.
+``resilient_run``  One :func:`repro.runtime.session.run_resilient`
+                   session (span); wraps the epochs below.
+``epoch``          One allocation epoch of a resilient session (span);
+                   a crash ends an epoch, the re-allocation opens the
+                   next one.
+``transport``      One :class:`~repro.runtime.transport.LossyTransport`
+                   send and its outcome (delivered/dropped/corrupted/
+                   duplicated, with delay).
+``retry``          A timed-out send being retransmitted with backoff.
+``msg_rejected``   A delivery whose signature failed verification (the
+                   corrupt-message grievance trigger).
+``unresponsive``   A processor excluded after exhausting its retry
+                   budget.
+``crash_detected`` The root declaring a processor dead after its
+                   heartbeat deadline passed.
+``reallocation``   Lost load re-solved over the survivors.
+``forfeit``        A crashed processor's pre-crash compensation being
+                   visibly forfeited in the ledger.
 =================  ====================================================
 
 Traces from parallel workers are merged with :func:`merge_traces`, which

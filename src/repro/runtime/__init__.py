@@ -1,0 +1,42 @@
+"""Crash-fault-tolerant protocol runtime.
+
+The mechanism layer assumes obedient infrastructure: messages arrive
+intact and processors stay up.  This package is where that assumption is
+relaxed — a simulated lossy transport over the signed protocol messages
+(:mod:`repro.runtime.transport`), sim-time timeout/retry/backoff policy
+(:mod:`repro.runtime.retry`), a resilient session with crash detection
+and mid-run re-allocation over survivors (:mod:`repro.runtime.session`),
+and a checkpoint journal for the experiment runner
+(:mod:`repro.runtime.checkpoint`).
+"""
+
+from repro.runtime.checkpoint import CheckpointJournal, task_key
+from repro.runtime.retry import RetryExhausted, RetryPolicy, backoff_schedule
+from repro.runtime.session import (
+    INFRASTRUCTURE_KINDS,
+    ResilientOutcome,
+    run_resilient,
+)
+from repro.runtime.transport import (
+    Delivery,
+    LossyTransport,
+    TransportPolicy,
+    TransportScript,
+    corrupt_signature,
+)
+
+__all__ = [
+    "CheckpointJournal",
+    "Delivery",
+    "INFRASTRUCTURE_KINDS",
+    "LossyTransport",
+    "ResilientOutcome",
+    "RetryExhausted",
+    "RetryPolicy",
+    "TransportPolicy",
+    "TransportScript",
+    "backoff_schedule",
+    "corrupt_signature",
+    "run_resilient",
+    "task_key",
+]

@@ -1,0 +1,98 @@
+"""Timeout and retry-with-exponential-backoff policy, in simulated time.
+
+The protocol model is synchronous and message delivery is instantaneous
+at the abstraction level of :mod:`repro.mechanism.dls_lbl`; the runtime
+layer (see :mod:`repro.runtime.transport`) breaks that assumption with
+lossy delivery, so senders need deadlines and retransmission.  This
+module supplies the policy: a :class:`RetryPolicy` describes the attempt
+budget and the backoff curve, and :func:`backoff_schedule` materializes
+the per-attempt timeouts *deterministically* — jitter is drawn from the
+caller's seeded rng stream (one draw per attempt, always consumed), so a
+run's deadlines are a pure function of ``(policy, stream seed)`` and the
+resulting traces stay byte-identical across ``--jobs`` counts.
+
+All durations are simulated time units (the same clock the Gantt
+simulator uses), never wall clock: a retry does not make the test suite
+slower, it makes the *simulated* run later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "RetryExhausted", "backoff_schedule"]
+
+
+class RetryExhausted(Exception):
+    """Every attempt of a retried operation timed out or failed."""
+
+    def __init__(self, message: str, *, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget and backoff curve for one retried message.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total sends, including the first (``1`` = no retry).
+    base_timeout:
+        Deadline for the first attempt, in simulated time units.
+    backoff_factor:
+        Multiplier applied to the timeout after each failure.
+    max_timeout:
+        Cap on any single attempt's timeout (backoff saturates here).
+    jitter:
+        Fractional jitter: attempt ``a``'s timeout is scaled by
+        ``1 + jitter * u_a`` with ``u_a`` drawn uniformly from ``[0, 1)``
+        out of the run's rng stream.  Deterministic given the stream.
+    detection_timeout:
+        How long after a processor's last expected progress event the
+        root declares it crashed (the heartbeat deadline used by
+        :mod:`repro.runtime.session`).
+    """
+
+    max_attempts: int = 4
+    base_timeout: float = 1.0
+    backoff_factor: float = 2.0
+    max_timeout: float = 16.0
+    jitter: float = 0.1
+    detection_timeout: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_timeout <= 0:
+            raise ValueError("base_timeout must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_timeout < self.base_timeout:
+            raise ValueError("max_timeout must be >= base_timeout")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.detection_timeout <= 0:
+            raise ValueError("detection_timeout must be positive")
+
+
+def backoff_schedule(policy: RetryPolicy, rng: np.random.Generator) -> list[float]:
+    """Per-attempt timeouts for one retried message.
+
+    Always consumes exactly ``policy.max_attempts`` uniform draws from
+    ``rng`` — even when the caller succeeds on the first attempt — so the
+    stream position after a message exchange depends only on the policy,
+    never on the delivery outcome.  That alignment is what keeps every
+    later draw (and therefore the whole trace) identical between a lossy
+    run and its retry-free baseline.
+    """
+    timeouts: list[float] = []
+    timeout = policy.base_timeout
+    for _ in range(policy.max_attempts):
+        u = float(rng.random())
+        timeouts.append(min(timeout, policy.max_timeout) * (1.0 + policy.jitter * u))
+        timeout *= policy.backoff_factor
+    return timeouts

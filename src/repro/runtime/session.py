@@ -1,0 +1,548 @@
+"""Crash-fault-tolerant protocol runtime: lossy setup, crash detection,
+mid-run re-allocation over survivors.
+
+The mechanism layer (:mod:`repro.mechanism.dls_lbl`) assumes the
+infrastructure works: messages arrive, processors stay up.  A
+:func:`run_resilient` session re-runs the same DLT schedule under
+*infrastructure* faults — the strategic incentive machinery is untouched
+(all agents here are honest); what breaks is the network and the
+hardware:
+
+1. **Setup (Phase I analogue).**  Every processor's signed bid must
+   reach the root over a :class:`~repro.runtime.transport.LossyTransport`.
+   The root retries each exchange on a
+   :class:`~repro.runtime.retry.RetryPolicy` deadline schedule
+   (exponential backoff, jitter from the run's own rng stream).
+   Corrupted copies fail ordinary signature verification and are
+   rejected — each rejection files a grievance record (the root cannot
+   distinguish line noise from tampering, so the evidence is kept) and
+   the exchange continues to the retransmission.  A processor whose
+   every attempt is lost is declared *unresponsive* and excluded before
+   allocation.
+
+2. **Allocation.**  The DLT program is solved over the *live* chain by
+   :func:`~repro.dlt.linear.solve_linear_boundary` with dead interior
+   positions bridged: the paper's front-end model puts relaying in
+   obedient network hardware, so a dead CPU still forwards — the link
+   time past it is the sum of the two links it sat between, and its load
+   share is zero.
+
+3. **Execution epochs.**  Phase III is simulated by
+   :func:`~repro.sim.linear_sim.simulate_linear_chain`.  A ``crash_exec``
+   fault kills its target partway through the target's compute window;
+   the root detects the silence after ``detection_timeout`` sim-time
+   units, marks the processor dead, re-solves the allocation of the
+   *unfinished* load over the survivors, and distributes it in a new
+   epoch.  Epochs repeat until no live processor crashes.  The makespan
+   penalty relative to the fault-free allocation and every forfeited
+   payment is recorded in the ledger and the trace.
+
+4. **Settlement.**  Work-based compensation per processor (the runtime
+   layer pays for metered work; the game-theoretic bonus structure lives
+   one layer down and is unaffected).  A crashed processor cannot submit
+   a Phase IV bill: its pre-crash work is paid and immediately forfeited
+   back — both movements are explicit ledger entries, so conservation
+   stays checkable and honest survivors are never fined.
+
+Determinism: all randomness comes from rng streams derived from the
+session seed, deadlines and arrivals are simulated time, and the trace
+carries logical ids only — byte-identical output at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signing import sign
+from repro.dlt.linear import solve_linear_boundary
+from repro.mechanism.ledger import PaymentLedger
+from repro.network.topology import LinearNetwork
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer
+from repro.protocol.messages import bid_payload
+from repro.runtime.retry import RetryPolicy, backoff_schedule
+from repro.runtime.transport import LossyTransport, TransportPolicy, TransportScript
+
+__all__ = ["INFRASTRUCTURE_KINDS", "ResilientOutcome", "run_resilient"]
+
+#: Fault kinds handled by this runtime (the infrastructure layer of the
+#: :data:`repro.faults.spec.FAULT_KINDS` catalog).
+INFRASTRUCTURE_KINDS = ("net_drop", "net_delay", "net_dup", "msg_corrupt", "crash_exec")
+
+#: Load below this is not worth a re-allocation epoch.
+_EPS_LOAD = 1e-12
+
+
+@dataclass(frozen=True)
+class ResilientOutcome:
+    """Everything a resilient session produced.
+
+    ``verdicts`` classifies every injected fault as the runtime handled
+    it: ``tolerated`` (absorbed with no loss of capacity), ``degraded``
+    (completed, but over fewer processors / with a makespan penalty) or
+    ``detected`` (rejected with evidence); ``failed`` marks a fault the
+    runtime could not recover from.
+    """
+
+    completed: bool
+    m: int
+    dead: tuple[int, ...]
+    unresponsive: tuple[int, ...]
+    setup_time: float
+    computed: np.ndarray
+    makespan: float
+    baseline_makespan: float
+    retries: int
+    crashes: int
+    reallocations: int
+    rejections: int
+    grievances: list[dict[str, Any]] = field(default_factory=list)
+    forfeits: dict[int, float] = field(default_factory=dict)
+    epochs: list[dict[str, Any]] = field(default_factory=list)
+    verdicts: list[dict[str, Any]] = field(default_factory=list)
+    ledger: PaymentLedger = field(default_factory=PaymentLedger)
+
+    @property
+    def makespan_penalty(self) -> float:
+        """Extra simulated time versus the fault-free allocation."""
+        return self.makespan - self.baseline_makespan
+
+    @property
+    def total_computed(self) -> float:
+        """Load units computed across all epochs (== W when recovered)."""
+        return float(self.computed.sum())
+
+
+def _fault_fields(fault: Any) -> tuple[str, int, float | None]:
+    """Accept :class:`~repro.faults.spec.FaultSpec` or a plain dict."""
+    if isinstance(fault, dict):
+        return str(fault["kind"]), int(fault["target"]), fault.get("param")
+    param = getattr(fault, "effective_param", getattr(fault, "param", None))
+    return str(fault.kind), int(fault.target), param
+
+
+def _bridged_chain(
+    w: np.ndarray, z: np.ndarray, live: list[int]
+) -> tuple[LinearNetwork, list[int]]:
+    """The survivor chain: dead positions bridged by summing link times."""
+    w_red = w[live]
+    z_red = np.array(
+        [float(z[a:b].sum()) for a, b in zip(live[:-1], live[1:])], dtype=np.float64
+    )
+    return LinearNetwork(w_red, z_red), live
+
+
+def run_resilient(
+    w: Sequence[float],
+    z: Sequence[float],
+    faults: Sequence[Any] = (),
+    *,
+    retry: RetryPolicy | None = None,
+    policy: TransportPolicy | None = None,
+    seed: int = 0,
+    total_load: float = 1.0,
+    tracer: Tracer | None = None,
+    key_seed: bytes | None = b"runtime",
+) -> ResilientOutcome:
+    """Execute one resilient session on the chain ``(w, z)``.
+
+    Parameters
+    ----------
+    w, z:
+        True unit processing times ``w_0..w_m`` (the root is ``w_0``) and
+        link times ``z_1..z_m``.  All processors are honest; the faults
+        are infrastructure, not strategy.
+    faults:
+        Infrastructure fault specs (:data:`INFRASTRUCTURE_KINDS`):
+        ``net_drop`` (param: sends lost before one gets through),
+        ``net_delay`` (param: latency added to each delivery),
+        ``net_dup`` (param: sends delivered twice),
+        ``msg_corrupt`` (param: sends delivered with a damaged
+        signature), ``crash_exec`` (param: fraction of the target's
+        compute window after which it dies).
+    retry, policy:
+        Deadline/backoff policy and background transport loss rates.
+    seed:
+        Derives the transport and jitter rng streams; the session is a
+        pure function of ``(w, z, faults, retry, policy, seed)``.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+    m = z.size
+    if w.size != m + 1:
+        raise ValueError(f"w has length {w.size}, expected {m + 1}")
+    retry = retry if retry is not None else RetryPolicy()
+    policy = policy if policy is not None else TransportPolicy()
+    registry = get_registry()
+
+    parsed = [_fault_fields(f) for f in faults]
+    for kind, target, _ in parsed:
+        if kind not in INFRASTRUCTURE_KINDS:
+            raise ValueError(
+                f"fault kind {kind!r} is not an infrastructure kind "
+                f"{INFRASTRUCTURE_KINDS}"
+            )
+        if not 1 <= target <= m:
+            raise ValueError(f"fault target {target} outside 1..{m}")
+
+    scripts: dict[int, TransportScript] = {}
+    crash_faults: dict[int, float] = {}
+    for kind, target, param in parsed:
+        script = scripts.setdefault(target, TransportScript())
+        if kind == "net_drop":
+            script.drop_next += int(param if param is not None else 2)
+        elif kind == "msg_corrupt":
+            script.corrupt_next += int(param if param is not None else 1)
+        elif kind == "net_dup":
+            script.duplicate_next += int(param if param is not None else 1)
+        elif kind == "net_delay":
+            script.delay_each += float(param if param is not None else 0.5)
+        elif kind == "crash_exec":
+            crash_faults[target] = float(np.clip(param if param is not None else 0.5, 0.0, 1.0))
+
+    key_registry, keys = KeyRegistry.for_processors(m + 1, seed=key_seed)
+    key_by_owner = {pair.owner: pair for pair in keys}
+    transport = LossyTransport(
+        policy, np.random.default_rng([seed, 1]), scripts=scripts, tracer=tracer
+    )
+    jitter_rng = np.random.default_rng([seed, 2])
+
+    cm = (
+        tracer.span("resilient_run", m=m, total_load=total_load, faults=len(parsed))
+        if tracer is not None
+        else nullcontext(None)
+    )
+    with cm as run_span:
+        outcome = _run_session(
+            w,
+            z,
+            m,
+            retry,
+            transport,
+            jitter_rng,
+            key_registry,
+            key_by_owner,
+            crash_faults,
+            parsed,
+            total_load,
+            tracer,
+            registry,
+        )
+        if run_span is not None:
+            run_span.set(
+                completed=outcome.completed,
+                makespan=outcome.makespan,
+                dead=list(outcome.dead),
+                reallocations=outcome.reallocations,
+            )
+    return outcome
+
+
+def _run_session(
+    w,
+    z,
+    m,
+    retry,
+    transport,
+    jitter_rng,
+    key_registry,
+    key_by_owner,
+    crash_faults,
+    parsed,
+    total_load,
+    tracer,
+    registry,
+) -> ResilientOutcome:
+    ledger = PaymentLedger(tracer=tracer)
+
+    # ---------------- Setup: collect bids over the lossy transport -------
+    retries = 0
+    rejections = 0
+    grievances: list[dict[str, Any]] = []
+    unresponsive: list[int] = []
+    ready = np.zeros(m + 1)
+    for i in range(1, m + 1):
+        message = sign(key_by_owner[i], bid_payload(i, float(w[i])))
+        timeouts = backoff_schedule(retry, jitter_rng)
+        seen: set[str] = set()
+        t = 0.0
+        arrived: float | None = None
+        for attempt, timeout in enumerate(timeouts):
+            deadline = t + timeout
+            for delivery in transport.send(
+                message, sender=i, receiver=0, at=t, kind="bid"
+            ):
+                if delivery.arrival > deadline:
+                    continue  # the root has already given up on this attempt
+                digest = delivery.message.content_digest() + delivery.message.signature
+                if digest in seen:
+                    continue  # duplicate copy, discarded silently
+                seen.add(digest)
+                if not delivery.message.verify(key_registry):
+                    rejections += 1
+                    registry.inc("runtime.corrupt_rejected")
+                    grievances.append(
+                        {
+                            "kind": "corrupt-message",
+                            "accuser": 0,
+                            "against": i,
+                            "attempt": attempt,
+                            "at": delivery.arrival,
+                        }
+                    )
+                    if tracer is not None:
+                        tracer.event(
+                            "msg_rejected",
+                            t0=delivery.arrival,
+                            proc=i,
+                            attempt=attempt,
+                            reason="signature verification failed",
+                        )
+                    continue
+                arrived = delivery.arrival
+                break
+            if arrived is not None:
+                break
+            retries += 1
+            registry.inc("runtime.retries")
+            if tracer is not None:
+                tracer.event("retry", t0=deadline, proc=i, attempt=attempt, timeout=timeout)
+            t = deadline
+        if arrived is None:
+            # The last "retry" above was really the give-up decision.
+            retries -= 1
+            unresponsive.append(i)
+            registry.inc("runtime.unresponsive")
+            if tracer is not None:
+                tracer.event("unresponsive", t0=t, proc=i, attempts=len(timeouts))
+        else:
+            ready[i] = arrived
+    setup_time = float(ready.max())
+
+    # ---------------- Baseline: the fault-free allocation -----------------
+    baseline = solve_linear_boundary(LinearNetwork(w, z))
+    baseline_makespan = float(baseline.makespan) * total_load
+
+    # ---------------- Execution epochs with crash recovery ----------------
+    dead = sorted(unresponsive)
+    pending_crashes = dict(crash_faults)
+    computed = np.zeros(m + 1)
+    epochs: list[dict[str, Any]] = []
+    crashes = 0
+    reallocations = 1 if dead else 0  # chain already shrunk before epoch 0
+    load_remaining = float(total_load)
+    clock = setup_time
+    makespan = setup_time
+    completed = True
+
+    while load_remaining > _EPS_LOAD:
+        live = [0] + [i for i in range(1, m + 1) if i not in dead]
+        network, mapping = _bridged_chain(w, z, live)
+        schedule = solve_linear_boundary(network)
+        alloc = schedule.alpha * load_remaining
+        epoch_index = len(epochs)
+        cm = (
+            tracer.span(
+                "epoch",
+                t0=clock,
+                index=epoch_index,
+                load=load_remaining,
+                live=list(mapping),
+            )
+            if tracer is not None
+            else nullcontext(None)
+        )
+        with cm as epoch_span:
+            sim = None
+            if network.size > 1:
+                from repro.sim.linear_sim import simulate_linear_chain
+
+                sim = simulate_linear_chain(
+                    network, alloc, speeds=network.w, total_load=load_remaining
+                )
+                epoch_computed_local = sim.computed
+                epoch_makespan = float(sim.makespan)
+            else:
+                # Only the root survives: it computes everything itself.
+                epoch_computed_local = np.array([load_remaining])
+                epoch_makespan = load_remaining * float(w[0])
+
+            # The earliest pending crash among processors with work this epoch.
+            crash_events = []
+            for target, fraction in pending_crashes.items():
+                if target in dead or target not in mapping:
+                    continue
+                local = mapping.index(target)
+                share = float(alloc[local]) if local < alloc.size else 0.0
+                if share <= _EPS_LOAD:
+                    # Nothing assigned; the crash costs nothing to recover.
+                    crash_events.append((clock, target, fraction, 0.0, 0.0))
+                    continue
+                start, duration = _compute_window(
+                    sim, local, epoch_makespan, share, w[target]
+                )
+                crash_events.append(
+                    (clock + start + fraction * duration, target, fraction, share, duration)
+                )
+            crash_events.sort()
+
+            if not crash_events:
+                for local, proc in enumerate(mapping):
+                    computed[proc] += float(epoch_computed_local[local])
+                makespan = max(makespan, clock + epoch_makespan)
+                epochs.append(
+                    {
+                        "index": epoch_index,
+                        "start": clock,
+                        "load": load_remaining,
+                        "live": list(mapping),
+                        "crashed": None,
+                        "makespan": clock + epoch_makespan,
+                    }
+                )
+                if epoch_span is not None:
+                    epoch_span.set(makespan=clock + epoch_makespan, crashed=None)
+                load_remaining = 0.0
+                break
+
+            crash_time, target, fraction, share, _duration = crash_events[0]
+            del pending_crashes[target]
+            dead.append(target)
+            dead.sort()
+            crashes += 1
+            registry.inc("runtime.crashes")
+            done_by_target = fraction * share
+            lost = share - done_by_target
+            detect_time = crash_time + retry.detection_timeout
+            if tracer is not None:
+                tracer.event(
+                    "crash_detected",
+                    t0=crash_time,
+                    t1=detect_time,
+                    proc=target,
+                    completed=done_by_target,
+                    lost=lost,
+                )
+
+            # Everyone else finishes this epoch's work; the target's completed
+            # fraction stands, the remainder becomes the next epoch's load.
+            for local, proc in enumerate(mapping):
+                if proc == target:
+                    computed[proc] += done_by_target
+                else:
+                    computed[proc] += float(epoch_computed_local[local])
+            makespan = max(makespan, clock + epoch_makespan)
+            epochs.append(
+                {
+                    "index": epoch_index,
+                    "start": clock,
+                    "load": load_remaining,
+                    "live": list(mapping),
+                    "crashed": target,
+                    "crash_time": crash_time,
+                    "detect_time": detect_time,
+                    "lost": lost,
+                    "makespan": clock + epoch_makespan,
+                }
+            )
+            if epoch_span is not None:
+                epoch_span.set(makespan=clock + epoch_makespan, crashed=target)
+
+        load_remaining = lost
+        clock = detect_time
+        if load_remaining > _EPS_LOAD:
+            reallocations += 1
+            registry.inc("runtime.reallocations")
+            if tracer is not None:
+                tracer.event(
+                    "reallocation",
+                    t0=detect_time,
+                    load=load_remaining,
+                    survivors=[0] + [i for i in range(1, m + 1) if i not in dead],
+                )
+
+    # ---------------- Settlement ------------------------------------------
+    forfeits: dict[int, float] = {}
+    ledger.pay(0, float(computed[0]) * float(w[0]), "root reimbursement")
+    for i in range(1, m + 1):
+        amount = float(computed[i]) * float(w[i])
+        if i in dead:
+            if amount > 0:
+                ledger.pay(i, amount, "compensation (pre-crash work)")
+                ledger.fine(i, amount, "forfeited: crashed before billing")
+            forfeits[i] = amount
+            if tracer is not None:
+                tracer.event("forfeit", proc=i, amount=amount)
+        elif amount > 0:
+            ledger.pay(i, amount, "computation compensation")
+
+    verdicts = _classify(
+        parsed, dead, unresponsive, grievances, completed, reallocations
+    )
+    return ResilientOutcome(
+        completed=completed,
+        m=m,
+        dead=tuple(dead),
+        unresponsive=tuple(sorted(unresponsive)),
+        setup_time=setup_time,
+        computed=computed,
+        makespan=makespan,
+        baseline_makespan=baseline_makespan,
+        retries=retries,
+        crashes=crashes,
+        reallocations=reallocations,
+        rejections=rejections,
+        grievances=grievances,
+        forfeits=forfeits,
+        epochs=epochs,
+        verdicts=verdicts,
+        ledger=ledger,
+    )
+
+
+def _compute_window(sim, local: int, epoch_makespan: float, share: float, rate: float):
+    """(start, duration) of ``local``'s compute interval in this epoch."""
+    if sim is not None:
+        for interval in sim.trace.intervals:
+            if interval.kind == "compute" and interval.proc == local:
+                return float(interval.start), float(interval.end - interval.start)
+    # Degenerate epoch (root-only sim or dust share): approximate from rate.
+    return 0.0, share * rate
+
+
+def _classify(
+    parsed,
+    dead,
+    unresponsive,
+    grievances,
+    completed,
+    reallocations,
+) -> list[dict[str, Any]]:
+    """Per-fault runtime verdicts: tolerated / degraded / detected / failed."""
+    verdicts = []
+    rejected_against = {g["against"] for g in grievances}
+    for kind, target, param in parsed:
+        if not completed:
+            verdict = "failed"
+        elif kind == "crash_exec":
+            verdict = "degraded" if target in dead else "tolerated"
+        elif kind == "msg_corrupt":
+            if param is not None and int(param) == 0:
+                verdict = "tolerated"  # nothing was actually corrupted
+            elif target in rejected_against:
+                verdict = "detected"
+            else:
+                verdict = "failed"
+        elif kind == "net_drop":
+            verdict = "degraded" if target in unresponsive else "tolerated"
+        else:  # net_delay / net_dup: absorbed by dedup and deadlines
+            verdict = "tolerated" if target not in unresponsive else "degraded"
+        verdicts.append(
+            {"kind": kind, "target": target, "param": param, "verdict": verdict}
+        )
+    return verdicts

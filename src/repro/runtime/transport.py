@@ -1,0 +1,238 @@
+"""Simulated lossy transport for signed protocol messages.
+
+The paper assumes "links and their protocols are obedient" — messages
+arrive intact, exactly once, instantly.  This module is the seam where
+that assumption is relaxed: a :class:`LossyTransport` wraps the delivery
+of :class:`~repro.crypto.signing.SignedMessage` values (the Phase I bids
+of :mod:`repro.protocol.messages` and any later runtime exchange) with
+seed-deterministic **drop**, **delay**, **duplicate** and **corrupt**
+faults.
+
+Two fault sources compose:
+
+- a :class:`TransportPolicy` of background probabilities, drawn from the
+  run's rng stream (every send consumes a fixed number of draws whether
+  or not a fault fires, so the stream stays aligned across outcomes);
+- a *script* of per-sender deterministic faults — "drop the first two
+  sends from P2", "corrupt P3's first send" — which is how
+  :mod:`repro.faults` scenarios pin infrastructure faults precisely.
+
+Corruption is physical: the delivered copy carries a flipped signature,
+so the receiver's ordinary signature verification — not any
+transport-special code path — rejects it (Theorem 5.2's "malformed or
+inauthentic messages" clause, now triggered by infrastructure rather
+than strategy).  Every send emits ``runtime.msgs_*`` counters and,
+when a tracer is attached, one ``transport`` event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.signing import SignedMessage
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import Tracer
+
+__all__ = ["Delivery", "LossyTransport", "TransportPolicy", "TransportScript", "corrupt_signature"]
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """Background fault probabilities of the simulated network.
+
+    Attributes
+    ----------
+    drop, delay, duplicate, corrupt:
+        Independent per-send Bernoulli probabilities.
+    latency:
+        Base delivery latency in simulated time units (applied to every
+        copy that is delivered at all).
+    delay_units:
+        Extra latency added when the ``delay`` draw fires.
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    latency: float = 0.0
+    delay_units: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "duplicate", "corrupt"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1], got {p}")
+        if self.latency < 0 or self.delay_units < 0:
+            raise ValueError("latency and delay_units must be non-negative")
+
+
+@dataclass
+class TransportScript:
+    """Deterministic faults pinned on one sender's next sends.
+
+    ``drop_next`` sends are dropped, then ``corrupt_next`` sends are
+    delivered corrupted, then ``duplicate_next`` sends are duplicated;
+    ``delay_each`` adds a fixed latency to every delivered copy.  The
+    counters decrement as sends happen, so "drop the first two attempts,
+    let the third through" is ``TransportScript(drop_next=2)``.
+    """
+
+    drop_next: int = 0
+    corrupt_next: int = 0
+    duplicate_next: int = 0
+    delay_each: float = 0.0
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One copy of a message arriving at the receiver.
+
+    ``arrival`` is the simulated arrival time; ``corrupted`` records
+    whether the transport damaged this copy (the signature will fail
+    verification); ``duplicate`` marks the redundant copy of a
+    duplicated send.
+    """
+
+    message: SignedMessage
+    sender: int
+    receiver: int
+    arrival: float
+    corrupted: bool = False
+    duplicate: bool = False
+
+
+def corrupt_signature(message: SignedMessage) -> SignedMessage:
+    """A bit-flipped copy of ``message`` whose signature cannot verify.
+
+    The first hex digit of the signature is rotated, which is guaranteed
+    to change it — verification against the canonical payload bytes then
+    fails exactly as for a forged message.
+    """
+    sig = message.signature
+    flipped = format((int(sig[0], 16) + 1) % 16, "x") + sig[1:]
+    return dataclasses.replace(message, signature=flipped)
+
+
+class LossyTransport:
+    """Delivers signed messages under policy- and script-driven faults.
+
+    Parameters
+    ----------
+    policy:
+        Background fault probabilities.
+    rng:
+        The run's transport stream.  Every :meth:`send` consumes exactly
+        four uniform draws (drop, corrupt, duplicate, delay) regardless
+        of which faults fire, keeping the stream aligned across
+        outcomes and worker layouts.
+    scripts:
+        Optional per-sender :class:`TransportScript` overrides; a
+        scripted fault pre-empts the probabilistic draws for that send
+        (the draws are still consumed).
+    tracer:
+        Optional tracer; each send emits one ``transport`` event.
+    """
+
+    def __init__(
+        self,
+        policy: TransportPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        *,
+        scripts: dict[int, TransportScript] | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else TransportPolicy()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.scripts = scripts if scripts is not None else {}
+        self.tracer = tracer
+
+    def send(
+        self,
+        message: SignedMessage,
+        *,
+        sender: int,
+        receiver: int,
+        at: float,
+        kind: str = "bid",
+    ) -> list[Delivery]:
+        """Attempt delivery of ``message`` sent at simulated time ``at``.
+
+        Returns the (possibly empty) list of :class:`Delivery` copies in
+        arrival order.  A dropped send returns ``[]``; a duplicated send
+        returns two copies, the redundant one one latency unit later.
+        """
+        registry = get_registry()
+        registry.inc("runtime.msgs_sent")
+        # Fixed draw order and count — see class docstring.
+        u_drop = float(self.rng.random())
+        u_corrupt = float(self.rng.random())
+        u_dup = float(self.rng.random())
+        u_delay = float(self.rng.random())
+
+        script = self.scripts.get(sender)
+        outcome = "delivered"
+        dropped = corrupted = duplicated = False
+        delay = 0.0
+        if script is not None and script.delay_each > 0:
+            delay += script.delay_each
+        if script is not None and script.drop_next > 0:
+            script.drop_next -= 1
+            dropped = True
+        elif script is not None and script.corrupt_next > 0:
+            script.corrupt_next -= 1
+            corrupted = True
+        elif script is not None and script.duplicate_next > 0:
+            script.duplicate_next -= 1
+            duplicated = True
+        else:
+            dropped = u_drop < self.policy.drop
+            if not dropped:
+                corrupted = u_corrupt < self.policy.corrupt
+                duplicated = u_dup < self.policy.duplicate
+                if u_delay < self.policy.delay:
+                    delay += self.policy.delay_units
+
+        deliveries: list[Delivery] = []
+        if dropped:
+            outcome = "dropped"
+            registry.inc("runtime.msgs_dropped")
+        else:
+            payload = corrupt_signature(message) if corrupted else message
+            arrival = at + self.policy.latency + delay
+            deliveries.append(
+                Delivery(payload, sender, receiver, arrival, corrupted=corrupted)
+            )
+            if corrupted:
+                outcome = "corrupted"
+                registry.inc("runtime.msgs_corrupted")
+            if delay > 0:
+                registry.inc("runtime.msgs_delayed")
+            if duplicated:
+                outcome = outcome + "+duplicate"
+                registry.inc("runtime.msgs_duplicated")
+                deliveries.append(
+                    Delivery(
+                        payload,
+                        sender,
+                        receiver,
+                        arrival + self.policy.latency + 1.0,
+                        corrupted=corrupted,
+                        duplicate=True,
+                    )
+                )
+        if self.tracer is not None:
+            self.tracer.event(
+                "transport",
+                t0=at,
+                sender=sender,
+                receiver=receiver,
+                msg_kind=kind,
+                outcome=outcome,
+                copies=len(deliveries),
+                delay=delay,
+            )
+        return deliveries

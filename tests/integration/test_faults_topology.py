@@ -1,0 +1,112 @@
+"""Integration tests for per-topology fault scenarios (star and tree).
+
+The scenario runner dispatches on :attr:`ScenarioSpec.topology` — the
+same declarative fault specs drive the DLS-LBL chain, the DLS-SL star
+and the DLS-T tree mechanisms, with per-topology verdict checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.runner import run_scenario
+from repro.faults.spec import (
+    FAULT_KINDS,
+    TOPOLOGIES,
+    TOPOLOGY_KINDS,
+    FaultSpec,
+    ScenarioSpec,
+)
+from repro.obs.tracer import events_to_jsonl
+
+
+class TestTopologyKindSupport:
+    def test_every_topology_has_a_kind_set(self):
+        assert set(TOPOLOGY_KINDS) == set(TOPOLOGIES) == {"linear", "star", "tree"}
+
+    def test_linear_supports_the_whole_catalog(self):
+        assert TOPOLOGY_KINDS["linear"] == frozenset(FAULT_KINDS)
+
+    def test_tree_is_the_most_restricted(self):
+        assert TOPOLOGY_KINDS["tree"] < TOPOLOGY_KINDS["star"]
+
+    def test_unsupported_kind_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="not supported"):
+            ScenarioSpec(
+                name="bad",
+                description="overload grievances do not exist on trees",
+                faults=(FaultSpec("shed", target=2, param=0.5),),
+                topology="tree",
+            )
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            ScenarioSpec(name="bad", description="", faults=(), topology="ring")
+
+    def test_layer_mixing_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            ScenarioSpec(
+                name="bad",
+                description="",
+                faults=(
+                    FaultSpec("misbid", target=2, param=1.5),
+                    FaultSpec("crash_exec", target=3, param=0.5),
+                ),
+            )
+
+    def test_infrastructure_requires_linear(self):
+        with pytest.raises(ValueError, match="linear"):
+            ScenarioSpec(
+                name="bad",
+                description="",
+                faults=(FaultSpec("crash_exec", target=2, param=0.5),),
+                topology="star",
+            )
+
+
+class TestStarScenarios:
+    @pytest.mark.parametrize(
+        "name",
+        ["star_misbid", "star_contradict", "star_slow", "star_abandon", "star_overcharge"],
+    )
+    def test_builtin_star_scenarios_hold(self, name):
+        result = run_scenario(name, seed=0)
+        assert result.all_ok
+        assert all(r["topology"] == "star" for r in result.runs)
+
+    def test_star_contradiction_detected_by_root(self):
+        result = run_scenario("star_contradict", seed=0)
+        deviators = [d for r in result.runs for d in r["deviators"]]
+        assert deviators and all(d["detected"] for d in deviators)
+
+
+class TestTreeScenarios:
+    @pytest.mark.parametrize("name", ["tree_misbid", "tree_slow"])
+    def test_builtin_tree_scenarios_hold(self, name):
+        result = run_scenario(name, seed=0)
+        assert result.all_ok
+        assert all(r["topology"] == "tree" for r in result.runs)
+
+
+class TestTopologyDeterminism:
+    @pytest.mark.parametrize("name", ["star_contradict", "tree_misbid"])
+    def test_jobs_one_vs_two_byte_identical(self, name):
+        serial = run_scenario(name, seed=9, jobs=1, trace=True)
+        pooled = run_scenario(name, seed=9, jobs=2, trace=True)
+        assert serial.runs == pooled.runs
+        assert events_to_jsonl(serial.events) == events_to_jsonl(pooled.events)
+
+    def test_round_trip_preserves_topology(self):
+        spec = ScenarioSpec(
+            name="rt",
+            description="round trip",
+            faults=(FaultSpec("misbid", target=2, param=1.5),),
+            topology="star",
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_old_dicts_default_to_linear(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "legacy", "description": "", "faults": []}
+        )
+        assert spec.topology == "linear"

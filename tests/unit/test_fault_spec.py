@@ -16,7 +16,11 @@ class TestFaultKindCatalog:
     def test_every_kind_has_theorem_and_expectation(self):
         for name, kind in FAULT_KINDS.items():
             assert kind.name == name
-            assert kind.expected in ("detected", "dominated")
+            if kind.layer == "strategic":
+                assert kind.expected in ("detected", "dominated")
+            else:
+                assert kind.layer == "infrastructure"
+                assert kind.expected in ("tolerated", "degraded", "detected")
             assert kind.theorem
             assert kind.description
 
@@ -106,3 +110,28 @@ class TestBuildAgents:
             for fault in active:
                 # shed needs a successor, so the terminal is excluded
                 assert 1 <= fault["target"] < scenario.m
+
+
+class TestInfrastructureKinds:
+    def test_infrastructure_kinds_registered(self):
+        infra = {k for k, v in FAULT_KINDS.items() if v.layer == "infrastructure"}
+        assert infra == {"net_drop", "net_delay", "net_dup", "msg_corrupt", "crash_exec"}
+
+    def test_strategic_is_the_default_layer(self):
+        assert FAULT_KINDS["misbid"].layer == "strategic"
+
+    def test_crash_exec_fraction_validated(self):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultSpec(kind="crash_exec", target=2, param=1.5)
+        FaultSpec(kind="crash_exec", target=2, param=0.5)  # ok
+
+    def test_net_params_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="net_drop", target=2, param=-1)
+        FaultSpec(kind="net_drop", target=2, param=0)  # ok
+
+    def test_infrastructure_scenarios_round_trip(self):
+        for name in ("net_flaky_link", "crash_midrun", "crash_cascade"):
+            scenario = BUILTIN_SCENARIOS[name]
+            assert scenario.layer == "infrastructure"
+            assert ScenarioSpec.from_json(scenario.to_json()) == scenario

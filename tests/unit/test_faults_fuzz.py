@@ -1,0 +1,101 @@
+"""Unit tests for fuzzed scenario generation (repro.faults.fuzz)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.faults.fuzz import fuzz_scenarios, random_scenario, shrink_scenario
+from repro.faults.spec import FAULT_KINDS, TOPOLOGY_KINDS
+
+
+def _rng(seed=7):
+    return np.random.default_rng([seed, 0xFA112])
+
+
+class TestRandomScenario:
+    def test_generated_scenarios_are_valid_and_single_layer(self):
+        rng = _rng()
+        for index in range(30):
+            scenario = random_scenario(rng, index, seed=7)
+            assert scenario.faults  # never empty
+            layers = {FAULT_KINDS[f.kind].layer for f in scenario.faults}
+            assert len(layers) == 1
+            for fault in scenario.faults:
+                assert fault.kind in TOPOLOGY_KINDS[scenario.topology]
+                assert 1 <= fault.target <= scenario.m
+
+    def test_generation_is_deterministic(self):
+        a = [random_scenario(_rng(), i, seed=7) for i in range(10)]
+        b = [random_scenario(_rng(), i, seed=7) for i in range(10)]
+        assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
+
+    def test_infrastructure_only_on_linear(self):
+        rng = _rng(3)
+        for index in range(50):
+            scenario = random_scenario(rng, index, seed=3)
+            if scenario.layer == "infrastructure":
+                assert scenario.topology == "linear"
+
+
+class TestShrink:
+    def test_shrinks_to_single_culprit(self):
+        rng = _rng()
+        for i in range(50):
+            scenario = random_scenario(rng, i, seed=7)
+            if len(scenario.faults) == 3:
+                break
+        assert len(scenario.faults) == 3
+        culprit = scenario.faults[1].kind
+
+        def fails(spec):
+            return any(f.kind == culprit for f in spec.faults)
+
+        minimal = shrink_scenario(scenario, fails)
+        assert fails(minimal)
+        assert len(minimal.faults) <= 2  # at least one fault removed
+
+    def test_irreducible_scenario_unchanged(self):
+        rng = _rng()
+        scenario = random_scenario(rng, 0, seed=7)
+
+        def fails(spec):
+            return len(spec.faults) == len(scenario.faults)
+
+        assert shrink_scenario(scenario, fails).faults == scenario.faults
+
+
+class TestFuzzBatch:
+    def test_fixed_seed_batch_all_ok_and_deterministic(self):
+        first = fuzz_scenarios(7, 6)
+        second = fuzz_scenarios(7, 6)
+        assert first.all_ok
+        assert json.dumps(first.cases, sort_keys=True) == json.dumps(
+            second.cases, sort_keys=True
+        )
+        assert len(first.cases) == 6
+
+    def test_jobs_do_not_change_the_report(self):
+        serial = fuzz_scenarios(11, 4, jobs=1)
+        pooled = fuzz_scenarios(11, 4, jobs=2)
+        assert json.dumps(serial.cases, sort_keys=True) == json.dumps(
+            pooled.cases, sort_keys=True
+        )
+
+
+class TestFuzzCli:
+    def test_fuzz_subcommand_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "fuzz.json"
+        code = main(
+            ["faults", "fuzz", "--seed", "7", "--count", "3", "--report", str(report)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 scenarios, 0 failing" in out
+        payload = json.loads(report.read_text())
+        assert payload["seed"] == 7
+        assert len(payload["cases"]) == 3
+        assert payload["failures"] == []

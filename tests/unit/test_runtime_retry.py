@@ -1,0 +1,75 @@
+"""Unit tests for the timeout/retry/backoff policy (repro.runtime.retry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import RetryExhausted, RetryPolicy, backoff_schedule
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.base_timeout == 1.0
+        assert policy.backoff_factor == 2.0
+
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            ({"max_attempts": 0}, "max_attempts"),
+            ({"base_timeout": 0.0}, "base_timeout"),
+            ({"backoff_factor": 0.5}, "backoff_factor"),
+            ({"max_timeout": 0.5}, "max_timeout"),
+            ({"jitter": 1.0}, "jitter"),
+            ({"jitter": -0.1}, "jitter"),
+            ({"detection_timeout": 0.0}, "detection_timeout"),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**kwargs)
+
+    def test_retry_exhausted_carries_attempts(self):
+        exc = RetryExhausted("gave up", attempts=4)
+        assert exc.attempts == 4
+        assert "gave up" in str(exc)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_given_stream(self):
+        policy = RetryPolicy()
+        a = backoff_schedule(policy, np.random.default_rng(42))
+        b = backoff_schedule(policy, np.random.default_rng(42))
+        assert a == b
+        assert len(a) == policy.max_attempts
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_timeout=1.0, backoff_factor=2.0,
+            max_timeout=4.0, jitter=0.0,
+        )
+        schedule = backoff_schedule(policy, np.random.default_rng(0))
+        assert schedule == [1.0, 2.0, 4.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_bounded_and_nonnegative(self):
+        policy = RetryPolicy(jitter=0.1)
+        schedule = backoff_schedule(policy, np.random.default_rng(7))
+        bare = backoff_schedule(
+            RetryPolicy(jitter=0.0), np.random.default_rng(7)
+        )
+        for jittered, base in zip(schedule, bare):
+            assert base <= jittered <= base * 1.1
+
+    def test_always_consumes_max_attempts_draws(self):
+        # The stream position after scheduling must not depend on how
+        # many attempts the caller ends up needing.
+        policy = RetryPolicy(max_attempts=5)
+        rng = np.random.default_rng(3)
+        backoff_schedule(policy, rng)
+        after_schedule = rng.random()
+        rng2 = np.random.default_rng(3)
+        for _ in range(policy.max_attempts):
+            rng2.random()
+        assert after_schedule == rng2.random()

@@ -1,0 +1,154 @@
+"""Unit tests for the simulated lossy transport (repro.runtime.transport)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signing import sign
+from repro.obs.metrics import collecting
+from repro.obs.tracer import Tracer
+from repro.protocol.messages import bid_payload
+from repro.runtime import (
+    LossyTransport,
+    TransportPolicy,
+    TransportScript,
+    corrupt_signature,
+)
+
+
+@pytest.fixture()
+def signed_bid():
+    registry, keys = KeyRegistry.for_processors(3, seed=b"transport-test")
+    message = sign(keys[1], bid_payload(1, 0.8))
+    return registry, message
+
+
+class TestCorruptSignature:
+    def test_corrupted_copy_fails_verification(self, signed_bid):
+        registry, message = signed_bid
+        assert message.verify(registry)
+        damaged = corrupt_signature(message)
+        assert damaged.signature != message.signature
+        assert not damaged.verify(registry)
+
+    def test_payload_untouched(self, signed_bid):
+        _, message = signed_bid
+        assert corrupt_signature(message).payload == message.payload
+
+
+class TestTransportPolicy:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="drop"):
+            TransportPolicy(drop=1.5)
+        with pytest.raises(ValueError, match="latency"):
+            TransportPolicy(latency=-1.0)
+
+
+class TestScriptedFaults:
+    def test_drop_next_loses_exactly_k_sends(self, signed_bid):
+        _, message = signed_bid
+        transport = LossyTransport(
+            scripts={1: TransportScript(drop_next=2)},
+            rng=np.random.default_rng(0),
+        )
+        assert transport.send(message, sender=1, receiver=0, at=0.0) == []
+        assert transport.send(message, sender=1, receiver=0, at=1.0) == []
+        third = transport.send(message, sender=1, receiver=0, at=2.0)
+        assert len(third) == 1 and not third[0].corrupted
+
+    def test_corrupt_next_delivers_damaged_copy(self, signed_bid):
+        registry, message = signed_bid
+        transport = LossyTransport(
+            scripts={1: TransportScript(corrupt_next=1)},
+            rng=np.random.default_rng(0),
+        )
+        (delivery,) = transport.send(message, sender=1, receiver=0, at=0.0)
+        assert delivery.corrupted
+        assert not delivery.message.verify(registry)
+        (clean,) = transport.send(message, sender=1, receiver=0, at=1.0)
+        assert not clean.corrupted
+
+    def test_duplicate_next_delivers_two_copies(self, signed_bid):
+        _, message = signed_bid
+        transport = LossyTransport(
+            scripts={1: TransportScript(duplicate_next=1)},
+            rng=np.random.default_rng(0),
+        )
+        copies = transport.send(message, sender=1, receiver=0, at=0.0)
+        assert len(copies) == 2
+        assert not copies[0].duplicate and copies[1].duplicate
+        assert copies[1].arrival > copies[0].arrival
+
+    def test_delay_each_shifts_arrivals(self, signed_bid):
+        _, message = signed_bid
+        transport = LossyTransport(
+            scripts={2: TransportScript(delay_each=0.4)},
+            rng=np.random.default_rng(0),
+        )
+        (delivery,) = transport.send(message, sender=2, receiver=0, at=1.0)
+        assert delivery.arrival == pytest.approx(1.4)
+        # Other senders are unaffected.
+        (other,) = transport.send(message, sender=1, receiver=0, at=1.0)
+        assert other.arrival == pytest.approx(1.0)
+
+
+class TestStreamAlignment:
+    def test_every_send_consumes_four_draws(self, signed_bid):
+        _, message = signed_bid
+        rng = np.random.default_rng(5)
+        transport = LossyTransport(
+            scripts={1: TransportScript(drop_next=1)}, rng=rng
+        )
+        transport.send(message, sender=1, receiver=0, at=0.0)  # scripted drop
+        transport.send(message, sender=1, receiver=0, at=1.0)  # clean
+        after = rng.random()
+        reference = np.random.default_rng(5)
+        for _ in range(8):
+            reference.random()
+        assert after == reference.random()
+
+    def test_deterministic_across_instances(self, signed_bid):
+        _, message = signed_bid
+        outcomes = []
+        for _ in range(2):
+            transport = LossyTransport(
+                TransportPolicy(drop=0.3, corrupt=0.2, duplicate=0.2, delay=0.3),
+                np.random.default_rng(11),
+            )
+            outcomes.append(
+                [
+                    (len(ds), [d.arrival for d in ds])
+                    for ds in (
+                        transport.send(message, sender=1, receiver=0, at=float(t))
+                        for t in range(20)
+                    )
+                ]
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestObservability:
+    def test_counters_and_trace_events(self, signed_bid):
+        _, message = signed_bid
+        tracer = Tracer()
+        with collecting() as registry:
+            transport = LossyTransport(
+                scripts={
+                    1: TransportScript(drop_next=1, corrupt_next=1, duplicate_next=1)
+                },
+                rng=np.random.default_rng(0),
+                tracer=tracer,
+            )
+            for t in range(4):
+                transport.send(message, sender=1, receiver=0, at=float(t))
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime.msgs_sent"] == 4
+        assert counters["runtime.msgs_dropped"] == 1
+        assert counters["runtime.msgs_corrupted"] == 1
+        assert counters["runtime.msgs_duplicated"] == 1
+        events = [e for e in tracer.events if e.kind == "transport"]
+        assert [e.attrs["outcome"] for e in events] == [
+            "dropped", "corrupted", "delivered+duplicate", "delivered",
+        ]
