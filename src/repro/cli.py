@@ -145,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="INDEX:KIND[:PARAM]",
         help="inject the same deviant into every run, e.g. 2:shed:0.5",
     )
+    run.add_argument(
+        "--batch", action="store_true",
+        help="run the population through the batched Phase I-IV engine "
+        "(bitwise-equal results; falls back to scalar runs for tracing "
+        "and non-batchable deviants)",
+    )
     run.add_argument("--trace", default=None, metavar="PATH", help="write the merged JSONL trace to PATH")
     run.add_argument(
         "--metrics",
@@ -379,6 +385,12 @@ def _cmd_experiments(args) -> int:
             f"{par['serial_s']:.3f}s serial vs {par['parallel_s']:.3f}s with "
             f"--jobs {par['jobs']} ({par['speedup']:.2f}x)"
         )
+        mech = record["mech_batch"]
+        print(
+            f"mechanism runs: {mech['count']} x m={mech['m']} chains, "
+            f"{mech['scalar_s']:.3f}s scalar vs {mech['batch_s']:.3f}s batched "
+            f"({mech['speedup']:.1f}x, bitwise equal: {mech['bitwise_equal']})"
+        )
         print(f"record written to {args.bench_path}")
         return 0
     try:
@@ -423,6 +435,7 @@ def _cmd_run(args) -> int:
             audit_probability=args.audit_probability,
             deviant=args.deviant,
             trace=args.trace is not None,
+            use_batch=args.batch,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None

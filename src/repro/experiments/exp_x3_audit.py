@@ -27,43 +27,37 @@ def expected_overcharge_gain(delta: float, fine: float, q: float) -> float:
     return delta - fine
 
 
-class _ForcedDraw:
-    """An rng stub whose every challenge draw returns a fixed value.
-
-    ``audit`` challenges iff ``rng.random() < q``, so ``1.0`` forces
-    "never challenged" and ``0.0`` forces "always challenged" (honest
-    agents pass their forced audits; only the overcharger is fined).
-    """
-
-    def __init__(self, value: float) -> None:
-        self.value = float(value)
-
-    def random(self) -> float:
-        return self.value
-
-
 def _vectorized_gains(
     z, root, agents, mid: int, q: float, truthful_u: float, draws: np.ndarray
 ) -> tuple[np.ndarray, float]:
     """Monte-Carlo gains of the overcharger, bitwise equal to the loop.
 
-    A run's only randomness is one Bernoulli challenge draw per agent in
-    index order, and only the overcharger's own draw moves its utility —
-    every other agent's bill survives its audit.  Two forced-draw runs
-    yield the unchallenged/challenged utilities; the draws matrix (the
-    same rng stream the scalar loop would consume, reshaped ``(n_runs,
-    m)``) then selects per run.  Returns ``(gains, fine)``.
+    The whole ``(n_runs, m)`` cell goes through the batched Phase I–IV
+    engine: every row is the same chain with the overcharger's bill
+    inflation in its column, and ``draws`` is the identical rng stream
+    the scalar loop would consume (one Bernoulli challenge draw per
+    agent in index order, row-major).  The engine's per-run utilities —
+    including the ``F/q`` penalty on challenged rows — are bitwise the
+    scalar mechanism's.  Returns ``(gains, fine)``.
     """
-    u_by_challenge = {}
-    for label, forced in (("unchallenged", 1.0), ("challenged", 0.0)):
-        mech = DLSLBLMechanism(z, root, agents, audit_probability=q, rng=_ForcedDraw(forced))
-        u_by_challenge[label] = mech.run().utility(mid)
-        fine = mech.fine
-    challenged_mid = draws[:, mid - 1] < q
-    utilities = np.where(
-        challenged_mid, u_by_challenge["challenged"], u_by_challenge["unchallenged"]
+    from repro.mechanism.batch_run import run_chain_batch
+
+    n_runs, m = draws.shape
+    w = np.empty((n_runs, m + 1))
+    w[:, 0] = float(root)
+    w[:, 1:] = np.asarray([a.true_rate for a in agents], dtype=np.float64)
+    z_rows = np.tile(np.asarray(z, dtype=np.float64), (n_runs, 1))
+    overcharge = np.zeros((n_runs, m))
+    # The agent's markup over a zero base is its bill inflation.
+    overcharge[:, mid - 1] = agents[mid - 1].phase4_bill(0.0)
+    outcome = run_chain_batch(
+        w,
+        z_rows,
+        bill_overcharge=overcharge,
+        audit_probability=q,
+        audit_draws=draws,
     )
-    return utilities - truthful_u, fine
+    return outcome.utilities[:, mid - 1] - truthful_u, float(outcome.fine[0])
 
 
 def run_x3_audit(

@@ -35,6 +35,51 @@ def _run(z, root_rate, true_rates, overrides=None, seed=0):
     return mech.run()
 
 
+def _batch_instance(z, root_rate, true, factors, slowdown):
+    """All of one instance's star runs in a single batched engine pass.
+
+    Row 0 is the truthful base; then one row per ``(agent, factor)``
+    misbid and one per slow agent — the deviant hooks themselves supply
+    the bid/rate floats so every row is bitwise the scalar run it
+    replaces (the probes are compliant, and with ``q = 1`` every audit
+    passes, exactly as in :func:`_run`).  Returns the outcome plus the
+    ``(agent, factor) -> row`` and ``agent -> row`` maps.
+    """
+    from repro.mechanism.batch_run import run_star_batch
+
+    n = len(true)
+    n_rows = 1 + n * len(factors) + n
+    w = np.empty((n_rows, n + 1))
+    w[:, 0] = float(root_rate)
+    w[:, 1:] = true
+    z_rows = np.tile(np.asarray(z, dtype=np.float64), (n_rows, 1))
+    bids = w[:, 1:].copy()
+    rates = w[:, 1:].copy()
+    misbid_rows: dict[tuple[int, float], int] = {}
+    slow_rows: dict[int, int] = {}
+    row = 1
+    for i in range(1, n + 1):
+        for factor in factors:
+            bids[row, i - 1] = MisbiddingAgent(i, true[i - 1], bid_factor=factor).choose_bid()
+            misbid_rows[(i, factor)] = row
+            row += 1
+    for i in range(1, n + 1):
+        agent = SlowExecutionAgent(i, true[i - 1], slowdown=slowdown)
+        bids[row, i - 1] = agent.choose_bid()
+        rates[row, i - 1] = agent.choose_execution_rate()
+        slow_rows[i] = row
+        row += 1
+    outcome = run_star_batch(
+        w,
+        z_rows,
+        bids=bids,
+        execution_rates=rates,
+        audit_probability=1.0,
+        audit_draws=np.zeros((n_rows, n)),
+    )
+    return outcome, misbid_rows, slow_rows
+
+
 def run_x5_star(
     *,
     sizes: tuple[int, ...] = (2, 4, 8),
@@ -42,6 +87,7 @@ def run_x5_star(
     factors: tuple[float, ...] = (0.4, 0.7, 1.0, 1.4, 2.5),
     slowdown: float = 1.5,
     seed: int = 707,
+    use_batch: bool = False,
 ) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     sp_table = Table(
@@ -66,25 +112,43 @@ def run_x5_star(
             z = star.z
             root_rate = float(star.w[0])
             true = [float(t) for t in star.w[1:]]
-            base = _run(z, root_rate, true)
-            all_ok &= base.completed
-            all_ok &= all(base.utility(i) >= -1e-9 for i in range(1, n + 1))
-            for i in range(1, n + 1):
-                swept += 1
-                truthful_u = base.utility(i)
-                for factor in factors:
-                    dev = _run(z, root_rate, true, {i: MisbiddingAgent(i, true[i - 1], bid_factor=factor)})
-                    adv = dev.utility(i) - truthful_u
-                    worst_bid = max(worst_bid, adv)
-                    if adv > 1e-9 * max(1.0, abs(truthful_u)):
+            if use_batch:
+                sb, misbid_rows, slow_rows = _batch_instance(z, root_rate, true, factors, slowdown)
+                all_ok &= all(sb.utility(0, i) >= -1e-9 for i in range(1, n + 1))
+                for i in range(1, n + 1):
+                    swept += 1
+                    truthful_u = sb.utility(0, i)
+                    for factor in factors:
+                        adv = sb.utility(misbid_rows[(i, factor)], i) - truthful_u
+                        worst_bid = max(worst_bid, adv)
+                        if adv > 1e-9 * max(1.0, abs(truthful_u)):
+                            violations += 1
+                    slow_u = sb.utility(slow_rows[i], i)
+                    worst_slow = max(worst_slow, slow_u - truthful_u)
+                    if slow_u > truthful_u + 1e-9:
                         violations += 1
-                slow = _run(z, root_rate, true, {i: SlowExecutionAgent(i, true[i - 1], slowdown=slowdown)})
-                worst_slow = max(worst_slow, slow.utility(i) - truthful_u)
-                if slow.utility(i) > truthful_u + 1e-9:
-                    violations += 1
+                star_cost = float(np.sum(sb.assigned[0, 1:] * sb.actual_rates[0, 1:]))
+                star_rent = float(sum(float(c) for c in sb.correct_q[0]) - star_cost)
+            else:
+                base = _run(z, root_rate, true)
+                all_ok &= base.completed
+                all_ok &= all(base.utility(i) >= -1e-9 for i in range(1, n + 1))
+                for i in range(1, n + 1):
+                    swept += 1
+                    truthful_u = base.utility(i)
+                    for factor in factors:
+                        dev = _run(z, root_rate, true, {i: MisbiddingAgent(i, true[i - 1], bid_factor=factor)})
+                        adv = dev.utility(i) - truthful_u
+                        worst_bid = max(worst_bid, adv)
+                        if adv > 1e-9 * max(1.0, abs(truthful_u)):
+                            violations += 1
+                    slow = _run(z, root_rate, true, {i: SlowExecutionAgent(i, true[i - 1], slowdown=slowdown)})
+                    worst_slow = max(worst_slow, slow.utility(i) - truthful_u)
+                    if slow.utility(i) > truthful_u + 1e-9:
+                        violations += 1
 
-            star_cost = float(np.sum(base.assigned[1:] * base.actual_rates[1:]))
-            star_rent = float(sum(r.payment_correct for r in base.reports.values()) - star_cost)
+                star_cost = float(np.sum(base.assigned[1:] * base.actual_rates[1:]))
+                star_rent = float(sum(r.payment_correct for r in base.reports.values()) - star_cost)
             star_rent_ratio.append(star_rent / star_cost)
             # Same resources arranged as a chain under DLS-LBL.
             chain = run_truthful(z, root_rate, true)

@@ -12,9 +12,10 @@ the pool only changes wall-clock time, never results.
 Results are always returned in submission order (``ids`` order,
 replication index order), regardless of completion order.
 
-:func:`benchmark_batch` measures the two speedups this layer exists for —
-vectorized batch solving vs. looped scalar solving, and the parallel
-runner vs. serial execution — and :func:`write_benchmark` records them in
+:func:`benchmark_batch` measures the three speedups this layer exists
+for — vectorized batch solving vs. looped scalar solving, the parallel
+runner vs. serial execution, and the batched Phase I–IV mechanism engine
+vs. scalar protocol runs — and :func:`write_benchmark` records them in
 ``BENCH_batch.json`` so future changes have a performance trajectory to
 compare against.
 """
@@ -98,7 +99,15 @@ def _call_experiment(
     returned snapshot is this task's metrics *delta* — pool workers are
     reused across tasks, and scoping per task is what keeps a worker's
     earlier tasks from being counted again.
+
+    The task's ``solve_linear_cached`` activity is recorded into the
+    delta as *counters* (``cache.solve_linear.task_hits`` /
+    ``.task_misses``): each worker process has its own lru cache whose
+    stats would otherwise die with the pool, but counters merge
+    additively, so folding the per-task snapshots reconstructs the whole
+    run's cache traffic no matter which process served it.
     """
+    from repro.dlt.batch import linear_cache_info
     from repro.experiments import ALL_EXPERIMENTS
 
     fn = ALL_EXPERIMENTS[exp_id]
@@ -108,9 +117,20 @@ def _call_experiment(
         call_kwargs.setdefault("seed", seed)
     if "use_batch" in params:
         call_kwargs.setdefault("use_batch", use_batch)
+    cache_before = linear_cache_info()
     start = time.perf_counter()
     with collecting() as registry:
         result = fn(**call_kwargs)
+        cache_after = linear_cache_info()
+        if cache_after.hits > cache_before.hits:
+            registry.inc(
+                "cache.solve_linear.task_hits", cache_after.hits - cache_before.hits
+            )
+        if cache_after.misses > cache_before.misses:
+            registry.inc(
+                "cache.solve_linear.task_misses",
+                cache_after.misses - cache_before.misses,
+            )
         snapshot = registry.snapshot()
     return result, time.perf_counter() - start, snapshot
 
@@ -363,6 +383,40 @@ def _best_of(fn, repeats: int = 3) -> float:
 BENCH_EXPERIMENT_IDS = ("T2.1", "X1", "X2", "X4", "T5.4", "X9")
 
 
+def _cache_replay_worker(networks: list) -> tuple[int, int, int]:
+    """Replay a chunk of networks through ``solve_linear_cached`` twice
+    and report this process's own lru statistics.
+
+    Module-level so it pickles into pool workers: each worker has a
+    private cache, so the returned ``(hits, misses, size)`` is traffic
+    the parent's :func:`~repro.dlt.batch.linear_cache_info` never sees.
+    """
+    from repro.dlt.batch import linear_cache_clear, linear_cache_info, solve_linear_cached
+
+    linear_cache_clear()
+    for net in networks:
+        solve_linear_cached(net)
+    for net in networks:
+        solve_linear_cached(net)
+    info = linear_cache_info()
+    return info.hits, info.misses, info.currsize
+
+
+def _task_cache_totals(runs: Sequence[ExperimentRun]) -> tuple[int, int]:
+    """Sum the per-task ``solve_linear_cached`` counters across ``runs``.
+
+    The counters travel inside each task's metrics snapshot, so this sees
+    every process's cache traffic — including pool workers whose own lru
+    statistics are unreachable from the parent.
+    """
+    hits = misses = 0
+    for run in runs:
+        counters = (run.metrics or {}).get("counters", {})
+        hits += int(counters.get("cache.solve_linear.task_hits", 0))
+        misses += int(counters.get("cache.solve_linear.task_misses", 0))
+    return hits, misses
+
+
 def benchmark_batch(
     *,
     n_networks: int = 1000,
@@ -370,19 +424,30 @@ def benchmark_batch(
     seed: int = 7,
     experiment_ids: Sequence[str] = BENCH_EXPERIMENT_IDS,
     jobs: int = 4,
+    mech_m: int = 8,
+    mech_count: int = 300,
 ) -> dict[str, Any]:
-    """Measure the two speedups of this layer and return the record.
+    """Measure the three speedups of this layer and return the record.
 
     1. *Batch solving*: ``n_networks`` random ``(m+1)``-processor chains
        solved by a scalar :func:`~repro.dlt.linear.solve_linear_boundary`
        loop vs. one :func:`~repro.dlt.batch.solve_linear_batch` call
        (timed both pre-stacked and end-to-end including stacking).
     2. *Parallel running*: ``experiment_ids`` executed serially vs. with
-       ``jobs`` worker processes.
+       ``jobs`` worker processes.  The ``solve_cache`` section reports
+       both the parent-process lru statistics and the per-task counters
+       merged across all workers (labelled with the worker count) — the
+       parent-only numbers silently undercount under ``jobs > 1``.
+    3. *Batched mechanism runs* (``mech_batch``): a T5.3-sized
+       Monte Carlo population of ``mech_count`` chains through scalar
+       ``DLSLBLMechanism.run`` loops vs. one batched Phase I–IV engine
+       pass, with the bitwise-equality of the two run sets recorded
+       alongside the timings.
 
-    All timings are best-of-3 wall clock.  ``cpu_count`` is recorded
-    because the parallel speedup is bounded by the cores actually
-    available — on a single-core machine it cannot exceed 1.
+    Kernel timings are best-of-3 wall clock; experiment and mechanism
+    sets run once.  ``cpu_count`` is recorded because the parallel
+    speedup is bounded by the cores actually available — on a
+    single-core machine it cannot exceed 1.
     """
     import numpy as np
 
@@ -395,6 +460,7 @@ def benchmark_batch(
         stack_networks,
     )
     from repro.dlt.linear import solve_linear_boundary
+    from repro.mechanism.population import run_population
     from repro.network.generators import random_linear_network
 
     rng = np.random.default_rng(seed)
@@ -418,9 +484,34 @@ def benchmark_batch(
     cache = linear_cache_info()
     record_cache_metrics()
 
+    # The same replay sharded over the pool: per-worker caches hit and
+    # miss on their own, invisibly to the parent lru counters above.
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        worker_stats = list(
+            pool.map(_cache_replay_worker, [networks[i::jobs] for i in range(jobs)])
+        )
+    pooled_hits = sum(s[0] for s in worker_stats)
+    pooled_misses = sum(s[1] for s in worker_stats)
+
     ids = list(experiment_ids)
-    serial_s = _best_of(lambda: run_experiments(ids, jobs=1), repeats=1)
-    parallel_s = _best_of(lambda: run_experiments(ids, jobs=jobs), repeats=1)
+    start = time.perf_counter()
+    serial_runs = run_experiments(ids, jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_runs = run_experiments(ids, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+    serial_hits, serial_misses = _task_cache_totals(serial_runs)
+    worker_hits, worker_misses = _task_cache_totals(parallel_runs)
+
+    # Scalar-vs-batch mechanism runs: the same population both ways,
+    # checked for bitwise-equal summaries before the timings are trusted.
+    start = time.perf_counter()
+    mech_scalar = run_population(mech_m, mech_count, seed=seed)
+    mech_scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    mech_batched = run_population(mech_m, mech_count, seed=seed, use_batch=True)
+    mech_batch_s = time.perf_counter() - start
+    mech_equal = mech_scalar.runs == mech_batched.runs
 
     return {
         "machine": {
@@ -449,6 +540,13 @@ def benchmark_batch(
             "size": cache.currsize,
             "maxsize": cache.maxsize,
             "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+            "workers": jobs,
+            "worker_hits": pooled_hits,
+            "worker_misses": pooled_misses,
+            "serial_task_hits": serial_hits,
+            "serial_task_misses": serial_misses,
+            "worker_task_hits": worker_hits,
+            "worker_task_misses": worker_misses,
         },
         "parallel_runner": {
             "experiment_ids": ids,
@@ -456,6 +554,14 @@ def benchmark_batch(
             "serial_s": serial_s,
             "parallel_s": parallel_s,
             "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        },
+        "mech_batch": {
+            "m": mech_m,
+            "count": mech_count,
+            "scalar_s": mech_scalar_s,
+            "batch_s": mech_batch_s,
+            "speedup": mech_scalar_s / mech_batch_s if mech_batch_s > 0 else float("inf"),
+            "bitwise_equal": bool(mech_equal),
         },
     }
 

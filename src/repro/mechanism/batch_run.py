@@ -1,0 +1,670 @@
+"""Batched Phase I–IV mechanism engine.
+
+Executes whole *populations* of mechanism runs in stacked numpy passes —
+the vectorized counterpart of :class:`~repro.mechanism.dls_lbl.DLSLBLMechanism`
+(:func:`run_chain_batch`) and :class:`~repro.mechanism.star_mechanism.StarMechanism`
+(:func:`run_star_batch`).  The Monte-Carlo experiments (population runs,
+T5.x sweeps, X3, X5) spend their time looping the scalar mechanisms;
+this module runs every row of a ``(runs, n)`` rate matrix through bid
+collection, the stacked Algorithm-1 solve, verification/metering
+comparisons, and Phase IV settlement at once.
+
+**Bitwise contract.**  For protocol-compliant populations (truthful,
+misbidding, slow-executing, and overcharging agents — anything that
+never triggers a grievance or an abort) every produced quantity —
+allocations, payments, fines, audit outcomes, utilities, ledger
+aggregates, protocol counters — is bitwise-identical to running the
+scalar mechanism row by row.  That requires transcribing the scalar
+arithmetic *verbatim*, not just equivalently:
+
+- the mechanism's interior ``alpha_hat`` is the division
+  ``w_bar[i] / bids[i]`` (dls_lbl Phase I), which differs in the last
+  ulp from the solver's backward-pass ``tail / (w + tail)``;
+- the audit recomputation builds its own ``alpha_hat`` with the
+  *left-associative* denominator ``own_bid + w_bar_next + z_next``
+  (audit.recompute_payment_from_proof), again ulp-different from the
+  backward pass;
+- the star normalization is a per-row ``math.fsum``, not ``ndarray.sum``
+  (dlt.star._alpha_for_order);
+- ledger aggregates replay the entry-order float accumulation of
+  :class:`~repro.mechanism.ledger.PaymentLedger`.
+
+Audit randomness comes in as a pre-shaped ``(runs, n)`` draw block —
+``Generator.random((runs, n))`` consumes the PCG64 stream exactly like
+``runs * n`` sequential scalar draws, so callers can hand the engine the
+same stream the scalar loop would have used.
+
+Non-batchable behaviours (load-shedding, contradictory bids, relay
+tampering, fabricated accusations, proof forgery) have no vectorized
+path; callers fall back to the scalar mechanisms for those.  The engine
+raises :class:`~repro.exceptions.ProtocolViolation` if its batched
+metering comparison detects an overload (a row whose actual flow exceeds
+the Phase II expectation), since grievance adjudication is scalar-only.
+
+Metrics: the engine emits the same protocol counters as the scalar runs
+(``mechanism.runs``/``star_runs``, ``mechanism.audits``,
+``audits_challenged``, ``fines``, ``fine_volume``, ``ledger.transfers``,
+``ledger.volume``) with bitwise-identical totals.  Implementation-cost
+metrics (``crypto.*`` counters, per-phase timers) have no batched
+analogue and are absent; batch solves add their own ``dlt.batch.*``
+counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dlt.batch import solve_linear_batch
+from repro.exceptions import InvalidNetworkError, ProtocolViolation
+from repro.mechanism.audit import BILL_TOL
+from repro.mechanism.payments import payment_breakdown_batch
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "BatchChainOutcome",
+    "BatchStarOutcome",
+    "run_chain_batch",
+    "run_star_batch",
+]
+
+#: Mirror of :data:`repro.sim.linear_sim._EPS_LOAD` (sub-threshold loads
+#: are neither transmitted nor computed).
+_EPS_LOAD = 1e-12
+
+#: Mirror of :data:`repro.mechanism.dls_lbl._LOAD_TOL` (overload slack).
+_LOAD_TOL = 1e-7
+
+#: Mirror of :data:`repro.mechanism.star_mechanism._WORK_TOL`.
+_WORK_TOL = 1e-9
+
+
+def _as_matrix(name: str, value, shape: tuple[int, int]) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.shape != shape:
+        raise InvalidNetworkError(f"{name} must have shape {shape}, got {arr.shape}")
+    return arr
+
+
+def _default_fine(w: np.ndarray, total_load: float) -> np.ndarray:
+    """Vectorized :func:`~repro.mechanism.payments.recommended_fine` with
+    the mechanisms' standard arguments (``margin=2.0``,
+    ``max_overcharge=10 * max(true rates)``) — same association order, so
+    bitwise-equal per row."""
+    mx = w.max(axis=1)
+    return 2.0 * (total_load * mx + mx + 10.0 * mx)
+
+
+def _fine_vector(fine, w: np.ndarray, total_load: float) -> np.ndarray:
+    if fine is None:
+        return _default_fine(w, total_load)
+    arr = np.asarray(fine, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(w.shape[0], float(arr))
+    if arr.shape != (w.shape[0],):
+        raise InvalidNetworkError(f"fine must be scalar or shape ({w.shape[0]},), got {arr.shape}")
+    return arr
+
+
+def _challenges(audit_draws, q: float, shape: tuple[int, int]) -> np.ndarray:
+    """Bernoulli challenge outcomes from a pre-shaped draw block.
+
+    ``None`` means "no audit randomness": nothing is challenged, which
+    is the right model for compliant sweeps whose utilities are
+    challenge-independent (verified bills are never fined)."""
+    if audit_draws is None:
+        return np.zeros(shape, dtype=bool)
+    draws = np.asarray(audit_draws, dtype=np.float64)
+    if draws.shape != shape:
+        raise InvalidNetworkError(f"audit_draws must have shape {shape}, got {draws.shape}")
+    return draws < q
+
+
+def _ledger_mirrors(
+    root_pay: np.ndarray, billed: np.ndarray, audit_fines: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Replay the per-run ledger arithmetic of the scalar mechanisms.
+
+    Entry order per run is: root reimbursement, then for each agent its
+    Phase IV bill followed by its audit fine (if any).  Every aggregate
+    accumulates in exactly that order so the floats match the scalar
+    :class:`~repro.mechanism.ledger.PaymentLedger` bitwise (``a - b`` is
+    IEEE-identical to ``a + (-b)``, which covers the negative-bill
+    direction flip).
+
+    Returns ``(balances, fines_total, mechanism_outlay, run_volume,
+    n_fine_entries)``.
+    """
+    n_agents = billed.shape[1]
+    abs_bill = np.where(billed >= 0.0, billed, -billed)
+    balances = 0.0 + billed
+    balances = np.where(audit_fines > 0.0, balances - audit_fines, balances)
+    volume = root_pay.copy()
+    fines_total = np.zeros_like(root_pay)
+    outlay_balance = 0.0 - root_pay
+    for i in range(n_agents):
+        bill = billed[:, i]
+        volume = volume + abs_bill[:, i]
+        fines_total = np.where(bill < 0.0, fines_total + (-bill), fines_total)
+        outlay_balance = outlay_balance - bill
+        f = audit_fines[:, i]
+        fined = f > 0.0
+        volume = np.where(fined, volume + f, volume)
+        fines_total = np.where(fined, fines_total + f, fines_total)
+        outlay_balance = np.where(fined, outlay_balance + f, outlay_balance)
+    return balances, fines_total, -outlay_balance, volume, int(np.count_nonzero(audit_fines > 0.0))
+
+
+def _fold(values: np.ndarray) -> float:
+    """Left fold in run order — how per-run counter deltas merge."""
+    total = 0.0
+    for v in values:
+        total = total + float(v)
+    return total
+
+
+def _emit_counters(
+    registry,
+    *,
+    runs_counter: str,
+    n_runs: int,
+    n_audits: int,
+    challenged: np.ndarray,
+    audit_fines: np.ndarray,
+    n_fine_entries: int,
+    run_volume: np.ndarray,
+) -> None:
+    """Emit the scalar mechanisms' protocol counters with identical totals.
+
+    Scalar runs increment once per event; summed over a population the
+    counts are exact integers and the float volumes are per-run
+    sequential sums folded in run order — replicated here (keys that a
+    scalar population would never create stay absent)."""
+    registry.inc(runs_counter, n_runs)
+    registry.inc("mechanism.audits", n_audits)
+    n_challenged = int(np.count_nonzero(challenged))
+    if n_challenged:
+        registry.inc("mechanism.audits_challenged", n_challenged)
+    if n_fine_entries:
+        registry.inc("mechanism.fines", n_fine_entries)
+        fine_volume = np.zeros(audit_fines.shape[0])
+        for i in range(audit_fines.shape[1]):
+            f = audit_fines[:, i]
+            fine_volume = np.where(f > 0.0, fine_volume + f, fine_volume)
+        registry.inc("mechanism.fine_volume", _fold(fine_volume))
+    registry.inc("ledger.transfers", n_runs * (1 + audit_fines.shape[1]) + n_fine_entries)
+    registry.inc("ledger.volume", _fold(run_volume))
+
+
+@dataclass(frozen=True)
+class BatchChainOutcome:
+    """Stacked outcome of ``N`` chain-mechanism runs (row = run).
+
+    Column layout follows the scalar mechanism: full-chain arrays have
+    ``m + 1`` columns (root first), per-agent arrays have ``m`` columns
+    for processors ``1 .. m``.
+    """
+
+    bids: np.ndarray            # (N, m+1) — root column is the obedient root rate
+    w_bar: np.ndarray           # (N, m+1) equivalent bids
+    alpha_hat: np.ndarray       # (N, m+1) mechanism-faithful local fractions
+    received_share: np.ndarray  # (N, m+1) D_i per unit load
+    assigned: np.ndarray        # (N, m+1) absolute load units
+    retained: np.ndarray        # (N, m+1) Phase III retention plan
+    received_actual: np.ndarray  # (N, m+1) what actually flowed
+    computed: np.ndarray        # (N, m+1) sim-metered computation
+    actual_rates: np.ndarray    # (N, m+1) metered rates (root included)
+    arrival_times: np.ndarray   # (N, m+1)
+    makespan: np.ndarray        # (N,)
+    fine: np.ndarray            # (N,)
+    correct_q: np.ndarray       # (N, m) provable Phase IV payments
+    billed_q: np.ndarray        # (N, m)
+    recomputed_q: np.ndarray    # (N, m) audit-recomputed payments
+    challenged: np.ndarray      # (N, m) bool
+    audit_fines: np.ndarray     # (N, m) F/q where levied, else 0
+    valuations: np.ndarray      # (N, m)
+    balances: np.ndarray        # (N, m) per-agent ledger balances
+    utilities: np.ndarray       # (N, m)
+    fines_total: np.ndarray     # (N,) total credited to the mechanism
+    mechanism_outlay: np.ndarray  # (N,)
+
+    @property
+    def n_runs(self) -> int:
+        return self.bids.shape[0]
+
+    @property
+    def n_agents(self) -> int:
+        return self.bids.shape[1] - 1
+
+    def utility(self, run: int, index: int) -> float:
+        """Utility of processor ``index`` in ``run`` (0 for the root)."""
+        if index == 0:
+            return 0.0
+        return float(self.utilities[run, index - 1])
+
+
+@dataclass(frozen=True)
+class BatchStarOutcome:
+    """Stacked outcome of ``N`` star-mechanism runs (row = run)."""
+
+    bids: np.ndarray            # (N, n+1)
+    orders: np.ndarray          # (N, n) service order (child indices)
+    alpha: np.ndarray           # (N, n+1)
+    assigned: np.ndarray        # (N, n+1)
+    computed: np.ndarray        # (N, n+1)
+    actual_rates: np.ndarray    # (N, n+1)
+    makespan: np.ndarray        # (N,)
+    fine: np.ndarray            # (N,)
+    correct_q: np.ndarray       # (N, n)
+    billed_q: np.ndarray        # (N, n)
+    recomputed_q: np.ndarray    # (N, n)
+    challenged: np.ndarray      # (N, n) bool
+    audit_fines: np.ndarray     # (N, n)
+    valuations: np.ndarray      # (N, n)
+    balances: np.ndarray        # (N, n)
+    utilities: np.ndarray       # (N, n)
+    fines_total: np.ndarray     # (N,)
+    mechanism_outlay: np.ndarray  # (N,)
+
+    @property
+    def n_runs(self) -> int:
+        return self.bids.shape[0]
+
+    @property
+    def n_children(self) -> int:
+        return self.bids.shape[1] - 1
+
+    def utility(self, run: int, index: int) -> float:
+        if index == 0:
+            return 0.0
+        return float(self.utilities[run, index - 1])
+
+
+def run_chain_batch(
+    w: np.ndarray,
+    z: np.ndarray,
+    *,
+    bids: np.ndarray | None = None,
+    execution_rates: np.ndarray | None = None,
+    bill_overcharge: np.ndarray | None = None,
+    audit_probability: float = 0.25,
+    total_load: float = 1.0,
+    fine: float | np.ndarray | None = None,
+    audit_draws: np.ndarray | None = None,
+    emit_metrics: bool = True,
+) -> BatchChainOutcome:
+    """Run Phases I–IV of DLS-LBL over ``N`` stacked chains at once.
+
+    Parameters
+    ----------
+    w:
+        True unit processing rates, shape ``(N, m+1)`` — column 0 is the
+        obedient root.
+    z:
+        Link rates, shape ``(N, m)``.
+    bids:
+        Agent bids, shape ``(N, m)``; defaults to ``w[:, 1:]`` (truthful).
+        This is the vectorized bid collection: apply any strategy
+        function over the rate matrix and pass the result here.
+    execution_rates:
+        Chosen execution rates, shape ``(N, m)``; the mechanism meters
+        ``max(execution_rate, true_rate)``.  Defaults to truthful.
+    bill_overcharge:
+        Additive Phase IV bill inflation per agent, shape ``(N, m)``;
+        zero models a truthful biller.
+    audit_probability / total_load / fine:
+        As in the scalar mechanism; ``fine=None`` applies the scalar
+        default (:func:`~repro.mechanism.payments.recommended_fine` over
+        the true rates) per row.
+    audit_draws:
+        Pre-shaped uniform draws, shape ``(N, m)`` — one per (run, agent)
+        in the order the scalar auditor consumes them.  ``None`` disables
+        challenges (compliant-sweep mode).
+
+    Returns
+    -------
+    BatchChainOutcome — every field bitwise-equal to the scalar runs.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim != 2 or w.shape[1] < 2:
+        raise InvalidNetworkError(f"w must be (N, m+1) with m >= 1, got {w.shape}")
+    n_runs, m = w.shape[0], w.shape[1] - 1
+    z = _as_matrix("z", z, (n_runs, m))
+    q = float(audit_probability)
+    if not 0.0 < q <= 1.0:
+        raise ValueError("audit probability q must be in (0, 1]")
+    load = float(total_load)
+    fine_arr = _fine_vector(fine, w, load)
+
+    true_rates = w[:, 1:]
+    bid_arr = true_rates if bids is None else _as_matrix("bids", bids, (n_runs, m))
+    full_bids = np.concatenate((w[:, :1], bid_arr), axis=1)
+
+    registry = get_registry()
+    with registry.timer("mechanism.batch_run"):
+        # ---- Phase I: stacked Algorithm-1 solve + mechanism-faithful
+        # local fractions.  The solver's w_eq IS the scalar w_bar; the
+        # interior alpha_hat must be re-derived by the mechanism's
+        # division (ulp-different from the solver's backward-pass form).
+        schedule = solve_linear_batch(full_bids, z)
+        w_bar = schedule.w_eq
+        alpha_hat = np.empty_like(w_bar)
+        alpha_hat[:, m] = 1.0
+        if m > 1:
+            alpha_hat[:, 1:m] = w_bar[:, 1:m] / full_bids[:, 1:m]
+        alpha_hat[:, 0] = schedule.alpha_hat[:, 0]
+
+        # ---- Phase II: the D_i cascade (sequential in the chain axis —
+        # each share multiplies the previous one, like the G messages).
+        received = np.empty_like(w_bar)
+        received[:, 0] = 1.0
+        received[:, 1] = 1.0 - alpha_hat[:, 0]
+        for i in range(1, m):
+            received[:, i + 1] = received[:, i] * (1.0 - alpha_hat[:, i])
+        assigned = received * alpha_hat * load
+
+        # ---- Phase III: honest retention plan, then the event-driven
+        # cascade (store-and-forward with the simulator's load threshold).
+        exec_arr = (
+            true_rates
+            if execution_rates is None
+            else _as_matrix("execution_rates", execution_rates, (n_runs, m))
+        )
+        actual = np.maximum(exec_arr, true_rates)
+        rates_full = np.concatenate((w[:, :1], actual), axis=1)
+
+        retained = np.zeros_like(w_bar)
+        received_actual = np.zeros_like(w_bar)
+        received_actual[:, 0] = load
+        retained[:, 0] = assigned[:, 0]
+        for i in range(1, m + 1):
+            received_actual[:, i] = received_actual[:, i - 1] - retained[:, i - 1]
+            if i == m:
+                retained[:, i] = received_actual[:, i]
+            else:
+                expected_forward = received[:, i + 1] * load
+                choice = np.maximum(received_actual[:, i] - expected_forward, 0.0)
+                retained[:, i] = np.clip(choice, 0.0, received_actual[:, i])
+
+        # Batched metering comparison: any overload would trigger scalar
+        # grievance adjudication, which has no vectorized path.
+        if np.any(received_actual[:, 1:] > received[:, 1:] * load + _LOAD_TOL):
+            raise ProtocolViolation(
+                "batched runs must be grievance-free: a row's actual flow "
+                "exceeds its Phase II expectation"
+            )
+
+        computed = np.zeros_like(w_bar)
+        arrival = np.zeros_like(w_bar)
+        flowing = np.full(n_runs, load)
+        now = np.zeros(n_runs)
+        alive = np.ones(n_runs, dtype=bool)
+        for p in range(m + 1):
+            keep = flowing if p == m else np.minimum(retained[:, p], flowing)
+            computed[:, p] = np.where(alive & (keep > _EPS_LOAD), keep, 0.0)
+            arrival[:, p] = np.where(alive, now, 0.0)
+            if p < m:
+                forward = flowing - keep
+                sent = alive & (forward > _EPS_LOAD)
+                now = np.where(sent, now + forward * z[:, p], 0.0)
+                flowing = np.where(sent, forward, 0.0)
+                alive = sent
+        ends = np.where(computed > 0.0, arrival + computed * rates_full, 0.0)
+        makespan = ends.max(axis=1)
+
+        # ---- Phase IV: provable payments from the mechanism's own
+        # arrays, then the audit recomputation with the proof-side
+        # alpha_hat (left-associative denominator, verbatim).
+        correct_bd = payment_breakdown_batch(
+            schedule,
+            computed=computed[:, 1:],
+            actual_rates=actual,
+            assigned=assigned[:, 1:],
+            alpha_hat=alpha_hat[:, 1:],
+        )
+        correct_q = correct_bd.payment
+        if bill_overcharge is None:
+            billed = correct_q
+        else:
+            over = _as_matrix("bill_overcharge", bill_overcharge, (n_runs, m))
+            billed = np.where(over != 0.0, correct_q + over, correct_q)
+
+        audit_alpha_hat = np.empty((n_runs, m))
+        audit_alpha_hat[:, m - 1] = 1.0
+        audit_w_bar = np.empty((n_runs, m))
+        audit_w_bar[:, m - 1] = full_bids[:, m]
+        if m > 1:
+            w_bar_next = w_bar[:, 2:]
+            z_next = z[:, 1:]
+            own_bid = full_bids[:, 1:m]
+            hat = (w_bar_next + z_next) / (own_bid + w_bar_next + z_next)
+            audit_alpha_hat[:, : m - 1] = hat
+            audit_w_bar[:, : m - 1] = hat * own_bid
+        audit_assigned = received[:, 1:] * audit_alpha_hat * load
+        recomputed_q = payment_breakdown_batch(
+            schedule,
+            computed=computed[:, 1:],
+            actual_rates=actual,
+            assigned=audit_assigned,
+            alpha_hat=audit_alpha_hat,
+            w_bar=audit_w_bar,
+        ).payment
+
+        challenged = _challenges(audit_draws, q, (n_runs, m))
+        audit_fines = np.where(
+            challenged & (billed > recomputed_q + BILL_TOL),
+            fine_arr[:, None] / q,
+            0.0,
+        )
+
+        root_pay = assigned[:, 0] * w[:, 0]
+        balances, fines_total, outlay, run_volume, n_fine_entries = _ledger_mirrors(
+            root_pay, billed, audit_fines
+        )
+        valuations = -computed[:, 1:] * actual
+        utilities = valuations + balances
+
+        if emit_metrics:
+            _emit_counters(
+                registry,
+                runs_counter="mechanism.runs",
+                n_runs=n_runs,
+                n_audits=n_runs * m,
+                challenged=challenged,
+                audit_fines=audit_fines,
+                n_fine_entries=n_fine_entries,
+                run_volume=run_volume,
+            )
+
+    return BatchChainOutcome(
+        bids=full_bids,
+        w_bar=w_bar,
+        alpha_hat=alpha_hat,
+        received_share=received,
+        assigned=assigned,
+        retained=retained,
+        received_actual=received_actual,
+        computed=computed,
+        actual_rates=rates_full,
+        arrival_times=arrival,
+        makespan=makespan,
+        fine=fine_arr,
+        correct_q=correct_q,
+        billed_q=billed,
+        recomputed_q=recomputed_q,
+        challenged=challenged,
+        audit_fines=audit_fines,
+        valuations=valuations,
+        balances=balances,
+        utilities=utilities,
+        fines_total=fines_total,
+        mechanism_outlay=outlay,
+    )
+
+
+def _star_alpha_batch(w: np.ndarray, z: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Per-row equal-finish star allocation, bitwise-equal to
+    :func:`~repro.dlt.star._alpha_for_order`.
+
+    Identical to :func:`~repro.dlt.star.star_alpha_kernel` except for the
+    normalization, which must be a per-row ``math.fsum`` to match the
+    scalar solver (``ndarray.sum`` pairs differently for n >= 8)."""
+    served_w = np.take_along_axis(w, cols, axis=1)
+    prev_w = np.concatenate((w[:, :1], served_w[:, :-1]), axis=1)
+    denom = np.take_along_axis(z, cols - 1, axis=1) + served_w
+    ratios = np.cumprod(prev_w / denom, axis=1)
+    alpha = np.empty_like(w)
+    alpha0 = np.empty(w.shape[0])
+    for r in range(w.shape[0]):
+        alpha0[r] = 1.0 / (1.0 + math.fsum(ratios[r]))
+    alpha[:, 0] = alpha0
+    np.put_along_axis(alpha, cols, alpha0[:, None] * ratios, axis=1)
+    return alpha
+
+
+def run_star_batch(
+    w: np.ndarray,
+    z: np.ndarray,
+    *,
+    bids: np.ndarray | None = None,
+    execution_rates: np.ndarray | None = None,
+    bill_overcharge: np.ndarray | None = None,
+    audit_probability: float = 0.25,
+    total_load: float = 1.0,
+    fine: float | np.ndarray | None = None,
+    audit_draws: np.ndarray | None = None,
+    emit_metrics: bool = True,
+) -> BatchStarOutcome:
+    """Run the star/bus mechanism over ``N`` stacked stars at once.
+
+    Same contract and parameter layout as :func:`run_chain_batch` with
+    ``n`` children per row.  The batchable behaviours are bids, slow
+    execution, and bill overcharges; every such row completes its full
+    assignment, so the meter's abandoned-work check is identically
+    satisfied and the audit recomputation (from the root's own records)
+    reproduces the provable payment exactly.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim != 2 or w.shape[1] < 2:
+        raise InvalidNetworkError(f"w must be (N, n+1) with n >= 1, got {w.shape}")
+    n_runs, n = w.shape[0], w.shape[1] - 1
+    z = _as_matrix("z", z, (n_runs, n))
+    q = float(audit_probability)
+    if not 0.0 < q <= 1.0:
+        raise ValueError("audit probability q must be in (0, 1]")
+    load = float(total_load)
+    fine_arr = _fine_vector(fine, w, load)
+
+    true_rates = w[:, 1:]
+    bid_arr = true_rates if bids is None else _as_matrix("bids", bids, (n_runs, n))
+    full_bids = np.concatenate((w[:, :1], bid_arr), axis=1)
+
+    registry = get_registry()
+    with registry.timer("mechanism.star_batch_run"):
+        # Service order: non-decreasing link time, stable per row — the
+        # public bid-independent optimum the scalar mechanism uses.
+        orders = np.argsort(z, axis=1, kind="stable") + 1
+        alpha = _star_alpha_batch(full_bids, z, orders)
+        assigned = alpha * load
+
+        exec_arr = (
+            true_rates
+            if execution_rates is None
+            else _as_matrix("execution_rates", execution_rates, (n_runs, n))
+        )
+        actual = np.maximum(exec_arr, true_rates)
+        rates_full = np.concatenate((w[:, :1], actual), axis=1)
+        # Batchable children complete their whole assignment: the scalar
+        # clip(max(assigned - 0, 0), 0, assigned) is the identity here,
+        # and the meter's abandoned-work comparison never fires.
+        computed = assigned.copy()
+
+        # Marginal-contribution bonus, one reduced solve per child:
+        # T(w_{-i}) minus the bid-derived allocation re-timed at the
+        # child's actual rate.
+        alpha_served = np.take_along_axis(alpha, orders, axis=1)
+        z_served = np.take_along_axis(z, orders - 1, axis=1)
+        clock = np.cumsum(alpha_served * z_served, axis=1)
+        t_served_bid = clock + alpha_served * np.take_along_axis(full_bids, orders, axis=1)
+        t_root = alpha[:, 0] * full_bids[:, 0]
+
+        t_without = np.empty((n_runs, n))
+        t_eval = np.empty((n_runs, n))
+        for child in range(1, n + 1):
+            if n == 1:
+                t_without[:, 0] = full_bids[:, 0]
+            else:
+                keep_cols = [c for c in range(1, n + 1) if c != child]
+                w_red = np.concatenate((full_bids[:, :1], full_bids[:, keep_cols]), axis=1)
+                z_red = z[:, [c - 1 for c in keep_cols]]
+                orders_red = np.argsort(z_red, axis=1, kind="stable") + 1
+                alpha_red = _star_alpha_batch(w_red, z_red, orders_red)
+                t_without[:, child - 1] = alpha_red[:, 0] * w_red[:, 0]
+            slot = orders == child
+            t_child = clock + alpha[:, child : child + 1] * actual[:, child - 1 : child]
+            t_eval[:, child - 1] = np.maximum(
+                t_root, np.where(slot, t_child, t_served_bid).max(axis=1)
+            )
+        bonus = t_without - t_eval
+        correct_q = assigned[:, 1:] * actual + bonus
+        if bill_overcharge is None:
+            billed = correct_q
+        else:
+            over = _as_matrix("bill_overcharge", bill_overcharge, (n_runs, n))
+            billed = np.where(over != 0.0, correct_q + over, correct_q)
+        # The root recomputes from its own records with the very same
+        # expression and inputs, so the recomputed payment IS correct_q.
+        recomputed_q = correct_q
+
+        challenged = _challenges(audit_draws, q, (n_runs, n))
+        audit_fines = np.where(
+            challenged & (billed > recomputed_q + BILL_TOL),
+            fine_arr[:, None] / q,
+            0.0,
+        )
+
+        t_served_actual = clock + alpha_served * np.take_along_axis(rates_full, orders, axis=1)
+        t_root_actual = alpha[:, 0] * rates_full[:, 0]
+        makespan = np.maximum(t_root_actual, t_served_actual.max(axis=1)) * load
+
+        root_pay = assigned[:, 0] * w[:, 0]
+        balances, fines_total, outlay, run_volume, n_fine_entries = _ledger_mirrors(
+            root_pay, billed, audit_fines
+        )
+        valuations = -computed[:, 1:] * actual
+        utilities = valuations + balances
+
+        if emit_metrics:
+            _emit_counters(
+                registry,
+                runs_counter="mechanism.star_runs",
+                n_runs=n_runs,
+                n_audits=n_runs * n,
+                challenged=challenged,
+                audit_fines=audit_fines,
+                n_fine_entries=n_fine_entries,
+                run_volume=run_volume,
+            )
+
+    return BatchStarOutcome(
+        bids=full_bids,
+        orders=orders,
+        alpha=alpha,
+        assigned=assigned,
+        computed=computed,
+        actual_rates=rates_full,
+        makespan=makespan,
+        fine=fine_arr,
+        correct_q=correct_q,
+        billed_q=billed,
+        recomputed_q=recomputed_q,
+        challenged=challenged,
+        audit_fines=audit_fines,
+        valuations=valuations,
+        balances=balances,
+        utilities=utilities,
+        fines_total=fines_total,
+        mechanism_outlay=outlay,
+    )

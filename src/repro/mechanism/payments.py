@@ -265,6 +265,9 @@ def payment_breakdown_batch(
     *,
     computed: np.ndarray | None = None,
     actual_rates: np.ndarray | None = None,
+    assigned: np.ndarray | None = None,
+    alpha_hat: np.ndarray | None = None,
+    w_bar: np.ndarray | None = None,
 ) -> BatchPaymentBreakdown:
     """Assemble the Phase IV payments for every agent of every stacked
     network at once — the batch counterpart of :func:`payment_breakdown`.
@@ -281,6 +284,13 @@ def payment_breakdown_batch(
     actual_rates:
         Metered actual unit times :math:`\\tilde w_j`, shape ``(N, m)``;
         defaults to the bids (truthful full-speed execution).
+    assigned / alpha_hat / w_bar:
+        Optional ``(N, m)`` overrides for the schedule-derived arrays.
+        The batched mechanism engine passes its protocol-faithful Phase II
+        quantities here (the mechanism derives interior ``alpha_hat`` by a
+        division the solver never performs, and the audit recompute uses
+        its own left-associative ``alpha_hat`` expression) so the batch
+        settlement stays bitwise-equal to the scalar path.
 
     The elementwise formulas are exactly eqs. 4.5–4.11; column ``m-1`` is
     the terminal processor (eq. 4.10), every other column uses eq. 4.11.
@@ -288,9 +298,9 @@ def payment_breakdown_batch(
     """
     bids = schedule.w[:, 1:]
     z = schedule.z
-    assigned = schedule.alpha[:, 1:]
-    alpha_hat = schedule.alpha_hat[:, 1:]
-    w_bar = schedule.w_eq[:, 1:]
+    assigned = np.asarray(assigned, dtype=np.float64) if assigned is not None else schedule.alpha[:, 1:]
+    alpha_hat = np.asarray(alpha_hat, dtype=np.float64) if alpha_hat is not None else schedule.alpha_hat[:, 1:]
+    w_bar = np.asarray(w_bar, dtype=np.float64) if w_bar is not None else schedule.w_eq[:, 1:]
     computed_arr = np.asarray(computed, dtype=np.float64) if computed is not None else assigned
     rates = np.asarray(actual_rates, dtype=np.float64) if actual_rates is not None else bids
     if computed_arr.shape != assigned.shape or rates.shape != assigned.shape:
@@ -348,6 +358,10 @@ def recommended_fine(
     environment admits (the payment infrastructure rejects bills above
     the recomputable maximum plus this allowance).
     """
+    if margin <= 0.0:
+        raise ValueError(f"margin must be positive, got {margin}")
     bids_arr = np.asarray(bids, dtype=np.float64)
+    if bids_arr.size == 0:
+        raise ValueError("bids must be non-empty")
     bound = float(total_load * bids_arr.max() + bids_arr.max() + max_overcharge)
     return margin * bound

@@ -37,6 +37,11 @@ _DEVIANT_KINDS = (
     "accuse",
 )
 
+#: Deviant kinds the batched engine can express (bid/rate/bill columns);
+#: everything else needs the scalar protocol (grievances, aborts, proof
+#: tampering) and falls back to it.
+_BATCHABLE_KINDS = frozenset({"overcharge", "misbid", "slow"})
+
 
 def make_deviant(spec: str, true_rates: Sequence[float]):
     """Build a deviant agent from an ``INDEX:KIND[:PARAM]`` spec.
@@ -154,6 +159,89 @@ def _run_one(
     return summary, events, snapshot
 
 
+def _batchable(deviant: str | None, trace: bool) -> bool:
+    """Whether the population can go through the batched engine."""
+    if trace:
+        return False
+    if deviant is None:
+        return True
+    parts = deviant.split(":")
+    return len(parts) >= 2 and parts[1] in _BATCHABLE_KINDS
+
+
+def _run_population_batch(
+    m: int,
+    count: int,
+    seed: int,
+    audit_probability: float,
+    deviant: str | None,
+) -> PopulationResult:
+    """The whole population through :func:`~repro.mechanism.batch_run.run_chain_batch`.
+
+    Each run's rng draws its network first and then its ``m`` audit
+    draws, exactly as the scalar path consumes the stream; the stacked
+    engine then reproduces every summary bitwise.  Metrics hold the
+    engine's protocol counters (identical totals to the scalar runs;
+    ``crypto.*`` counters and per-phase timers have no batched analogue).
+    """
+    from repro.mechanism.batch_run import run_chain_batch
+    from repro.network.generators import random_linear_network
+
+    w = np.empty((count, m + 1))
+    z = np.empty((count, m))
+    draws = np.empty((count, m))
+    run_seeds: list[int] = []
+    for index in range(count):
+        run_seed = task_seed(f"mech/{index}", seed)
+        run_seeds.append(run_seed)
+        rng = np.random.default_rng(run_seed)
+        network = random_linear_network(m, rng)
+        w[index] = network.w
+        z[index] = network.z
+        draws[index] = rng.random(m)
+
+    bids = execution_rates = bill_overcharge = None
+    if deviant is not None:
+        bids = w[:, 1:].copy()
+        execution_rates = w[:, 1:].copy()
+        bill_overcharge = np.zeros((count, m))
+        for index in range(count):
+            agent = make_deviant(deviant, [float(x) for x in w[index, 1:]])
+            col = agent.index - 1
+            bids[index, col] = agent.choose_bid()
+            execution_rates[index, col] = agent.choose_execution_rate()
+            # The bill inflation is the agent's markup over a zero base.
+            bill_overcharge[index, col] = agent.phase4_bill(0.0)
+
+    with collecting() as registry:
+        outcome = run_chain_batch(
+            w,
+            z,
+            bids=bids,
+            execution_rates=execution_rates,
+            bill_overcharge=bill_overcharge,
+            audit_probability=audit_probability,
+            audit_draws=draws,
+        )
+        snapshot = registry.snapshot()
+    summaries = [
+        {
+            "index": index,
+            "seed": run_seeds[index],
+            "m": m,
+            "completed": True,
+            "aborted_phase": None,
+            "makespan": float(outcome.makespan[index]),
+            "fines_total": float(outcome.fines_total[index]),
+            "n_grievances": 0,
+            "n_audits": m,
+            "mechanism_outlay": float(outcome.mechanism_outlay[index]),
+        }
+        for index in range(count)
+    ]
+    return PopulationResult(runs=summaries, events=[], metrics=snapshot)
+
+
 def run_population(
     m: int,
     count: int,
@@ -163,6 +251,7 @@ def run_population(
     audit_probability: float = 0.25,
     deviant: str | None = None,
     trace: bool = False,
+    use_batch: bool = False,
 ) -> PopulationResult:
     """Run the mechanism on ``count`` random ``(m+1)``-processor chains.
 
@@ -170,9 +259,18 @@ def run_population(
     ``task_seed(f"mech/{i}", seed)``, so results (and the merged trace)
     are functions of ``(m, count, seed, audit_probability, deviant)``
     only — ``jobs`` changes wall-clock, never output.
+
+    ``use_batch=True`` routes the population through the stacked
+    Phase I–IV engine (:mod:`repro.mechanism.batch_run`): one vectorized
+    pass instead of ``count`` scalar protocol runs, with bitwise-equal
+    summaries and protocol counters.  Tracing and non-batchable deviants
+    (anything outside bid/rate/bill deviations) fall back to the scalar
+    path automatically; ``jobs`` is ignored on the batch path.
     """
     if count < 1:
         raise ValueError("count must be at least 1")
+    if use_batch and _batchable(deviant, trace):
+        return _run_population_batch(m, count, seed, audit_probability, deviant)
     tasks = [(i, m, seed, audit_probability, deviant, trace) for i in range(count)]
     if jobs <= 1:
         outcomes = [_run_one(*task) for task in tasks]

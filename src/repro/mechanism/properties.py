@@ -191,21 +191,36 @@ def sweep_bids(
     )
 
 
-def _batch_utilities(w: np.ndarray, z: np.ndarray, actual_rates: np.ndarray | None = None) -> np.ndarray:
-    """Per-agent utilities ``V_j + Q_j`` of ``N`` stacked compliant runs.
+def _batch_utilities(
+    w: np.ndarray,
+    z: np.ndarray,
+    *,
+    bids: np.ndarray | None = None,
+    execution_rates: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-agent mechanism utilities of ``N`` stacked compliant runs.
 
-    The closed form of what :func:`run_truthful` / :func:`utility_of_bid`
-    measure through the full protocol when nobody triggers a grievance or
-    a false bill: every agent computes its assignment, bills the correct
-    amount, and the ledger holds exactly the Phase IV payment.  Shape
-    ``(N, m)``; differential tests pin it against the mechanism runs.
+    Runs the batched Phase I–IV engine
+    (:func:`~repro.mechanism.batch_run.run_chain_batch`) with no audit
+    challenges: a compliant probe bills the correct amount, is never
+    fined even when challenged, and its utility is exactly
+    ``V_j + Q_j`` — bitwise what :func:`run_truthful` /
+    :func:`utility_of_bid` measure through the scalar protocol.  ``w``
+    carries *true* rates (root in column 0); bid and execution-rate
+    deviations go in the ``(N, m)`` override matrices.  Shape ``(N, m)``;
+    differential tests pin it against the mechanism runs.
     """
-    from repro.dlt.batch import solve_linear_batch
-    from repro.mechanism.payments import payment_breakdown_batch
+    from repro.mechanism.batch_run import run_chain_batch
 
-    schedule = solve_linear_batch(w, z)
-    payments = payment_breakdown_batch(schedule, actual_rates=actual_rates)
-    return payments.utility_before_transfers
+    outcome = run_chain_batch(
+        w,
+        z,
+        bids=bids,
+        execution_rates=execution_rates,
+        audit_draws=None,
+        emit_metrics=False,
+    )
+    return outcome.utilities
 
 
 def truthful_utilities_batch(
@@ -213,10 +228,11 @@ def truthful_utilities_batch(
     root_rate: float,
     true_rates: Sequence[float],
 ) -> dict[int, float]:
-    """All-truthful utilities via the batch kernels (no protocol run).
+    """All-truthful utilities via the batched engine (one stacked run).
 
-    Equals ``{i: run_truthful(...).utility(i)}`` — the all-truthful run
-    levies no fines, so utility is exactly eq. 4.4's ``V_j + Q_j``.
+    Equals ``{i: run_truthful(...).utility(i)}`` bitwise — the
+    all-truthful run levies no fines, so utility is exactly eq. 4.4's
+    ``V_j + Q_j``.
     """
     true = np.asarray(true_rates, dtype=np.float64)
     w = np.concatenate(([float(root_rate)], true))[None, :]
@@ -235,16 +251,15 @@ def sweep_bids_batch(
     execution_rate: float | None = None,
     seed: int = 0,
 ) -> StrategyproofnessReport:
-    """Vectorized :func:`sweep_bids`: one batched solve for the whole grid.
+    """Vectorized :func:`sweep_bids`: one batched engine pass per grid.
 
-    Stacks one network per swept bid (plus a truthful row) and evaluates
-    eq. 4.4 directly through :func:`~repro.dlt.batch.solve_linear_batch`
-    and :func:`~repro.mechanism.payments.payment_breakdown_batch`.  Valid
-    because the probe stays protocol-compliant — a misreported bid or a
-    slow execution changes payments, never draws a fine — so mechanism
-    utility is exactly ``V_j + Q_j``.  ``seed`` is accepted for signature
-    parity with :func:`sweep_bids`; the compliant path consumes no
-    randomness.
+    Stacks one run per swept bid (plus a truthful row) and executes all
+    of them through the batched Phase I–IV engine.  Valid because the
+    probe stays protocol-compliant — a misreported bid or a slow
+    execution changes payments, never draws a fine — so the engine's
+    utilities are bitwise the scalar mechanism's.  ``seed`` is accepted
+    for signature parity with :func:`sweep_bids`; the compliant path
+    consumes no randomness.
     """
     del seed
     true = np.asarray(true_rates, dtype=np.float64)
@@ -256,19 +271,23 @@ def sweep_bids_batch(
         )
     bids = np.asarray(factors, dtype=np.float64) * true_rate
     n = bids.size
-    # Row layout: one network per swept bid, the truthful reference last
+    # Row layout: one run per swept bid, the truthful reference last
     # (truthful bid at capacity, regardless of the probe's slowdown).
     w = np.empty((n + 1, m + 1))
     w[:, 0] = float(root_rate)
     w[:, 1:] = true
-    w[:n, agent_index] = bids
+    bid_matrix = np.tile(true, (n + 1, 1))
+    bid_matrix[:n, agent_index - 1] = bids
     z = np.tile(np.asarray(link_rates, dtype=np.float64), (n + 1, 1))
-    # The mechanism meters max(execution_rate, capacity); everyone else
-    # is truthful, so their metered rate equals their bid.
-    actual = max(execution_rate, true_rate) if execution_rate is not None else true_rate
-    rates = w[:, 1:].copy()
-    rates[:n, agent_index - 1] = actual
-    utilities = _batch_utilities(w, z, actual_rates=rates)[:, agent_index - 1]
+    # The engine meters max(execution_rate, capacity) exactly like the
+    # scalar Phase III; everyone else runs at capacity.
+    rates = None
+    if execution_rate is not None:
+        rates = np.tile(true, (n + 1, 1))
+        rates[:n, agent_index - 1] = float(execution_rate)
+    utilities = _batch_utilities(w, z, bids=bid_matrix, execution_rates=rates)[
+        :, agent_index - 1
+    ]
     return StrategyproofnessReport(
         agent_index=agent_index,
         true_rate=true_rate,

@@ -135,7 +135,11 @@ class TreeMechanism:
         self.fine = (
             float(fine)
             if fine is not None
-            else recommended_fine(true_rates, total_load=self.total_load)
+            else recommended_fine(
+                true_rates,
+                total_load=self.total_load,
+                max_overcharge=10.0 * true_rates.max(),
+            )
         )
         self.tracer = tracer
 

@@ -128,3 +128,37 @@ class TestConstruction:
     def test_agent_coverage(self, tree):
         with pytest.raises(InvalidNetworkError):
             TreeMechanism(tree, [TruthfulAgent(1, 2.0)])
+
+
+class TestFineBoundRegression:
+    """The default fine must cover the admissible bill overcharge.
+
+    Before the fix, ``TreeMechanism`` computed its default fine without
+    the ``max_overcharge`` allowance every other mechanism passes
+    (``recommended_fine(..., max_overcharge=10 * max(w))``): a tree
+    overcharger inflating its bill by the modeled ``10 * max(w)`` cap
+    pocketed more than the old fine, breaking Theorem 5.2's deterrence.
+    """
+
+    def test_old_default_underestimated_overcharge_profit(self, tree):
+        from repro.mechanism.payments import recommended_fine
+
+        true_rates = np.array(RATES)
+        admissible_profit = 10.0 * true_rates.max()
+        # What the tree mechanism used to charge (no max_overcharge):
+        old_fine = recommended_fine(true_rates, total_load=1.0)
+        assert old_fine < admissible_profit  # the bug this guards against
+
+    def test_default_fine_exceeds_overcharge_profit(self, tree):
+        from repro.mechanism.payments import recommended_fine
+
+        agents = [TruthfulAgent(i, RATES[i]) for i in range(1, tree.size)]
+        mech = TreeMechanism(tree, agents)
+        true_rates = np.array(RATES)
+        admissible_profit = 10.0 * true_rates.max()
+        # Fails on the old bound (16 < 40 for these rates), passes with
+        # the max_overcharge allowance in place (fine = 96).
+        assert mech.fine > admissible_profit
+        assert mech.fine == recommended_fine(
+            true_rates, total_load=1.0, max_overcharge=admissible_profit
+        )

@@ -1,0 +1,195 @@
+"""Theorem 5.2 sufficiency: the default fine dominates cheating profit.
+
+The deterrence argument (Phases I/IV, Theorems 5.1–5.2) needs the fine
+``F`` to exceed *any* profit attainable by deviating.  For every
+mechanism in the family — linear boundary (DLS-LBL), linear interior
+(DLS-LIL), star/bus, and tree — this samples a grid of deviations
+(misreported bids, slow execution, bill overcharges up to the modeled
+``10 * max(w)`` allowance) and checks the default fine strictly exceeds
+the best profit found.  Overcharge profits are measured on unchallenged
+runs, where the cheat actually pockets the inflation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.strategies import (
+    MisbiddingAgent,
+    OverchargingAgent,
+    SlowExecutionAgent,
+    TruthfulAgent,
+)
+from repro.mechanism.dls_lbl import DLSLBLMechanism
+from repro.mechanism.dls_lil import DLSLILMechanism
+from repro.mechanism.star_mechanism import StarMechanism
+from repro.mechanism.tree_mechanism import TreeMechanism
+from repro.network.topology import TreeNetwork, TreeNode
+
+BID_FACTORS = (0.3, 0.7, 1.5, 3.0)
+SLOWDOWN = 2.0
+
+
+class _NeverChallenge:
+    """Challenge draws that always fail ``draw < q`` — the overcharger
+    keeps its inflated bill, which is the profit the fine must beat."""
+
+    def random(self) -> float:
+        return 1.0
+
+
+def _overcharge_grid(true_rates) -> tuple[float, ...]:
+    cap = 10.0 * float(np.max(true_rates))
+    return (1.0, 0.5 * cap, cap)
+
+
+class _Harness:
+    """One mechanism family: builds runs with per-agent overrides."""
+
+    def __init__(self, build, indices, true_of):
+        self.build = build  # overrides dict -> mechanism
+        self.indices = indices  # strategic agent indices
+        self.true_of = true_of  # index -> true rate
+
+    def best_profit(self) -> float:
+        base = self.build({}).run()
+        best = -np.inf
+        for i in self.indices:
+            t = self.true_of(i)
+            truthful_u = base.utility(i)
+            deviants = [
+                MisbiddingAgent(i, t, bid_factor=f) for f in BID_FACTORS
+            ] + [SlowExecutionAgent(i, t, slowdown=SLOWDOWN)]
+            for agent in deviants:
+                outcome = self.build({i: agent}).run()
+                best = max(best, outcome.utility(i) - truthful_u)
+        return best
+
+    def best_overcharge_profit(self) -> float:
+        base = self.build({}).run()
+        best = -np.inf
+        rates = np.array([self.true_of(i) for i in self.indices])
+        for i in self.indices:
+            t = self.true_of(i)
+            truthful_u = base.utility(i)
+            for delta in _overcharge_grid(rates):
+                agent = OverchargingAgent(i, t, overcharge=delta)
+                outcome = self.build({i: agent}).run()
+                best = max(best, outcome.utility(i) - truthful_u)
+        return best
+
+
+def _chain_harness():
+    z = np.array([0.4, 0.3, 0.5, 0.2, 0.35])
+    w = np.array([2.0, 1.5, 1.8, 2.2, 1.3, 1.9])
+
+    def build(overrides):
+        agents = [
+            overrides.get(i, TruthfulAgent(i, float(t)))
+            for i, t in enumerate(w[1:], start=1)
+        ]
+        return DLSLBLMechanism(
+            z, float(w[0]), agents, audit_probability=0.25, rng=_NeverChallenge()
+        )
+
+    return _Harness(build, range(1, w.size), lambda i: float(w[i])), w[1:]
+
+
+def _interior_harness():
+    z = np.array([0.4, 0.3, 0.5, 0.2])
+    w = np.array([1.5, 1.8, 2.0, 2.2, 1.3])
+    root = 2
+
+    def build(overrides):
+        agents = [
+            overrides.get(i, TruthfulAgent(i, float(w[i])))
+            for i in range(w.size)
+            if i != root
+        ]
+        return DLSLILMechanism(
+            z,
+            root,
+            float(w[root]),
+            agents,
+            audit_probability=0.25,
+            rng=_NeverChallenge(),
+        )
+
+    indices = [i for i in range(w.size) if i != root]
+    return _Harness(build, indices, lambda i: float(w[i])), w[indices]
+
+
+def _star_harness():
+    z = np.array([0.5, 0.2, 0.8, 0.35])
+    w = np.array([2.0, 1.6, 2.4, 1.2, 1.9])
+
+    def build(overrides):
+        agents = [
+            overrides.get(i, TruthfulAgent(i, float(t)))
+            for i, t in enumerate(w[1:], start=1)
+        ]
+        return StarMechanism(
+            z, float(w[0]), agents, audit_probability=0.25, rng=_NeverChallenge()
+        )
+
+    return _Harness(build, range(1, w.size), lambda i: float(w[i])), w[1:]
+
+
+def _tree_harness():
+    tree = TreeNetwork(
+        root=TreeNode(
+            w=2.0,
+            children=[
+                TreeNode(
+                    w=3.0,
+                    link=0.5,
+                    children=[TreeNode(w=2.5, link=0.3), TreeNode(w=4.0, link=0.6)],
+                ),
+                TreeNode(w=1.8, link=0.4, children=[TreeNode(w=2.2, link=0.2)]),
+            ],
+        )
+    )
+    rates = {1: 3.0, 2: 2.5, 3: 4.0, 4: 1.8, 5: 2.2}
+
+    def build(overrides):
+        agents = [
+            overrides.get(i, TruthfulAgent(i, rates[i])) for i in sorted(rates)
+        ]
+        return TreeMechanism(tree, agents)
+
+    return _Harness(build, sorted(rates), lambda i: rates[i]), np.array(
+        [rates[i] for i in sorted(rates)]
+    )
+
+
+HARNESSES = {
+    "linear": _chain_harness,
+    "interior": _interior_harness,
+    "star": _star_harness,
+    "tree": _tree_harness,
+}
+
+
+@pytest.mark.parametrize("family", sorted(HARNESSES))
+class TestFineSufficiency:
+    def test_fine_exceeds_compliant_deviation_profit(self, family):
+        harness, _true = HARNESSES[family]()
+        fine = harness.build({}).fine
+        assert fine > harness.best_profit()
+
+    def test_fine_exceeds_overcharge_profit(self, family):
+        harness, true = HARNESSES[family]()
+        fine = harness.build({}).fine
+        if family == "tree":
+            # The tree mechanism has no billing phase to simulate, but
+            # the environment still admits bill inflation up to the
+            # modeled ``10 * max(w)`` allowance — the bound the default
+            # fine must (and, before the fix, did not) cover.
+            best = max(_overcharge_grid(true))
+        else:
+            best = harness.best_overcharge_profit()
+            # The grid must actually realize positive cheating profit —
+            # the unchallenged overcharger pockets its inflation.
+            assert best > 0
+        assert fine > best

@@ -1,0 +1,265 @@
+"""Differential tests: the batched Phase I–IV mechanism engine.
+
+:mod:`repro.mechanism.batch_run` claims *bitwise* equality with the
+scalar protocol — not approximate agreement.  These tests replay
+randomized populations (honest and with bid/rate/bill deviants) through
+both paths and compare every observable with ``==`` / ``array_equal``:
+allocations, payments, audit challenges and fines, valuations,
+utilities, ledger totals, makespans, and the protocol counter subset of
+the metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.strategies import (
+    MisbiddingAgent,
+    OverchargingAgent,
+    SlowExecutionAgent,
+    TruthfulAgent,
+)
+from repro.experiments.runner import task_seed
+from repro.mechanism.batch_run import run_chain_batch, run_star_batch
+from repro.mechanism.dls_lbl import DLSLBLMechanism
+from repro.mechanism.population import run_population
+from repro.mechanism.star_mechanism import StarMechanism
+from repro.network.generators import random_linear_network, random_star_network
+from repro.obs.metrics import collecting
+
+
+def _protocol_counters(snapshot):
+    """The counters both paths must agree on (``crypto.*`` counters and
+    wall-clock timers have no batched analogue)."""
+    return {
+        k: v
+        for k, v in snapshot.get("counters", {}).items()
+        if k.startswith(("mechanism.", "ledger."))
+    }
+
+
+class _FixedDraws:
+    """An rng stub replaying a fixed sequence of challenge draws."""
+
+    def __init__(self, values):
+        self.values = [float(v) for v in values]
+        self.cursor = 0
+
+    def random(self):
+        value = self.values[self.cursor]
+        self.cursor += 1
+        return value
+
+
+def _scalar_agents(true_rates, kind):
+    agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(true_rates, start=1)]
+    m = len(agents)
+    if kind == 1:
+        agents[0] = MisbiddingAgent(1, float(true_rates[0]), bid_factor=1.6)
+    elif kind == 2:
+        agents[1 % m] = SlowExecutionAgent(
+            (1 % m) + 1, float(true_rates[1 % m]), slowdown=2.5
+        )
+    elif kind == 3:
+        agents[m - 1] = OverchargingAgent(m, float(true_rates[m - 1]), overcharge=3.0)
+    return agents
+
+
+class TestChainEngineDifferential:
+    """Randomized chains, heterogeneous deviants, q = 0.5 audits."""
+
+    N, M, SEED = 24, 5, 9
+
+    @pytest.fixture(scope="class")
+    def paired(self):
+        N, m = self.N, self.M
+        w = np.empty((N, m + 1))
+        z = np.empty((N, m))
+        draws = np.empty((N, m))
+        for i in range(N):
+            rng = np.random.default_rng(task_seed(f"diff/{i}", self.SEED))
+            net = random_linear_network(m, rng)
+            w[i], z[i], draws[i] = net.w, net.z, rng.random(m)
+        bids = w[:, 1:].copy()
+        rates = w[:, 1:].copy()
+        over = np.zeros((N, m))
+        for i in range(N):
+            kind = i % 4
+            if kind == 1:
+                bids[i, 0] = 1.6 * w[i, 1]
+            elif kind == 2:
+                bids[i, 1 % m] = w[i, (1 % m) + 1]
+                rates[i, 1 % m] = 2.5 * w[i, (1 % m) + 1]
+            elif kind == 3:
+                over[i, m - 1] = 3.0
+        batch = run_chain_batch(
+            w,
+            z,
+            bids=bids,
+            execution_rates=rates,
+            bill_overcharge=over,
+            audit_probability=0.5,
+            audit_draws=draws,
+        )
+        scalars = []
+        for i in range(N):
+            rng = np.random.default_rng(task_seed(f"diff/{i}", self.SEED))
+            net = random_linear_network(m, rng)
+            mech = DLSLBLMechanism(
+                net.z,
+                float(net.w[0]),
+                _scalar_agents(net.w[1:], i % 4),
+                audit_probability=0.5,
+                rng=rng,
+            )
+            scalars.append((mech, mech.run()))
+        return batch, scalars
+
+    def test_allocation_bitwise(self, paired):
+        batch, scalars = paired
+        for i, (_mech, outcome) in enumerate(scalars):
+            assert np.array_equal(outcome.bids, batch.bids[i])
+            assert np.array_equal(outcome.w_bar, batch.w_bar[i])
+            assert np.array_equal(outcome.assigned, batch.assigned[i])
+            assert np.array_equal(outcome.computed, batch.computed[i])
+            assert np.array_equal(outcome.actual_rates, batch.actual_rates[i])
+            assert float(outcome.makespan) == float(batch.makespan[i])
+
+    def test_payments_and_audits_bitwise(self, paired):
+        batch, scalars = paired
+        fined_rows = 0
+        for i, (mech, outcome) in enumerate(scalars):
+            assert mech.fine == batch.fine[i]
+            for j in range(1, self.M + 1):
+                report = outcome.reports[j]
+                audit = outcome.audits[j - 1]
+                assert report.payment_correct == batch.correct_q[i, j - 1]
+                assert report.payment_billed == batch.billed_q[i, j - 1]
+                assert report.valuation == batch.valuations[i, j - 1]
+                assert report.utility == batch.utilities[i, j - 1]
+                assert report.utility == batch.utility(i, j)
+                assert report.fines == batch.audit_fines[i, j - 1]
+                assert audit.challenged == bool(batch.challenged[i, j - 1])
+                assert audit.fine == batch.audit_fines[i, j - 1]
+                if audit.challenged and audit.recomputed is not None:
+                    assert audit.recomputed == batch.recomputed_q[i, j - 1]
+            fined_rows += int((batch.audit_fines[i] > 0).any())
+        # The population must actually exercise the fine path.
+        assert fined_rows > 0
+
+    def test_ledger_mirrors_bitwise(self, paired):
+        from repro.mechanism.ledger import MECHANISM
+
+        batch, scalars = paired
+        for i, (_mech, outcome) in enumerate(scalars):
+            fines = sum(
+                e.amount for e in outcome.ledger.entries if e.creditor == MECHANISM
+            )
+            assert fines == batch.fines_total[i]
+            assert outcome.ledger.mechanism_outlay() == batch.mechanism_outlay[i]
+
+
+class TestStarEngineDifferential:
+    """Randomized stars of widths 1..9 against ``StarMechanism.run``."""
+
+    def test_rows_bitwise(self):
+        for trial in range(10):
+            rng = np.random.default_rng(500 + trial)
+            n = [1, 2, 3, 5, 8][trial % 5]
+            star = random_star_network(n, rng)
+            w = np.tile(star.w, (4, 1))
+            z = np.tile(star.z, (4, 1))
+            bids = w[:, 1:].copy()
+            rates = w[:, 1:].copy()
+            over = np.zeros((4, n))
+            slow_col = min(1, n - 1)
+            bids[1, 0] = 0.6 * w[1, 1]
+            rates[2, slow_col] = 1.9 * w[2, slow_col + 1]
+            over[3, n - 1] = 2.0
+            draws = rng.random((4, n))
+            batch = run_star_batch(
+                w,
+                z,
+                bids=bids,
+                execution_rates=rates,
+                bill_overcharge=over,
+                audit_probability=0.7,
+                audit_draws=draws,
+            )
+            for row in range(4):
+                agents = [
+                    TruthfulAgent(i, float(t))
+                    for i, t in enumerate(star.w[1:], start=1)
+                ]
+                if row == 1:
+                    agents[0] = MisbiddingAgent(1, float(star.w[1]), bid_factor=0.6)
+                elif row == 2:
+                    agents[slow_col] = SlowExecutionAgent(
+                        slow_col + 1, float(star.w[slow_col + 1]), slowdown=1.9
+                    )
+                elif row == 3:
+                    agents[n - 1] = OverchargingAgent(
+                        n, float(star.w[n]), overcharge=2.0
+                    )
+                mech = StarMechanism(
+                    star.z,
+                    float(star.w[0]),
+                    agents,
+                    audit_probability=0.7,
+                    rng=_FixedDraws(draws[row]),
+                )
+                outcome = mech.run()
+                assert mech.fine == batch.fine[row]
+                assert outcome.order == tuple(batch.orders[row])
+                assert np.array_equal(outcome.assigned, batch.assigned[row])
+                assert float(outcome.makespan) == float(batch.makespan[row])
+                for j in range(1, n + 1):
+                    report = outcome.reports[j]
+                    assert report.payment_correct == batch.correct_q[row, j - 1]
+                    assert report.payment_billed == batch.billed_q[row, j - 1]
+                    assert report.utility == batch.utilities[row, j - 1]
+                    assert report.fines == batch.audit_fines[row, j - 1]
+
+
+class TestPopulationBatchPath:
+    """``run_population(use_batch=True)`` against the scalar loop."""
+
+    CASES = (None, "2:misbid:1.7", "3:slow:2.0", "2:overcharge:4.0")
+
+    @pytest.mark.parametrize("deviant", CASES)
+    def test_summaries_and_counters_equal(self, deviant):
+        kwargs = dict(m=4, count=20, seed=11, audit_probability=0.4, deviant=deviant)
+        with collecting() as registry:
+            scalar = run_population(**kwargs)
+            scalar_counters = _protocol_counters(registry.snapshot())
+        with collecting() as registry:
+            batched = run_population(use_batch=True, **kwargs)
+            batch_counters = _protocol_counters(registry.snapshot())
+        assert scalar.runs == batched.runs
+        assert scalar_counters == batch_counters
+        assert batched.events == []
+
+    def test_non_batchable_deviant_falls_back(self):
+        kwargs = dict(m=4, count=3, seed=2, deviant="2:shed:0.5")
+        scalar = run_population(**kwargs)
+        fallback = run_population(use_batch=True, **kwargs)
+        assert scalar.runs == fallback.runs
+
+    def test_trace_falls_back(self):
+        result = run_population(m=3, count=2, seed=5, trace=True, use_batch=True)
+        assert result.events  # batch path never traces; fallback must
+
+
+class TestRngPreShaping:
+    """The engine's pre-shaped draw block is the scalar stream."""
+
+    def test_block_equals_sequential_draws(self):
+        for seed in (0, 7, 123):
+            rng_a = np.random.default_rng(seed)
+            rng_b = np.random.default_rng(seed)
+            random_linear_network(6, rng_a)
+            random_linear_network(6, rng_b)
+            block = rng_a.random(6)
+            singles = np.array([rng_b.random() for _ in range(6)])
+            assert np.array_equal(block, singles)

@@ -81,3 +81,14 @@ class TestX3AuditBatch:
         assert scalar.passed and batch.passed
         for ts, tb in zip(scalar.tables, batch.tables):
             assert ts.rows == tb.rows
+
+
+class TestX5StarBatch:
+    def test_bitwise_equal_star_monte_carlo(self):
+        from repro.experiments.exp_x5_star import run_x5_star
+
+        scalar = run_x5_star(sizes=(1, 2, 4), instances=2)
+        batch = run_x5_star(sizes=(1, 2, 4), instances=2, use_batch=True)
+        assert scalar.passed and batch.passed
+        for ts, tb in zip(scalar.tables, batch.tables):
+            assert ts.rows == tb.rows

@@ -142,3 +142,14 @@ class TestRecommendedFine:
     def test_overcharge_allowance(self):
         bids = np.array([2.0])
         assert recommended_fine(bids, max_overcharge=50.0) > recommended_fine(bids) + 50.0
+
+    def test_rejects_non_positive_margin(self):
+        bids = np.array([2.0, 3.0])
+        with pytest.raises(ValueError, match="margin must be positive"):
+            recommended_fine(bids, margin=0.0)
+        with pytest.raises(ValueError, match="margin must be positive"):
+            recommended_fine(bids, margin=-1.5)
+
+    def test_rejects_empty_bids(self):
+        with pytest.raises(ValueError, match="bids must be non-empty"):
+            recommended_fine(np.array([]))
