@@ -148,8 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--batch", action="store_true",
         help="run the population through the batched Phase I-IV engine "
-        "(bitwise-equal results; falls back to scalar runs for tracing "
-        "and non-batchable deviants)",
+        "(bitwise-equal results and trace bytes; deviant and traced "
+        "runs execute on its masked lane path — no scalar fallback)",
     )
     run.add_argument("--trace", default=None, metavar="PATH", help="write the merged JSONL trace to PATH")
     run.add_argument(
@@ -179,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
     faults_run.add_argument("--jobs", type=int, default=1, help="worker processes (1 = in-process serial)")
     faults_run.add_argument("--runs", type=int, default=None, help="override the scenario's run count")
     faults_run.add_argument("--trace", default=None, metavar="PATH", help="write the merged JSONL trace to PATH")
+    faults_run.add_argument(
+        "--batch", action="store_true",
+        help="execute chain/star runs on the batch engine's lane mechanisms "
+        "(bitwise-equal results; tree/infrastructure scenarios stay scalar "
+        "and count mechanism.scalar_fallbacks)",
+    )
     faults_run.add_argument(
         "--metrics", default=None, metavar="PATH",
         help="write the merged metrics report (JSON) to PATH",
@@ -391,6 +397,12 @@ def _cmd_experiments(args) -> int:
             f"{mech['scalar_s']:.3f}s scalar vs {mech['batch_s']:.3f}s batched "
             f"({mech['speedup']:.1f}x, bitwise equal: {mech['bitwise_equal']})"
         )
+        mix = mech["deviant_mix"]
+        print(
+            f"deviant mix ({mix['deviant_fraction']:.0%} deviant lanes): "
+            f"{mix['scalar_s']:.3f}s scalar vs {mix['batch_s']:.3f}s batched "
+            f"({mix['speedup']:.1f}x, bitwise equal: {mix['bitwise_equal']})"
+        )
         print(f"record written to {args.bench_path}")
         return 0
     try:
@@ -531,6 +543,7 @@ def _cmd_faults(args) -> int:
                 jobs=args.jobs,
                 runs=args.runs,
                 trace=args.trace is not None,
+                use_batch=args.batch,
             )
         except ValueError as exc:
             raise SystemExit(str(exc)) from None

@@ -29,11 +29,15 @@ from repro.mechanism.properties import run_truthful
 __all__ = ["run_x8_collusion"]
 
 
-def _run(network, overrides, seed=0):
+def _run(network, overrides, seed=0, use_batch=False):
     agents = [TruthfulAgent(i, float(t)) for i, t in enumerate(network.w[1:], start=1)]
     for idx, agent in overrides.items():
         agents[idx - 1] = agent
-    mech = DLSLBLMechanism(
+    if use_batch:
+        from repro.mechanism.batch_run import LaneChainMechanism as mechanism_cls
+    else:
+        mechanism_cls = DLSLBLMechanism
+    mech = mechanism_cls(
         network.z, float(network.w[0]), agents,
         audit_probability=1.0, rng=np.random.default_rng(seed),
     )
@@ -44,6 +48,7 @@ def run_x8_collusion(
     workload: Workload | None = None,
     *,
     shed_fraction: float = 0.5,
+    use_batch: bool = False,
 ) -> ExperimentResult:
     workload = workload or WORKLOADS["small-uniform"]
     table = Table(
@@ -77,6 +82,7 @@ def run_x8_collusion(
                 ),
                 victim_idx: SilentVictimAgent(victim_idx, float(network.w[victim_idx])),
             },
+            use_batch=use_batch,
         )
         assert not colluded.adjudications  # silence worked
         joint_colluded = colluded.utility(shedder_idx) + colluded.utility(victim_idx)
@@ -90,6 +96,7 @@ def run_x8_collusion(
                     shedder_idx, float(network.w[shedder_idx]), shed_fraction=shed_fraction
                 ),
             },
+            use_batch=use_batch,
         )
         [verdict] = [v for v in betrayed.adjudications if v.substantiated]
         betrayal_payoff = verdict.reward_amount  # the reward F

@@ -442,7 +442,11 @@ def benchmark_batch(
        Monte Carlo population of ``mech_count`` chains through scalar
        ``DLSLBLMechanism.run`` loops vs. one batched Phase I–IV engine
        pass, with the bitwise-equality of the two run sets recorded
-       alongside the timings.
+       alongside the timings.  Its ``deviant_mix`` row repeats the
+       comparison with 30% deviant lanes rotating the full catalog, so
+       the masked lane path's overhead is measured, not assumed; both
+       rows record ``bitwise_equal`` and timings are only meaningful
+       when it is true.
 
     Kernel timings are best-of-3 wall clock; experiment and mechanism
     sets run once.  ``cpu_count`` is recorded because the parallel
@@ -460,7 +464,7 @@ def benchmark_batch(
         stack_networks,
     )
     from repro.dlt.linear import solve_linear_boundary
-    from repro.mechanism.population import run_population
+    from repro.mechanism.population import _DEVIANT_KINDS, run_population
     from repro.network.generators import random_linear_network
 
     rng = np.random.default_rng(seed)
@@ -513,6 +517,26 @@ def benchmark_batch(
     mech_batch_s = time.perf_counter() - start
     mech_equal = mech_scalar.runs == mech_batched.runs
 
+    # The same contract under adversaries: 30% of lanes deviate, rotating
+    # the full catalog (shed, contradict, tamper, ... force the masked
+    # lane path; misbid/slow/overcharge stay on the stacked arrays).
+    deviant_specs: list[str | None] = [
+        f"{1 + (i % (mech_m - 1))}:{_DEVIANT_KINDS[i % len(_DEVIANT_KINDS)]}"
+        if i % 10 < 3
+        else None
+        for i in range(mech_count)
+    ]
+    deviant_fraction = sum(s is not None for s in deviant_specs) / mech_count
+    start = time.perf_counter()
+    mix_scalar = run_population(mech_m, mech_count, seed=seed, deviants=deviant_specs)
+    mix_scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    mix_batched = run_population(
+        mech_m, mech_count, seed=seed, deviants=deviant_specs, use_batch=True
+    )
+    mix_batch_s = time.perf_counter() - start
+    mix_equal = mix_scalar.runs == mix_batched.runs
+
     return {
         "machine": {
             "cpu_count": os.cpu_count(),
@@ -562,6 +586,15 @@ def benchmark_batch(
             "batch_s": mech_batch_s,
             "speedup": mech_scalar_s / mech_batch_s if mech_batch_s > 0 else float("inf"),
             "bitwise_equal": bool(mech_equal),
+            "deviant_mix": {
+                "m": mech_m,
+                "count": mech_count,
+                "deviant_fraction": deviant_fraction,
+                "scalar_s": mix_scalar_s,
+                "batch_s": mix_batch_s,
+                "speedup": mix_scalar_s / mix_batch_s if mix_batch_s > 0 else float("inf"),
+                "bitwise_equal": bool(mix_equal),
+            },
         },
     }
 

@@ -116,12 +116,21 @@ def _preorder_rates(tree) -> list[float]:
     return rates
 
 
-def _build_mechanism(scenario, network, agents, rng, tracer):
-    """Construct the scenario's mechanism for its topology."""
-    if scenario.topology == "linear":
-        from repro.mechanism.dls_lbl import DLSLBLMechanism
+def _build_mechanism(scenario, network, agents, rng, tracer, use_batch=False):
+    """Construct the scenario's mechanism for its topology.
 
-        return DLSLBLMechanism(
+    ``use_batch=True`` swaps the chain/star mechanisms for the batch
+    engine's lane subclasses — same protocol code, bitwise-equal output,
+    crypto-free stand-ins.  Trees have no lane engine yet; that genuine
+    fallback is counted in ``mechanism.scalar_fallbacks``.
+    """
+    if scenario.topology == "linear":
+        if use_batch:
+            from repro.mechanism.batch_run import LaneChainMechanism as chain_cls
+        else:
+            from repro.mechanism.dls_lbl import DLSLBLMechanism as chain_cls
+
+        return chain_cls(
             network.z,
             float(network.w[0]),
             agents,
@@ -130,9 +139,12 @@ def _build_mechanism(scenario, network, agents, rng, tracer):
             tracer=tracer,
         )
     if scenario.topology == "star":
-        from repro.mechanism.star_mechanism import StarMechanism
+        if use_batch:
+            from repro.mechanism.batch_run import LaneStarMechanism as star_cls
+        else:
+            from repro.mechanism.star_mechanism import StarMechanism as star_cls
 
-        return StarMechanism(
+        return star_cls(
             network.z,
             float(network.w[0]),
             agents,
@@ -142,6 +154,8 @@ def _build_mechanism(scenario, network, agents, rng, tracer):
         )
     from repro.mechanism.tree_mechanism import TreeMechanism
 
+    if use_batch:
+        get_registry().inc("mechanism.scalar_fallbacks")
     return TreeMechanism(network, agents, tracer=tracer)
 
 
@@ -170,13 +184,14 @@ def _run_scenario_once(
     run_index: int,
     seed: int,
     trace: bool,
+    use_batch: bool = False,
 ) -> tuple[dict[str, Any], list[TraceEvent], dict[str, Any]]:
     """Execute one scenario run.  Module-level so it pickles into pool
     workers; everything returned is picklable."""
     from repro.agents import TruthfulAgent
 
     if scenario.layer == "infrastructure":
-        return _run_infrastructure_once(scenario, run_index, seed, trace)
+        return _run_infrastructure_once(scenario, run_index, seed, trace, use_batch)
 
     run_seed = task_seed(f"faults/{scenario.name}/net/{run_index}", seed)
     rng = np.random.default_rng(run_seed)
@@ -202,7 +217,7 @@ def _run_scenario_once(
             )
 
     with collecting() as registry:
-        mech = _build_mechanism(scenario, network, agents, rng, tracer)
+        mech = _build_mechanism(scenario, network, agents, rng, tracer, use_batch)
         outcome = mech.run()
 
         baseline = None
@@ -216,6 +231,7 @@ def _run_scenario_once(
                 [TruthfulAgent(i, t) for i, t in enumerate(true_rates, start=1)],
                 baseline_rng,
                 None,
+                use_batch,
             )
             baseline = baseline_mech.run()
         snapshot = registry.snapshot()
@@ -306,6 +322,7 @@ def _run_infrastructure_once(
     run_index: int,
     seed: int,
     trace: bool,
+    use_batch: bool = False,
 ) -> tuple[dict[str, Any], list[TraceEvent], dict[str, Any]]:
     """One run of an infrastructure scenario through the resilient runtime.
 
@@ -343,6 +360,10 @@ def _run_infrastructure_once(
             )
 
     with collecting() as registry:
+        if use_batch:
+            # The resilient runtime is event-driven, not array-shaped;
+            # a genuine scalar fallback worth surfacing in metrics.
+            registry.inc("mechanism.scalar_fallbacks")
         outcome = run_resilient(
             network.w,
             network.z,
@@ -423,6 +444,7 @@ def run_scenario(
     jobs: int = 1,
     trace: bool = False,
     runs: int | None = None,
+    use_batch: bool = False,
 ) -> ScenarioResult:
     """Run every instance of ``scenario`` (a spec or a catalog name).
 
@@ -430,13 +452,18 @@ def run_scenario(
     ``task_seed`` over ``(scenario.name, i, seed)``, so results and the
     merged trace are functions of ``(scenario, seed)`` only — ``jobs``
     changes wall-clock, never output.
+
+    ``use_batch=True`` executes chain/star runs on the batch engine's
+    lane mechanisms — bitwise-equal summaries, counters and trace bytes.
+    Tree and infrastructure scenarios have no batched analogue; they run
+    scalar and count each fallback in ``mechanism.scalar_fallbacks``.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     count = runs if runs is not None else scenario.runs
     if count < 1:
         raise ValueError("runs must be at least 1")
-    tasks = [(scenario, i, seed, trace) for i in range(count)]
+    tasks = [(scenario, i, seed, trace, use_batch) for i in range(count)]
     if jobs <= 1:
         outcomes = [_run_scenario_once(*task) for task in tasks]
     else:

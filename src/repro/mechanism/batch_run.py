@@ -34,12 +34,24 @@ Audit randomness comes in as a pre-shaped ``(runs, n)`` draw block —
 ``runs * n`` sequential scalar draws, so callers can hand the engine the
 same stream the scalar loop would have used.
 
-Non-batchable behaviours (load-shedding, contradictory bids, relay
-tampering, fabricated accusations, proof forgery) have no vectorized
-path; callers fall back to the scalar mechanisms for those.  The engine
-raises :class:`~repro.exceptions.ProtocolViolation` if its batched
-metering comparison detects an overload (a row whose actual flow exceeds
-the Phase II expectation), since grievance adjudication is scalar-only.
+**Masked deviant lanes.**  Behaviours the stacked arrays cannot express
+(load-shedding, contradictory bids, relay tampering, fabricated
+accusations, proof forgery — anything that triggers a grievance, an
+abort, or a failed audit proof, plus any traced run) execute on the
+*lane engine*: :class:`LaneChainMechanism` / :class:`LaneStarMechanism`
+subclass the scalar mechanisms and swap only their infrastructure seams
+— HMAC signing becomes the fingerprint stand-in :class:`_PlainSigned`,
+the tamper-proof meter a plain recorder, and the event-heap Phase III
+simulator a closed-form chain replay.  Every protocol branch (grievance
+adjudication, aborts, audit recomputation, settlement, tracing) is the
+inherited scalar code operating on identical values, so lane outcomes —
+including trace bytes — are bitwise-equal by construction while skipping
+the crypto that dominates scalar runtime.  ``run_chain_masked`` routes a
+mixed population: conforming lanes ride the stacked arrays, divergent
+lanes take the lane engine, and results zip back in lane order.  There
+is no scalar fallback; :func:`run_chain_batch` still raises
+:class:`~repro.exceptions.ProtocolViolation` if a caller feeds it an
+overloading row directly, as an internal-invariant guard.
 
 Metrics: the engine emits the same protocol counters as the scalar runs
 (``mechanism.runs``/``star_runs``, ``mechanism.audits``,
@@ -54,18 +66,27 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.dlt.batch import solve_linear_batch
 from repro.exceptions import InvalidNetworkError, ProtocolViolation
 from repro.mechanism.audit import BILL_TOL
+from repro.mechanism.dls_lbl import DLSLBLMechanism
 from repro.mechanism.payments import payment_breakdown_batch
+from repro.mechanism.star_mechanism import StarMechanism
+from repro.network.topology import LinearNetwork
 from repro.obs.metrics import get_registry
+from repro.protocol.meter import MeterReading, TamperProofMeter
+from repro.sim.linear_sim import LinearChainResult
+from repro.sim.trace import GanttTrace, Interval
 
 __all__ = [
     "BatchChainOutcome",
     "BatchStarOutcome",
+    "LaneChainMechanism",
+    "LaneStarMechanism",
     "run_chain_batch",
     "run_star_batch",
 ]
@@ -668,3 +689,216 @@ def run_star_batch(
         fines_total=fines_total,
         mechanism_outlay=outlay,
     )
+
+
+# ---------------------------------------------------------------------------
+# Masked deviant lanes
+#
+# The scalar mechanisms reach every piece of environment machinery — the
+# PKI, message signing, the tamper-proof meter, the Phase III simulator —
+# through overridable seams.  The lane engine subclasses swap those seams
+# for crypto-free stand-ins, so a lane whose agents shed load, contradict
+# themselves, tamper with proofs, or accuse falsely runs the *inherited*
+# protocol code (grievances, aborts, audits, settlement, tracing) on
+# identical values, bitwise-equal to the scalar run but without the HMAC
+# signing/verification and event-heap costs that dominate its runtime.
+# ---------------------------------------------------------------------------
+
+
+def _lane_fingerprint(payload: Any) -> tuple:
+    """A cheap canonical form of a message payload.
+
+    Protocol payloads are flat ``str -> int/float/str`` dicts, so the
+    sorted item tuple is a faithful stand-in for the scalar path's
+    canonical-bytes digest: equal payloads fingerprint equal, and digests
+    are only ever compared for equality."""
+    if isinstance(payload, dict):
+        return tuple(sorted(payload.items()))
+    return (repr(payload),)
+
+
+@dataclass(frozen=True)
+class _PlainSigned:
+    """Stand-in for :class:`~repro.crypto.signing.SignedMessage`.
+
+    Same ``signer``/``payload`` surface, but the HMAC signature is
+    replaced by a payload fingerprint taken at construction time.
+    ``verify`` recomputes the fingerprint, so a payload swapped in via
+    ``dataclasses.replace`` (how the fault injector tampers with meter
+    readings) carries the stale fingerprint and fails verification —
+    exactly when the real signature would.  The ``registry`` argument is
+    accepted and ignored, keeping every duck-typed consumer (G-message
+    verification, the grievance court, the audit recomputation)
+    unchanged."""
+
+    signer: int
+    payload: Any
+    fingerprint: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.fingerprint is None:
+            object.__setattr__(self, "fingerprint", _lane_fingerprint(self.payload))
+
+    def verify(self, registry) -> bool:
+        return self.fingerprint == _lane_fingerprint(self.payload)
+
+    def content_digest(self) -> tuple:
+        return self.fingerprint
+
+
+class _LaneMeter:
+    """Duck-typed :class:`~repro.protocol.meter.TamperProofMeter` storing
+    plain readings and emitting fingerprint-signed messages."""
+
+    def __init__(self) -> None:
+        self._readings: dict[int, MeterReading] = {}
+
+    def record(self, proc: int, actual_rate: float, computed_amount: float) -> _PlainSigned:
+        reading = MeterReading(
+            proc=proc,
+            actual_rate=float(actual_rate),
+            computed_amount=float(computed_amount),
+        )
+        self._readings[proc] = reading
+        return _PlainSigned(signer=0, payload=reading.as_payload())
+
+    def reading_for(self, proc: int) -> MeterReading | None:
+        return self._readings.get(proc)
+
+    parse = staticmethod(TamperProofMeter.parse)
+
+
+def _replay_chain(
+    network: LinearNetwork,
+    retained: np.ndarray,
+    total_load: float,
+    delays: np.ndarray,
+) -> LinearChainResult:
+    """Closed-form replay of :func:`~repro.sim.linear_sim.simulate_linear_chain`.
+
+    The chain cascade is strictly sequential — the arrival at ``i + 1``
+    is a pure function of the arrival at ``i`` — so the event heap adds
+    nothing but overhead.  Every float operation keeps the simulator's
+    association order (arrivals advance by ``now + (delay + duration)``),
+    so times, interval bounds, and the recorded trace are
+    bitwise-identical to the event-driven run."""
+    n = network.size
+    w = network.w
+    z = network.z
+    retained_arr = np.asarray(retained, dtype=np.float64)
+    use_delays = bool(np.any(delays > 0.0))
+    trace = GanttTrace()
+    received = np.zeros(n)
+    computed = np.zeros(n)
+    arrival = np.zeros(n)
+    now = 0.0
+    load = float(total_load)
+    proc = 0
+    while True:
+        received[proc] = load
+        arrival[proc] = now
+        keep = load if proc == n - 1 else min(retained_arr[proc], load)
+        forward = load - keep
+        if keep > _EPS_LOAD:
+            computed[proc] = keep
+            duration = keep * w[proc]
+            trace.add(Interval("compute", proc, now, now + duration, keep))
+        if proc < n - 1 and forward > _EPS_LOAD:
+            duration = forward * z[proc]
+            delay = delays[proc] if use_delays else 0.0
+            start = now + delay
+            trace.add(Interval("send", proc, start, start + duration, forward, peer=proc + 1))
+            trace.add(Interval("recv", proc + 1, start, start + duration, forward, peer=proc))
+            now = now + (delay + duration)
+            load = forward
+            proc += 1
+        else:
+            break
+    return LinearChainResult(
+        trace=trace,
+        received=received,
+        computed=computed,
+        arrival_times=arrival,
+        finish_times=trace.finish_times(n),
+        makespan=trace.makespan,
+    )
+
+
+class LaneChainMechanism(DLSLBLMechanism):
+    """A divergent batch lane on the chain: the full scalar protocol with
+    the infrastructure seams swapped for batch-native stand-ins.
+
+    Covers everything the stacked arrays cannot express — grievances
+    (shedding, contradictory bids, relay tampering, false accusations),
+    aborts, proof forgery, and traced runs — with outcomes, counters and
+    trace bytes bitwise-equal to :class:`DLSLBLMechanism`."""
+
+    def _make_crypto(self, key_seed: bytes | None) -> None:
+        self._keys = None
+        return None
+
+    def _sign(self, signer: int, payload: dict) -> _PlainSigned:
+        return _PlainSigned(signer, payload)
+
+    def _make_meter(self) -> _LaneMeter:
+        return _LaneMeter()
+
+    def _simulate(
+        self, network: LinearNetwork, retained: np.ndarray, delays: np.ndarray
+    ) -> LinearChainResult:
+        return _replay_chain(network, retained, self.total_load, delays)
+
+
+class LaneStarMechanism(StarMechanism):
+    """A divergent batch lane on the star — :class:`StarMechanism` with
+    the crypto seams swapped, bitwise-equal outcomes."""
+
+    def _make_crypto(self, key_seed: bytes | None) -> None:
+        self._keys = None
+        return None
+
+    def _sign(self, signer: int, payload: dict) -> _PlainSigned:
+        return _PlainSigned(signer, payload)
+
+    def _make_meter(self) -> _LaneMeter:
+        return _LaneMeter()
+
+
+def chain_row_snapshots(outcome: BatchChainOutcome) -> list[dict[str, Any]]:
+    """Per-row protocol-counter snapshots for a stacked chain outcome.
+
+    The masked router merges counters in *lane order* — interleaving
+    array lanes with lane-engine runs — so the float accumulation order
+    matches a scalar loop exactly.  That requires the stacked pass's
+    counters at per-row granularity: each snapshot holds what one scalar
+    run would have contributed, with the same left-fold entry order
+    (root reimbursement, then per agent its bill and audit fine)."""
+    m = outcome.n_agents
+    snapshots: list[dict[str, Any]] = []
+    for k in range(outcome.n_runs):
+        counters: dict[str, float] = {
+            "mechanism.runs": 1.0,
+            "mechanism.audits": float(m),
+        }
+        n_challenged = int(np.count_nonzero(outcome.challenged[k]))
+        if n_challenged:
+            counters["mechanism.audits_challenged"] = float(n_challenged)
+        row_fines = outcome.audit_fines[k]
+        n_fines = int(np.count_nonzero(row_fines > 0.0))
+        if n_fines:
+            counters["mechanism.fines"] = float(n_fines)
+            fine_volume = 0.0
+            for f in row_fines:
+                if f > 0.0:
+                    fine_volume = fine_volume + float(f)
+            counters["mechanism.fine_volume"] = fine_volume
+        volume = float(outcome.assigned[k, 0]) * float(outcome.bids[k, 0])
+        for i in range(m):
+            volume = volume + abs(float(outcome.billed_q[k, i]))
+            f = float(row_fines[i])
+            if f > 0.0:
+                volume = volume + f
+        counters["ledger.transfers"] = float(1 + m + n_fines)
+        counters["ledger.volume"] = volume
+        snapshots.append({"counters": counters})
+    return snapshots

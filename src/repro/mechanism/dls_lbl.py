@@ -178,8 +178,7 @@ class DLSLBLMechanism:
         self.total_load = float(total_load)
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
-        self.registry, keys = KeyRegistry.for_processors(self.m + 1, seed=key_seed)
-        self._keys: dict[int, KeyPair] = {pair.owner: pair for pair in keys}
+        self.registry = self._make_crypto(key_seed)
 
         true_rates = np.array([self.root_rate] + [a.true_rate for a in agents_sorted])
         self.fine = (
@@ -194,6 +193,44 @@ class DLSLBLMechanism:
         #: component is worth; a deployment would never disable it.
         self.enforcement = bool(enforcement)
         self.tracer = tracer
+
+    # -- infrastructure seams ------------------------------------------
+    #
+    # Every piece of environment machinery the protocol touches — the
+    # PKI, message signing, the tamper-proof meter, the Phase III
+    # simulator — is reached through one of these overridable seams.
+    # The protocol logic itself (phases, grievances, audits, settlement,
+    # tracing) never changes; the batched lane engine subclasses swap
+    # in crypto-free stand-ins and a closed-form chain replay while
+    # inheriting every branch of the real mechanism verbatim.
+
+    def _make_crypto(self, key_seed: bytes | None) -> KeyRegistry | None:
+        """Build the simulated PKI; returns the verification registry."""
+        registry, keys = KeyRegistry.for_processors(self.m + 1, seed=key_seed)
+        self._keys: dict[int, KeyPair] | None = {pair.owner: pair for pair in keys}
+        return registry
+
+    def _sign(self, signer: int, payload: dict) -> SignedMessage:
+        """Sign ``payload`` on behalf of processor ``signer``."""
+        return sign(self._keys[signer], payload)
+
+    def _make_meter(self) -> TamperProofMeter:
+        """The environment-held execution meter (root-signed readings)."""
+        return TamperProofMeter(self._keys[0])
+
+    def _simulate(
+        self, network: LinearNetwork, retained: np.ndarray, delays: np.ndarray
+    ) -> LinearChainResult:
+        """Phase III store-and-forward execution on ``network``."""
+        return simulate_linear_chain(
+            network,
+            retained,
+            speeds=network.w,
+            total_load=self.total_load,
+            # Only pass the seam when somebody actually delays: the
+            # honest path must stay byte-identical to older traces.
+            send_delays=delays if np.any(delays > 0.0) else None,
+        )
 
     # ------------------------------------------------------------------
 
@@ -233,7 +270,7 @@ class DLSLBLMechanism:
         m = self.m
         ledger = PaymentLedger(tracer=self.tracer)
         lambda_device = LambdaDevice(self.total_load)
-        meter = TamperProofMeter(self._keys[0])
+        meter = self._make_meter()
         court = GrievanceCourt(
             self.registry, lambda_device, meter, self.z, self.fine, total_load=self.total_load
         )
@@ -271,7 +308,7 @@ class DLSLBLMechanism:
                     # The local fraction consistent with the agent's own signed
                     # story (honest agents: the true alpha_hat).
                     alpha_hat[i] = reported / bids[i]
-                message = sign(self._keys[i], bid_payload(i, reported))
+                message = self._sign(i, bid_payload(i, reported))
                 bid_messages[i] = message
                 if self.enforcement and agent.phase1_sends_malformed():
                     # "Processor P_{i-1} terminates the protocol if it ...
@@ -282,7 +319,7 @@ class DLSLBLMechanism:
                 if self.enforcement and second is not None and second != reported:
                     # Deviation (i): the recipient P_{i-1} holds two authentic,
                     # different bids and submits both to the root.
-                    conflicting = sign(self._keys[i], bid_payload(i, second))
+                    conflicting = self._sign(i, bid_payload(i, second))
                     grievance = Grievance(
                         kind=GrievanceKind.CONTRADICTORY_MESSAGES,
                         accuser=i - 1,
@@ -303,7 +340,7 @@ class DLSLBLMechanism:
         g_messages: dict[int, GMessage] = {}
 
         def scalar(signer: int, kind: str, proc: int, value: float) -> SignedMessage:
-            return sign(self._keys[signer], value_payload(kind, proc, value))
+            return self._sign(signer, value_payload(kind, proc, value))
 
         with registry.timer("mechanism.phase_2"), self._span("phase_2"):
             # Root constructs G_1 (eq. 4.1) — all components root-signed.
@@ -370,15 +407,7 @@ class DLSLBLMechanism:
 
             retained, received_actual = self._flows(assigned, received_share)
             network = LinearNetwork(actual_rates, self.z)
-            sim_result = simulate_linear_chain(
-                network,
-                retained,
-                speeds=actual_rates,
-                total_load=self.total_load,
-                # Only pass the seam when somebody actually delays: the
-                # honest path must stay byte-identical to older traces.
-                send_delays=delays if np.any(delays > 0.0) else None,
-            )
+            sim_result = self._simulate(network, retained, delays)
             computed = sim_result.computed
             if self.tracer is not None:
                 sim_result.trace.record_to(self.tracer)

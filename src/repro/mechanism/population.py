@@ -37,9 +37,11 @@ _DEVIANT_KINDS = (
     "accuse",
 )
 
-#: Deviant kinds the batched engine can express (bid/rate/bill columns);
-#: everything else needs the scalar protocol (grievances, aborts, proof
-#: tampering) and falls back to it.
+#: Deviant kinds the stacked arrays can express (bid/rate/bill columns).
+#: Everything else — grievance-triggering deviants, aborts, proof
+#: tampering, and any traced run — executes on the batch engine's
+#: *lane* path (:class:`~repro.mechanism.batch_run.LaneChainMechanism`);
+#: there is no scalar fallback.
 _BATCHABLE_KINDS = frozenset({"overcharge", "misbid", "slow"})
 
 
@@ -114,13 +116,22 @@ def _run_one(
     audit_probability: float,
     deviant: str | None,
     trace: bool,
+    engine: str = "scalar",
 ) -> tuple[dict[str, Any], list[TraceEvent], dict[str, Any]]:
     """Execute one population member.  Module-level so it pickles into
-    pool workers; everything returned is picklable."""
+    pool workers; everything returned is picklable.
+
+    ``engine="lane"`` runs the member on the batch engine's lane path
+    (:class:`~repro.mechanism.batch_run.LaneChainMechanism`) — same
+    protocol, same outputs bitwise, crypto-free stand-ins."""
     from repro.agents import TruthfulAgent
-    from repro.mechanism.dls_lbl import DLSLBLMechanism
     from repro.mechanism.ledger import MECHANISM
     from repro.network.generators import random_linear_network
+
+    if engine == "lane":
+        from repro.mechanism.batch_run import LaneChainMechanism as mechanism_cls
+    else:
+        from repro.mechanism.dls_lbl import DLSLBLMechanism as mechanism_cls
 
     run_seed = task_seed(f"mech/{index}", seed)
     rng = np.random.default_rng(run_seed)
@@ -132,7 +143,7 @@ def _run_one(
         agents[agent.index - 1] = agent
     tracer = Tracer() if trace else None
     with collecting() as registry:
-        mech = DLSLBLMechanism(
+        mech = mechanism_cls(
             network.z,
             float(network.w[0]),
             agents,
@@ -160,7 +171,10 @@ def _run_one(
 
 
 def _batchable(deviant: str | None, trace: bool) -> bool:
-    """Whether the population can go through the batched engine."""
+    """Whether a run is expressible as a stacked-array lane.
+
+    Traced runs and grievance-triggering deviants are *not* — they take
+    the batch engine's lane path instead (never the scalar mechanism)."""
     if trace:
         return False
     if deviant is None:
@@ -242,6 +256,135 @@ def _run_population_batch(
     return PopulationResult(runs=summaries, events=[], metrics=snapshot)
 
 
+def _run_population_masked(
+    m: int,
+    count: int,
+    seed: int,
+    audit_probability: float,
+    specs: list[str | None],
+    trace: bool,
+    jobs: int,
+) -> PopulationResult:
+    """Masked per-lane routing through the batch engine.
+
+    Lanes whose spec is array-expressible (and untraced) ride one stacked
+    :func:`~repro.mechanism.batch_run.run_chain_batch` call; divergent
+    lanes — grievance-triggering deviants, traced runs — execute on
+    :class:`~repro.mechanism.batch_run.LaneChainMechanism`.  Summaries,
+    events and metrics zip back in lane order, and per-lane counter
+    snapshots merge into the live registry in that same order, so every
+    observable (including the float fold order of counter totals) is
+    bitwise-equal to the scalar loop.  No lane ever falls back to the
+    scalar mechanisms.
+    """
+    from repro.mechanism.batch_run import chain_row_snapshots, run_chain_batch
+    from repro.network.generators import random_linear_network
+
+    lane_mask = [trace or not _batchable(specs[i], False) for i in range(count)]
+    array_rows = [i for i in range(count) if not lane_mask[i]]
+    lane_rows = [i for i in range(count) if lane_mask[i]]
+
+    row_summary: dict[int, dict[str, Any]] = {}
+    row_events: dict[int, list[TraceEvent]] = {}
+    row_snapshot: dict[int, dict[str, Any]] = {}
+
+    if array_rows:
+        n_arr = len(array_rows)
+        w = np.empty((n_arr, m + 1))
+        z = np.empty((n_arr, m))
+        draws = np.empty((n_arr, m))
+        seeds = np.empty(n_arr, dtype=np.int64)
+        for k, index in enumerate(array_rows):
+            run_seed = task_seed(f"mech/{index}", seed)
+            seeds[k] = run_seed
+            rng = np.random.default_rng(run_seed)
+            network = random_linear_network(m, rng)
+            w[k] = network.w
+            z[k] = network.z
+            draws[k] = rng.random(m)
+        bids = execution_rates = bill_overcharge = None
+        if any(specs[index] is not None for index in array_rows):
+            bids = w[:, 1:].copy()
+            execution_rates = w[:, 1:].copy()
+            bill_overcharge = np.zeros((n_arr, m))
+            for k, index in enumerate(array_rows):
+                if specs[index] is None:
+                    continue
+                agent = make_deviant(specs[index], [float(x) for x in w[k, 1:]])
+                col = agent.index - 1
+                bids[k, col] = agent.choose_bid()
+                execution_rates[k, col] = agent.choose_execution_rate()
+                bill_overcharge[k, col] = agent.phase4_bill(0.0)
+        outcome = run_chain_batch(
+            w,
+            z,
+            bids=bids,
+            execution_rates=execution_rates,
+            bill_overcharge=bill_overcharge,
+            audit_probability=audit_probability,
+            audit_draws=draws,
+            # Counters merge per lane, in lane order, below.
+            emit_metrics=False,
+        )
+        snapshots = chain_row_snapshots(outcome)
+        for k, index in enumerate(array_rows):
+            row_summary[index] = {
+                "index": index,
+                "seed": int(seeds[k]),
+                "m": m,
+                "completed": True,
+                "aborted_phase": None,
+                "makespan": float(outcome.makespan[k]),
+                "fines_total": float(outcome.fines_total[k]),
+                "n_grievances": 0,
+                "n_audits": m,
+                "mechanism_outlay": float(outcome.mechanism_outlay[k]),
+            }
+            row_events[index] = []
+            row_snapshot[index] = snapshots[k]
+
+    if jobs <= 1:
+        # Interleave in lane order: lane rows merge their metric deltas
+        # into the live registry as they run (``collecting`` on exit),
+        # array rows merge their synthesized snapshots in between — the
+        # same per-run fold order as the scalar loop.
+        registry = get_registry()
+        for index in range(count):
+            if lane_mask[index]:
+                summary, events, snapshot = _run_one(
+                    index, m, seed, audit_probability, specs[index], trace, "lane"
+                )
+                row_summary[index] = summary
+                row_events[index] = events
+                row_snapshot[index] = snapshot
+            elif array_rows:
+                registry.merge(row_snapshot[index])
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    _run_one, index, m, seed, audit_probability, specs[index], trace, "lane"
+                )
+                for index in lane_rows
+            ]
+            # Submission order, not completion order — determinism.
+            results = [future.result() for future in futures]
+        for index, (summary, events, snapshot) in zip(lane_rows, results):
+            row_summary[index] = summary
+            row_events[index] = events
+            row_snapshot[index] = snapshot
+        # Worker deltas never reached this process's registry; merge
+        # every lane's snapshot in lane order, like the scalar pool path.
+        registry = get_registry()
+        for index in range(count):
+            registry.merge(row_snapshot[index])
+
+    summaries = [row_summary[index] for index in range(count)]
+    events = merge_traces([row_events[index] for index in range(count)])
+    metrics = merge_snapshots([row_snapshot[index] for index in range(count)])
+    return PopulationResult(runs=summaries, events=events, metrics=metrics)
+
+
 def run_population(
     m: int,
     count: int,
@@ -250,6 +393,7 @@ def run_population(
     jobs: int = 1,
     audit_probability: float = 0.25,
     deviant: str | None = None,
+    deviants: Sequence[str | None] | None = None,
     trace: bool = False,
     use_batch: bool = False,
 ) -> PopulationResult:
@@ -260,18 +404,36 @@ def run_population(
     are functions of ``(m, count, seed, audit_probability, deviant)``
     only — ``jobs`` changes wall-clock, never output.
 
-    ``use_batch=True`` routes the population through the stacked
-    Phase I–IV engine (:mod:`repro.mechanism.batch_run`): one vectorized
-    pass instead of ``count`` scalar protocol runs, with bitwise-equal
-    summaries and protocol counters.  Tracing and non-batchable deviants
-    (anything outside bid/rate/bill deviations) fall back to the scalar
-    path automatically; ``jobs`` is ignored on the batch path.
+    ``deviants`` assigns a per-run deviant spec (``None`` entries are
+    truthful runs) and is mutually exclusive with ``deviant``, which
+    applies one spec to every run.
+
+    ``use_batch=True`` routes the population through the batched
+    Phase I–IV engine (:mod:`repro.mechanism.batch_run`) with **no
+    scalar fallback**: array-expressible lanes (truthful and
+    bid/rate/bill deviants, untraced) run as one stacked vectorized
+    pass, and every other lane — grievance-triggering deviants, aborts,
+    proof tampering, traced runs — executes on the engine's masked lane
+    path, bitwise-equal to the scalar loop in every summary field,
+    protocol counter, and trace byte.
     """
     if count < 1:
         raise ValueError("count must be at least 1")
-    if use_batch and _batchable(deviant, trace):
-        return _run_population_batch(m, count, seed, audit_probability, deviant)
-    tasks = [(i, m, seed, audit_probability, deviant, trace) for i in range(count)]
+    if deviants is not None:
+        if deviant is not None:
+            raise ValueError("pass either deviant or deviants, not both")
+        specs = [None if s is None else str(s) for s in deviants]
+        if len(specs) != count:
+            raise ValueError(f"deviants must have length {count}, got {len(specs)}")
+    else:
+        specs = [deviant] * count
+    if use_batch:
+        if deviants is None and _batchable(deviant, trace):
+            return _run_population_batch(m, count, seed, audit_probability, deviant)
+        return _run_population_masked(
+            m, count, seed, audit_probability, specs, trace, jobs
+        )
+    tasks = [(i, m, seed, audit_probability, specs[i], trace) for i in range(count)]
     if jobs <= 1:
         outcomes = [_run_one(*task) for task in tasks]
     else:

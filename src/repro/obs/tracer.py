@@ -64,6 +64,7 @@ __all__ = [
     "Tracer",
     "event_to_json",
     "events_to_jsonl",
+    "first_divergence",
     "read_trace",
     "write_trace",
     "merge_traces",
@@ -239,6 +240,27 @@ def read_trace(source: str | Iterable[str]) -> list[TraceEvent]:
             )
         )
     return events
+
+
+def first_divergence(
+    a: Sequence[TraceEvent], b: Sequence[TraceEvent]
+) -> tuple[int, str | None, str | None] | None:
+    """Locate the first byte-level difference between two traces.
+
+    Compares event streams via :func:`event_to_json` (the byte
+    representation differential tests assert on) and returns
+    ``(index, line_a, line_b)`` for the first mismatching position —
+    a missing event on either side yields ``None`` for that line — or
+    ``None`` when the traces are byte-identical.  Differential harnesses
+    use this to report *which* event diverged instead of dumping two
+    whole JSONL documents.
+    """
+    for index in range(max(len(a), len(b))):
+        line_a = event_to_json(a[index]) if index < len(a) else None
+        line_b = event_to_json(b[index]) if index < len(b) else None
+        if line_a != line_b:
+            return index, line_a, line_b
+    return None
 
 
 def merge_traces(event_lists: Sequence[Sequence[TraceEvent]]) -> list[TraceEvent]:

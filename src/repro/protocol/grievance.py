@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mechanism.ledger import PaymentLedger
     from repro.obs.tracer import Tracer
 
-__all__ = ["Adjudication", "GrievanceCourt"]
+__all__ = ["Adjudication", "GrievanceCourt", "apply_adjudication"]
 
 #: Slack when comparing certified received load against the assignment.
 OVERLOAD_TOL = 1e-9
@@ -52,6 +52,57 @@ class Adjudication:
     reward_amount: float
     surcharge: float = 0.0
     reason: str = ""
+
+
+def apply_adjudication(
+    verdict: Adjudication,
+    ledger: "PaymentLedger",
+    *,
+    tracer: "Tracer | None" = None,
+) -> Adjudication:
+    """Apply an adjudication's transfers to ``ledger``.
+
+    Every verdict — substantiated or frivolous — goes through here, so
+    the fined party (accused *or* accuser) always produces the same
+    ledger fine entry, metrics and trace events regardless of which
+    caller adjudicated it.  The root needs no incentives, so rewards
+    addressed to it are retained by the mechanism (its utility stays 0
+    per eq. 4.3).  Module-level so settlement needs no court instance —
+    the batched lane engine applies verdicts the same way the scalar
+    mechanisms do.
+    """
+    registry = get_registry()
+    registry.inc("mechanism.grievances")
+    if verdict.substantiated:
+        registry.inc("mechanism.grievances_substantiated")
+    if tracer is not None:
+        tracer.event(
+            "grievance",
+            grievance_kind=verdict.grievance.kind.value,
+            accuser=verdict.grievance.accuser,
+            accused=verdict.grievance.accused,
+            substantiated=verdict.substantiated,
+            fined=verdict.fined,
+            fine_amount=verdict.fine_amount,
+            rewarded=verdict.rewarded,
+            reward_amount=verdict.reward_amount,
+            reason=verdict.reason,
+        )
+    ledger.fine(verdict.fined, verdict.fine_amount, f"grievance fine ({verdict.grievance.kind.value})")
+    if verdict.fine_amount > 0:
+        registry.inc("mechanism.fines")
+        registry.inc("mechanism.fine_volume", verdict.fine_amount)
+        if tracer is not None:
+            tracer.event(
+                "fine",
+                proc=verdict.fined,
+                amount=verdict.fine_amount,
+                source="grievance",
+                reason=verdict.grievance.kind.value,
+            )
+    if verdict.rewarded != 0:
+        ledger.pay(verdict.rewarded, verdict.reward_amount, f"grievance reward ({verdict.grievance.kind.value})")
+    return verdict
 
 
 class GrievanceCourt:
@@ -139,44 +190,10 @@ class GrievanceCourt:
     ) -> Adjudication:
         """Apply an adjudication's transfers to ``ledger``.
 
-        Every verdict — substantiated or frivolous — goes through here, so
-        the fined party (accused *or* accuser) always produces the same
-        ledger fine entry, metrics and trace events.  The root needs no
-        incentives, so rewards addressed to it are retained by the
-        mechanism (its utility stays 0 per eq. 4.3).
+        Thin wrapper over :func:`apply_adjudication`, kept so existing
+        callers holding a court keep their settlement path.
         """
-        registry = get_registry()
-        registry.inc("mechanism.grievances")
-        if verdict.substantiated:
-            registry.inc("mechanism.grievances_substantiated")
-        if tracer is not None:
-            tracer.event(
-                "grievance",
-                grievance_kind=verdict.grievance.kind.value,
-                accuser=verdict.grievance.accuser,
-                accused=verdict.grievance.accused,
-                substantiated=verdict.substantiated,
-                fined=verdict.fined,
-                fine_amount=verdict.fine_amount,
-                rewarded=verdict.rewarded,
-                reward_amount=verdict.reward_amount,
-                reason=verdict.reason,
-            )
-        ledger.fine(verdict.fined, verdict.fine_amount, f"grievance fine ({verdict.grievance.kind.value})")
-        if verdict.fine_amount > 0:
-            registry.inc("mechanism.fines")
-            registry.inc("mechanism.fine_volume", verdict.fine_amount)
-            if tracer is not None:
-                tracer.event(
-                    "fine",
-                    proc=verdict.fined,
-                    amount=verdict.fine_amount,
-                    source="grievance",
-                    reason=verdict.grievance.kind.value,
-                )
-        if verdict.rewarded != 0:
-            ledger.pay(verdict.rewarded, verdict.reward_amount, f"grievance reward ({verdict.grievance.kind.value})")
-        return verdict
+        return apply_adjudication(verdict, ledger, tracer=tracer)
 
     # -- evidence checks ---------------------------------------------------
 

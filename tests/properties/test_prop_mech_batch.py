@@ -240,15 +240,26 @@ class TestPopulationBatchPath:
         assert scalar_counters == batch_counters
         assert batched.events == []
 
-    def test_non_batchable_deviant_falls_back(self):
+    def test_non_batchable_deviant_runs_batch_native(self):
         kwargs = dict(m=4, count=3, seed=2, deviant="2:shed:0.5")
-        scalar = run_population(**kwargs)
-        fallback = run_population(use_batch=True, **kwargs)
-        assert scalar.runs == fallback.runs
+        with collecting() as registry:
+            scalar = run_population(**kwargs)
+            scalar_counters = _protocol_counters(registry.snapshot())
+        with collecting() as registry:
+            batched = run_population(use_batch=True, **kwargs)
+            batch_counters = _protocol_counters(registry.snapshot())
+        assert scalar.runs == batched.runs
+        assert scalar_counters == batch_counters
+        assert batch_counters.get("mechanism.scalar_fallbacks", 0) == 0
 
-    def test_trace_falls_back(self):
-        result = run_population(m=3, count=2, seed=5, trace=True, use_batch=True)
-        assert result.events  # batch path never traces; fallback must
+    def test_trace_runs_batch_native_byte_equal(self):
+        from repro.obs.tracer import events_to_jsonl
+
+        kwargs = dict(m=3, count=2, seed=5, trace=True)
+        scalar = run_population(**kwargs)
+        batched = run_population(use_batch=True, **kwargs)
+        assert batched.events  # the lane path traces natively
+        assert events_to_jsonl(batched.events) == events_to_jsonl(scalar.events)
 
 
 class TestRngPreShaping:
