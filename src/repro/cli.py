@@ -26,6 +26,14 @@ Commands
 ``trace``
     Work with recorded traces: ``python -m repro trace summarize
     out.jsonl [--metrics metrics.json]``.
+``perf``
+    Wall-clock performance workflow (see :mod:`repro.obs.perf` /
+    :mod:`repro.obs.bench`): ``perf record`` runs the benchmark suite
+    and appends a machine-fingerprinted row to ``BENCH_history.jsonl``,
+    ``perf report`` renders the profiling span tree and p50/p95/p99
+    latency tables from the recorded snapshot, and ``perf diff``
+    exits nonzero when a gated bench row regressed vs. the best
+    same-machine baseline.
 ``faults``
     Declarative fault injection (see :mod:`repro.faults`):
     ``python -m repro faults list`` shows the scenario catalog,
@@ -125,6 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exps.add_argument("--bench-path", default="BENCH_batch.json", help="output path for --bench")
     exps.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="PATH",
+        help="append a machine-fingerprinted trajectory row here on --bench ('' to skip)",
+    )
+    exps.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="journal completed tasks to PATH (JSONL); re-running with the same "
         "journal resumes, skipping finished tasks with identical results",
@@ -202,6 +214,38 @@ def build_parser() -> argparse.ArgumentParser:
     faults_fuzz.add_argument("--runs", type=int, default=1, help="runs per generated scenario")
     faults_fuzz.add_argument(
         "--report", default=None, metavar="PATH", help="write the JSON fuzz report to PATH"
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock performance: record benchmarks, render span trees, gate regressions",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_record = perf_sub.add_parser(
+        "record", help="run the benchmark suite and append a trajectory row"
+    )
+    perf_record.add_argument("--bench-path", default="BENCH_batch.json", help="full-record output path")
+    perf_record.add_argument("--history", default="BENCH_history.jsonl", help="append-only trajectory path")
+    perf_record.add_argument("--jobs", type=int, default=1, help="worker processes for the parallel sections")
+    perf_report = perf_sub.add_parser(
+        "report", help="span tree and latency percentiles from a bench record or metrics report"
+    )
+    perf_report.add_argument("--bench-path", default="BENCH_batch.json", help="bench record with an embedded perf snapshot")
+    perf_report.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="read histograms from a metrics report (repro run --metrics) instead of the bench record",
+    )
+    perf_diff = perf_sub.add_parser(
+        "diff", help="gate the newest trajectory row against the best same-machine baseline"
+    )
+    perf_diff.add_argument("--history", default="BENCH_history.jsonl", help="trajectory file (newest row is gated)")
+    perf_diff.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="take baseline rows from this history file instead of earlier rows of --history",
+    )
+    perf_diff.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="allowed slowdown fraction before failing (0.5 = 50%%, generous for wall-clock noise)",
     )
 
     trace = sub.add_parser("trace", help="work with recorded JSONL traces")
@@ -368,6 +412,46 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _print_bench_summary(record, bench_path, history_path) -> None:
+    solve = record["batch_solve"]
+    par = record["parallel_runner"]
+    print(
+        f"batch solve: {solve['n_networks']} x {solve['m'] + 1}-processor chains, "
+        f"{solve['scalar_loop_s']:.4f}s scalar vs {solve['batch_s']:.4f}s batched "
+        f"({solve['speedup']:.1f}x)"
+    )
+    par_note = "" if par.get("valid", True) else f" [INVALID: {par.get('invalid_reason')}]"
+    print(
+        f"parallel runner ({record['machine']['cpu_count']} cpus): "
+        f"{par['serial_s']:.3f}s serial vs {par['parallel_s']:.3f}s with "
+        f"--jobs {par['jobs']} ({par['speedup']:.2f}x){par_note}"
+    )
+    mech = record["mech_batch"]
+    print(
+        f"mechanism runs: {mech['count']} x m={mech['m']} chains, "
+        f"{mech['scalar_s']:.3f}s scalar vs {mech['batch_s']:.3f}s batched "
+        f"({mech['speedup']:.1f}x, bitwise equal: {mech['bitwise_equal']})"
+    )
+    mix = mech["deviant_mix"]
+    print(
+        f"deviant mix ({mix['deviant_fraction']:.0%} deviant lanes): "
+        f"{mix['scalar_s']:.3f}s scalar vs {mix['batch_s']:.3f}s batched "
+        f"({mix['speedup']:.1f}x, bitwise equal: {mix['bitwise_equal']})"
+    )
+    rt = record.get("runtime")
+    if rt:
+        print(
+            f"resilient runtime: m={rt['m']} with {rt['faults']} faults in "
+            f"{rt['wall_s']:.3f}s ({rt['crashes']} crash(es), {rt['retries']} retries)"
+        )
+    print(
+        f"machine fingerprint {record['machine']['fingerprint']}; "
+        f"record written to {bench_path}"
+    )
+    if history_path:
+        print(f"trajectory row appended to {history_path}")
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.runner import (
         format_runs,
@@ -378,32 +462,9 @@ def _cmd_experiments(args) -> int:
 
     if args.bench:
         jobs = args.jobs if args.jobs > 1 else 4
-        record = write_benchmark(args.bench_path, jobs=jobs)
-        solve = record["batch_solve"]
-        par = record["parallel_runner"]
-        print(
-            f"batch solve: {solve['n_networks']} x {solve['m'] + 1}-processor chains, "
-            f"{solve['scalar_loop_s']:.4f}s scalar vs {solve['batch_s']:.4f}s batched "
-            f"({solve['speedup']:.1f}x)"
-        )
-        print(
-            f"parallel runner ({record['machine']['cpu_count']} cpus): "
-            f"{par['serial_s']:.3f}s serial vs {par['parallel_s']:.3f}s with "
-            f"--jobs {par['jobs']} ({par['speedup']:.2f}x)"
-        )
-        mech = record["mech_batch"]
-        print(
-            f"mechanism runs: {mech['count']} x m={mech['m']} chains, "
-            f"{mech['scalar_s']:.3f}s scalar vs {mech['batch_s']:.3f}s batched "
-            f"({mech['speedup']:.1f}x, bitwise equal: {mech['bitwise_equal']})"
-        )
-        mix = mech["deviant_mix"]
-        print(
-            f"deviant mix ({mix['deviant_fraction']:.0%} deviant lanes): "
-            f"{mix['scalar_s']:.3f}s scalar vs {mix['batch_s']:.3f}s batched "
-            f"({mix['speedup']:.1f}x, bitwise equal: {mix['bitwise_equal']})"
-        )
-        print(f"record written to {args.bench_path}")
+        history = getattr(args, "history", "BENCH_history.jsonl") or None
+        record = write_benchmark(args.bench_path, jobs=jobs, history_path=history)
+        _print_bench_summary(record, args.bench_path, history)
         return 0
     try:
         if args.replications is not None:
@@ -592,6 +653,75 @@ def _cmd_faults(args) -> int:
     return exit_code
 
 
+def _cmd_perf(args) -> int:
+    import json
+
+    if args.perf_command == "record":
+        from repro.experiments.runner import write_benchmark
+
+        jobs = args.jobs if args.jobs > 1 else 4
+        history = args.history or None
+        record = write_benchmark(args.bench_path, jobs=jobs, history_path=history)
+        _print_bench_summary(record, args.bench_path, history)
+        return 0
+
+    if args.perf_command == "report":
+        from repro.obs.perf import format_latency_table, format_span_tree
+
+        if args.metrics:
+            with open(args.metrics, encoding="utf-8") as fh:
+                histograms = json.load(fh).get("histograms", {})
+            source = args.metrics
+        else:
+            try:
+                with open(args.bench_path, encoding="utf-8") as fh:
+                    record = json.load(fh)
+            except FileNotFoundError:
+                print(
+                    f"{args.bench_path} not found; run `python -m repro perf record` "
+                    "(or `experiments --bench`) first",
+                    file=sys.stderr,
+                )
+                return 2
+            perf = record.get("perf")
+            if not perf:
+                print(
+                    f"{args.bench_path} has no embedded perf snapshot (pre-profiling "
+                    "record); re-run `python -m repro perf record`",
+                    file=sys.stderr,
+                )
+                return 2
+            histograms = perf.get("histograms", {})
+            source = args.bench_path
+            machine = record.get("machine", {})
+            print(
+                f"perf report from {source} "
+                f"(fingerprint {machine.get('fingerprint', '?')}, "
+                f"{machine.get('cpu_count', '?')} cpus)"
+            )
+        print()
+        print("== span tree (cumulative / self wall-clock seconds) ==")
+        print(format_span_tree(histograms))
+        print()
+        print("== latency percentiles ==")
+        print(format_latency_table(histograms))
+        return 0
+
+    # perf diff
+    from repro.obs.bench import diff_history, format_diff, read_history
+
+    rows = read_history(args.history)
+    if not rows:
+        print(f"no trajectory rows in {args.history}; nothing to gate", file=sys.stderr)
+        return 2
+    baseline_rows = read_history(args.baseline) if args.baseline else None
+    result = diff_history(rows, threshold=args.threshold, baseline_rows=baseline_rows)
+    print(format_diff(result))
+    if result["status"] == "regression":
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import json
 
@@ -617,6 +747,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "perf": _cmd_perf,
 }
 
 

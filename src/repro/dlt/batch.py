@@ -37,6 +37,7 @@ from repro.dlt.star import star_alpha_kernel
 from repro.exceptions import InvalidNetworkError
 from repro.network.topology import BusNetwork, LinearNetwork, StarNetwork
 from repro.obs.metrics import get_registry
+from repro.obs.perf import span as perf_span
 
 __all__ = [
     "BatchLinearSchedule",
@@ -205,7 +206,7 @@ def solve_linear_batch(w: np.ndarray, z: np.ndarray) -> BatchLinearSchedule:
     registry = get_registry()
     registry.inc("dlt.batch.linear_calls")
     registry.inc("dlt.batch.linear_instances", w_arr.shape[0])
-    with registry.timer("dlt.batch.linear"):
+    with registry.timer("dlt.batch.linear"), perf_span("solve.batch_linear"):
         alpha_hat, w_eq = backward_pass(w_arr, z_arr)
         alpha, received = alpha_from_alpha_hat(alpha_hat)
     return BatchLinearSchedule(
@@ -252,7 +253,7 @@ def solve_star_batch(
     registry = get_registry()
     registry.inc("dlt.batch.star_calls")
     registry.inc("dlt.batch.star_instances", w_arr.shape[0])
-    with registry.timer("dlt.batch.star"):
+    with registry.timer("dlt.batch.star"), perf_span("solve.batch_star"):
         alpha = star_alpha_kernel(w_arr, z_arr, cols)
     return BatchStarSchedule(
         w=w_arr,

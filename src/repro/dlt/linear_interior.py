@@ -19,7 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.dlt.allocation import InteriorSchedule, LinearSchedule
-from repro.dlt.linear import solve_linear_boundary
+from repro.dlt.batch import solve_linear_cached
 from repro.dlt.star import solve_star
 from repro.exceptions import InvalidNetworkError
 from repro.network.topology import LinearNetwork, StarNetwork
@@ -29,10 +29,17 @@ __all__ = ["solve_linear_interior"]
 
 def _arm_schedule(w: np.ndarray, z: np.ndarray) -> LinearSchedule | None:
     """Boundary schedule of an arm given rates ordered outward from the
-    root's neighbour; ``None`` for an empty arm."""
+    root's neighbour; ``None`` for an empty arm.
+
+    Arm solves go through the LRU cache: a best-root sweep over one
+    chain (experiment X2's ``linear-best-root`` row) re-solves every
+    arm prefix/suffix it already saw at the neighbouring root position,
+    and the returned schedule is frozen and used read-only here
+    (``makespan`` and ``alpha``), so sharing the cached instance is
+    safe."""
     if w.size == 0:
         return None
-    return solve_linear_boundary(LinearNetwork(w, z))
+    return solve_linear_cached(LinearNetwork(w, z))
 
 
 def solve_linear_interior(

@@ -19,8 +19,15 @@ from repro.dlt.linear import solve_linear_boundary
 from repro.dlt.star import solve_star
 from repro.dlt.tree import solve_tree
 from repro.network.topology import BusNetwork, LinearNetwork, StarNetwork, TreeNetwork
+from repro.obs.perf import span as perf_span
 
 __all__ = ["solve"]
+
+
+# The facade carries the per-architecture perf spans; the raw kernels
+# (solve_linear_boundary and friends) stay uninstrumented because hot
+# scalar loops call them thousands of times and a span per call would
+# move the very benchmarks the spans exist to explain.
 
 
 @singledispatch
@@ -35,19 +42,23 @@ def solve(network):
 
 @solve.register
 def _(network: LinearNetwork) -> LinearSchedule:
-    return solve_linear_boundary(network)
+    with perf_span("solve.linear"):
+        return solve_linear_boundary(network)
 
 
 @solve.register
 def _(network: StarNetwork) -> StarSchedule:
-    return solve_star(network)
+    with perf_span("solve.star"):
+        return solve_star(network)
 
 
 @solve.register
 def _(network: BusNetwork) -> StarSchedule:
-    return solve_bus(network)
+    with perf_span("solve.bus"):
+        return solve_bus(network)
 
 
 @solve.register
 def _(network: TreeNetwork) -> TreeSchedule:
-    return solve_tree(network)
+    with perf_span("solve.tree"):
+        return solve_tree(network)

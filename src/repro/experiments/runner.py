@@ -34,7 +34,9 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from repro.experiments.harness import ExperimentResult
+from repro.obs.bench import annotate_sections, append_history, history_row
 from repro.obs.metrics import collecting, get_registry
+from repro.obs.perf import span as perf_span
 from repro.runtime.checkpoint import CheckpointJournal, task_key
 
 __all__ = [
@@ -120,7 +122,10 @@ def _call_experiment(
     cache_before = linear_cache_info()
     start = time.perf_counter()
     with collecting() as registry:
-        result = fn(**call_kwargs)
+        # Per-experiment wall-clock attribution: ids like "T2.1" would
+        # otherwise split into bogus tree levels at the dot.
+        with perf_span("experiments." + exp_id.replace(".", "_")):
+            result = fn(**call_kwargs)
         cache_after = linear_cache_info()
         if cache_after.hits > cache_before.hits:
             registry.inc(
@@ -466,78 +471,100 @@ def benchmark_batch(
     from repro.dlt.linear import solve_linear_boundary
     from repro.mechanism.population import _DEVIANT_KINDS, run_population
     from repro.network.generators import random_linear_network
+    from repro.runtime.session import run_resilient
 
-    rng = np.random.default_rng(seed)
-    networks = [random_linear_network(m, rng) for _ in range(n_networks)]
-    scalar_s = _best_of(lambda: [solve_linear_boundary(net) for net in networks])
-    w, z = stack_networks(networks)
-    batch_s = _best_of(lambda: solve_linear_batch(w, z))
-    batch_total_s = _best_of(lambda: solve_linear_batch(*stack_networks(networks)))
+    # Everything below runs inside one collecting() scope so the bench's
+    # own perf spans and latency histograms (mechanism phases, solve
+    # kernels, runtime, per-experiment attribution — including whatever
+    # pool workers shipped back) end up in one snapshot, embedded in the
+    # record for `python -m repro perf report`.
+    bench_registry = get_registry()  # rebound by collecting() below
+    with collecting() as bench_registry:
+        rng = np.random.default_rng(seed)
+        networks = [random_linear_network(m, rng) for _ in range(n_networks)]
+        scalar_s = _best_of(lambda: [solve_linear_boundary(net) for net in networks])
+        w, z = stack_networks(networks)
+        batch_s = _best_of(lambda: solve_linear_batch(w, z))
+        batch_total_s = _best_of(lambda: solve_linear_batch(*stack_networks(networks)))
 
-    # Cache behaviour on a replay workload: a cold pass misses every
-    # instance, a second pass over the same networks hits every one.
-    linear_cache_clear()
-    cold_start = time.perf_counter()
-    for net in networks:
-        solve_linear_cached(net)
-    cold_s = time.perf_counter() - cold_start
-    warm_start = time.perf_counter()
-    for net in networks:
-        solve_linear_cached(net)
-    warm_s = time.perf_counter() - warm_start
-    cache = linear_cache_info()
-    record_cache_metrics()
+        # Cache behaviour on a replay workload: a cold pass misses every
+        # instance, a second pass over the same networks hits every one.
+        linear_cache_clear()
+        cold_start = time.perf_counter()
+        for net in networks:
+            solve_linear_cached(net)
+        cold_s = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        for net in networks:
+            solve_linear_cached(net)
+        warm_s = time.perf_counter() - warm_start
+        cache = linear_cache_info()
+        record_cache_metrics()
 
-    # The same replay sharded over the pool: per-worker caches hit and
-    # miss on their own, invisibly to the parent lru counters above.
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        worker_stats = list(
-            pool.map(_cache_replay_worker, [networks[i::jobs] for i in range(jobs)])
+        # The same replay sharded over the pool: per-worker caches hit and
+        # miss on their own, invisibly to the parent lru counters above.
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            worker_stats = list(
+                pool.map(_cache_replay_worker, [networks[i::jobs] for i in range(jobs)])
+            )
+        pooled_hits = sum(s[0] for s in worker_stats)
+        pooled_misses = sum(s[1] for s in worker_stats)
+
+        ids = list(experiment_ids)
+        start = time.perf_counter()
+        serial_runs = run_experiments(ids, jobs=1)
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel_runs = run_experiments(ids, jobs=jobs)
+        parallel_s = time.perf_counter() - start
+        serial_hits, serial_misses = _task_cache_totals(serial_runs)
+        worker_hits, worker_misses = _task_cache_totals(parallel_runs)
+
+        # Scalar-vs-batch mechanism runs: the same population both ways,
+        # checked for bitwise-equal summaries before the timings are trusted.
+        start = time.perf_counter()
+        mech_scalar = run_population(mech_m, mech_count, seed=seed)
+        mech_scalar_s = time.perf_counter() - start
+        start = time.perf_counter()
+        mech_batched = run_population(mech_m, mech_count, seed=seed, use_batch=True)
+        mech_batch_s = time.perf_counter() - start
+        mech_equal = mech_scalar.runs == mech_batched.runs
+
+        # The same contract under adversaries: 30% of lanes deviate, rotating
+        # the full catalog (shed, contradict, tamper, ... force the masked
+        # lane path; misbid/slow/overcharge stay on the stacked arrays).
+        deviant_specs: list[str | None] = [
+            f"{1 + (i % (mech_m - 1))}:{_DEVIANT_KINDS[i % len(_DEVIANT_KINDS)]}"
+            if i % 10 < 3
+            else None
+            for i in range(mech_count)
+        ]
+        deviant_fraction = sum(s is not None for s in deviant_specs) / mech_count
+        start = time.perf_counter()
+        mix_scalar = run_population(mech_m, mech_count, seed=seed, deviants=deviant_specs)
+        mix_scalar_s = time.perf_counter() - start
+        start = time.perf_counter()
+        mix_batched = run_population(
+            mech_m, mech_count, seed=seed, deviants=deviant_specs, use_batch=True
         )
-    pooled_hits = sum(s[0] for s in worker_stats)
-    pooled_misses = sum(s[1] for s in worker_stats)
+        mix_batch_s = time.perf_counter() - start
+        mix_equal = mix_scalar.runs == mix_batched.runs
 
-    ids = list(experiment_ids)
-    start = time.perf_counter()
-    serial_runs = run_experiments(ids, jobs=1)
-    serial_s = time.perf_counter() - start
-    start = time.perf_counter()
-    parallel_runs = run_experiments(ids, jobs=jobs)
-    parallel_s = time.perf_counter() - start
-    serial_hits, serial_misses = _task_cache_totals(serial_runs)
-    worker_hits, worker_misses = _task_cache_totals(parallel_runs)
+        # A small resilient session (lossy transport, one crash) so the
+        # runtime.setup/epoch/settlement spans and the retry/delivery
+        # latency histograms show up in the embedded perf snapshot.
+        rt_w = [1.0 + 0.1 * i for i in range(6)]
+        rt_z = [0.2] * 5
+        rt_faults = [
+            {"kind": "net_drop", "target": 2, "param": 2},
+            {"kind": "crash_exec", "target": 3, "param": 0.5},
+        ]
+        rt_start = time.perf_counter()
+        rt_outcome = run_resilient(rt_w, rt_z, rt_faults, seed=seed)
+        runtime_s = time.perf_counter() - rt_start
+        perf_snapshot = bench_registry.snapshot()
 
-    # Scalar-vs-batch mechanism runs: the same population both ways,
-    # checked for bitwise-equal summaries before the timings are trusted.
-    start = time.perf_counter()
-    mech_scalar = run_population(mech_m, mech_count, seed=seed)
-    mech_scalar_s = time.perf_counter() - start
-    start = time.perf_counter()
-    mech_batched = run_population(mech_m, mech_count, seed=seed, use_batch=True)
-    mech_batch_s = time.perf_counter() - start
-    mech_equal = mech_scalar.runs == mech_batched.runs
-
-    # The same contract under adversaries: 30% of lanes deviate, rotating
-    # the full catalog (shed, contradict, tamper, ... force the masked
-    # lane path; misbid/slow/overcharge stay on the stacked arrays).
-    deviant_specs: list[str | None] = [
-        f"{1 + (i % (mech_m - 1))}:{_DEVIANT_KINDS[i % len(_DEVIANT_KINDS)]}"
-        if i % 10 < 3
-        else None
-        for i in range(mech_count)
-    ]
-    deviant_fraction = sum(s is not None for s in deviant_specs) / mech_count
-    start = time.perf_counter()
-    mix_scalar = run_population(mech_m, mech_count, seed=seed, deviants=deviant_specs)
-    mix_scalar_s = time.perf_counter() - start
-    start = time.perf_counter()
-    mix_batched = run_population(
-        mech_m, mech_count, seed=seed, deviants=deviant_specs, use_batch=True
-    )
-    mix_batch_s = time.perf_counter() - start
-    mix_equal = mix_scalar.runs == mix_batched.runs
-
-    return {
+    record = {
         "machine": {
             "cpu_count": os.cpu_count(),
             "platform": platform.platform(),
@@ -596,13 +623,37 @@ def benchmark_batch(
                 "bitwise_equal": bool(mix_equal),
             },
         },
+        "runtime": {
+            "m": len(rt_z),
+            "faults": len(rt_faults),
+            "wall_s": runtime_s,
+            "completed": bool(rt_outcome.completed),
+            "crashes": rt_outcome.crashes,
+            "retries": rt_outcome.retries,
+        },
+        "perf": perf_snapshot,
     }
+    return annotate_sections(record)
 
 
-def write_benchmark(path: str | os.PathLike[str] = "BENCH_batch.json", **kwargs: Any) -> dict[str, Any]:
-    """Run :func:`benchmark_batch` and write the record to ``path`` as JSON."""
+def write_benchmark(
+    path: str | os.PathLike[str] = "BENCH_batch.json",
+    *,
+    history_path: str | os.PathLike[str] | None = "BENCH_history.jsonl",
+    **kwargs: Any,
+) -> dict[str, Any]:
+    """Run :func:`benchmark_batch`, write ``path``, append the trajectory.
+
+    ``BENCH_batch.json`` stays a full overwritten snapshot; the
+    machine-fingerprinted gist of every run is *appended* to
+    ``history_path`` (``BENCH_history.jsonl``) so ``python -m repro perf
+    diff`` has a trajectory to gate against.  Pass ``history_path=None``
+    to skip the append (throwaway bench runs in tests).
+    """
     record = benchmark_batch(**kwargs)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if history_path is not None:
+        append_history(history_path, history_row(record))
     return record

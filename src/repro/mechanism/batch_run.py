@@ -78,6 +78,7 @@ from repro.mechanism.payments import payment_breakdown_batch
 from repro.mechanism.star_mechanism import StarMechanism
 from repro.network.topology import LinearNetwork
 from repro.obs.metrics import get_registry
+from repro.obs.perf import span as perf_span
 from repro.protocol.meter import MeterReading, TamperProofMeter
 from repro.sim.linear_sim import LinearChainResult
 from repro.sim.trace import GanttTrace, Interval
@@ -364,140 +365,144 @@ def run_chain_batch(
     full_bids = np.concatenate((w[:, :1], bid_arr), axis=1)
 
     registry = get_registry()
-    with registry.timer("mechanism.batch_run"):
+    with registry.timer("mechanism.batch_run"), perf_span("mech_batch"):
         # ---- Phase I: stacked Algorithm-1 solve + mechanism-faithful
         # local fractions.  The solver's w_eq IS the scalar w_bar; the
         # interior alpha_hat must be re-derived by the mechanism's
         # division (ulp-different from the solver's backward-pass form).
-        schedule = solve_linear_batch(full_bids, z)
-        w_bar = schedule.w_eq
-        alpha_hat = np.empty_like(w_bar)
-        alpha_hat[:, m] = 1.0
-        if m > 1:
-            alpha_hat[:, 1:m] = w_bar[:, 1:m] / full_bids[:, 1:m]
-        alpha_hat[:, 0] = schedule.alpha_hat[:, 0]
+        with perf_span("phase_1"):
+            schedule = solve_linear_batch(full_bids, z)
+            w_bar = schedule.w_eq
+            alpha_hat = np.empty_like(w_bar)
+            alpha_hat[:, m] = 1.0
+            if m > 1:
+                alpha_hat[:, 1:m] = w_bar[:, 1:m] / full_bids[:, 1:m]
+            alpha_hat[:, 0] = schedule.alpha_hat[:, 0]
 
         # ---- Phase II: the D_i cascade (sequential in the chain axis —
         # each share multiplies the previous one, like the G messages).
-        received = np.empty_like(w_bar)
-        received[:, 0] = 1.0
-        received[:, 1] = 1.0 - alpha_hat[:, 0]
-        for i in range(1, m):
-            received[:, i + 1] = received[:, i] * (1.0 - alpha_hat[:, i])
-        assigned = received * alpha_hat * load
+        with perf_span("phase_2"):
+            received = np.empty_like(w_bar)
+            received[:, 0] = 1.0
+            received[:, 1] = 1.0 - alpha_hat[:, 0]
+            for i in range(1, m):
+                received[:, i + 1] = received[:, i] * (1.0 - alpha_hat[:, i])
+            assigned = received * alpha_hat * load
 
         # ---- Phase III: honest retention plan, then the event-driven
         # cascade (store-and-forward with the simulator's load threshold).
-        exec_arr = (
-            true_rates
-            if execution_rates is None
-            else _as_matrix("execution_rates", execution_rates, (n_runs, m))
-        )
-        actual = np.maximum(exec_arr, true_rates)
-        rates_full = np.concatenate((w[:, :1], actual), axis=1)
-
-        retained = np.zeros_like(w_bar)
-        received_actual = np.zeros_like(w_bar)
-        received_actual[:, 0] = load
-        retained[:, 0] = assigned[:, 0]
-        for i in range(1, m + 1):
-            received_actual[:, i] = received_actual[:, i - 1] - retained[:, i - 1]
-            if i == m:
-                retained[:, i] = received_actual[:, i]
-            else:
-                expected_forward = received[:, i + 1] * load
-                choice = np.maximum(received_actual[:, i] - expected_forward, 0.0)
-                retained[:, i] = np.clip(choice, 0.0, received_actual[:, i])
-
-        # Batched metering comparison: any overload would trigger scalar
-        # grievance adjudication, which has no vectorized path.
-        if np.any(received_actual[:, 1:] > received[:, 1:] * load + _LOAD_TOL):
-            raise ProtocolViolation(
-                "batched runs must be grievance-free: a row's actual flow "
-                "exceeds its Phase II expectation"
+        with perf_span("phase_3"):
+            exec_arr = (
+                true_rates
+                if execution_rates is None
+                else _as_matrix("execution_rates", execution_rates, (n_runs, m))
             )
+            actual = np.maximum(exec_arr, true_rates)
+            rates_full = np.concatenate((w[:, :1], actual), axis=1)
 
-        computed = np.zeros_like(w_bar)
-        arrival = np.zeros_like(w_bar)
-        flowing = np.full(n_runs, load)
-        now = np.zeros(n_runs)
-        alive = np.ones(n_runs, dtype=bool)
-        for p in range(m + 1):
-            keep = flowing if p == m else np.minimum(retained[:, p], flowing)
-            computed[:, p] = np.where(alive & (keep > _EPS_LOAD), keep, 0.0)
-            arrival[:, p] = np.where(alive, now, 0.0)
-            if p < m:
-                forward = flowing - keep
-                sent = alive & (forward > _EPS_LOAD)
-                now = np.where(sent, now + forward * z[:, p], 0.0)
-                flowing = np.where(sent, forward, 0.0)
-                alive = sent
-        ends = np.where(computed > 0.0, arrival + computed * rates_full, 0.0)
-        makespan = ends.max(axis=1)
+            retained = np.zeros_like(w_bar)
+            received_actual = np.zeros_like(w_bar)
+            received_actual[:, 0] = load
+            retained[:, 0] = assigned[:, 0]
+            for i in range(1, m + 1):
+                received_actual[:, i] = received_actual[:, i - 1] - retained[:, i - 1]
+                if i == m:
+                    retained[:, i] = received_actual[:, i]
+                else:
+                    expected_forward = received[:, i + 1] * load
+                    choice = np.maximum(received_actual[:, i] - expected_forward, 0.0)
+                    retained[:, i] = np.clip(choice, 0.0, received_actual[:, i])
+
+            # Batched metering comparison: any overload would trigger scalar
+            # grievance adjudication, which has no vectorized path.
+            if np.any(received_actual[:, 1:] > received[:, 1:] * load + _LOAD_TOL):
+                raise ProtocolViolation(
+                    "batched runs must be grievance-free: a row's actual flow "
+                    "exceeds its Phase II expectation"
+                )
+
+            computed = np.zeros_like(w_bar)
+            arrival = np.zeros_like(w_bar)
+            flowing = np.full(n_runs, load)
+            now = np.zeros(n_runs)
+            alive = np.ones(n_runs, dtype=bool)
+            for p in range(m + 1):
+                keep = flowing if p == m else np.minimum(retained[:, p], flowing)
+                computed[:, p] = np.where(alive & (keep > _EPS_LOAD), keep, 0.0)
+                arrival[:, p] = np.where(alive, now, 0.0)
+                if p < m:
+                    forward = flowing - keep
+                    sent = alive & (forward > _EPS_LOAD)
+                    now = np.where(sent, now + forward * z[:, p], 0.0)
+                    flowing = np.where(sent, forward, 0.0)
+                    alive = sent
+            ends = np.where(computed > 0.0, arrival + computed * rates_full, 0.0)
+            makespan = ends.max(axis=1)
 
         # ---- Phase IV: provable payments from the mechanism's own
         # arrays, then the audit recomputation with the proof-side
         # alpha_hat (left-associative denominator, verbatim).
-        correct_bd = payment_breakdown_batch(
-            schedule,
-            computed=computed[:, 1:],
-            actual_rates=actual,
-            assigned=assigned[:, 1:],
-            alpha_hat=alpha_hat[:, 1:],
-        )
-        correct_q = correct_bd.payment
-        if bill_overcharge is None:
-            billed = correct_q
-        else:
-            over = _as_matrix("bill_overcharge", bill_overcharge, (n_runs, m))
-            billed = np.where(over != 0.0, correct_q + over, correct_q)
-
-        audit_alpha_hat = np.empty((n_runs, m))
-        audit_alpha_hat[:, m - 1] = 1.0
-        audit_w_bar = np.empty((n_runs, m))
-        audit_w_bar[:, m - 1] = full_bids[:, m]
-        if m > 1:
-            w_bar_next = w_bar[:, 2:]
-            z_next = z[:, 1:]
-            own_bid = full_bids[:, 1:m]
-            hat = (w_bar_next + z_next) / (own_bid + w_bar_next + z_next)
-            audit_alpha_hat[:, : m - 1] = hat
-            audit_w_bar[:, : m - 1] = hat * own_bid
-        audit_assigned = received[:, 1:] * audit_alpha_hat * load
-        recomputed_q = payment_breakdown_batch(
-            schedule,
-            computed=computed[:, 1:],
-            actual_rates=actual,
-            assigned=audit_assigned,
-            alpha_hat=audit_alpha_hat,
-            w_bar=audit_w_bar,
-        ).payment
-
-        challenged = _challenges(audit_draws, q, (n_runs, m))
-        audit_fines = np.where(
-            challenged & (billed > recomputed_q + BILL_TOL),
-            fine_arr[:, None] / q,
-            0.0,
-        )
-
-        root_pay = assigned[:, 0] * w[:, 0]
-        balances, fines_total, outlay, run_volume, n_fine_entries = _ledger_mirrors(
-            root_pay, billed, audit_fines
-        )
-        valuations = -computed[:, 1:] * actual
-        utilities = valuations + balances
-
-        if emit_metrics:
-            _emit_counters(
-                registry,
-                runs_counter="mechanism.runs",
-                n_runs=n_runs,
-                n_audits=n_runs * m,
-                challenged=challenged,
-                audit_fines=audit_fines,
-                n_fine_entries=n_fine_entries,
-                run_volume=run_volume,
+        with perf_span("phase_4"):
+            correct_bd = payment_breakdown_batch(
+                schedule,
+                computed=computed[:, 1:],
+                actual_rates=actual,
+                assigned=assigned[:, 1:],
+                alpha_hat=alpha_hat[:, 1:],
             )
+            correct_q = correct_bd.payment
+            if bill_overcharge is None:
+                billed = correct_q
+            else:
+                over = _as_matrix("bill_overcharge", bill_overcharge, (n_runs, m))
+                billed = np.where(over != 0.0, correct_q + over, correct_q)
+
+            audit_alpha_hat = np.empty((n_runs, m))
+            audit_alpha_hat[:, m - 1] = 1.0
+            audit_w_bar = np.empty((n_runs, m))
+            audit_w_bar[:, m - 1] = full_bids[:, m]
+            if m > 1:
+                w_bar_next = w_bar[:, 2:]
+                z_next = z[:, 1:]
+                own_bid = full_bids[:, 1:m]
+                hat = (w_bar_next + z_next) / (own_bid + w_bar_next + z_next)
+                audit_alpha_hat[:, : m - 1] = hat
+                audit_w_bar[:, : m - 1] = hat * own_bid
+            audit_assigned = received[:, 1:] * audit_alpha_hat * load
+            recomputed_q = payment_breakdown_batch(
+                schedule,
+                computed=computed[:, 1:],
+                actual_rates=actual,
+                assigned=audit_assigned,
+                alpha_hat=audit_alpha_hat,
+                w_bar=audit_w_bar,
+            ).payment
+
+            challenged = _challenges(audit_draws, q, (n_runs, m))
+            audit_fines = np.where(
+                challenged & (billed > recomputed_q + BILL_TOL),
+                fine_arr[:, None] / q,
+                0.0,
+            )
+
+            root_pay = assigned[:, 0] * w[:, 0]
+            balances, fines_total, outlay, run_volume, n_fine_entries = _ledger_mirrors(
+                root_pay, billed, audit_fines
+            )
+            valuations = -computed[:, 1:] * actual
+            utilities = valuations + balances
+
+            if emit_metrics:
+                _emit_counters(
+                    registry,
+                    runs_counter="mechanism.runs",
+                    n_runs=n_runs,
+                    n_audits=n_runs * m,
+                    challenged=challenged,
+                    audit_fines=audit_fines,
+                    n_fine_entries=n_fine_entries,
+                    run_volume=run_volume,
+                )
 
     return BatchChainOutcome(
         bids=full_bids,
@@ -583,7 +588,7 @@ def run_star_batch(
     full_bids = np.concatenate((w[:, :1], bid_arr), axis=1)
 
     registry = get_registry()
-    with registry.timer("mechanism.star_batch_run"):
+    with registry.timer("mechanism.star_batch_run"), perf_span("mech_batch_star"):
         # Service order: non-decreasing link time, stable per row — the
         # public bid-independent optimum the scalar mechanism uses.
         orders = np.argsort(z, axis=1, kind="stable") + 1

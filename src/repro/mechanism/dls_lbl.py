@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.agents.base import ProcessorAgent
 from repro.obs.metrics import get_registry
+from repro.obs.perf import span as perf_span
 from repro.obs.tracer import Tracer
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.crypto.signing import SignedMessage, sign
@@ -249,7 +250,7 @@ class DLSLBLMechanism:
         """
         registry = get_registry()
         registry.inc("mechanism.runs")
-        with registry.timer("mechanism.run"), self._span(
+        with registry.timer("mechanism.run"), perf_span("mechanism"), self._span(
             "run",
             m=self.m,
             fine=self.fine,
@@ -280,14 +281,15 @@ class DLSLBLMechanism:
         # Raw bids w_i.  The terminal's Phase I "computation" is its bid.
         bids = np.empty(m + 1)
         bids[0] = self.root_rate
-        for i in range(1, m + 1):
-            bids[i] = self.agents[i].choose_bid()
+        with perf_span("bidding"):
+            for i in range(1, m + 1):
+                bids[i] = self.agents[i].choose_bid()
 
         # ---------------- Phase I: bottom-up equivalent bids -------------
         w_bar = np.empty(m + 1)
         alpha_hat = np.empty(m + 1)
         bid_messages: dict[int, SignedMessage] = {}
-        with registry.timer("mechanism.phase_1"), self._span("phase_1", m=m):
+        with registry.timer("mechanism.phase_1"), perf_span("phase_1"), self._span("phase_1", m=m):
             for i in range(m, 0, -1):
                 agent = self.agents[i]
                 if i == m:
@@ -342,7 +344,7 @@ class DLSLBLMechanism:
         def scalar(signer: int, kind: str, proc: int, value: float) -> SignedMessage:
             return self._sign(signer, value_payload(kind, proc, value))
 
-        with registry.timer("mechanism.phase_2"), self._span("phase_2"):
+        with registry.timer("mechanism.phase_2"), perf_span("phase_2"), self._span("phase_2"):
             # Root constructs G_1 (eq. 4.1) — all components root-signed.
             received_share[1] = 1.0 - alpha_hat[0]
             g_messages[1] = GMessage(
@@ -396,7 +398,7 @@ class DLSLBLMechanism:
         schedule = self._schedule_from_bids(bids, w_bar, alpha_hat, received_share)
 
         # ---------------- Phase III: distribution & computation ----------
-        with registry.timer("mechanism.phase_3"), self._span("phase_3") as phase3_span:
+        with registry.timer("mechanism.phase_3"), perf_span("phase_3"), self._span("phase_3") as phase3_span:
             actual_rates = np.empty(m + 1)
             actual_rates[0] = self.root_rate
             delays = np.zeros(m + 1)
@@ -407,7 +409,8 @@ class DLSLBLMechanism:
 
             retained, received_actual = self._flows(assigned, received_share)
             network = LinearNetwork(actual_rates, self.z)
-            sim_result = self._simulate(network, retained, delays)
+            with perf_span("simulate"):
+                sim_result = self._simulate(network, retained, delays)
             computed = sim_result.computed
             if self.tracer is not None:
                 sim_result.trace.record_to(self.tracer)
@@ -460,7 +463,7 @@ class DLSLBLMechanism:
                     adjudications.append(self._settle(court.adjudicate(grievance), ledger))
 
         # ---------------- Phase IV: payments ------------------------------
-        with registry.timer("mechanism.phase_4"), self._span("phase_4"):
+        with registry.timer("mechanism.phase_4"), perf_span("phase_4"), self._span("phase_4"):
             # Root reimbursement (eq. 4.3): U_0 = 0 by construction.
             ledger.pay(0, float(assigned[0] * self.root_rate), "root reimbursement")
 

@@ -5,8 +5,13 @@ and the experiment runner:
 
 - :mod:`repro.obs.tracer` — deterministic JSONL span/event records with
   simulated-time stamps (byte-identical across ``--jobs`` counts);
-- :mod:`repro.obs.metrics` — named counters/gauges/histograms/timers
-  with per-worker snapshot-and-merge;
+- :mod:`repro.obs.metrics` — named counters/gauges/log-bucket latency
+  histograms/timers with per-worker snapshot-and-merge and exact
+  p50/p95/p99 extraction;
+- :mod:`repro.obs.perf` — hierarchical wall-clock profiling spans
+  (``perf.<path>`` histograms, never the trace stream);
+- :mod:`repro.obs.bench` — machine-fingerprinted ``BENCH_history.jsonl``
+  trajectory rows and the ``perf diff`` regression gate;
 - :mod:`repro.obs.report` / :mod:`repro.obs.summary` —
   ``BENCH_*.json``-compatible metrics reports and the
   ``trace summarize`` rollups.
@@ -14,11 +19,29 @@ and the experiment runner:
 See ``docs/observability.md`` for the event schema and metric names.
 """
 
+from repro.obs.bench import (
+    annotate_sections,
+    append_history,
+    diff_history,
+    history_row,
+    machine_fingerprint,
+    read_history,
+)
 from repro.obs.metrics import (
+    LatencyHistogram,
     MetricsRegistry,
     collecting,
     get_registry,
     merge_snapshots,
+)
+from repro.obs.perf import (
+    PerfProfiler,
+    format_latency_table,
+    format_span_tree,
+    perf_enabled,
+    set_enabled,
+    span,
+    span_tree,
 )
 from repro.obs.report import machine_info, metrics_report, write_metrics_report
 from repro.obs.summary import summarize_trace
@@ -33,18 +56,32 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "LatencyHistogram",
     "MetricsRegistry",
+    "PerfProfiler",
     "TraceEvent",
     "Tracer",
+    "annotate_sections",
+    "append_history",
     "collecting",
+    "diff_history",
     "event_to_json",
     "events_to_jsonl",
+    "format_latency_table",
+    "format_span_tree",
     "get_registry",
+    "history_row",
+    "machine_fingerprint",
     "machine_info",
     "merge_snapshots",
     "merge_traces",
     "metrics_report",
+    "perf_enabled",
+    "read_history",
     "read_trace",
+    "set_enabled",
+    "span",
+    "span_tree",
     "summarize_trace",
     "write_metrics_report",
     "write_trace",

@@ -21,33 +21,104 @@ constraints drive the shape:
 
 Naming convention: dotted lowercase paths (``crypto.signatures_created``,
 ``mechanism.fines_levied``, ``cache.solve_linear.hits``).  Timer
-durations are recorded as histograms under ``time.<name>`` in seconds.
+durations are recorded as histograms under ``time.<name>`` in seconds;
+profiling spans (:mod:`repro.obs.perf`) land under ``perf.<path>``.
+
+Histograms are **fixed-bucket log-scale**: positive observations fall
+into quarter-octave buckets (four buckets per power of two, ~19% wide,
+so any quantile read off a bucket is within ~19% of the true value),
+non-positive observations pool in a dedicated underflow slot, and exact
+count/total/min/max ride alongside.  Bucket *counts* are integers, so a
+merge of per-worker snapshots is exact and order-independent; quantiles
+(p50/p95/p99) are nearest-rank reads over the merged buckets and are
+therefore identical no matter how many workers contributed.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator, Mapping
 
 __all__ = [
+    "LatencyHistogram",
     "MetricsRegistry",
+    "bucket_index",
+    "bucket_lower_bound",
     "get_registry",
     "collecting",
     "merge_snapshots",
 ]
 
+#: Buckets per power of two.  Four gives quarter-octave resolution:
+#: consecutive bucket bounds differ by 2**0.25 ~ 1.19.
+_STEPS_PER_OCTAVE = 4
 
-class _Histogram:
-    """Streaming aggregate of observed values: count/total/min/max."""
+#: Mantissa thresholds for the four sub-buckets of one octave.
+#: ``math.frexp`` yields a mantissa in [0.5, 1); these split that range
+#: geometrically: [0.5, 0.5*2^0.25), [0.5*2^0.25, 0.5*2^0.5), ...
+_MANTISSA_EDGES = tuple(0.5 * 2.0 ** (j / _STEPS_PER_OCTAVE) for j in range(_STEPS_PER_OCTAVE))
 
-    __slots__ = ("count", "total", "min", "max")
+#: Serialized key for the non-positive underflow slot.
+_NONPOS_KEY = "nonpos"
+
+
+def bucket_index(value: float) -> int:
+    """Quarter-octave bucket index for a positive ``value``.
+
+    The bucket holding ``value`` spans
+    ``[bucket_lower_bound(i), bucket_lower_bound(i + 1))``.  Indices are
+    integers (negative for values below 1.0) and purely a function of
+    the value — no registry state — so indices computed in different
+    worker processes always agree.
+    """
+    mantissa, exponent = math.frexp(value)  # mantissa in [0.5, 1)
+    if mantissa < _MANTISSA_EDGES[1]:
+        sub = 0
+    elif mantissa < _MANTISSA_EDGES[2]:
+        sub = 1
+    elif mantissa < _MANTISSA_EDGES[3]:
+        sub = 2
+    else:
+        sub = 3
+    return _STEPS_PER_OCTAVE * exponent + sub
+
+
+def bucket_lower_bound(index: int) -> float:
+    """Inclusive lower bound of bucket ``index`` (inverse of the above)."""
+    exponent, sub = divmod(index, _STEPS_PER_OCTAVE)
+    return math.ldexp(_MANTISSA_EDGES[sub], exponent)
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale histogram with exact merge and quantiles.
+
+    Positive observations are bucketed by :func:`bucket_index`;
+    non-positive ones pool in an underflow slot.  Each bucket keeps an
+    integer count and a float sum, so merging two histograms adds
+    bucket-wise — associative, commutative on the integer counts, and
+    (for the float sums) dependent only on fold order, which the runner
+    fixes to submission order.  Exact min/max/total/count are kept
+    alongside the buckets.
+
+    Quantiles use the nearest-rank rule: ``quantile(q)`` finds the
+    ``ceil(q * count)``-th smallest observation's bucket and returns
+    that bucket's mean — exact when the bucket holds a single distinct
+    value (as in tests over known distributions), within one bucket
+    width (~19%) otherwise.  ``quantile(1.0)`` returns the exact max.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets", "nonpos_count", "nonpos_total")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets: dict[int, list] = {}  # index -> [count, sum]
+        self.nonpos_count = 0
+        self.nonpos_total = 0.0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -56,17 +127,67 @@ class _Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if value > 0.0:
+            idx = bucket_index(value)
+            slot = self.buckets.get(idx)
+            if slot is None:
+                self.buckets[idx] = [1, value]
+            else:
+                slot[0] += 1
+                slot[1] += value
+        else:
+            self.nonpos_count += 1
+            self.nonpos_total += value
 
-    def as_dict(self) -> dict[str, float]:
+    # -- quantiles -----------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile ``q`` in [0, 1] (0.0 on empty)."""
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        if rank == self.count:
+            return self.max  # the top rank is the exact maximum
+        seen = 0
+        if self.nonpos_count:
+            seen += self.nonpos_count
+            if rank <= seen:
+                return self.nonpos_total / self.nonpos_count
+        for idx in sorted(self.buckets):
+            cnt, tot = self.buckets[idx]
+            seen += cnt
+            if rank <= seen:
+                return tot / cnt
+        return self.max  # unreachable unless counts drifted
+
+    # -- serialization -------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form: picklable, JSON-round-trip stable.
+
+        Bucket keys are serialized as strings so ``json.loads(json.dumps
+        (snapshot))`` equals the snapshot — history files and worker
+        snapshots share one shape.
+        """
+        buckets: dict[str, list] = {str(i): list(self.buckets[i]) for i in sorted(self.buckets)}
+        if self.nonpos_count:
+            buckets[_NONPOS_KEY] = [self.nonpos_count, self.nonpos_total]
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.total / self.count if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": buckets,
         }
 
-    def merge_dict(self, other: Mapping[str, float]) -> None:
+    def merge_dict(self, other: Mapping[str, Any]) -> None:
+        """Fold a serialized histogram in (tolerates bucket-less dicts)."""
         count = int(other.get("count", 0))
         if count == 0:
             return
@@ -74,6 +195,25 @@ class _Histogram:
         self.total += float(other.get("total", 0.0))
         self.min = min(self.min, float(other.get("min", float("inf"))))
         self.max = max(self.max, float(other.get("max", float("-inf"))))
+        for key, (cnt, tot) in other.get("buckets", {}).items():
+            if key == _NONPOS_KEY:
+                self.nonpos_count += int(cnt)
+                self.nonpos_total += float(tot)
+                continue
+            idx = int(key)
+            slot = self.buckets.get(idx)
+            if slot is None:
+                self.buckets[idx] = [int(cnt), float(tot)]
+            else:
+                slot[0] += int(cnt)
+                slot[1] += float(tot)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LatencyHistogram":
+        """Rehydrate a histogram from its :meth:`as_dict` form."""
+        hist = cls()
+        hist.merge_dict(data)
+        return hist
 
 
 class MetricsRegistry:
@@ -95,7 +235,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
-        self._histograms: dict[str, _Histogram] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
 
     # -- counters ------------------------------------------------------
 
@@ -126,7 +266,7 @@ class MetricsRegistry:
         """Add an observation to histogram ``name``."""
         hist = self._histograms.get(name)
         if hist is None:
-            hist = self._histograms[name] = _Histogram()
+            hist = self._histograms[name] = LatencyHistogram()
         hist.observe(float(value))
 
     @contextmanager
@@ -168,7 +308,7 @@ class MetricsRegistry:
                 continue  # don't materialize empty histograms
             hist = self._histograms.get(name)
             if hist is None:
-                hist = self._histograms[name] = _Histogram()
+                hist = self._histograms[name] = LatencyHistogram()
             hist.merge_dict(data)
 
     def reset(self, prefix: str | None = None) -> None:

@@ -63,6 +63,7 @@ from repro.dlt.linear import solve_linear_boundary
 from repro.mechanism.ledger import PaymentLedger
 from repro.network.topology import LinearNetwork
 from repro.obs.metrics import get_registry
+from repro.obs.perf import span as perf_span
 from repro.obs.tracer import Tracer
 from repro.protocol.messages import bid_payload
 from repro.runtime.retry import RetryPolicy, backoff_schedule
@@ -217,7 +218,7 @@ def run_resilient(
         if tracer is not None
         else nullcontext(None)
     )
-    with cm as run_span:
+    with perf_span("runtime"), cm as run_span:
         outcome = _run_session(
             w,
             z,
@@ -261,68 +262,73 @@ def _run_session(
     ledger = PaymentLedger(tracer=tracer)
 
     # ---------------- Setup: collect bids over the lossy transport -------
-    retries = 0
-    rejections = 0
-    grievances: list[dict[str, Any]] = []
-    unresponsive: list[int] = []
-    ready = np.zeros(m + 1)
-    for i in range(1, m + 1):
-        message = sign(key_by_owner[i], bid_payload(i, float(w[i])))
-        timeouts = backoff_schedule(retry, jitter_rng)
-        seen: set[str] = set()
-        t = 0.0
-        arrived: float | None = None
-        for attempt, timeout in enumerate(timeouts):
-            deadline = t + timeout
-            for delivery in transport.send(
-                message, sender=i, receiver=0, at=t, kind="bid"
-            ):
-                if delivery.arrival > deadline:
-                    continue  # the root has already given up on this attempt
-                digest = delivery.message.content_digest() + delivery.message.signature
-                if digest in seen:
-                    continue  # duplicate copy, discarded silently
-                seen.add(digest)
-                if not delivery.message.verify(key_registry):
-                    rejections += 1
-                    registry.inc("runtime.corrupt_rejected")
-                    grievances.append(
-                        {
-                            "kind": "corrupt-message",
-                            "accuser": 0,
-                            "against": i,
-                            "attempt": attempt,
-                            "at": delivery.arrival,
-                        }
-                    )
-                    if tracer is not None:
-                        tracer.event(
-                            "msg_rejected",
-                            t0=delivery.arrival,
-                            proc=i,
-                            attempt=attempt,
-                            reason="signature verification failed",
+    with perf_span("setup"):
+        retries = 0
+        rejections = 0
+        grievances: list[dict[str, Any]] = []
+        unresponsive: list[int] = []
+        ready = np.zeros(m + 1)
+        for i in range(1, m + 1):
+            message = sign(key_by_owner[i], bid_payload(i, float(w[i])))
+            timeouts = backoff_schedule(retry, jitter_rng)
+            seen: set[str] = set()
+            t = 0.0
+            arrived: float | None = None
+            for attempt, timeout in enumerate(timeouts):
+                deadline = t + timeout
+                for delivery in transport.send(
+                    message, sender=i, receiver=0, at=t, kind="bid"
+                ):
+                    if delivery.arrival > deadline:
+                        continue  # the root has already given up on this attempt
+                    digest = delivery.message.content_digest() + delivery.message.signature
+                    if digest in seen:
+                        continue  # duplicate copy, discarded silently
+                    seen.add(digest)
+                    if not delivery.message.verify(key_registry):
+                        rejections += 1
+                        registry.inc("runtime.corrupt_rejected")
+                        grievances.append(
+                            {
+                                "kind": "corrupt-message",
+                                "accuser": 0,
+                                "against": i,
+                                "attempt": attempt,
+                                "at": delivery.arrival,
+                            }
                         )
-                    continue
-                arrived = delivery.arrival
-                break
-            if arrived is not None:
-                break
-            retries += 1
-            registry.inc("runtime.retries")
-            if tracer is not None:
-                tracer.event("retry", t0=deadline, proc=i, attempt=attempt, timeout=timeout)
-            t = deadline
-        if arrived is None:
-            # The last "retry" above was really the give-up decision.
-            retries -= 1
-            unresponsive.append(i)
-            registry.inc("runtime.unresponsive")
-            if tracer is not None:
-                tracer.event("unresponsive", t0=t, proc=i, attempts=len(timeouts))
-        else:
-            ready[i] = arrived
-    setup_time = float(ready.max())
+                        if tracer is not None:
+                            tracer.event(
+                                "msg_rejected",
+                                t0=delivery.arrival,
+                                proc=i,
+                                attempt=attempt,
+                                reason="signature verification failed",
+                            )
+                        continue
+                    arrived = delivery.arrival
+                    break
+                if arrived is not None:
+                    break
+                retries += 1
+                registry.inc("runtime.retries")
+                # Simulated seconds waited before this retransmit; a
+                # histogram (not the trace) so backoff growth is visible
+                # in perf reports without touching determinism.
+                registry.observe("runtime.retry_wait_sim", float(timeout))
+                if tracer is not None:
+                    tracer.event("retry", t0=deadline, proc=i, attempt=attempt, timeout=timeout)
+                t = deadline
+            if arrived is None:
+                # The last "retry" above was really the give-up decision.
+                retries -= 1
+                unresponsive.append(i)
+                registry.inc("runtime.unresponsive")
+                if tracer is not None:
+                    tracer.event("unresponsive", t0=t, proc=i, attempts=len(timeouts))
+            else:
+                ready[i] = arrived
+        setup_time = float(ready.max())
 
     # ---------------- Baseline: the fault-free allocation -----------------
     baseline = solve_linear_boundary(LinearNetwork(w, z))
@@ -357,7 +363,7 @@ def _run_session(
             if tracer is not None
             else nullcontext(None)
         )
-        with cm as epoch_span:
+        with perf_span("epoch"), cm as epoch_span:
             sim = None
             if network.size > 1:
                 from repro.sim.linear_sim import simulate_linear_chain
@@ -467,23 +473,24 @@ def _run_session(
                 )
 
     # ---------------- Settlement ------------------------------------------
-    forfeits: dict[int, float] = {}
-    ledger.pay(0, float(computed[0]) * float(w[0]), "root reimbursement")
-    for i in range(1, m + 1):
-        amount = float(computed[i]) * float(w[i])
-        if i in dead:
-            if amount > 0:
-                ledger.pay(i, amount, "compensation (pre-crash work)")
-                ledger.fine(i, amount, "forfeited: crashed before billing")
-            forfeits[i] = amount
-            if tracer is not None:
-                tracer.event("forfeit", proc=i, amount=amount)
-        elif amount > 0:
-            ledger.pay(i, amount, "computation compensation")
+    with perf_span("settlement"):
+        forfeits: dict[int, float] = {}
+        ledger.pay(0, float(computed[0]) * float(w[0]), "root reimbursement")
+        for i in range(1, m + 1):
+            amount = float(computed[i]) * float(w[i])
+            if i in dead:
+                if amount > 0:
+                    ledger.pay(i, amount, "compensation (pre-crash work)")
+                    ledger.fine(i, amount, "forfeited: crashed before billing")
+                forfeits[i] = amount
+                if tracer is not None:
+                    tracer.event("forfeit", proc=i, amount=amount)
+            elif amount > 0:
+                ledger.pay(i, amount, "computation compensation")
 
-    verdicts = _classify(
-        parsed, dead, unresponsive, grievances, completed, reallocations
-    )
+        verdicts = _classify(
+            parsed, dead, unresponsive, grievances, completed, reallocations
+        )
     return ResilientOutcome(
         completed=completed,
         m=m,

@@ -93,6 +93,7 @@ class TestBenchmarkRecord:
         path = tmp_path / "BENCH_batch.json"
         record = write_benchmark(
             path,
+            history_path=tmp_path / "BENCH_history.jsonl",
             n_networks=50,
             m=5,
             experiment_ids=("F1", "F3"),

@@ -1,0 +1,188 @@
+"""Property tests for the log-bucket latency histograms (ISSUE 7).
+
+The histogram contract the perf layer rests on:
+
+- snapshot-and-merge is associative and order-independent (integer
+  bucket counts always; float sums for dyadic observation values, which
+  add exactly in any order),
+- merged quantiles are exact on distributions where each bucket holds a
+  single distinct value, and within one bucket width (~19%) otherwise,
+- a scenario run's merged metrics are bitwise-identical across
+  ``--jobs 1`` and ``--jobs 2`` for everything deterministic (counters,
+  bucket counts, and the *simulated-time* latency histograms the
+  runtime records).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_lower_bound,
+    merge_snapshots,
+)
+
+
+def _dyadic_values(rng: random.Random, n: int) -> list[float]:
+    """Values whose sums are float-exact in any order (k * 2**e)."""
+    return [rng.choice([1.0, 3.0, 5.0, 7.0]) * 2.0 ** rng.randint(-20, 12) for _ in range(n)]
+
+
+def _snapshot_of(values) -> dict:
+    reg = MetricsRegistry()
+    for v in values:
+        reg.observe("lat", v)
+    return reg.snapshot()
+
+
+class TestBucketScheme:
+    def test_lower_bound_is_inverse_of_index(self):
+        for idx in range(-60, 61):
+            lb = bucket_lower_bound(idx)
+            assert bucket_index(lb) == idx
+
+    def test_bounds_are_strictly_increasing_quarter_octaves(self):
+        bounds = [bucket_lower_bound(i) for i in range(-8, 9)]
+        for a, b in zip(bounds, bounds[1:]):
+            assert b > a
+            assert b / a == pytest.approx(2.0 ** 0.25)
+
+    def test_values_land_between_their_bucket_bounds(self):
+        rng = random.Random(3)
+        for _ in range(500):
+            v = math.exp(rng.uniform(-20.0, 10.0))
+            idx = bucket_index(v)
+            assert bucket_lower_bound(idx) <= v < bucket_lower_bound(idx + 1)
+
+
+class TestMergeProperties:
+    def test_merge_is_associative(self):
+        rng = random.Random(7)
+        a, b, c = (_snapshot_of(_dyadic_values(rng, 40)) for _ in range(3))
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        assert left == right
+
+    def test_merge_is_order_independent(self):
+        rng = random.Random(11)
+        parts = [_snapshot_of(_dyadic_values(rng, 25)) for _ in range(5)]
+        reference = merge_snapshots(parts)
+        for _ in range(10):
+            rng.shuffle(parts)
+            assert merge_snapshots(parts) == reference
+
+    def test_any_grouping_equals_one_histogram(self):
+        rng = random.Random(13)
+        values = _dyadic_values(rng, 120)
+        whole = _snapshot_of(values)
+        split = merge_snapshots([_snapshot_of(values[i::4]) for i in range(4)])
+        assert split == whole
+
+    def test_merged_quantiles_equal_single_process_quantiles(self):
+        # Quantiles are computed from merged buckets, so sharding the
+        # observations across "workers" cannot move them at all.
+        rng = random.Random(17)
+        # Powers of two: bucket sums add exactly in any shard order, so
+        # bucket means (and hence quantiles) match bitwise.
+        values = [rng.choice([2.0 ** -10, 2.0 ** -8, 2.0 ** -6, 0.5, 4.0]) for _ in range(200)]
+        whole = _snapshot_of(values)["histograms"]["lat"]
+        shards = [_snapshot_of(values[i::3]) for i in range(3)]
+        merged = merge_snapshots(shards)["histograms"]["lat"]
+        for q in ("p50", "p95", "p99"):
+            assert merged[q] == whole[q]
+
+    def test_json_round_trip_is_lossless(self):
+        rng = random.Random(19)
+        snap = _snapshot_of(_dyadic_values(rng, 50))
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_legacy_bucketless_dict_still_merges_summary_fields(self):
+        hist = LatencyHistogram()
+        hist.merge_dict({"count": 2, "total": 6.0, "min": 2.0, "max": 4.0})
+        assert hist.count == 2
+        assert hist.total == 6.0
+        assert hist.min == 2.0 and hist.max == 4.0
+
+
+class TestQuantiles:
+    def test_exact_on_distinct_bucket_distribution(self):
+        # 10 copies each of 10 powers of two: every bucket holds one
+        # distinct value, so nearest-rank bucket means are exact.
+        hist = LatencyHistogram()
+        values = [2.0 ** k for k in range(10) for _ in range(10)]
+        rng = random.Random(0)
+        rng.shuffle(values)
+        for v in values:
+            hist.observe(v)
+        assert hist.quantile(0.50) == 2.0 ** 4  # rank 50 of 100
+        assert hist.quantile(0.95) == 2.0 ** 9  # rank 95
+        assert hist.quantile(0.99) == 2.0 ** 9
+        assert hist.quantile(1.0) == 2.0 ** 9   # exact max
+        assert hist.quantile(0.05) == 1.0
+        assert hist.quantile(0.0) == 1.0        # exact min
+
+    def test_max_quantile_is_exact_even_mid_bucket(self):
+        hist = LatencyHistogram()
+        for v in (1.0, 1.01, 1.02, 1.17):  # all in one quarter-octave bucket
+            hist.observe(v)
+        assert hist.quantile(1.0) == 1.17
+
+    def test_quantile_within_one_bucket_width(self):
+        rng = random.Random(23)
+        values = sorted(math.exp(rng.uniform(-10, 2)) for _ in range(1000))
+        hist = LatencyHistogram()
+        for v in values:
+            hist.observe(v)
+        width = 2.0 ** 0.25
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = values[math.ceil(q * len(values)) - 1]
+            approx = hist.quantile(q)
+            assert exact / width <= approx <= exact * width
+
+    def test_nonpositive_values_pool_in_underflow_slot(self):
+        hist = LatencyHistogram()
+        for v in (-1.0, 0.0, 2.0, 4.0):
+            hist.observe(v)
+        d = hist.as_dict()
+        assert d["buckets"]["nonpos"] == [2, -1.0]
+        assert d["min"] == -1.0
+        # Rank 1 and 2 fall in the underflow slot (its mean), rank 4 = max.
+        assert hist.quantile(0.25) == -0.5
+        assert hist.quantile(1.0) == 4.0
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(0.5) == 0.0
+        assert hist.as_dict()["p99"] == 0.0
+
+
+class TestJobsDeterminism:
+    def test_scenario_metrics_deterministic_across_jobs(self):
+        # The crash scenario exercises the resilient runtime, whose
+        # retry/delivery histograms hold *simulated* seconds — those,
+        # every counter, and every bucket count must be bitwise-equal
+        # between a serial and a pooled run.
+        from repro.faults import BUILTIN_SCENARIOS, run_scenario
+
+        spec = BUILTIN_SCENARIOS["crash_midrun"]
+        serial = run_scenario(spec, seed=3, jobs=1)
+        pooled = run_scenario(spec, seed=3, jobs=2)
+        assert serial.metrics["counters"] == pooled.metrics["counters"]
+        for name in ("runtime.retry_wait_sim", "runtime.delivery_delay_sim"):
+            s = serial.metrics["histograms"].get(name)
+            p = pooled.metrics["histograms"].get(name)
+            assert s == p
+        # Wall-clock histograms can't match on values, but their counts
+        # (how many times each instrumented block ran) must.
+        s_hists = serial.metrics["histograms"]
+        p_hists = pooled.metrics["histograms"]
+        assert {n: h["count"] for n, h in s_hists.items()} == {
+            n: h["count"] for n, h in p_hists.items()
+        }

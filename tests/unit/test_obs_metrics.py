@@ -40,7 +40,17 @@ class TestRegistryBasics:
         for v in (2.0, 4.0, 6.0):
             reg.observe("h", v)
         hist = reg.snapshot()["histograms"]["h"]
-        assert hist == {"count": 3, "total": 12.0, "min": 2.0, "max": 6.0, "mean": 4.0}
+        assert hist == {
+            "count": 3,
+            "total": 12.0,
+            "min": 2.0,
+            "max": 6.0,
+            "mean": 4.0,
+            "p50": 4.0,
+            "p95": 6.0,
+            "p99": 6.0,
+            "buckets": {"8": [1, 2.0], "12": [1, 4.0], "14": [1, 6.0]},
+        }
 
     def test_timer_records_seconds_histogram(self):
         reg = MetricsRegistry()
