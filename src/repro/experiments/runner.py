@@ -431,6 +431,7 @@ def benchmark_batch(
     jobs: int = 4,
     mech_m: int = 8,
     mech_count: int = 300,
+    serve_count: int = 200,
 ) -> dict[str, Any]:
     """Measure the three speedups of this layer and return the record.
 
@@ -452,6 +453,13 @@ def benchmark_batch(
        the masked lane path's overhead is measured, not assumed; both
        rows record ``bitwise_equal`` and timings are only meaningful
        when it is true.
+    4. *Micro-batched serving* (``serve``): the same ``serve_count``
+       mixed chain/star workload dispatched solo-scalar vs through the
+       service's micro-batching dispatcher under each flush policy
+       (:func:`repro.serve.bench.benchmark_serve`), with RPS and
+       p50/p95/p99 latency per policy.  Like ``mech_batch``, every
+       policy row records ``bitwise_equal`` against the solo summaries
+       and a false value invalidates the section's timings.
 
     Kernel timings are best-of-3 wall clock; experiment and mechanism
     sets run once.  ``cpu_count`` is recorded because the parallel
@@ -550,6 +558,13 @@ def benchmark_batch(
         mix_batch_s = time.perf_counter() - start
         mix_equal = mix_scalar.runs == mix_batched.runs
 
+        # Solo-scalar vs micro-batched dispatch over the service's mixed
+        # workload; every policy's responses are bitwise-checked against
+        # the solo summaries before the timings are trusted.
+        from repro.serve.bench import benchmark_serve
+
+        serve_section = benchmark_serve(count=serve_count, seed=seed)
+
         # A small resilient session (lossy transport, one crash) so the
         # runtime.setup/epoch/settlement spans and the retry/delivery
         # latency histograms show up in the embedded perf snapshot.
@@ -623,6 +638,7 @@ def benchmark_batch(
                 "bitwise_equal": bool(mix_equal),
             },
         },
+        "serve": serve_section,
         "runtime": {
             "m": len(rt_z),
             "faults": len(rt_faults),

@@ -88,8 +88,10 @@ __all__ = [
     "BatchStarOutcome",
     "LaneChainMechanism",
     "LaneStarMechanism",
+    "chain_row_snapshots",
     "run_chain_batch",
     "run_star_batch",
+    "star_row_snapshots",
 ]
 
 #: Mirror of :data:`repro.sim.linear_sim._EPS_LOAD` (sub-threshold loads
@@ -878,11 +880,27 @@ def chain_row_snapshots(outcome: BatchChainOutcome) -> list[dict[str, Any]]:
     counters at per-row granularity: each snapshot holds what one scalar
     run would have contributed, with the same left-fold entry order
     (root reimbursement, then per agent its bill and audit fine)."""
-    m = outcome.n_agents
+    return _row_snapshots(outcome, "mechanism.runs")
+
+
+def star_row_snapshots(outcome: BatchStarOutcome) -> list[dict[str, Any]]:
+    """Per-row protocol-counter snapshots for a stacked star outcome.
+
+    Same contract as :func:`chain_row_snapshots` with the star run
+    counter (``mechanism.star_runs``); the scalar star's ledger entry
+    order for batchable rows is identical (root reimbursement, then per
+    child its bill and audit fine)."""
+    return _row_snapshots(outcome, "mechanism.star_runs")
+
+
+def _row_snapshots(
+    outcome: BatchChainOutcome | BatchStarOutcome, runs_counter: str
+) -> list[dict[str, Any]]:
+    m = outcome.bids.shape[1] - 1
     snapshots: list[dict[str, Any]] = []
-    for k in range(outcome.n_runs):
+    for k in range(outcome.bids.shape[0]):
         counters: dict[str, float] = {
-            "mechanism.runs": 1.0,
+            runs_counter: 1.0,
             "mechanism.audits": float(m),
         }
         n_challenged = int(np.count_nonzero(outcome.challenged[k]))

@@ -50,9 +50,9 @@ __all__ = [
 
 #: Bench sections whose timings participate in regression gating, and
 #: where inside the record each gated number lives (seconds, lower is
-#: better).  ``mech_batch``/``deviant_mix`` are only gated when their
-#: bitwise self-check passed.
-GATED_METRICS = ("batch_solve", "mech_batch", "deviant_mix", "solve_cache")
+#: better).  ``mech_batch``/``deviant_mix``/``serve`` are only gated
+#: when their bitwise self-check passed.
+GATED_METRICS = ("batch_solve", "mech_batch", "deviant_mix", "solve_cache", "serve")
 
 
 def machine_fingerprint(info: Mapping[str, Any] | None = None) -> dict[str, Any]:
@@ -137,6 +137,12 @@ def _gated_seconds(record: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
             "seconds": cache["warm_pass_s"],
             "valid": bool(cache.get("valid", True)),
         }
+    serve = record.get("serve") or {}
+    if "batched_s" in serve:
+        out["serve"] = {
+            "seconds": serve["batched_s"],
+            "valid": bool(serve.get("valid", True)) and bool(serve.get("bitwise_equal", False)),
+        }
     return out
 
 
@@ -151,10 +157,12 @@ def _workload_signature(record: Mapping[str, Any]) -> str:
     batch = record.get("batch_solve") or {}
     mech = record.get("mech_batch") or {}
     cache = record.get("solve_cache") or {}
+    serve = record.get("serve") or {}
     return (
         f"solve{batch.get('n_networks', '?')}x{batch.get('m', '?')}"
         f"/cache{cache.get('n_networks', '?')}"
         f"/mech{mech.get('m', '?')}x{mech.get('count', '?')}"
+        f"/serve{serve.get('count', '?')}"
     )
 
 

@@ -164,4 +164,33 @@ def summarize_trace(
                 f"total {_fmt(float(run_hist['total']))}s, "
                 f"mean {_fmt(float(run_hist['mean']))}s"
             )
+        # Fallbacks off the batch engine are regressions-in-waiting:
+        # surface the count even when zero so its absence is visible.
+        fallbacks = counters.get("mechanism.scalar_fallbacks")
+        if fallbacks is not None:
+            lines.append(f"scalar fallbacks off the batch engine: {int(fallbacks)}")
+        serve_counters = {
+            name: value for name, value in counters.items() if name.startswith("serve.")
+        }
+        if serve_counters:
+            rendered = ", ".join(
+                f"{name.removeprefix('serve.')}={int(value)}"
+                for name, value in sorted(serve_counters.items())
+            )
+            lines.append(f"serve: {rendered}")
+            depth = histograms.get("serve.queue_depth")
+            batch = histograms.get("serve.batch_size")
+            if depth or batch:
+                parts = []
+                if depth:
+                    parts.append(
+                        f"queue depth p50 {_fmt(float(depth['p50']))} "
+                        f"max {_fmt(float(depth['max']))}"
+                    )
+                if batch:
+                    parts.append(
+                        f"flush size p50 {_fmt(float(batch['p50']))} "
+                        f"max {_fmt(float(batch['max']))}"
+                    )
+                lines.append(f"  {'; '.join(parts)}")
     return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Bounded admission control in front of the dispatcher.
+
+The service never queues unboundedly: the :class:`AdmissionQueue` holds
+at most ``capacity`` pending requests, rejects overflow immediately
+(``serve.rejected``; the caller gets a retryable error response instead
+of silent latency), and refuses everything once closed so shutdown can
+drain a finite backlog.  Admission is also where queue-depth metrics
+are observed — the dispatcher only ever sees work that was admitted.
+
+Every queue item pairs the request with the :class:`asyncio.Future`
+that will carry its response back to the submitting connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.obs.metrics import get_registry
+from repro.serve.request import MechanismRequest
+
+__all__ = ["AdmissionError", "AdmissionQueue", "SHUTDOWN"]
+
+#: Sentinel enqueued by :meth:`AdmissionQueue.close` — tells the
+#: dispatcher no further work follows the items already queued.
+SHUTDOWN = object()
+
+
+class AdmissionError(Exception):
+    """Request refused at the door (queue full, or service draining)."""
+
+
+class AdmissionQueue:
+    """A bounded asyncio queue with reject-on-overflow semantics.
+
+    ``capacity`` bounds *pending* requests; the extra sentinel slot used
+    during shutdown is accounted for separately so ``close()`` can never
+    itself overflow.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("admission capacity must be at least 1")
+        self.capacity = capacity
+        # +1 slot reserved for the shutdown sentinel.
+        self._queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=capacity + 1)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def depth(self) -> int:
+        """Pending items (excluding any shutdown sentinel)."""
+        return self._queue.qsize() - (1 if self._closed else 0)
+
+    def submit(
+        self, request: MechanismRequest
+    ) -> "asyncio.Future[Any]":
+        """Admit a request, returning the future its response resolves.
+
+        Raises :class:`AdmissionError` when the service is draining or
+        the queue is at capacity; the rejection is counted either way.
+        """
+        registry = get_registry()
+        if self._closed:
+            registry.inc("serve.rejected")
+            raise AdmissionError("service is shutting down")
+        if self.depth() >= self.capacity:
+            registry.inc("serve.rejected")
+            raise AdmissionError(f"admission queue full (capacity {self.capacity})")
+        future: asyncio.Future[Any] = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((request, future))
+        registry.inc("serve.admitted")
+        registry.observe("serve.queue_depth", float(self.depth()))
+        return future
+
+    def close(self) -> None:
+        """Stop admitting; queue the sentinel after the current backlog."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(SHUTDOWN)
+
+    # -- dispatcher side ----------------------------------------------
+
+    async def get(self) -> Any:
+        """Next admitted item, or :data:`SHUTDOWN` (dispatcher side)."""
+        return await self._queue.get()
+
+    def get_nowait(self) -> Any:
+        """Non-blocking :meth:`get`; raises :class:`asyncio.QueueEmpty`."""
+        return self._queue.get_nowait()

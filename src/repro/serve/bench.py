@@ -1,0 +1,155 @@
+"""Serve benchmark: solo-scalar dispatch vs micro-batched flush policies.
+
+The question this section answers: given the same concurrent mixed
+workload (chain + star, several sizes, deviant lanes in the mix), what
+do requests-per-second and latency percentiles look like when every
+request runs its own scalar mechanism (the solo baseline) versus when
+the dispatcher coalesces compatible requests into stacked batch-engine
+calls under each flush policy?
+
+Method: the workload is submitted as one concurrent burst straight into
+an :class:`~repro.serve.admission.AdmissionQueue` +
+:class:`~repro.serve.dispatcher.Dispatcher` pair on a private event loop
+— no sockets, so the numbers measure the dispatch/flush machinery, not
+TCP.  Latency is submit-to-response per request; percentiles come from
+the same :class:`~repro.obs.metrics.LatencyHistogram` the service's own
+metrics use.  Before any timing is trusted, every policy's response
+summaries are checked **bitwise** against the solo scalar recipe — a
+policy row with ``bitwise_equal: false`` invalidates the whole section
+(the bench refuses the timing of a wrong result, exactly like the
+``mech_batch`` gate).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Sequence
+
+from repro.obs.metrics import LatencyHistogram
+from repro.serve.admission import AdmissionQueue
+from repro.serve.client import mixed_workload
+from repro.serve.dispatcher import Dispatcher, FlushPolicy
+from repro.serve.engine import solo_summary
+from repro.serve.request import MechanismRequest
+
+__all__ = ["DEFAULT_POLICIES", "benchmark_serve"]
+
+#: The flush policies the bench compares.  ``batch1`` isolates dispatch
+#: overhead (no coalescing); the larger policies trade a bounded wait
+#: for stacked-engine amortization.
+DEFAULT_POLICIES = (
+    FlushPolicy(max_batch=1, max_wait_s=0.0),
+    FlushPolicy(max_batch=8, max_wait_s=0.002),
+    FlushPolicy(max_batch=32, max_wait_s=0.005),
+)
+
+
+def _percentiles(histogram: LatencyHistogram) -> dict[str, float]:
+    return {
+        "p50_ms": histogram.quantile(0.50) * 1e3,
+        "p95_ms": histogram.quantile(0.95) * 1e3,
+        "p99_ms": histogram.quantile(0.99) * 1e3,
+    }
+
+
+def _solo_baseline(
+    requests: Sequence[MechanismRequest],
+) -> tuple[dict[int, dict[str, Any]], dict[str, Any]]:
+    """Every request through the scalar recipe, one at a time."""
+    histogram = LatencyHistogram()
+    summaries: dict[int, dict[str, Any]] = {}
+    started = time.perf_counter()
+    for request in requests:
+        t0 = time.perf_counter()
+        summaries[request.request_id] = solo_summary(request)
+        histogram.observe(time.perf_counter() - t0)
+    wall = time.perf_counter() - started
+    row = {
+        "wall_s": wall,
+        "rps": len(requests) / wall if wall > 0 else 0.0,
+        **_percentiles(histogram),
+    }
+    return summaries, row
+
+
+async def _serve_burst(
+    requests: Sequence[MechanismRequest], policy: FlushPolicy
+) -> tuple[dict[int, dict[str, Any]], dict[str, Any]]:
+    """The whole workload as one concurrent burst through a dispatcher."""
+    loop = asyncio.get_running_loop()
+    queue = AdmissionQueue(capacity=max(len(requests), 1))
+    dispatcher = Dispatcher(queue, policy)
+    dispatcher.start()
+    histogram = LatencyHistogram()
+    summaries: dict[int, dict[str, Any]] = {}
+    batch_sizes: list[int] = []
+
+    async def _submit(request: MechanismRequest) -> None:
+        t0 = loop.time()
+        response = await queue.submit(request)
+        histogram.observe(loop.time() - t0)
+        if response.ok:
+            summaries[request.request_id] = response.summary
+            batch_sizes.append(response.served.get("batch_size", 1))
+
+    started = loop.time()
+    await asyncio.gather(*(_submit(request) for request in requests))
+    wall = loop.time() - started
+    queue.close()
+    await dispatcher.join()
+    row = {
+        "policy": policy.label,
+        "max_batch": policy.max_batch,
+        "max_wait_ms": policy.max_wait_s * 1e3,
+        "wall_s": wall,
+        "rps": len(requests) / wall if wall > 0 else 0.0,
+        "mean_batch_size": sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0,
+        **_percentiles(histogram),
+    }
+    return summaries, row
+
+
+def benchmark_serve(
+    *,
+    count: int = 200,
+    seed: int = 0,
+    sizes: Sequence[int] = (4, 6),
+    policies: Sequence[FlushPolicy] = DEFAULT_POLICIES,
+) -> dict[str, Any]:
+    """The ``serve`` section of ``BENCH_batch.json``.
+
+    Returns solo-baseline and per-policy rows (RPS + p50/p95/p99 each)
+    plus a section-level ``bitwise_equal`` that is only true when every
+    policy reproduced every solo summary exactly.
+    """
+    requests = mixed_workload(count, seed=seed, sizes=sizes)
+    solo_summaries, solo_row = _solo_baseline(requests)
+
+    policy_rows = []
+    all_equal = True
+    for policy in policies:
+        summaries, row = asyncio.run(_serve_burst(requests, policy))
+        equal = summaries == solo_summaries
+        row["bitwise_equal"] = bool(equal)
+        all_equal = all_equal and equal
+        if equal and solo_row["wall_s"] > 0 and row["wall_s"] > 0:
+            row["speedup"] = solo_row["wall_s"] / row["wall_s"]
+        policy_rows.append(row)
+
+    best = min(
+        (row["wall_s"] for row in policy_rows if row["bitwise_equal"] and row["max_batch"] > 1),
+        default=None,
+    )
+    section: dict[str, Any] = {
+        "count": count,
+        "sizes": list(sizes),
+        "topologies": ["chain", "star"],
+        "solo": solo_row,
+        "policies": policy_rows,
+        "bitwise_equal": bool(all_equal),
+    }
+    if best is not None:
+        section["batched_s"] = best
+        section["speedup"] = solo_row["wall_s"] / best if best > 0 else float("inf")
+    return section

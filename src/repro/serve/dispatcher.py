@@ -1,0 +1,150 @@
+"""Dynamic micro-batching: coalesce admitted requests into stacked runs.
+
+The dispatcher is a single asyncio task draining the admission queue.
+It opens a batch with the first request it gets, then fills greedily —
+whatever is already queued joins immediately; when the queue runs dry it
+waits the *remaining* batch window (``max_wait_s`` counted from the
+first request, never reset) for stragglers — and flushes when the batch
+reaches ``max_batch`` or the window closes.  A flush partitions its
+members into compatible groups (same topology/m/q) and hands each group
+to :func:`repro.serve.engine.run_group`, which demultiplexes per-request
+summaries bitwise-equal to solo scalar runs.
+
+Flushes execute *inline in the event loop*, never in a worker thread:
+the metrics registry stack is a plain module global, and the engine's
+request-order counter merge relies on being the only writer.  Mechanism
+runs are CPU-bound numpy work with no await points, so a thread would
+buy nothing and break the registry.
+
+The flush policy is the latency/throughput dial: ``max_batch=1`` is
+solo-scalar dispatch (every request pays its own python overhead),
+larger batches amortize the stacked engine's vectorization across
+concurrent callers at the cost of up to ``max_wait_s`` added latency
+for the batch-opening request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.metrics import get_registry
+from repro.obs.perf import span as perf_span
+from repro.serve.admission import SHUTDOWN, AdmissionQueue
+from repro.serve.engine import group_by_key, run_group
+from repro.serve.request import MechanismRequest, MechanismResponse
+
+__all__ = ["Dispatcher", "FlushPolicy"]
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When a pending batch is flushed.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush as soon as this many requests are pending.
+    max_wait_s:
+        Flush no later than this many seconds after the batch's first
+        request arrived (the straggler window).
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+
+    @property
+    def label(self) -> str:
+        return f"batch{self.max_batch}@{self.max_wait_s * 1e3:g}ms"
+
+
+class Dispatcher:
+    """The micro-batching loop over one :class:`AdmissionQueue`."""
+
+    def __init__(self, queue: AdmissionQueue, policy: FlushPolicy | None = None) -> None:
+        self.queue = queue
+        self.policy = policy or FlushPolicy()
+        self._task: asyncio.Task[None] | None = None
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def join(self) -> None:
+        """Wait for the loop to exit (after :meth:`AdmissionQueue.close`)."""
+        if self._task is not None:
+            await self._task
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        draining = False
+        while not draining:
+            item = await self.queue.get()
+            if item is SHUTDOWN:
+                break
+            batch = [item]
+            deadline = loop.time() + self.policy.max_wait_s
+            while len(batch) < self.policy.max_batch:
+                try:
+                    item = self.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(self.queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                if item is SHUTDOWN:
+                    draining = True
+                    break
+                batch.append(item)
+            self._flush(batch)
+        # Post-sentinel drain: whatever was admitted before close() still
+        # gets served (graceful shutdown empties the queue, batch-sized).
+        pending: list[Any] = []
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not SHUTDOWN:
+                pending.append(item)
+        for start in range(0, len(pending), self.policy.max_batch):
+            self._flush(pending[start : start + self.policy.max_batch])
+
+    def _flush(
+        self, batch: list[tuple[MechanismRequest, "asyncio.Future[Any]"]]
+    ) -> None:
+        """Run one flush inline, resolving every member's future."""
+        registry = get_registry()
+        registry.inc("serve.flushes")
+        registry.observe("serve.batch_size", float(len(batch)))
+        requests = [request for request, _future in batch]
+        futures = [future for _request, future in batch]
+        with perf_span("serve.flush"):
+            for indices in group_by_key(requests):
+                registry.inc("serve.flush_groups")
+                group = [requests[i] for i in indices]
+                try:
+                    responses = run_group(group)
+                except Exception as exc:  # pragma: no cover - engine guards
+                    responses = [
+                        MechanismResponse(
+                            ok=False,
+                            error=f"{type(exc).__name__}: {exc}",
+                            request_id=request.request_id,
+                        )
+                        for request in group
+                    ]
+                    registry.inc("serve.errors", float(len(group)))
+                for i, response in zip(indices, responses):
+                    if not futures[i].cancelled():
+                        futures[i].set_result(response)
+        registry.inc("serve.requests", float(len(batch)))

@@ -1,0 +1,266 @@
+"""Execution engine behind the service: solo recipe, stacked groups.
+
+Three layers, all producing the same bytes:
+
+- :func:`solo_summary` is the reference recipe — what a caller who never
+  heard of the service would run: ``default_rng(seed)``, draw the
+  network, build agents, run the scalar mechanism.  The service's
+  equality contract is stated against this function.
+- :func:`run_group` executes one *compatible group* (requests sharing a
+  :attr:`~repro.serve.request.MechanismRequest.batch_key`): rows whose
+  deviant spec the stacked arrays can express ride one
+  :func:`~repro.mechanism.batch_run.run_chain_batch` /
+  :func:`~repro.mechanism.batch_run.run_star_batch` call with pre-shaped
+  audit-draw blocks; every other row (grievance-triggering deviants)
+  executes on the engine's lane mechanisms.  Per-row protocol-counter
+  snapshots merge into the live registry in request order, so even the
+  float fold order of counter totals matches a solo loop.
+- :func:`run_coalesced` is the offline composition the dispatcher also
+  performs: partition arbitrary requests into compatible groups
+  (first-seen key order), run each group, reassemble responses in input
+  order.
+
+The rng discipline is the one proven by the batch-engine differential
+suite: a solo run consumes ``default_rng(seed)`` as network draw then
+one ``rng.random()`` per audit, and a pre-shaped ``rng.random(m)`` block
+equals those sequential draws bitwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import collecting, get_registry
+from repro.obs.perf import span as perf_span
+from repro.serve.request import MechanismRequest, MechanismResponse
+
+__all__ = [
+    "group_by_key",
+    "is_array_expressible",
+    "run_coalesced",
+    "run_group",
+    "solo_summary",
+]
+
+#: Deviant kinds the stacked arrays express (mirror of the population
+#: engine's routing); everything else rides the lane mechanisms.
+_BATCHABLE_KINDS = frozenset({"overcharge", "misbid", "slow"})
+
+
+def is_array_expressible(request: MechanismRequest) -> bool:
+    """Whether a request can ride a stacked batch-engine call."""
+    if request.deviant is None:
+        return True
+    parts = request.deviant.split(":")
+    return len(parts) >= 2 and parts[1] in _BATCHABLE_KINDS
+
+
+def _draw_network(request: MechanismRequest, rng: np.random.Generator):
+    if request.topology == "star":
+        from repro.network.generators import random_star_network
+
+        return random_star_network(request.m, rng)
+    from repro.network.generators import random_linear_network
+
+    return random_linear_network(request.m, rng)
+
+
+def _build_agents(request: MechanismRequest, true_rates: list[float]):
+    from repro.agents import TruthfulAgent
+    from repro.mechanism.population import make_deviant
+
+    agents = [TruthfulAgent(i, t) for i, t in enumerate(true_rates, start=1)]
+    if request.deviant is not None:
+        agent = make_deviant(request.deviant, true_rates)
+        agents[agent.index - 1] = agent
+    return agents
+
+
+def _mechanism_cls(topology: str, engine: str):
+    if topology == "star":
+        if engine == "lane":
+            from repro.mechanism.batch_run import LaneStarMechanism as cls
+        else:
+            from repro.mechanism.star_mechanism import StarMechanism as cls
+    else:
+        if engine == "lane":
+            from repro.mechanism.batch_run import LaneChainMechanism as cls
+        else:
+            from repro.mechanism.dls_lbl import DLSLBLMechanism as cls
+    return cls
+
+
+def solo_summary(request: MechanismRequest, engine: str = "scalar") -> dict[str, Any]:
+    """The reference scalar recipe for one request.
+
+    ``engine="lane"`` swaps in the batch engine's crypto-free lane
+    subclass — same protocol code, bitwise-equal output; the dispatcher
+    uses it for rows the arrays cannot express.
+    """
+    from repro.mechanism.ledger import MECHANISM
+
+    rng = np.random.default_rng(request.seed)
+    network = _draw_network(request, rng)
+    true_rates = [float(x) for x in network.w[1:]]
+    agents = _build_agents(request, true_rates)
+    cls = _mechanism_cls(request.topology, engine)
+    mech = cls(
+        network.z,
+        float(network.w[0]),
+        agents,
+        audit_probability=request.audit_probability,
+        rng=rng,
+    )
+    outcome = mech.run()
+    fines = sum(e.amount for e in outcome.ledger.entries if e.creditor == MECHANISM)
+    return {
+        "topology": request.topology,
+        "m": request.m,
+        "seed": request.seed,
+        "completed": bool(outcome.completed),
+        # StarOutcome has no aborted_phase; a completed star run reports
+        # None exactly like a completed chain run.
+        "aborted_phase": getattr(outcome, "aborted_phase", None),
+        # float() casts are exact (and keep the dict JSON-serializable
+        # when numpy scalars leak out of the mechanism); an aborted run
+        # has no makespan.
+        "makespan": None if outcome.makespan is None else float(outcome.makespan),
+        "fines_total": float(fines),
+        "n_grievances": len(outcome.adjudications),
+        "n_audits": len(outcome.audits),
+        "mechanism_outlay": float(outcome.ledger.mechanism_outlay()),
+    }
+
+
+def run_group(requests: Sequence[MechanismRequest]) -> list[MechanismResponse]:
+    """Execute one compatible group, demultiplexing per-request results.
+
+    All requests must share a batch key.  Responses come back in request
+    order, each bitwise-equal to :func:`solo_summary` of its request;
+    ``served`` metadata records which path (``array`` or ``lane``) the
+    row rode and the flush size it was coalesced into.
+    """
+    if not requests:
+        return []
+    keys = {r.batch_key for r in requests}
+    if len(keys) > 1:
+        raise ValueError(f"run_group requires one batch key, got {sorted(keys)}")
+    topology, m, q = requests[0].batch_key
+    batch_size = len(requests)
+
+    array_rows = [i for i, r in enumerate(requests) if is_array_expressible(r)]
+
+    row_summary: dict[int, dict[str, Any]] = {}
+    row_snapshot: dict[int, dict[str, Any]] = {}
+    row_engine: dict[int, str] = {}
+
+    if array_rows:
+        from repro.mechanism.batch_run import (
+            chain_row_snapshots,
+            run_chain_batch,
+            run_star_batch,
+            star_row_snapshots,
+        )
+        from repro.mechanism.population import make_deviant
+
+        n_arr = len(array_rows)
+        w = np.empty((n_arr, m + 1))
+        z = np.empty((n_arr, m))
+        draws = np.empty((n_arr, m))
+        for k, i in enumerate(array_rows):
+            rng = np.random.default_rng(requests[i].seed)
+            network = _draw_network(requests[i], rng)
+            w[k] = network.w
+            z[k] = network.z
+            draws[k] = rng.random(m)
+        bids = execution_rates = bill_overcharge = None
+        if any(requests[i].deviant is not None for i in array_rows):
+            bids = w[:, 1:].copy()
+            execution_rates = w[:, 1:].copy()
+            bill_overcharge = np.zeros((n_arr, m))
+            for k, i in enumerate(array_rows):
+                if requests[i].deviant is None:
+                    continue
+                agent = make_deviant(requests[i].deviant, [float(x) for x in w[k, 1:]])
+                col = agent.index - 1
+                bids[k, col] = agent.choose_bid()
+                execution_rates[k, col] = agent.choose_execution_rate()
+                bill_overcharge[k, col] = agent.phase4_bill(0.0)
+        run_batch = run_star_batch if topology == "star" else run_chain_batch
+        with perf_span("serve.flush.array"):
+            outcome = run_batch(
+                w,
+                z,
+                bids=bids,
+                execution_rates=execution_rates,
+                bill_overcharge=bill_overcharge,
+                audit_probability=q,
+                audit_draws=draws,
+                # Counters merge per row, in request order, below.
+                emit_metrics=False,
+            )
+        row_snaps = (
+            star_row_snapshots(outcome)
+            if topology == "star"
+            else chain_row_snapshots(outcome)
+        )
+        for k, i in enumerate(array_rows):
+            row_summary[i] = {
+                "topology": topology,
+                "m": m,
+                "seed": requests[i].seed,
+                "completed": True,
+                "aborted_phase": None,
+                "makespan": float(outcome.makespan[k]),
+                "fines_total": float(outcome.fines_total[k]),
+                "n_grievances": 0,
+                "n_audits": m,
+                "mechanism_outlay": float(outcome.mechanism_outlay[k]),
+            }
+            row_snapshot[i] = row_snaps[k]
+            row_engine[i] = "array"
+
+    # Interleave in request order: lane rows merge their metric deltas
+    # into the live registry as they run (``collecting`` on exit), array
+    # rows merge their synthesized snapshots in between — the same
+    # per-run float fold a solo loop over these requests would produce.
+    registry = get_registry()
+    for i in range(batch_size):
+        if i in row_snapshot:
+            registry.merge(row_snapshot[i])
+        else:
+            with perf_span("serve.flush.lane"), collecting():
+                row_summary[i] = solo_summary(requests[i], engine="lane")
+            row_engine[i] = "lane"
+
+    return [
+        MechanismResponse(
+            ok=True,
+            summary=row_summary[i],
+            request_id=requests[i].request_id,
+            served={"engine": row_engine[i], "batch_size": batch_size},
+        )
+        for i in range(batch_size)
+    ]
+
+
+def group_by_key(
+    requests: Sequence[MechanismRequest],
+) -> list[list[int]]:
+    """Partition request indices into compatible groups, first-seen order."""
+    groups: dict[tuple, list[int]] = {}
+    for i, request in enumerate(requests):
+        groups.setdefault(request.batch_key, []).append(i)
+    return list(groups.values())
+
+
+def run_coalesced(requests: Sequence[MechanismRequest]) -> list[MechanismResponse]:
+    """Group arbitrary requests by batch key, run, reassemble in order."""
+    responses: list[MechanismResponse | None] = [None] * len(requests)
+    for indices in group_by_key(requests):
+        group = [requests[i] for i in indices]
+        for i, response in zip(indices, run_group(group)):
+            responses[i] = response
+    return [r for r in responses if r is not None]

@@ -1,0 +1,222 @@
+"""Wire types for the mechanism service: requests, responses, batch keys.
+
+A :class:`MechanismRequest` names one mechanism run the way a solo
+caller would make it: draw a random network of the requested topology
+and size from ``numpy.random.default_rng(seed)``, build truthful agents
+(plus at most one deviant from an ``INDEX:KIND[:PARAM]`` spec), and run
+the scalar mechanism.  The service's whole contract is that the
+micro-batched answer to a request is **bitwise-equal** to that solo
+scalar run — the request therefore carries everything the scalar recipe
+consumes and nothing else.
+
+Requests are *compatible* (stackable into one
+:func:`~repro.mechanism.batch_run.run_chain_batch` /
+:func:`~repro.mechanism.batch_run.run_star_batch` call) when they share
+a :attr:`~MechanismRequest.batch_key`: topology, size and audit
+probability.  Seeds and deviant specs vary freely within a stacked
+call — deviant kinds the arrays cannot express ride the engine's lane
+mechanisms instead (see :mod:`repro.serve.engine`).
+
+The wire format is JSON-lines: one JSON object per line, ``request_id``
+echoed back so pipelined responses can complete out of order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = [
+    "MechanismRequest",
+    "MechanismResponse",
+    "RequestError",
+    "SUMMARY_FIELDS",
+    "TOPOLOGIES",
+]
+
+#: Topologies the service batches.  Trees have no batch engine yet and
+#: are rejected at admission rather than silently served scalar.
+TOPOLOGIES = ("chain", "star")
+
+#: Deviant kinds accepted in request specs (mirror of the population
+#: runner's catalog).
+_DEVIANT_KINDS = (
+    "shed",
+    "overcharge",
+    "misbid",
+    "slow",
+    "contradict",
+    "miscompute",
+    "tamper",
+    "accuse",
+)
+
+#: The summary fields a response carries, in a fixed order.  These are
+#: exactly the observables a solo scalar run produces; the bitwise
+#: contract is stated over this dict.
+SUMMARY_FIELDS = (
+    "topology",
+    "m",
+    "seed",
+    "completed",
+    "aborted_phase",
+    "makespan",
+    "fines_total",
+    "n_grievances",
+    "n_audits",
+    "mechanism_outlay",
+)
+
+
+class RequestError(ValueError):
+    """A malformed or unservable request (never enqueued)."""
+
+
+@dataclass(frozen=True)
+class MechanismRequest:
+    """One mechanism run as a service request.
+
+    Attributes
+    ----------
+    topology:
+        ``"chain"`` (DLS-LBL on a boundary-origination linear network)
+        or ``"star"`` (the star/bus mechanism).
+    m:
+        Links per chain (``m + 1`` processors) / children per star.
+    seed:
+        The solo recipe's rng seed: the network draw and the mechanism's
+        audit randomness both come from ``default_rng(seed)``.
+    audit_probability:
+        Phase IV challenge probability ``q``.
+    deviant:
+        Optional ``INDEX:KIND[:PARAM]`` spec injecting one deviant agent
+        (same grammar as ``python -m repro run --deviant``).
+    request_id:
+        Caller-assigned correlation id, echoed in the response.
+    """
+
+    topology: str = "chain"
+    m: int = 4
+    seed: int = 0
+    audit_probability: float = 0.25
+    deviant: str | None = None
+    request_id: int | None = None
+
+    def validate(self) -> "MechanismRequest":
+        """Raise :class:`RequestError` on anything the service cannot run."""
+        if self.topology not in TOPOLOGIES:
+            raise RequestError(
+                f"unknown topology {self.topology!r}; choose from {TOPOLOGIES}"
+            )
+        if not isinstance(self.m, int) or self.m < 1:
+            raise RequestError(f"m must be a positive integer, got {self.m!r}")
+        if not isinstance(self.seed, int):
+            raise RequestError(f"seed must be an integer, got {self.seed!r}")
+        if not 0.0 < float(self.audit_probability) <= 1.0:
+            raise RequestError(
+                f"audit probability must be in (0, 1], got {self.audit_probability!r}"
+            )
+        if self.deviant is not None:
+            parts = str(self.deviant).split(":")
+            if len(parts) < 2:
+                raise RequestError(
+                    f"deviant spec must be INDEX:KIND[:PARAM], got {self.deviant!r}"
+                )
+            try:
+                index = int(parts[0])
+            except ValueError:
+                raise RequestError(f"deviant index must be an integer in {self.deviant!r}") from None
+            if not 1 <= index <= self.m:
+                raise RequestError(
+                    f"deviant index {index} outside 1..{self.m} in {self.deviant!r}"
+                )
+            if parts[1] not in _DEVIANT_KINDS:
+                raise RequestError(
+                    f"unknown deviant kind {parts[1]!r}; choose from {sorted(_DEVIANT_KINDS)}"
+                )
+            if len(parts) > 2:
+                try:
+                    float(parts[2])
+                except ValueError:
+                    raise RequestError(f"deviant param must be a number in {self.deviant!r}") from None
+        return self
+
+    @property
+    def batch_key(self) -> tuple[str, int, float]:
+        """Requests sharing this key stack into one batch-engine call."""
+        return (self.topology, self.m, float(self.audit_probability))
+
+    def with_id(self, request_id: int) -> "MechanismRequest":
+        return replace(self, request_id=request_id)
+
+    # -- wire format ---------------------------------------------------
+
+    def to_wire(self) -> dict[str, Any]:
+        msg: dict[str, Any] = {
+            "op": "run",
+            "topology": self.topology,
+            "m": self.m,
+            "seed": self.seed,
+            "audit_probability": self.audit_probability,
+        }
+        if self.deviant is not None:
+            msg["deviant"] = self.deviant
+        if self.request_id is not None:
+            msg["request_id"] = self.request_id
+        return msg
+
+    @classmethod
+    def from_wire(cls, msg: Mapping[str, Any]) -> "MechanismRequest":
+        """Parse (and validate) a wire message; raises :class:`RequestError`."""
+        try:
+            request = cls(
+                topology=msg.get("topology", "chain"),
+                m=int(msg.get("m", 4)),
+                seed=int(msg.get("seed", 0)),
+                audit_probability=float(msg.get("audit_probability", 0.25)),
+                deviant=msg.get("deviant"),
+                request_id=msg.get("request_id"),
+            )
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"malformed request: {exc}") from None
+        return request.validate()
+
+
+@dataclass(frozen=True)
+class MechanismResponse:
+    """The service's answer to one request.
+
+    ``summary`` is the bitwise-contracted payload (see
+    :data:`SUMMARY_FIELDS`); ``served`` carries serving metadata —
+    whether the run rode a stacked array lane or the lane engine, and
+    the size of the flush it was coalesced into — which is *not* part of
+    the equality contract (a solo run has no batch to describe).
+    """
+
+    ok: bool
+    summary: dict[str, Any] | None = None
+    error: str | None = None
+    request_id: int | None = None
+    served: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, Any]:
+        msg: dict[str, Any] = {"ok": self.ok}
+        if self.summary is not None:
+            msg["summary"] = self.summary
+        if self.error is not None:
+            msg["error"] = self.error
+        if self.request_id is not None:
+            msg["request_id"] = self.request_id
+        if self.served:
+            msg["served"] = self.served
+        return msg
+
+    @classmethod
+    def from_wire(cls, msg: Mapping[str, Any]) -> "MechanismResponse":
+        return cls(
+            ok=bool(msg.get("ok")),
+            summary=msg.get("summary"),
+            error=msg.get("error"),
+            request_id=msg.get("request_id"),
+            served=dict(msg.get("served") or {}),
+        )

@@ -1,0 +1,183 @@
+"""The asyncio front-end: TCP JSON-lines in, coalesced mechanism runs out.
+
+``python -m repro serve start`` binds a :class:`MechanismService` to a
+loopback port.  The wire protocol is one JSON object per line:
+
+- ``{"op": "run", "topology": ..., "m": ..., "seed": ..., ...}`` —
+  admit a mechanism request (fields of
+  :class:`~repro.serve.request.MechanismRequest`); the response echoes
+  ``request_id``, so clients may pipeline and complete out of order.
+- ``{"op": "ping"}`` — liveness probe.
+- ``{"op": "stats"}`` — the live ``serve.*`` / ``mechanism.*`` counter
+  totals and queue depth.
+- ``{"op": "shutdown"}`` — graceful stop: admission closes (new runs
+  are rejected), the dispatcher drains everything already admitted,
+  then the server exits.
+
+Each connection handles every request line in its own task: a request
+parked in the dispatcher's batch window must not block the reader from
+admitting the very stragglers that would fill the batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.obs.metrics import get_registry
+from repro.serve.admission import AdmissionError, AdmissionQueue
+from repro.serve.dispatcher import Dispatcher, FlushPolicy
+from repro.serve.request import MechanismRequest, MechanismResponse, RequestError
+
+__all__ = ["MechanismService"]
+
+
+class MechanismService:
+    """Admission queue + dispatcher + TCP server, one event loop."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        policy: FlushPolicy | None = None,
+        capacity: int = 256,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.queue = AdmissionQueue(capacity)
+        self.dispatcher = Dispatcher(self.queue, policy)
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping: asyncio.Event | None = None
+
+    async def start(self) -> None:
+        """Bind the server and start the dispatcher loop."""
+        self._stopping = asyncio.Event()
+        self.dispatcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Resolve port 0 to the bound ephemeral port.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a shutdown is requested, then drain and exit."""
+        assert self._stopping is not None
+        await self._stopping.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: refuse new work, drain admitted work."""
+        self.queue.close()
+        await self.dispatcher.join()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def request_stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task[None]] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Loop teardown with the connection still open (a client that
+            # sent shutdown and lingered); closing quietly is the whole
+            # job here, so don't re-raise into the streams machinery.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError as exc:
+            await self._write(writer, lock, {"ok": False, "error": f"bad json: {exc}"})
+            return
+        if not isinstance(msg, dict):
+            await self._write(writer, lock, {"ok": False, "error": "message must be an object"})
+            return
+        op = msg.get("op", "run")
+        if op == "ping":
+            await self._write(writer, lock, {"ok": True, "pong": True})
+        elif op == "stats":
+            await self._write(writer, lock, {"ok": True, "stats": self.stats()})
+        elif op == "shutdown":
+            await self._write(writer, lock, {"ok": True, "stopping": True})
+            self.request_stop()
+        elif op == "run":
+            response = await self._handle_run(msg)
+            await self._write(writer, lock, response.to_wire())
+        else:
+            await self._write(
+                writer, lock, {"ok": False, "error": f"unknown op {op!r}", "request_id": msg.get("request_id")}
+            )
+
+    async def _handle_run(self, msg: dict[str, Any]) -> MechanismResponse:
+        try:
+            request = MechanismRequest.from_wire(msg)
+        except RequestError as exc:
+            get_registry().inc("serve.invalid")
+            return MechanismResponse(
+                ok=False, error=str(exc), request_id=msg.get("request_id")
+            )
+        try:
+            future = self.queue.submit(request)
+        except AdmissionError as exc:
+            return MechanismResponse(
+                ok=False, error=str(exc), request_id=request.request_id
+            )
+        return await future
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, msg: dict[str, Any]
+    ) -> None:
+        # One writer lock per connection: response lines from concurrent
+        # request tasks must not interleave mid-line.
+        async with lock:
+            try:
+                writer.write(json.dumps(msg, sort_keys=True).encode() + b"\n")
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    def stats(self) -> dict[str, Any]:
+        counters = get_registry().snapshot().get("counters", {})
+        return {
+            "queue_depth": max(self.queue.depth(), 0),
+            "capacity": self.queue.capacity,
+            "policy": self.dispatcher.policy.label,
+            "counters": {
+                name: value
+                for name, value in sorted(counters.items())
+                if name.startswith("serve.") or name.startswith("mechanism.")
+            },
+        }

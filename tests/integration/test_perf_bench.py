@@ -25,7 +25,8 @@ def _clean_registry():
 
 def _tiny_bench(**overrides):
     kwargs = dict(
-        n_networks=30, m=3, experiment_ids=("X2",), jobs=2, mech_m=3, mech_count=12
+        n_networks=30, m=3, experiment_ids=("X2",), jobs=2, mech_m=3, mech_count=12,
+        serve_count=16,
     )
     kwargs.update(overrides)
     return kwargs
@@ -104,7 +105,20 @@ class TestBenchRecord:
             "mech_batch",
             "deviant_mix",
             "solve_cache",
+            "serve",
         }
+        assert row["gated"]["serve"]["valid"] is True
+
+    def test_serve_section_is_bitwise_gated(self, record):
+        serve = record["record"]["serve"]
+        assert serve["bitwise_equal"] is True
+        assert serve["count"] == 16
+        assert serve["batched_s"] > 0
+        labels = [row["policy"] for row in serve["policies"]]
+        assert "batch1@0ms" in labels and "batch8@2ms" in labels
+        for row in serve["policies"]:
+            assert row["bitwise_equal"] is True
+            assert row["p50_ms"] <= row["p99_ms"]
 
     def test_history_path_none_skips_the_append(self, tmp_path):
         path = tmp_path / "BENCH.json"
@@ -193,9 +207,25 @@ class TestPerfDiffCLI:
         out = capsys.readouterr().out
         assert "REGRESSION" in out and "batch_solve" in out
 
-    def test_empty_history_exits_2(self, tmp_path, capsys):
-        assert main(["perf", "diff", "--history", str(tmp_path / "h.jsonl")]) == 2
-        assert "nothing to gate" in capsys.readouterr().err
+    def test_empty_history_seeds_baseline_and_exits_0(self, tmp_path, capsys):
+        # Fresh clone: no trajectory rows yet.  The gate must skip
+        # cleanly (exit 0 with a notice) so the CI bench row it just
+        # appended can seed the baseline, instead of failing the build.
+        assert main(["perf", "diff", "--history", str(tmp_path / "h.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "baseline not yet seeded" in out and "gate skipped" in out
+
+    def test_foreign_fingerprint_rows_seed_baseline_and_exit_0(self, tmp_path, capsys):
+        # History copied from another machine: rows exist but none share
+        # the newest row's fingerprint, so there is nothing to gate —
+        # skip with the seeding notice rather than erroring.
+        history = tmp_path / "h.jsonl"
+        history.write_text(
+            _history_line("other-machine", 0.10) + _history_line(self.FP, 0.30)
+        )
+        assert main(["perf", "diff", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "seeds the baseline" in out
 
     def test_single_row_has_no_baseline_and_passes(self, tmp_path, capsys):
         history = tmp_path / "h.jsonl"

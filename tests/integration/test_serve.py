@@ -1,0 +1,153 @@
+"""End-to-end service tests: real sockets, pipelining, graceful stop."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.cli import main
+from repro.serve.client import (
+    mixed_workload,
+    request_once,
+    run_load,
+    shutdown_server,
+)
+from repro.serve.dispatcher import FlushPolicy
+from repro.serve.request import MechanismRequest
+from repro.serve.service import MechanismService
+
+
+async def _with_service(coro, *, policy=None, capacity=256):
+    service = MechanismService(port=0, policy=policy, capacity=capacity)
+    await service.start()
+    try:
+        return await coro(service)
+    finally:
+        await service.stop()
+
+
+class TestServiceEndToEnd:
+    def test_load_is_bitwise_equal_and_micro_batched(self):
+        requests = mixed_workload(40, seed=7, sizes=(3, 4))
+
+        async def _go(service):
+            return await run_load(
+                "127.0.0.1", service.port, requests, connections=4, verify=True
+            )
+
+        report = asyncio.run(
+            _with_service(_go, policy=FlushPolicy(max_batch=8, max_wait_s=0.002))
+        )
+        assert report["ok"] == 40
+        assert report["errors"] == 0
+        assert report["bitwise_equal"] is True
+        assert report["unverified"] == 0
+        # Deviant cadence in the workload exercises both engine paths.
+        assert set(report["served_engines"]) == {"array", "lane"}
+        assert report["mean_batch_size"] >= 1.0
+        assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+
+    def test_ping_stats_and_unknown_op(self):
+        async def _go(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                for msg in ({"op": "ping"}, {"op": "stats"}, {"op": "warp", "request_id": 5}):
+                    writer.write(json.dumps(msg).encode() + b"\n")
+                await writer.drain()
+                return [json.loads(await reader.readline()) for _ in range(3)]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        pong, stats, unknown = asyncio.run(_with_service(_go))
+        assert pong == {"ok": True, "pong": True}
+        assert stats["ok"] and stats["stats"]["capacity"] == 256
+        assert "policy" in stats["stats"]
+        assert not unknown["ok"] and "unknown op" in unknown["error"]
+        assert unknown["request_id"] == 5
+
+    def test_invalid_requests_rejected_before_admission(self):
+        async def _go(service):
+            bad_topology = await request_once(
+                "127.0.0.1",
+                service.port,
+                MechanismRequest(topology="chain", m=3, seed=0, request_id=1),
+            )
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                writer.write(b'{"op": "run", "topology": "tree", "request_id": 2}\n')
+                writer.write(b'not json at all\n')
+                await writer.drain()
+                tree = json.loads(await reader.readline())
+                garbage = json.loads(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            return bad_topology, tree, garbage
+
+        good, tree, garbage = asyncio.run(_with_service(_go))
+        assert good["ok"] is True
+        assert not tree["ok"] and "unknown topology" in tree["error"]
+        assert tree["request_id"] == 2
+        assert not garbage["ok"] and "bad json" in garbage["error"]
+
+    def test_overflow_is_rejected_not_queued(self):
+        # Capacity 1 with a wide-open batch window: the second pipelined
+        # request finds the queue full and is refused immediately.
+        async def _go(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                for rid in (1, 2, 3):
+                    writer.write(
+                        json.dumps(
+                            MechanismRequest(m=3, seed=rid, request_id=rid).to_wire()
+                        ).encode()
+                        + b"\n"
+                    )
+                await writer.drain()
+                return [json.loads(await reader.readline()) for _ in range(3)]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        responses = asyncio.run(
+            _with_service(
+                _go,
+                policy=FlushPolicy(max_batch=64, max_wait_s=0.25),
+                capacity=1,
+            )
+        )
+        by_id = {r["request_id"]: r for r in responses}
+        rejected = [r for r in by_id.values() if not r["ok"]]
+        served = [r for r in by_id.values() if r["ok"]]
+        assert rejected and served
+        assert all("full" in r["error"] for r in rejected)
+
+    def test_graceful_shutdown_drains_admitted_work(self):
+        requests = mixed_workload(12, seed=3, sizes=(3,))
+
+        async def _go():
+            service = MechanismService(
+                port=0, policy=FlushPolicy(max_batch=4, max_wait_s=0.01)
+            )
+            await service.start()
+            server_task = asyncio.ensure_future(service.serve_until_stopped())
+            report = await run_load(
+                "127.0.0.1", service.port, requests, connections=2, verify=True
+            )
+            reply = await shutdown_server("127.0.0.1", service.port)
+            await server_task
+            return report, reply
+
+        report, reply = asyncio.run(_go())
+        assert report["ok"] == 12 and report["bitwise_equal"] is True
+        assert reply == {"ok": True, "stopping": True}
+
+
+class TestServeCLI:
+    def test_serve_bench_exits_0_and_reports_policies(self, capsys):
+        assert main(["serve", "bench", "--count", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "solo" in out
+        assert "batch8@2ms" in out
+        assert "bitwise" in out

@@ -1,0 +1,98 @@
+"""Admission control: bounded queue, reject-on-overflow, drain semantics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import collecting
+from repro.serve.admission import SHUTDOWN, AdmissionError, AdmissionQueue
+from repro.serve.request import MechanismRequest
+
+
+def _request(i: int) -> MechanismRequest:
+    return MechanismRequest(m=3, seed=i, request_id=i)
+
+
+class TestAdmission:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+    def test_submit_admits_up_to_capacity_then_rejects(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=3)
+            with collecting() as registry:
+                for i in range(3):
+                    queue.submit(_request(i))
+                assert queue.depth() == 3
+                with pytest.raises(AdmissionError, match="full"):
+                    queue.submit(_request(99))
+            counters = registry.snapshot()["counters"]
+            assert counters["serve.admitted"] == 3
+            assert counters["serve.rejected"] == 1
+
+        asyncio.run(_run())
+
+    def test_closed_queue_rejects_everything(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=3)
+            queue.submit(_request(0))
+            queue.close()
+            assert queue.closed
+            with collecting() as registry:
+                with pytest.raises(AdmissionError, match="shutting down"):
+                    queue.submit(_request(1))
+            assert registry.snapshot()["counters"]["serve.rejected"] == 1
+
+        asyncio.run(_run())
+
+    def test_depth_excludes_shutdown_sentinel(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=3)
+            queue.submit(_request(0))
+            queue.submit(_request(1))
+            queue.close()
+            assert queue.depth() == 2
+
+        asyncio.run(_run())
+
+    def test_close_is_idempotent_and_never_overflows(self):
+        async def _run():
+            # close() uses the reserved sentinel slot even at capacity.
+            queue = AdmissionQueue(capacity=2)
+            queue.submit(_request(0))
+            queue.submit(_request(1))
+            queue.close()
+            queue.close()
+            assert queue.depth() == 2
+
+        asyncio.run(_run())
+
+    def test_dispatcher_sees_items_then_sentinel(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=4)
+            futures = [queue.submit(_request(i)) for i in range(2)]
+            queue.close()
+            first = await queue.get()
+            second = await queue.get()
+            sentinel = await queue.get()
+            assert [item[0].request_id for item in (first, second)] == [0, 1]
+            assert first[1] is futures[0] and second[1] is futures[1]
+            assert sentinel is SHUTDOWN
+
+        asyncio.run(_run())
+
+    def test_queue_depth_histogram_observed_on_admit(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=4)
+            with collecting() as registry:
+                for i in range(3):
+                    queue.submit(_request(i))
+            histogram = registry.snapshot()["histograms"]["serve.queue_depth"]
+            assert histogram["count"] == 3
+            # Depth observed after each enqueue: 1, 2, 3.
+            assert histogram["total"] == 6.0
+
+        asyncio.run(_run())

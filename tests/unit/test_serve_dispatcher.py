@@ -1,0 +1,121 @@
+"""Dispatcher: flush policies, batch windows, metrics, drain."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import collecting
+from repro.serve.admission import AdmissionQueue
+from repro.serve.dispatcher import Dispatcher, FlushPolicy
+from repro.serve.request import MechanismRequest
+
+
+def _request(i: int, m: int = 3) -> MechanismRequest:
+    return MechanismRequest(m=m, seed=i, request_id=i)
+
+
+class TestFlushPolicy:
+    def test_defaults(self):
+        policy = FlushPolicy()
+        assert policy.max_batch == 8
+        assert policy.max_wait_s == 0.002
+
+    @pytest.mark.parametrize("kwargs", [{"max_batch": 0}, {"max_wait_s": -0.1}])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FlushPolicy(**kwargs)
+
+    def test_label(self):
+        assert FlushPolicy(max_batch=8, max_wait_s=0.002).label == "batch8@2ms"
+        assert FlushPolicy(max_batch=1, max_wait_s=0.0).label == "batch1@0ms"
+
+
+def _serve_burst(requests, policy, *, pre_close=False):
+    async def _run():
+        queue = AdmissionQueue(capacity=len(requests) + 1)
+        dispatcher = Dispatcher(queue, policy)
+        futures = [queue.submit(r) for r in requests]
+        if pre_close:
+            queue.close()
+            dispatcher.start()
+            await dispatcher.join()
+            results = [f.result() for f in futures]
+        else:
+            dispatcher.start()
+            results = await asyncio.gather(*futures)
+            queue.close()
+            await dispatcher.join()
+        return results
+
+    return asyncio.run(_run())
+
+
+class TestBatching:
+    def test_max_batch_caps_flush_size(self):
+        # 10 requests pre-queued, max_batch 4: flushes of 4, 4, 2.
+        requests = [_request(i) for i in range(10)]
+        with collecting() as registry:
+            responses = _serve_burst(requests, FlushPolicy(max_batch=4, max_wait_s=0.0))
+        sizes = sorted(r.served["batch_size"] for r in responses)
+        assert sizes == [2, 2, 4, 4, 4, 4, 4, 4, 4, 4]
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.flushes"] == 3
+        assert counters["serve.requests"] == 10
+        batch_hist = registry.snapshot()["histograms"]["serve.batch_size"]
+        assert batch_hist["count"] == 3
+        assert batch_hist["total"] == 10.0
+        assert batch_hist["max"] == 4.0
+
+    def test_batch1_is_solo_dispatch(self):
+        requests = [_request(i) for i in range(4)]
+        responses = _serve_burst(requests, FlushPolicy(max_batch=1, max_wait_s=0.0))
+        assert all(r.served["batch_size"] == 1 for r in responses)
+
+    def test_window_expiry_flushes_partial_batch(self):
+        # max_batch far above the arrivals: only the window can flush.
+        requests = [_request(i) for i in range(3)]
+        responses = _serve_burst(requests, FlushPolicy(max_batch=100, max_wait_s=0.01))
+        assert [r.served["batch_size"] for r in responses] == [3, 3, 3]
+
+    def test_flush_partitions_incompatible_keys(self):
+        # One flush, two batch keys: the flush runs one engine group per
+        # key but stays a single flush for metrics purposes.
+        requests = [
+            MechanismRequest(topology="chain", m=3, seed=0, request_id=0),
+            MechanismRequest(topology="star", m=3, seed=1, request_id=1),
+            MechanismRequest(topology="chain", m=3, seed=2, request_id=2),
+        ]
+        with collecting() as registry:
+            responses = _serve_burst(requests, FlushPolicy(max_batch=8, max_wait_s=0.0))
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.flushes"] == 1
+        assert counters["serve.flush_groups"] == 2
+        # served batch_size reports the engine group's stack, per key.
+        assert responses[0].served["batch_size"] == 2
+        assert responses[1].served["batch_size"] == 1
+        assert all(r.ok for r in responses)
+
+    def test_drain_after_close_serves_backlog(self):
+        requests = [_request(i) for i in range(7)]
+        responses = _serve_burst(
+            requests, FlushPolicy(max_batch=3, max_wait_s=0.0), pre_close=True
+        )
+        assert all(r.ok for r in responses)
+        assert [r.request_id for r in responses] == list(range(7))
+
+    def test_cancelled_future_does_not_break_flush(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=8)
+            dispatcher = Dispatcher(queue, FlushPolicy(max_batch=4, max_wait_s=0.0))
+            futures = [queue.submit(_request(i)) for i in range(3)]
+            futures[1].cancel()
+            dispatcher.start()
+            kept = await asyncio.gather(futures[0], futures[2])
+            queue.close()
+            await dispatcher.join()
+            return kept
+
+        kept = asyncio.run(_run())
+        assert all(r.ok for r in kept)

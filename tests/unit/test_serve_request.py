@@ -1,0 +1,114 @@
+"""Wire types: validation grammar, batch keys, JSON round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.request import (
+    SUMMARY_FIELDS,
+    TOPOLOGIES,
+    MechanismRequest,
+    MechanismResponse,
+    RequestError,
+)
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        request = MechanismRequest().validate()
+        assert request.topology == "chain"
+        assert request.m == 4
+
+    def test_tree_topology_rejected(self):
+        # Trees have no batch engine yet: rejected at the door, never
+        # silently served scalar.
+        with pytest.raises(RequestError, match="unknown topology"):
+            MechanismRequest(topology="tree").validate()
+
+    @pytest.mark.parametrize("m", [0, -1, 2.5, "4"])
+    def test_bad_m_rejected(self, m):
+        with pytest.raises(RequestError, match="positive integer"):
+            MechanismRequest(m=m).validate()
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.5])
+    def test_bad_audit_probability_rejected(self, q):
+        with pytest.raises(RequestError, match="audit probability"):
+            MechanismRequest(audit_probability=q).validate()
+
+    @pytest.mark.parametrize(
+        "spec, message",
+        [
+            ("shed", "INDEX:KIND"),
+            ("x:shed", "index must be an integer"),
+            ("0:shed", "outside 1"),
+            ("5:shed", "outside 1"),
+            ("2:nonsense", "unknown deviant kind"),
+            ("2:overcharge:lots", "param must be a number"),
+        ],
+    )
+    def test_bad_deviant_specs_rejected(self, spec, message):
+        with pytest.raises(RequestError, match=message):
+            MechanismRequest(m=4, deviant=spec).validate()
+
+    @pytest.mark.parametrize(
+        "spec", ["1:shed", "4:accuse", "2:overcharge:1.5", "3:slow:2.0"]
+    )
+    def test_good_deviant_specs_accepted(self, spec):
+        MechanismRequest(m=4, deviant=spec).validate()
+
+
+class TestBatchKey:
+    def test_key_ignores_seed_deviant_and_id(self):
+        a = MechanismRequest(m=4, seed=0, deviant="2:shed", request_id=1)
+        b = MechanismRequest(m=4, seed=99, deviant=None, request_id=7)
+        assert a.batch_key == b.batch_key
+
+    def test_key_separates_topology_size_and_q(self):
+        base = MechanismRequest(m=4)
+        assert base.batch_key != MechanismRequest(topology="star", m=4).batch_key
+        assert base.batch_key != MechanismRequest(m=5).batch_key
+        assert base.batch_key != MechanismRequest(m=4, audit_probability=0.5).batch_key
+
+    def test_with_id_preserves_key(self):
+        request = MechanismRequest(m=4, seed=3)
+        assert request.with_id(42).request_id == 42
+        assert request.with_id(42).batch_key == request.batch_key
+
+
+class TestWireFormat:
+    def test_request_roundtrip(self):
+        request = MechanismRequest(
+            topology="star", m=6, seed=11, audit_probability=0.5,
+            deviant="2:misbid", request_id=9,
+        )
+        wire = request.to_wire()
+        assert wire["op"] == "run"
+        assert MechanismRequest.from_wire(wire) == request
+
+    def test_from_wire_fills_defaults(self):
+        request = MechanismRequest.from_wire({"op": "run"})
+        assert request == MechanismRequest()
+
+    def test_from_wire_validates(self):
+        with pytest.raises(RequestError):
+            MechanismRequest.from_wire({"topology": "tree"})
+        with pytest.raises(RequestError, match="malformed"):
+            MechanismRequest.from_wire({"m": "not a number"})
+
+    def test_response_roundtrip(self):
+        response = MechanismResponse(
+            ok=True,
+            summary={field: None for field in SUMMARY_FIELDS},
+            request_id=3,
+            served={"engine": "array", "batch_size": 8},
+        )
+        assert MechanismResponse.from_wire(response.to_wire()) == response
+
+    def test_error_response_roundtrip(self):
+        response = MechanismResponse(ok=False, error="queue full", request_id=1)
+        wire = response.to_wire()
+        assert "summary" not in wire and "served" not in wire
+        assert MechanismResponse.from_wire(wire) == response
+
+    def test_topologies_constant_matches_engines(self):
+        assert TOPOLOGIES == ("chain", "star")
