@@ -1,0 +1,36 @@
+"""Multi-round adaptive adversaries against the strategyproof mechanism.
+
+The one-shot experiments (T5.3, X3) ask "does any single misreport
+pay?"; this package asks the repeated-game version: "does an adversary
+that *learns* — best response, epsilon-greedy bandit, multiplicative
+weights — ever find a profitable bidding policy?"  Because truthful
+bidding is a per-round dominant arm (Theorem 5.3), the answer the X13
+experiment certifies is no: every learner's regret against the best
+fixed arm plateaus and its play converges to factor 1.0.
+"""
+
+from repro.adversary.learners import (
+    LEARNER_NAMES,
+    AdaptiveLearner,
+    BestResponseLearner,
+    EpsilonGreedyLearner,
+    MultiplicativeWeightsLearner,
+    make_learner,
+)
+from repro.adversary.dynamics import (
+    DEFAULT_ARMS,
+    LearningOutcome,
+    run_learning_dynamics,
+)
+
+__all__ = [
+    "LEARNER_NAMES",
+    "AdaptiveLearner",
+    "BestResponseLearner",
+    "EpsilonGreedyLearner",
+    "MultiplicativeWeightsLearner",
+    "make_learner",
+    "DEFAULT_ARMS",
+    "LearningOutcome",
+    "run_learning_dynamics",
+]

@@ -1,0 +1,242 @@
+"""Multi-round adaptive-adversary dynamics against the mechanism.
+
+One adaptive bidder (an :mod:`repro.adversary.learners` learner) plays
+the mechanism for ``rounds`` rounds.  Each round:
+
+1. a fresh random network is drawn (rates change round to round, so the
+   learner cannot memorize a single instance),
+2. the round's load installment is scheduled — the total workload is
+   split across rounds by :func:`repro.dlt.multiround.installment_loads`,
+3. the *full-information* utility of every bid-factor arm is evaluated
+   by running the actual mechanism (audits always fire, everyone else
+   truthful) — the same quantity Lemma 5.3 analyses, and
+4. the learner picks an arm, banks that arm's utility, and updates.
+
+Strategyproofness (Theorem 5.3) makes truthful bidding the per-round
+argmax for *every* network draw, so the best fixed arm in hindsight is
+the truthful arm and a no-regret learner must converge to it.  The
+:class:`LearningOutcome` records the whole trajectory plus the two
+headline statistics X13 asserts: external regret against the best fixed
+arm, and the truthful share of the trailing window.
+
+Determinism: all randomness flows from ``np.random.default_rng([seed,
+...])`` streams keyed by round index, so a ``(learner, topology, seed)``
+triple always reproduces the same trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.adversary.learners import AdaptiveLearner, make_learner
+from repro.agents.strategies import MisbiddingAgent, TruthfulAgent
+from repro.dlt.multiround import installment_loads
+
+__all__ = ["DEFAULT_ARMS", "LearningOutcome", "run_learning_dynamics"]
+
+#: Default bid-factor grid: under-bids, truth, over-bids.
+DEFAULT_ARMS = (0.5, 0.7, 0.85, 1.0, 1.2, 1.5, 2.0)
+
+#: Trailing-window fraction used for the convergence statistics.
+_TAIL_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class LearningOutcome:
+    """Trajectory and verdict of one adaptive-adversary run.
+
+    Attributes
+    ----------
+    learner:
+        Learner name (``best-response``/``epsilon-greedy``/...).
+    topology:
+        ``linear`` or ``star``.
+    arms:
+        The bid-factor grid.
+    truthful_arm:
+        Index of factor 1.0 within ``arms``.
+    choices:
+        Arm index played each round.
+    chosen_utilities:
+        Utility banked each round (the played arm's, scaled by that
+        round's load installment).
+    utilities:
+        Full per-round utility matrix, ``rounds x arms``.
+    loads:
+        Per-round load installments (sum to the total workload).
+    regret:
+        External regret: best fixed arm's cumulative utility minus the
+        learner's cumulative utility.  Non-negative up to float noise;
+        small/plateauing means the learner stopped being exploitable.
+    truthful_share_tail:
+        Fraction of the trailing window spent on the truthful arm.
+    converged:
+        ``True`` when the trailing window is predominantly truthful.
+    """
+
+    learner: str
+    topology: str
+    arms: tuple[float, ...]
+    truthful_arm: int
+    choices: tuple[int, ...]
+    chosen_utilities: tuple[float, ...]
+    utilities: tuple[tuple[float, ...], ...]
+    loads: tuple[float, ...]
+    regret: float
+    truthful_share_tail: float
+    converged: bool
+    diagnostics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.choices)
+
+    def to_dict(self) -> dict:
+        return {
+            "learner": self.learner,
+            "topology": self.topology,
+            "arms": list(self.arms),
+            "truthful_arm": self.truthful_arm,
+            "choices": list(self.choices),
+            "chosen_utilities": list(self.chosen_utilities),
+            "loads": list(self.loads),
+            "regret": self.regret,
+            "truthful_share_tail": self.truthful_share_tail,
+            "converged": self.converged,
+        }
+
+
+def _evaluate_arms(
+    topology: str,
+    rng: np.random.Generator,
+    agent_index: int,
+    arms: np.ndarray,
+    *,
+    m: int,
+    load: float,
+    audit_seed: int,
+) -> np.ndarray:
+    """Full-information utility of every arm on a fresh network draw.
+
+    Runs the real mechanism once per arm — probe agent misbids by the
+    arm's factor, everyone else truthful, audits always fire — so the
+    feedback the learner sees carries the actual fines/bonuses of
+    Phase IV, not a smoothed proxy.
+    """
+    from repro.mechanism.dls_lbl import DLSLBLMechanism
+    from repro.mechanism.star_mechanism import StarMechanism
+    from repro.network.generators import random_linear_network, random_star_network
+
+    if topology == "linear":
+        network = random_linear_network(m, rng)
+    elif topology == "star":
+        network = random_star_network(m, rng)
+    else:
+        raise ValueError(f"unsupported topology {topology!r} (linear or star)")
+    true = network.w[1:]
+    root = float(network.w[0])
+    utilities = np.empty(arms.size, dtype=np.float64)
+    for k, factor in enumerate(arms):
+        roster = [
+            MisbiddingAgent(i, float(true[i - 1]), float(factor))
+            if i == agent_index and not np.isclose(factor, 1.0)
+            else TruthfulAgent(i, float(true[i - 1]))
+            for i in range(1, m + 1)
+        ]
+        cls = DLSLBLMechanism if topology == "linear" else StarMechanism
+        outcome = cls(
+            network.z,
+            root,
+            roster,
+            audit_probability=1.0,
+            total_load=load,
+            rng=np.random.default_rng(audit_seed),
+        ).run()
+        utilities[k] = outcome.utility(agent_index)
+    return utilities
+
+
+def run_learning_dynamics(
+    learner: str | AdaptiveLearner,
+    *,
+    topology: str = "linear",
+    rounds: int = 30,
+    m: int = 4,
+    agent_index: int = 2,
+    seed: int = 0,
+    arms: Sequence[float] = DEFAULT_ARMS,
+    total_load: float = 1.0,
+    load_decay: float = 0.97,
+    tail_threshold: float = 0.75,
+    fresh_networks: bool = True,
+) -> LearningOutcome:
+    """Play ``learner`` against the mechanism for ``rounds`` rounds.
+
+    ``fresh_networks`` controls the repeated game's environment: ``True``
+    redraws the network every round (full-information learners handle
+    the non-stationarity because truthful is the argmax of *every*
+    draw); ``False`` fixes one network for the whole horizon — the
+    stationary setting bandit-feedback learners need, since a handful of
+    single-arm samples cannot separate the arm gap from cross-network
+    payoff variance.
+    """
+    if isinstance(learner, str):
+        learner = make_learner(learner, arms)
+    if not 1 <= agent_index <= m:
+        raise ValueError("agent_index must be within 1..m")
+    arm_grid = learner.arms
+    loads = installment_loads(total_load * rounds, rounds, decay=load_decay)
+    choice_rng = np.random.default_rng([seed, 0xAD7E])
+    choices: list[int] = []
+    chosen_utilities: list[float] = []
+    utility_rows: list[tuple[float, ...]] = []
+    for r in range(rounds):
+        network_rng = np.random.default_rng([seed, 0xAD7E, r if fresh_networks else 0])
+        utilities = _evaluate_arms(
+            topology,
+            network_rng,
+            agent_index,
+            arm_grid,
+            m=m,
+            load=float(loads[r]),
+            audit_seed=seed + r,
+        )
+        arm = learner.choose(choice_rng)
+        choices.append(arm)
+        chosen_utilities.append(float(utilities[arm]))
+        utility_rows.append(tuple(float(u) for u in utilities))
+        # Learners see per-unit-load payoffs: the round's installment
+        # size is known to the bidder, and normalizing by it keeps
+        # empirical means comparable across the decaying load schedule.
+        learner.update(arm, utilities / float(loads[r]))
+    matrix = np.asarray(utility_rows)
+    cumulative = matrix.sum(axis=0)
+    best_fixed = float(cumulative.max())
+    earned = float(np.sum(chosen_utilities))
+    regret = best_fixed - earned
+    tail = max(1, int(round(rounds * _TAIL_FRACTION)))
+    tail_choices = choices[-tail:]
+    truthful_share = sum(
+        1 for c in tail_choices if c == learner.truthful_arm
+    ) / len(tail_choices)
+    return LearningOutcome(
+        learner=learner.name,
+        topology=topology,
+        arms=tuple(float(a) for a in arm_grid),
+        truthful_arm=learner.truthful_arm,
+        choices=tuple(choices),
+        chosen_utilities=tuple(chosen_utilities),
+        utilities=tuple(utility_rows),
+        loads=tuple(float(x) for x in loads),
+        regret=regret,
+        truthful_share_tail=truthful_share,
+        converged=truthful_share >= tail_threshold,
+        diagnostics={
+            "best_fixed_arm": int(np.argmax(cumulative)),
+            "best_fixed_cumulative": best_fixed,
+            "earned_cumulative": earned,
+        },
+    )

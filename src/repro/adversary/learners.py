@@ -1,0 +1,189 @@
+"""Adaptive bidding strategies — learners over a grid of bid factors.
+
+The one-shot deviation analyses (Theorem 5.3, experiments T5.3/X3)
+establish that no *single* misreport beats truth-telling.  A real
+adversary is not one-shot: it plays the mechanism round after round,
+observes its payoffs, and adapts.  This module supplies the standard
+adaptive opponents from the learning-in-games literature, each choosing
+a *bid factor* from a fixed arm grid (factor 1.0 — truthful — is always
+an arm):
+
+``BestResponseLearner``
+    Full information: next round it plays whatever arm maximized last
+    round's utility vector.  Against a strategyproof mechanism the best
+    response is truthful every round, so it locks onto factor 1.0 after
+    a single observation.
+
+``EpsilonGreedyLearner``
+    Bandit feedback: it only sees the payoff of the arm it played, keeps
+    empirical means, explores with a decaying probability and exploits
+    the best mean otherwise.  Convergence is stochastic but the mean of
+    the truthful arm dominates, so exploitation settles on 1.0.
+
+``MultiplicativeWeightsLearner``
+    Full information, no-regret: weights over arms updated by
+    ``exp(eta * normalized utility)``.  Its external regret against the
+    best fixed arm is sublinear; since the best fixed arm *is* truthful
+    bidding, "no regret" here means "converges to honesty".
+
+Every learner draws randomness only from the generator passed to
+:meth:`choose`, so dynamics seeded upstream are fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "AdaptiveLearner",
+    "BestResponseLearner",
+    "EpsilonGreedyLearner",
+    "MultiplicativeWeightsLearner",
+    "make_learner",
+    "LEARNER_NAMES",
+]
+
+
+class AdaptiveLearner:
+    """Common shape of an adaptive bidder over a bid-factor arm grid.
+
+    Subclasses implement :meth:`choose` (pick an arm index, drawing any
+    randomness from the supplied generator) and :meth:`update` (digest
+    the round's feedback).  ``utilities`` passed to :meth:`update` is
+    the *full-information* utility vector — one entry per arm; bandit
+    learners must restrict themselves to ``utilities[chosen]``.
+    """
+
+    name = "abstract"
+
+    def __init__(self, arms: Sequence[float]) -> None:
+        self.arms = np.asarray(arms, dtype=np.float64)
+        if self.arms.ndim != 1 or self.arms.size < 2:
+            raise ValueError("need at least two bid-factor arms")
+        if not np.any(np.isclose(self.arms, 1.0)):
+            raise ValueError("the truthful factor 1.0 must be an arm")
+        self.truthful_arm = int(np.argmin(np.abs(self.arms - 1.0)))
+
+    def choose(self, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def update(self, chosen: int, utilities: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class BestResponseLearner(AdaptiveLearner):
+    """Myopic best response with full information.
+
+    Starts at the most aggressive over-bid (the worst-case adversarial
+    opening) and thereafter plays last round's argmax arm.
+    """
+
+    name = "best-response"
+
+    def __init__(self, arms: Sequence[float]) -> None:
+        super().__init__(arms)
+        self._next = int(np.argmax(self.arms))
+
+    def choose(self, rng: np.random.Generator) -> int:
+        return self._next
+
+    def update(self, chosen: int, utilities: np.ndarray) -> None:
+        self._next = int(np.argmax(utilities))
+
+
+class EpsilonGreedyLearner(AdaptiveLearner):
+    """Epsilon-greedy bandit over bid factors.
+
+    Sees only the played arm's payoff.  Plays each arm once (in grid
+    order) before the greedy rule engages; exploration probability
+    decays geometrically each round.
+    """
+
+    name = "epsilon-greedy"
+
+    def __init__(
+        self,
+        arms: Sequence[float],
+        *,
+        epsilon: float = 0.3,
+        decay: float = 0.9,
+    ) -> None:
+        super().__init__(arms)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.epsilon = float(epsilon)
+        self.decay = float(decay)
+        self._counts = np.zeros(self.arms.size, dtype=np.int64)
+        self._means = np.zeros(self.arms.size, dtype=np.float64)
+
+    def choose(self, rng: np.random.Generator) -> int:
+        untried = np.flatnonzero(self._counts == 0)
+        if untried.size:
+            return int(untried[0])
+        if float(rng.random()) < self.epsilon:
+            return int(rng.integers(0, self.arms.size))
+        return int(np.argmax(self._means))
+
+    def update(self, chosen: int, utilities: np.ndarray) -> None:
+        # Bandit feedback: only the played arm's payoff is observed.
+        payoff = float(utilities[chosen])
+        self._counts[chosen] += 1
+        n = self._counts[chosen]
+        self._means[chosen] += (payoff - self._means[chosen]) / n
+        self.epsilon *= self.decay
+
+
+class MultiplicativeWeightsLearner(AdaptiveLearner):
+    """Multiplicative weights (Hedge) over bid factors.
+
+    Full-information no-regret dynamics: each round every arm's weight
+    is multiplied by ``exp(eta * u_hat)`` with utilities min-max
+    normalized to ``[0, 1]`` (the round's load scales raw payoffs, so
+    normalization keeps the step size meaningful across rounds).  The
+    played arm is sampled from the normalized weights.
+    """
+
+    name = "multiplicative-weights"
+
+    def __init__(self, arms: Sequence[float], *, eta: float = 2.0) -> None:
+        super().__init__(arms)
+        if eta <= 0:
+            raise ValueError("eta must be positive")
+        self.eta = float(eta)
+        self._weights = np.ones(self.arms.size, dtype=np.float64)
+
+    @property
+    def distribution(self) -> np.ndarray:
+        return self._weights / self._weights.sum()
+
+    def choose(self, rng: np.random.Generator) -> int:
+        return int(rng.choice(self.arms.size, p=self.distribution))
+
+    def update(self, chosen: int, utilities: np.ndarray) -> None:
+        lo, hi = float(utilities.min()), float(utilities.max())
+        span = hi - lo
+        normalized = (
+            (utilities - lo) / span if span > 0 else np.zeros_like(utilities)
+        )
+        self._weights *= np.exp(self.eta * normalized)
+        # Renormalize to dodge overflow on long horizons.
+        self._weights /= self._weights.max()
+
+
+#: Names accepted by :func:`make_learner`, in presentation order.
+LEARNER_NAMES = ("best-response", "epsilon-greedy", "multiplicative-weights")
+
+
+def make_learner(name: str, arms: Sequence[float]) -> AdaptiveLearner:
+    """Build a learner by name (the CLI/experiment entry point)."""
+    if name == "best-response":
+        return BestResponseLearner(arms)
+    if name == "epsilon-greedy":
+        return EpsilonGreedyLearner(arms)
+    if name == "multiplicative-weights":
+        return MultiplicativeWeightsLearner(arms)
+    raise ValueError(f"unknown learner {name!r}; choose from {LEARNER_NAMES}")

@@ -230,6 +230,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_load.add_argument(
         "--shutdown", action="store_true", help="send a shutdown op after the load"
     )
+    serve_load.add_argument(
+        "--connect-retries", type=int, default=3, metavar="N",
+        help="connect attempts per connection (exponential backoff between them)",
+    )
+    serve_load.add_argument(
+        "--connect-timeout", type=float, default=2.0, metavar="S",
+        help="first connect attempt's deadline in seconds (doubles per retry)",
+    )
+    serve_load.add_argument(
+        "--read-timeout", type=float, default=60.0, metavar="S",
+        help="per-response read deadline in seconds",
+    )
     serve_bench = serve_sub.add_parser(
         "bench", help="solo-scalar vs micro-batched dispatch bench (no sockets)"
     )
@@ -534,6 +546,13 @@ def _print_bench_summary(record, bench_path, history_path) -> None:
             f"resilient runtime: m={rt['m']} with {rt['faults']} faults in "
             f"{rt['wall_s']:.3f}s ({rt['crashes']} crash(es), {rt['retries']} retries)"
         )
+    byz = record.get("byzantine_mix")
+    if byz:
+        print(
+            f"byzantine mix: m={byz['m']} with {byz['faults']} faults in "
+            f"{byz['wall_s']:.3f}s ({byz['overhead_vs_runtime']:.2f}x infra-only run; "
+            f"liars fined: {byz['liars_fined']}, ledger balanced: {byz['ledger_balanced']})"
+        )
     print(
         f"machine fingerprint {record['machine']['fingerprint']}; "
         f"record written to {bench_path}"
@@ -782,10 +801,16 @@ def _cmd_serve(args) -> int:
         return 0
 
     if args.serve_command == "load":
+        from repro.runtime.retry import RetryPolicy
         from repro.serve.client import mixed_workload, run_load, shutdown_server
 
         sizes = [int(x) for x in args.sizes]
         requests = mixed_workload(args.count, seed=args.seed, sizes=sizes)
+        policy = RetryPolicy(
+            max_attempts=max(1, args.connect_retries),
+            base_timeout=args.connect_timeout,
+            max_timeout=max(args.connect_timeout * 4, args.connect_timeout),
+        )
 
         async def _load():
             report = await run_load(
@@ -794,9 +819,11 @@ def _cmd_serve(args) -> int:
                 requests,
                 connections=args.connections,
                 verify=not args.no_verify,
+                policy=policy,
+                read_timeout=args.read_timeout,
             )
             if args.shutdown:
-                await shutdown_server(args.host, args.port)
+                await shutdown_server(args.host, args.port, policy=policy)
             return report
 
         report = asyncio.run(_load())

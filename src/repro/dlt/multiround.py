@@ -29,11 +29,35 @@ from repro.sim.star_sim import StarSimResult, simulate_star
 __all__ = [
     "MultiroundPlan",
     "equal_installment_plan",
+    "installment_loads",
     "multiround_makespan",
     "best_round_count",
     "plan_from_allocation",
     "optimize_multiround_allocation",
 ]
+
+
+def installment_loads(
+    total: float, rounds: int, *, decay: float = 1.0
+) -> np.ndarray:
+    """Per-round load series summing to ``total``.
+
+    ``decay == 1`` gives equal installments; ``decay < 1`` front-loads
+    the series geometrically (round ``r`` carries ``decay**r`` times the
+    first round's share), the shape the multiround literature's
+    geometric-progression schedules use.  The adaptive-adversary
+    dynamics (:mod:`repro.adversary.dynamics`) schedule one installment
+    per learning round, so early rounds — where an adversary is still
+    exploring — carry the most load and therefore the most regret.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if not 0.0 < decay <= 1.0:
+        raise ValueError("decay must be in (0, 1]")
+    if total <= 0:
+        raise ValueError("total must be positive")
+    weights = decay ** np.arange(rounds, dtype=np.float64)
+    return total * weights / weights.sum()
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ from repro.experiments.exp_x9_regimes import run_x9_regimes
 from repro.experiments.exp_x10_multiround import run_x10_multiround
 from repro.experiments.exp_x11_faults import run_x11_faults
 from repro.experiments.exp_x12_resilience import run_x12_resilience
+from repro.experiments.exp_x13_adversary import run_x13_adversary
 from repro.experiments.exp_a1_ablation import run_a1_ablation
 from repro.experiments.exp_a2_bonus_rule import marginal_bonus_chain, run_a2_bonus_rule
 from repro.experiments.exp_a3_assumptions import run_a3_assumptions
@@ -67,6 +68,7 @@ ALL_EXPERIMENTS = {
     "X10": run_x10_multiround,
     "X11": run_x11_faults,
     "X12": run_x12_resilience,
+    "X13": run_x13_adversary,
     "A1": run_a1_ablation,
     "A2": run_a2_bonus_rule,
     "A3": run_a3_assumptions,
@@ -111,6 +113,7 @@ __all__ = [
     "run_x10_multiround",
     "run_x11_faults",
     "run_x12_resilience",
+    "run_x13_adversary",
     "run_a1_ablation",
     "run_a2_bonus_rule",
     "run_a3_assumptions",

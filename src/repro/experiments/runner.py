@@ -577,6 +577,20 @@ def benchmark_batch(
         rt_start = time.perf_counter()
         rt_outcome = run_resilient(rt_w, rt_z, rt_faults, seed=seed)
         runtime_s = time.perf_counter() - rt_start
+
+        # The same chain under a Byzantine storm composed with a crash:
+        # the adjudication overhead (contradiction proofs, forgery
+        # attribution, meter audits) is timed against the infra-only run
+        # above, and the ledger must still balance with every liar fined.
+        byz_faults = [
+            {"kind": "byz_equivocate", "target": 2, "param": 1.5},
+            {"kind": "byz_meter", "target": 4, "param": 2.0},
+            {"kind": "byz_suppress", "target": 1, "param": 2},
+            {"kind": "crash_exec", "target": 3, "param": 0.5},
+        ]
+        byz_start = time.perf_counter()
+        byz_outcome = run_resilient(rt_w, rt_z, byz_faults, seed=seed)
+        byz_s = time.perf_counter() - byz_start
         perf_snapshot = bench_registry.snapshot()
 
     record = {
@@ -646,6 +660,21 @@ def benchmark_batch(
             "completed": bool(rt_outcome.completed),
             "crashes": rt_outcome.crashes,
             "retries": rt_outcome.retries,
+        },
+        "byzantine_mix": {
+            "m": len(rt_z),
+            "faults": len(byz_faults),
+            "wall_s": byz_s,
+            "overhead_vs_runtime": byz_s / runtime_s if runtime_s > 0 else float("inf"),
+            "completed": bool(byz_outcome.completed),
+            "liars": list(byz_outcome.liars),
+            "excluded": list(byz_outcome.excluded),
+            "liars_fined": bool(
+                all(byz_outcome.fines.get(i, 0.0) > 0 for i in byz_outcome.liars)
+            ),
+            "ledger_balanced": bool(
+                abs(byz_outcome.ledger.total_balance()) <= 1e-6
+            ),
         },
         "perf": perf_snapshot,
     }

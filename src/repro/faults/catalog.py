@@ -218,6 +218,49 @@ _SCENARIOS = (
         FaultSpec("crash_exec", target=1, param=0.4),
         FaultSpec("crash_exec", target=3, param=0.6),
     ),
+    # -- Byzantine faults (lying nodes on the resilient runtime) -------
+    _scenario(
+        "byz_equivocate",
+        "byzantine: P2 signs two different Phase I bids — contradiction proven, fined, excluded",
+        FaultSpec("byz_equivocate", target=2, param=1.5),
+    ),
+    _scenario(
+        "byz_replay",
+        "byzantine: P2 forges a relay message in P3's name — channel attribution convicts the signer",
+        FaultSpec("byz_replay", target=2, param=0.8),
+    ),
+    _scenario(
+        "byz_false_crash",
+        "byzantine: P3 falsely accuses a live neighbour of crashing — root's liveness records exculpate",
+        FaultSpec("byz_false_crash", target=3),
+    ),
+    _scenario(
+        "byz_meter",
+        "byzantine: P2 bills double its metered work — the root's meter rejects the claim",
+        FaultSpec("byz_meter", target=2, param=2.0),
+    ),
+    _scenario(
+        "byz_suppress",
+        "byzantine: P2 swallows its neighbour's first two sends — unattributable, absorbed by retries",
+        FaultSpec("byz_suppress", target=2, param=2),
+    ),
+    _scenario(
+        "byz_crash_mix",
+        "byzantine x crash: an equivocator and a meter liar while P3's hardware dies midrun",
+        FaultSpec("byz_equivocate", target=2, param=1.5),
+        FaultSpec("byz_meter", target=4, param=2.0),
+        FaultSpec("crash_exec", target=3, param=0.5),
+    ),
+    _scenario(
+        "byz_storm",
+        "byzantine storm: every lie at once on a flaky network, one crash — ledger still balances",
+        FaultSpec("byz_equivocate", target=1, param=1.4),
+        FaultSpec("byz_false_crash", target=2),
+        FaultSpec("byz_meter", target=3, param=2.5),
+        FaultSpec("byz_suppress", target=3, param=2),
+        FaultSpec("net_drop", target=4, param=1),
+        FaultSpec("crash_exec", target=4, param=0.6),
+    ),
 )
 
 #: name -> :class:`~repro.faults.spec.ScenarioSpec` for the whole catalog.

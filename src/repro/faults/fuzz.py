@@ -2,8 +2,9 @@
 
 The catalog (:mod:`repro.faults.catalog`) pins one scenario per
 deviation class; this module explores the space *between* catalog
-entries: random fault combinations — strategic coalitions and
-infrastructure fault mixes, across every supported topology — each
+entries: random fault combinations — strategic coalitions,
+infrastructure fault mixes, and Byzantine lies composed with
+infrastructure faults, across every supported topology — each
 gated by the scenario runner's verdict checker.  A failing draw is
 shrunk to a minimal failing spec by greedy delta-debugging (drop one
 fault at a time while the failure reproduces), so a fuzz report names
@@ -34,7 +35,7 @@ from repro.faults.spec import (
 __all__ = ["FuzzReport", "fuzz_scenarios", "random_scenario", "shrink_scenario"]
 
 #: Kinds whose parameter is drawn as a small positive integer.
-_COUNT_KINDS = {"net_drop", "net_dup", "msg_corrupt"}
+_COUNT_KINDS = {"net_drop", "net_dup", "msg_corrupt", "byz_suppress"}
 
 
 def _draw_param(kind: str, rng: np.random.Generator) -> float | None:
@@ -46,6 +47,12 @@ def _draw_param(kind: str, rng: np.random.Generator) -> float | None:
         return float(np.round(rng.uniform(0.1, 0.9), 3))
     if kind in _COUNT_KINDS:
         return float(int(rng.integers(1, 4)))
+    if kind == "byz_equivocate":
+        # Spec validation forbids a factor of exactly 1 (no contradiction).
+        return float(np.round(rng.uniform(1.2, 2.0), 3))
+    if kind == "byz_meter":
+        # Spec validation requires inflation strictly above 1.
+        return float(np.round(rng.uniform(1.5, 3.0), 3))
     if info.param is None:
         return None
     default = info.default_param if info.default_param is not None else 1.0
@@ -68,7 +75,13 @@ def random_scenario(
     """
     topology = str(rng.choice(["linear", "star", "tree"]))
     if topology == "linear":
-        layer = "infrastructure" if rng.random() < 0.5 else "strategic"
+        u_layer = rng.random()
+        if u_layer < 1 / 3:
+            layer = "infrastructure"
+        elif u_layer < 2 / 3:
+            layer = "byzantine"
+        else:
+            layer = "strategic"
     else:
         layer = "strategic"
     pool = sorted(
@@ -76,10 +89,20 @@ def random_scenario(
         for kind in TOPOLOGY_KINDS[topology]
         if FAULT_KINDS[kind].layer == layer
     )
+    # Byzantine scenarios compose with infrastructure faults (both run
+    # on the resilient runtime): the first fault is drawn pure-byzantine,
+    # the rest from the combined runtime pool.
+    mixed_pool = pool
+    if layer == "byzantine":
+        mixed_pool = sorted(
+            kind
+            for kind in TOPOLOGY_KINDS[topology]
+            if FAULT_KINDS[kind].layer in ("byzantine", "infrastructure")
+        )
     n_faults = int(rng.integers(1, max_faults + 1))
     faults: list[FaultSpec] = []
-    for _ in range(n_faults):
-        kind = str(rng.choice(pool))
+    for slot in range(n_faults):
+        kind = str(rng.choice(pool if slot == 0 else mixed_pool))
         info = FAULT_KINDS[kind]
         hi = m - 1 if (info.needs_successor and m > 1) else m
         target = int(rng.integers(1, hi + 1))

@@ -190,7 +190,7 @@ def _run_scenario_once(
     workers; everything returned is picklable."""
     from repro.agents import TruthfulAgent
 
-    if scenario.layer == "infrastructure":
+    if scenario.layer in ("infrastructure", "byzantine"):
         return _run_infrastructure_once(scenario, run_index, seed, trace, use_batch)
 
     run_seed = task_seed(f"faults/{scenario.name}/net/{run_index}", seed)
@@ -309,11 +309,18 @@ def _run_scenario_once(
 #: Acceptable runtime verdicts per expected verdict: a fault expected to
 #: be tolerated may legitimately degrade the run when its magnitude
 #: exceeds the retry budget (e.g. more drops than attempts); a fault
-#: expected to be detected must actually be detected.
+#: expected to be detected must actually be detected — except when the
+#: lie was ``pre-empted`` (the liar crashed before the lying moment, or
+#: its would-be victim had already failed), which composition with crash
+#: faults makes legitimately reachable.  ``tolerated-degraded`` is the
+#: Byzantine suppression expectation: unattributable by design, so any
+#: absorbed/degraded outcome is in-contract but a ``detected`` claim
+#: would be a checker bug.
 _VERDICT_OK = {
     "tolerated": {"tolerated", "degraded"},
     "degraded": {"degraded", "tolerated"},
-    "detected": {"detected"},
+    "detected": {"detected", "pre-empted"},
+    "tolerated-degraded": {"tolerated", "degraded", "pre-empted"},
 }
 
 
@@ -324,12 +331,15 @@ def _run_infrastructure_once(
     trace: bool,
     use_batch: bool = False,
 ) -> tuple[dict[str, Any], list[TraceEvent], dict[str, Any]]:
-    """One run of an infrastructure scenario through the resilient runtime.
+    """One run of an infrastructure/byzantine scenario through the
+    resilient runtime.
 
     Instead of deviator utilities, the verdict checks are the runtime's
     recovery guarantees: the session completes, computed load sums to W,
-    the ledger balances, honest survivors are never fined, and every
-    injected fault lands on an acceptable tolerated/degraded/detected
+    the ledger balances, honest survivors are never fined (detected
+    Byzantine liars are the only live processors allowed debit entries,
+    and every one of them must carry a fine), and every injected fault
+    lands on an acceptable tolerated/degraded/detected/pre-empted
     verdict (never ``failed``).
     """
     from repro.network.generators import random_linear_network
@@ -378,12 +388,16 @@ def _run_infrastructure_once(
 
     conserved = abs(outcome.total_computed - 1.0) <= _LOAD_TOL
     ledger_balanced = abs(outcome.ledger.total_balance()) <= _LOAD_TOL
+    liars = set(outcome.liars)
     survivors_clean = not any(
         entry.debtor == i
         for i in range(1, scenario.m + 1)
-        if i not in outcome.dead
+        if i not in outcome.dead and i not in liars
         for entry in outcome.ledger.entries_for(i)
     )
+    # Every convicted liar must actually carry an adjudication fine —
+    # "correct fines on detected liars" is half the Byzantine contract.
+    liars_fined = all(outcome.fines.get(i, 0.0) > 0 for i in liars)
     checks = []
     for fault, verdict in zip(active, outcome.verdicts):
         verdict_ok = verdict["verdict"] in _VERDICT_OK.get(fault["expected"], set())
@@ -394,13 +408,14 @@ def _run_infrastructure_once(
                 run=run_index,
                 target=verdict["target"],
                 kinds=[verdict["kind"]],
-                fines=0.0,
+                fines=outcome.fines.get(verdict["target"], 0.0),
             )
     ok = (
         outcome.completed
         and conserved
         and ledger_balanced
         and survivors_clean
+        and liars_fined
         and all(c["ok"] for c in checks)
     )
 
@@ -428,8 +443,13 @@ def _run_infrastructure_once(
         "conserved": conserved,
         "ledger_balanced": ledger_balanced,
         "survivors_clean": survivors_clean,
-        # All processors are honest here; a fine against a *live* one
-        # would be a bug (crashed processors legitimately forfeit).
+        "liars": list(outcome.liars),
+        "excluded": list(outcome.excluded),
+        "fines": {str(k): v for k, v in sorted(outcome.fines.items())},
+        "liars_fined": liars_fined,
+        # A fine against a live processor that was *not* convicted of a
+        # Byzantine lie would be a bug (crashed processors legitimately
+        # forfeit; convicted liars legitimately pay F).
         "honest_fined": not survivors_clean,
         "ok": ok,
     }

@@ -14,8 +14,11 @@ deviator's utility cannot exceed the truthful baseline); infrastructure
 faults — handled by :mod:`repro.runtime` rather than the incentive
 machinery — expect ``tolerated`` (absorbed with no loss of capacity),
 ``degraded`` (completed over fewer processors, with a makespan penalty)
-or ``detected`` (rejected with evidence).  The scenario runner checks
-the observed outcome against this expectation.
+or ``detected`` (rejected with evidence); Byzantine faults (nodes that
+*lie* — same runtime, composable with infrastructure faults) expect
+``detected`` or ``tolerated-degraded`` (unattributable by design, so
+either absorbed or survived at reduced capacity).  The scenario runner
+checks the observed outcome against this expectation.
 
 Scenarios also carry a ``topology``: the chain mechanism (``linear``),
 its star/bus and tree siblings (``star``/``tree``), each supporting the
@@ -58,8 +61,9 @@ class FaultKind:
     #: The deviation needs a downstream neighbour (cannot target ``P_m``).
     needs_successor: bool = False
     #: ``"strategic"`` (a self-interested agent deviates; Theorems
-    #: 5.1-5.4) or ``"infrastructure"`` (the network or hardware fails;
-    #: handled by :mod:`repro.runtime.session`).
+    #: 5.1-5.4), ``"infrastructure"`` (the network or hardware fails) or
+    #: ``"byzantine"`` (a node lies outright); the latter two are
+    #: handled — and compose — in :mod:`repro.runtime.session`.
     layer: str = "strategic"
 
 
@@ -117,6 +121,22 @@ _KINDS = (
     FaultKind("crash_exec", "the target's hardware dies partway through its compute window",
               "crash fraction of compute window", 0.5, "Thm 5.4 (runtime: re-allocation)",
               "degraded", phase=3, layer="infrastructure"),
+    # -- Byzantine faults (repro.runtime): nodes that lie, not crash ---
+    FaultKind("byz_equivocate", "sign two different Phase I bids to different parties",
+              "second-bid factor", 1.5, "Lemma 5.1 (i) (runtime: contradiction proof)",
+              "detected", phase=1, layer="byzantine"),
+    FaultKind("byz_replay", "forge/replay a relay message claiming another originator",
+              "forged-value factor", 0.8, "Lemma 5.1 (ii) (runtime: channel attribution)",
+              "detected", phase=2, layer="byzantine"),
+    FaultKind("byz_false_crash", "falsely accuse a live peer of having crashed",
+              None, None, "Lemma 5.1 (v) (runtime: liveness records)",
+              "detected", phase=3, layer="byzantine"),
+    FaultKind("byz_meter", "bill an inflated work claim against the root's meter",
+              "billing inflation factor (> 1)", 2.0, "Lemma 5.1 (iv) (runtime: meter audit)",
+              "detected", phase=4, layer="byzantine"),
+    FaultKind("byz_suppress", "selectively swallow the downstream neighbour's sends",
+              "sends suppressed", 2.0, "Thm 5.2 (runtime: unattributable, retries absorb)",
+              "tolerated-degraded", phase=1, layer="byzantine"),
 )
 
 #: name -> :class:`FaultKind` for every injectable deviation.
@@ -176,11 +196,18 @@ class FaultSpec:
         if self.kind == "crash_exec" and self.param is not None and not 0.0 <= self.param <= 1.0:
             raise ValueError("crash_exec fraction must be in [0, 1]")
         if (
-            self.kind in ("net_drop", "net_delay", "net_dup", "msg_corrupt")
+            self.kind in ("net_drop", "net_delay", "net_dup", "msg_corrupt", "byz_suppress")
             and self.param is not None
             and self.param < 0
         ):
             raise ValueError(f"{self.kind} parameter must be non-negative")
+        if self.kind == "byz_equivocate" and self.param is not None and self.param == 1.0:
+            raise ValueError(
+                "byz_equivocate second-bid factor must differ from 1 "
+                "(identical bids contradict nothing)"
+            )
+        if self.kind == "byz_meter" and self.param is not None and self.param <= 1.0:
+            raise ValueError("byz_meter inflation factor must exceed 1")
 
     @property
     def info(self) -> FaultKind:
@@ -211,9 +238,11 @@ class ScenarioSpec:
     root); every fault is (probabilistically) injected into each run.
     Multiple faults form a coalition — the runner evaluates both
     individual and joint utility against the truthful baseline.
-    Infrastructure-layer faults route to the resilient runtime instead
-    of the incentive mechanism and cannot mix with strategic ones in a
-    single scenario (the two layers answer different questions).
+    Infrastructure- and byzantine-layer faults route to the resilient
+    runtime instead of the incentive mechanism; the two runtime layers
+    compose with each other (lying nodes on a crashing network) but not
+    with strategic faults (the mechanism and runtime answer different
+    questions on different execution paths).
     """
 
     name: str
@@ -243,13 +272,14 @@ class ScenarioSpec:
             )
         supported = TOPOLOGY_KINDS[self.topology]
         layers = {f.info.layer for f in self.faults}
-        if len(layers) > 1:
+        if "strategic" in layers and len(layers) > 1:
             raise ValueError(
-                "cannot mix strategic and infrastructure faults in one scenario"
+                "cannot mix strategic faults with runtime-layer "
+                "(infrastructure/byzantine) faults in one scenario"
             )
-        if "infrastructure" in layers and self.topology != "linear":
+        if layers & {"infrastructure", "byzantine"} and self.topology != "linear":
             raise ValueError(
-                "infrastructure faults run on the linear runtime only"
+                "infrastructure and byzantine faults run on the linear runtime only"
             )
         for fault in self.faults:
             if fault.kind not in supported:
@@ -268,9 +298,14 @@ class ScenarioSpec:
 
     @property
     def layer(self) -> str:
-        """``"strategic"`` or ``"infrastructure"`` (``"strategic"`` when
-        the scenario has no faults — the zero-fault differential runs the
-        mechanism path)."""
+        """``"strategic"``, ``"infrastructure"`` or ``"byzantine"``
+        (``"strategic"`` when the scenario has no faults — the zero-fault
+        differential runs the mechanism path).  A scenario mixing
+        byzantine and infrastructure faults — the one permitted mix, both
+        run by the resilient runtime — reports ``"byzantine"``."""
+        layers = {fault.info.layer for fault in self.faults}
+        if "byzantine" in layers:
+            return "byzantine"
         for fault in self.faults:
             return fault.info.layer
         return "strategic"

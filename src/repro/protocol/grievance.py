@@ -30,7 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mechanism.ledger import PaymentLedger
     from repro.obs.tracer import Tracer
 
-__all__ = ["Adjudication", "GrievanceCourt", "apply_adjudication"]
+__all__ = [
+    "Adjudication",
+    "GrievanceCourt",
+    "adjudicate_forgery",
+    "adjudicate_liveness",
+    "apply_adjudication",
+]
 
 #: Slack when comparing certified received load against the assignment.
 OVERLOAD_TOL = 1e-9
@@ -105,6 +111,80 @@ def apply_adjudication(
     return verdict
 
 
+def adjudicate_liveness(
+    accuser: int,
+    accused: int,
+    accused_alive: bool,
+    fine: float,
+    *,
+    reason: str = "",
+) -> Adjudication:
+    """Adjudicate a runtime crash accusation against the root's records.
+
+    The root detects crashes itself (heartbeat deadlines in
+    :mod:`repro.runtime.session`), so a peer accusation is checked
+    against evidence the root already holds rather than against anything
+    the accuser supplies.  A claim about a processor the root knows to
+    be live is a *false accusation*: the accuser is fined ``F`` and the
+    framed processor rewarded ``F`` — the Section 4 symmetric scheme.
+    A claim about a processor the root already declared failed is
+    *redundant*: substantiated, but with zero transfers (the root needed
+    no extra evidence, so the accusation earns nothing).
+    """
+    grievance = Grievance(
+        kind=GrievanceKind.CRASH_ACCUSATION, accuser=accuser, accused=accused
+    )
+    if accused_alive:
+        return Adjudication(
+            grievance=grievance,
+            substantiated=False,
+            fined=accuser,
+            rewarded=accused,
+            fine_amount=float(fine),
+            reward_amount=float(fine),
+            reason=reason or "accused responded to the root's liveness probe",
+        )
+    return Adjudication(
+        grievance=grievance,
+        substantiated=True,
+        fined=accused,
+        rewarded=accuser,
+        fine_amount=0.0,
+        reward_amount=0.0,
+        reason=reason or "accused already failed per root records — redundant",
+    )
+
+
+def adjudicate_forgery(
+    signer: int,
+    claimed: int,
+    fine: float,
+    *,
+    reason: str = "",
+) -> Adjudication:
+    """Adjudicate a forged/replayed relay message attributed to its signer.
+
+    A relay message whose authenticated signer differs from the
+    originator named in the payload is proof of forgery by the signer
+    (signatures cannot be fabricated in this model, so the channel
+    attribution is exact): the signer is fined ``F``; the root keeps the
+    reward (its utility stays 0 per eq. 4.3, so ``rewarded=0`` and
+    :func:`apply_adjudication` retains it for the mechanism).
+    """
+    grievance = Grievance(
+        kind=GrievanceKind.FORGED_MESSAGE, accuser=0, accused=signer
+    )
+    return Adjudication(
+        grievance=grievance,
+        substantiated=True,
+        fined=signer,
+        rewarded=0,
+        fine_amount=float(fine),
+        reward_amount=float(fine),
+        reason=reason or f"message claims originator {claimed} but is signed by {signer}",
+    )
+
+
 class GrievanceCourt:
     """The root's adjudication service.
 
@@ -152,8 +232,15 @@ class GrievanceCourt:
             ok, reason = self._check_computation(grievance, accuser_bid)
         elif grievance.kind is GrievanceKind.OVERLOAD:
             ok, reason = self._check_overload(grievance)
-        else:  # pragma: no cover - enum is exhaustive
-            raise ValueError(f"unknown grievance kind {grievance.kind}")
+        else:
+            # Runtime-layer kinds (forgery, crash accusations) carry
+            # evidence the root itself holds — liveness records, channel
+            # attribution — not anything this court can inspect.
+            raise ValueError(
+                f"grievance kind {grievance.kind.value!r} is adjudicated by the "
+                "resilient runtime (adjudicate_liveness / adjudicate_forgery), "
+                "not the mechanism court"
+            )
 
         surcharge = 0.0
         if ok and grievance.kind is GrievanceKind.OVERLOAD:

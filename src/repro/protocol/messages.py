@@ -115,11 +115,21 @@ class GMessage:
 
 
 class GrievanceKind(Enum):
-    """Deviation classes of Lemma 5.1 that grievances can allege."""
+    """Deviation classes of Lemma 5.1 that grievances can allege.
+
+    The first three are the paper's Phase I–III evidence classes,
+    adjudicated by :class:`~repro.protocol.grievance.GrievanceCourt`.
+    The last two are runtime-layer Byzantine claims — a forged/replayed
+    relay message attributed to its actual signer, and a (possibly
+    false) crash accusation checked against the root's own liveness
+    records — adjudicated inside :func:`repro.runtime.session.run_resilient`.
+    """
 
     CONTRADICTORY_MESSAGES = "contradictory-messages"  # deviation (i)
     INCONSISTENT_COMPUTATION = "inconsistent-computation"  # deviation (ii)
     OVERLOAD = "overload"  # deviation (iii)
+    FORGED_MESSAGE = "forged-message"  # runtime: signer != claimed originator
+    CRASH_ACCUSATION = "crash-accusation"  # runtime: peer claims a crash
 
 
 @dataclass(frozen=True)

@@ -11,8 +11,9 @@ and a checkpoint journal for the experiment runner
 """
 
 from repro.runtime.checkpoint import CheckpointJournal, task_key
-from repro.runtime.retry import RetryExhausted, RetryPolicy, backoff_schedule
+from repro.runtime.retry import RetryExhausted, RetryPolicy, backoff_schedule, retry_async
 from repro.runtime.session import (
+    BYZANTINE_KINDS,
     INFRASTRUCTURE_KINDS,
     ResilientOutcome,
     run_resilient,
@@ -26,6 +27,7 @@ from repro.runtime.transport import (
 )
 
 __all__ = [
+    "BYZANTINE_KINDS",
     "CheckpointJournal",
     "Delivery",
     "INFRASTRUCTURE_KINDS",
@@ -37,6 +39,7 @@ __all__ = [
     "TransportScript",
     "backoff_schedule",
     "corrupt_signature",
+    "retry_async",
     "run_resilient",
     "task_key",
 ]

@@ -18,11 +18,13 @@ slower, it makes the *simulated* run later.
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
 
 import numpy as np
 
-__all__ = ["RetryPolicy", "RetryExhausted", "backoff_schedule"]
+__all__ = ["RetryPolicy", "RetryExhausted", "backoff_schedule", "retry_async"]
 
 
 class RetryExhausted(Exception):
@@ -96,3 +98,42 @@ def backoff_schedule(policy: RetryPolicy, rng: np.random.Generator) -> list[floa
         timeouts.append(min(timeout, policy.max_timeout) * (1.0 + policy.jitter * u))
         timeout *= policy.backoff_factor
     return timeouts
+
+
+async def retry_async(
+    operation: Callable[[], Awaitable[Any]],
+    policy: RetryPolicy,
+    rng: np.random.Generator,
+    *,
+    label: str = "operation",
+    on_retry: Callable[[int, float, BaseException], None] | None = None,
+) -> Any:
+    """Run an async ``operation`` under ``policy``'s backoff schedule.
+
+    The one place the schedule is interpreted as *wall-clock* seconds:
+    real network clients (``repro.serve``'s load generator) retry real
+    connects/reads, so attempt ``a``'s timeout bounds the awaited call
+    via :func:`asyncio.wait_for` and doubles as the sleep before the
+    next attempt.  Timeouts and connection/OS errors are retried;
+    anything else propagates immediately.  When every attempt fails,
+    raises :class:`RetryExhausted` chained to the last error.
+
+    ``operation`` is a zero-argument callable returning a fresh awaitable
+    per attempt (an ``asyncio.open_connection`` lambda, say) — a bare
+    coroutine object can only be awaited once.
+    """
+    timeouts = backoff_schedule(policy, rng)
+    last_exc: BaseException | None = None
+    for attempt, timeout in enumerate(timeouts):
+        try:
+            return await asyncio.wait_for(operation(), timeout=timeout)
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            last_exc = exc
+            if on_retry is not None:
+                on_retry(attempt, timeout, exc)
+            if attempt + 1 < len(timeouts):
+                await asyncio.sleep(timeout)
+    raise RetryExhausted(
+        f"{label} failed after {len(timeouts)} attempts: {last_exc!r}",
+        attempts=len(timeouts),
+    ) from last_exc

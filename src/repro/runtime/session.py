@@ -44,6 +44,42 @@ hardware:
    back — both movements are explicit ledger entries, so conservation
    stays checkable and honest survivors are never fined.
 
+**Byzantine faults.**  Beyond crashing, nodes can *lie*
+(:data:`BYZANTINE_KINDS`), and lying composes freely with the
+infrastructure faults above — the liar's control messages travel on its
+own out-of-band channel (the adversary makes sure its lie arrives), so
+detection never depends on the lossy transport's mood:
+
+- ``byz_equivocate`` — two authentic Phase I bids with different
+  values.  The root holds both signed messages, the contradiction is
+  self-proving (Lemma 5.1 i), the liar is fined ``F`` and excluded
+  before allocation.
+- ``byz_replay`` — a relay message whose payload names another
+  processor as originator but is signed by the liar.  Channel
+  attribution convicts the signer (Lemma 5.1 ii): fined ``F``,
+  excluded.
+- ``byz_false_crash`` — an accusation that a live peer crashed.  The
+  root checks its own liveness records
+  (:func:`~repro.protocol.grievance.adjudicate_liveness`): the accuser
+  is fined ``F`` and the framed processor rewarded ``F`` — the
+  Section 4 symmetric scheme.  The accuser stays in the chain (lying
+  about others does not impugn its own capacity).
+- ``byz_meter`` — an inflated Phase IV billing claim.  The root's own
+  meter is authoritative (Lemma 5.1 iv): the bill is rejected, the
+  metered amount is paid, and the liar is fined ``F``.  Pre-empted only
+  when the liar crashed before billing (the crash forfeit path already
+  covers it).
+- ``byz_suppress`` — a lying network element swallows its downstream
+  neighbour's next sends.  Indistinguishable from a drop by design, so
+  never *detected*: absorbed by retries (``tolerated``) or the victim
+  is excluded (``degraded``).
+
+Every detected lie produces explicit ledger entries through the same
+:func:`~repro.protocol.grievance.apply_adjudication` path the mechanism
+court uses, so a composed Byzantine × crash run still ends with a
+balanced ledger, fines on detected liars only, and computation
+compensation only to processors that verifiably worked.
+
 Determinism: all randomness comes from rng streams derived from the
 session seed, deadlines and arrivals are simulated time, and the trace
 carries logical ids only — byte-identical output at any ``--jobs``.
@@ -65,15 +101,36 @@ from repro.network.topology import LinearNetwork
 from repro.obs.metrics import get_registry
 from repro.obs.perf import span as perf_span
 from repro.obs.tracer import Tracer
-from repro.protocol.messages import bid_payload
+from repro.protocol.grievance import (
+    Adjudication,
+    adjudicate_forgery,
+    adjudicate_liveness,
+    apply_adjudication,
+)
+from repro.protocol.messages import Grievance, GrievanceKind, bid_payload
 from repro.runtime.retry import RetryPolicy, backoff_schedule
 from repro.runtime.transport import LossyTransport, TransportPolicy, TransportScript
 
-__all__ = ["INFRASTRUCTURE_KINDS", "ResilientOutcome", "run_resilient"]
+__all__ = [
+    "BYZANTINE_KINDS",
+    "INFRASTRUCTURE_KINDS",
+    "ResilientOutcome",
+    "run_resilient",
+]
 
 #: Fault kinds handled by this runtime (the infrastructure layer of the
 #: :data:`repro.faults.spec.FAULT_KINDS` catalog).
 INFRASTRUCTURE_KINDS = ("net_drop", "net_delay", "net_dup", "msg_corrupt", "crash_exec")
+
+#: Byzantine fault kinds — nodes that *lie* rather than crash; they run
+#: on this runtime and compose freely with :data:`INFRASTRUCTURE_KINDS`.
+BYZANTINE_KINDS = (
+    "byz_equivocate",
+    "byz_replay",
+    "byz_false_crash",
+    "byz_meter",
+    "byz_suppress",
+)
 
 #: Load below this is not worth a re-allocation epoch.
 _EPS_LOAD = 1e-12
@@ -87,7 +144,15 @@ class ResilientOutcome:
     it: ``tolerated`` (absorbed with no loss of capacity), ``degraded``
     (completed, but over fewer processors / with a makespan penalty) or
     ``detected`` (rejected with evidence); ``failed`` marks a fault the
-    runtime could not recover from.
+    runtime could not recover from, and ``pre-empted`` a Byzantine lie
+    whose liar died (or whose victim already had) before the lying
+    moment — there was nothing left to detect.
+
+    ``liars`` are the processors convicted of a Byzantine lie this
+    session; ``excluded`` the subset dropped from the chain before
+    allocation (they also appear in ``dead`` for scheduling purposes);
+    ``fines`` the per-processor adjudication fines the runtime levied
+    (forfeits excluded — those live in ``forfeits``).
     """
 
     completed: bool
@@ -107,6 +172,9 @@ class ResilientOutcome:
     epochs: list[dict[str, Any]] = field(default_factory=list)
     verdicts: list[dict[str, Any]] = field(default_factory=list)
     ledger: PaymentLedger = field(default_factory=PaymentLedger)
+    liars: tuple[int, ...] = ()
+    excluded: tuple[int, ...] = ()
+    fines: dict[int, float] = field(default_factory=dict)
 
     @property
     def makespan_penalty(self) -> float:
@@ -125,6 +193,22 @@ def _fault_fields(fault: Any) -> tuple[str, int, float | None]:
         return str(fault["kind"]), int(fault["target"]), fault.get("param")
     param = getattr(fault, "effective_param", getattr(fault, "param", None))
     return str(fault.kind), int(fault.target), param
+
+
+@dataclass
+class _ByzantinePlan:
+    """Compiled Byzantine faults for one session.
+
+    ``setdefault`` semantics at compile time: the first fault of a kind
+    against a target wins (a processor tells one lie per kind).
+    """
+
+    fine: float = 1.0
+    equivocators: dict[int, float] = field(default_factory=dict)
+    replayers: dict[int, float] = field(default_factory=dict)
+    accusers: set[int] = field(default_factory=set)
+    meter_liars: dict[int, float] = field(default_factory=dict)
+    suppress_victims: dict[int, int] = field(default_factory=dict)
 
 
 def _bridged_chain(
@@ -149,6 +233,7 @@ def run_resilient(
     total_load: float = 1.0,
     tracer: Tracer | None = None,
     key_seed: bytes | None = b"runtime",
+    fine: float = 1.0,
 ) -> ResilientOutcome:
     """Execute one resilient session on the chain ``(w, z)``.
 
@@ -156,8 +241,7 @@ def run_resilient(
     ----------
     w, z:
         True unit processing times ``w_0..w_m`` (the root is ``w_0``) and
-        link times ``z_1..z_m``.  All processors are honest; the faults
-        are infrastructure, not strategy.
+        link times ``z_1..z_m``.
     faults:
         Infrastructure fault specs (:data:`INFRASTRUCTURE_KINDS`):
         ``net_drop`` (param: sends lost before one gets through),
@@ -165,12 +249,19 @@ def run_resilient(
         ``net_dup`` (param: sends delivered twice),
         ``msg_corrupt`` (param: sends delivered with a damaged
         signature), ``crash_exec`` (param: fraction of the target's
-        compute window after which it dies).
+        compute window after which it dies) — and Byzantine specs
+        (:data:`BYZANTINE_KINDS`, see the module docstring):
+        ``byz_equivocate`` (param: second-bid factor), ``byz_replay``
+        (param: forged-value factor), ``byz_false_crash`` (no param),
+        ``byz_meter`` (param: billing inflation factor > 1),
+        ``byz_suppress`` (param: neighbour sends swallowed).
     retry, policy:
         Deadline/backoff policy and background transport loss rates.
     seed:
         Derives the transport and jitter rng streams; the session is a
         pure function of ``(w, z, faults, retry, policy, seed)``.
+    fine:
+        The quantity ``F`` levied on each detected Byzantine lie.
     """
     w = np.asarray(w, dtype=np.float64)
     z = np.asarray(z, dtype=np.float64)
@@ -183,28 +274,53 @@ def run_resilient(
 
     parsed = [_fault_fields(f) for f in faults]
     for kind, target, _ in parsed:
-        if kind not in INFRASTRUCTURE_KINDS:
+        if kind not in INFRASTRUCTURE_KINDS and kind not in BYZANTINE_KINDS:
             raise ValueError(
-                f"fault kind {kind!r} is not an infrastructure kind "
-                f"{INFRASTRUCTURE_KINDS}"
+                f"fault kind {kind!r} is not a runtime kind "
+                f"{INFRASTRUCTURE_KINDS + BYZANTINE_KINDS}"
             )
         if not 1 <= target <= m:
             raise ValueError(f"fault target {target} outside 1..{m}")
 
     scripts: dict[int, TransportScript] = {}
     crash_faults: dict[int, float] = {}
+    byz = _ByzantinePlan(fine=float(fine))
     for kind, target, param in parsed:
-        script = scripts.setdefault(target, TransportScript())
         if kind == "net_drop":
-            script.drop_next += int(param if param is not None else 2)
+            scripts.setdefault(target, TransportScript()).drop_next += int(
+                param if param is not None else 2
+            )
         elif kind == "msg_corrupt":
-            script.corrupt_next += int(param if param is not None else 1)
+            scripts.setdefault(target, TransportScript()).corrupt_next += int(
+                param if param is not None else 1
+            )
         elif kind == "net_dup":
-            script.duplicate_next += int(param if param is not None else 1)
+            scripts.setdefault(target, TransportScript()).duplicate_next += int(
+                param if param is not None else 1
+            )
         elif kind == "net_delay":
-            script.delay_each += float(param if param is not None else 0.5)
+            scripts.setdefault(target, TransportScript()).delay_each += float(
+                param if param is not None else 0.5
+            )
         elif kind == "crash_exec":
             crash_faults[target] = float(np.clip(param if param is not None else 0.5, 0.0, 1.0))
+        elif kind == "byz_equivocate":
+            byz.equivocators.setdefault(target, float(param if param is not None else 1.5))
+        elif kind == "byz_replay":
+            byz.replayers.setdefault(target, float(param if param is not None else 0.8))
+        elif kind == "byz_false_crash":
+            byz.accusers.add(target)
+        elif kind == "byz_meter":
+            byz.meter_liars.setdefault(target, float(param if param is not None else 2.0))
+        elif kind == "byz_suppress":
+            # The liar controls the network element on its downstream
+            # link: its neighbour's sends are the ones that vanish.
+            victim = target + 1 if target < m else max(target - 1, 1)
+            byz.suppress_victims[target] = victim
+            if victim != target:
+                scripts.setdefault(victim, TransportScript()).suppress_next += int(
+                    param if param is not None else 2
+                )
 
     key_registry, keys = KeyRegistry.for_processors(m + 1, seed=key_seed)
     key_by_owner = {pair.owner: pair for pair in keys}
@@ -229,6 +345,7 @@ def run_resilient(
             key_registry,
             key_by_owner,
             crash_faults,
+            byz,
             parsed,
             total_load,
             tracer,
@@ -254,6 +371,7 @@ def _run_session(
     key_registry,
     key_by_owner,
     crash_faults,
+    byz,
     parsed,
     total_load,
     tracer,
@@ -330,15 +448,109 @@ def _run_session(
                 ready[i] = arrived
         setup_time = float(ready.max())
 
+    # ---------------- Byzantine adjudication at the epoch-0 boundary ------
+    # Lies travel on the liar's own out-of-band channel (see the module
+    # docstring), so none of this consumes transport or jitter draws —
+    # the rng streams stay aligned with the byzantine-free run.
+    liars: set[int] = set()
+    excluded: set[int] = set()
+    runtime_fines: dict[int, float] = {}
+    byz_verdicts: dict[tuple[str, int], str] = {}
+
+    def _convict(verdict: Adjudication, grievance_record: dict[str, Any]) -> None:
+        apply_adjudication(verdict, ledger, tracer=tracer)
+        liars.add(verdict.fined)
+        runtime_fines[verdict.fined] = (
+            runtime_fines.get(verdict.fined, 0.0) + verdict.fine_amount
+        )
+        grievances.append(grievance_record)
+        registry.inc("runtime.byz_detected")
+
+    with perf_span("byzantine"):
+        for i in sorted(byz.equivocators):
+            factor = byz.equivocators[i]
+            first = sign(key_by_owner[i], bid_payload(i, float(w[i])))
+            second = sign(key_by_owner[i], bid_payload(i, float(w[i]) * factor))
+            # Self-proving contradiction: two authentic bids, different
+            # digests, same protocol slot (Lemma 5.1 i) — the same check
+            # GrievanceCourt._check_contradictory runs on evidence.
+            contradiction = (
+                first.verify(key_registry)
+                and second.verify(key_registry)
+                and first.content_digest() != second.content_digest()
+            )
+            if not contradiction:
+                byz_verdicts[("byz_equivocate", i)] = "tolerated"
+                continue
+            verdict = Adjudication(
+                grievance=Grievance(
+                    kind=GrievanceKind.CONTRADICTORY_MESSAGES,
+                    accuser=0,
+                    accused=i,
+                    conflicting=(first, second),
+                ),
+                substantiated=True,
+                fined=i,
+                rewarded=0,  # the root keeps the reward (eq. 4.3)
+                fine_amount=byz.fine,
+                reward_amount=byz.fine,
+                reason="two authentic Phase I bids with contradictory content",
+            )
+            _convict(
+                verdict,
+                {"kind": "equivocating-bid", "accuser": 0, "against": i,
+                 "factor": factor},
+            )
+            excluded.add(i)
+            byz_verdicts[("byz_equivocate", i)] = "detected"
+
+        for i in sorted(byz.replayers):
+            factor = byz.replayers[i]
+            claimed = i + 1 if i < m else (i - 1 if i > 1 else 0)
+            forged = sign(key_by_owner[i], bid_payload(claimed, float(w[claimed]) * factor))
+            if forged.payload["proc"] == forged.signer:  # pragma: no cover
+                byz_verdicts[("byz_replay", i)] = "tolerated"
+                continue
+            _convict(
+                adjudicate_forgery(i, claimed, byz.fine),
+                {"kind": "forged-relay", "accuser": 0, "against": i,
+                 "claimed": claimed},
+            )
+            excluded.add(i)
+            byz_verdicts[("byz_replay", i)] = "detected"
+
+        dead_now = set(unresponsive) | excluded
+        for a in sorted(byz.accusers):
+            candidates = [j for j in range(1, m + 1) if j != a and j not in dead_now]
+            if not candidates:
+                # Everyone else already failed: framing a dead processor
+                # gains nothing, so the adversary stays silent.
+                byz_verdicts[("byz_false_crash", a)] = "pre-empted"
+                continue
+            victim = min(candidates, key=lambda j: (abs(j - a), j))
+            _convict(
+                adjudicate_liveness(a, victim, True, byz.fine),
+                {"kind": "crash-accusation", "accuser": a, "against": victim,
+                 "substantiated": False},
+            )
+            byz_verdicts[("byz_false_crash", a)] = "detected"
+
+    if excluded:
+        registry.inc("runtime.byz_excluded", len(excluded))
+        if tracer is not None:
+            for i in sorted(excluded):
+                tracer.event("excluded", t0=setup_time, proc=i, reason="detected liar")
+
     # ---------------- Baseline: the fault-free allocation -----------------
     baseline = solve_linear_boundary(LinearNetwork(w, z))
     baseline_makespan = float(baseline.makespan) * total_load
 
     # ---------------- Execution epochs with crash recovery ----------------
-    dead = sorted(unresponsive)
+    dead = sorted(set(unresponsive) | excluded)
     pending_crashes = dict(crash_faults)
     computed = np.zeros(m + 1)
     epochs: list[dict[str, Any]] = []
+    crashed: set[int] = set()
     crashes = 0
     reallocations = 1 if dead else 0  # chain already shrunk before epoch 0
     load_remaining = float(total_load)
@@ -420,6 +632,7 @@ def _run_session(
             del pending_crashes[target]
             dead.append(target)
             dead.sort()
+            crashed.add(target)
             crashes += 1
             registry.inc("runtime.crashes")
             done_by_target = fraction * share
@@ -488,8 +701,55 @@ def _run_session(
             elif amount > 0:
                 ledger.pay(i, amount, "computation compensation")
 
+        # Phase IV billing audit for the meter liars: the root's own
+        # meter (``computed``) is authoritative; the inflated bill is
+        # rejected — the metered amount was already paid above — and
+        # the fraudulent excess costs the flat fine F.  A liar that
+        # crashed never bills (the forfeit path above covered it).
+        for i in sorted(byz.meter_liars):
+            if i in crashed:
+                byz_verdicts[("byz_meter", i)] = "pre-empted"
+                continue
+            factor = byz.meter_liars[i]
+            metered = float(computed[i]) * float(w[i])
+            # A liar with no metered work fabricates an average-share
+            # claim from whole cloth; either way the claim exceeds the
+            # meter (spec validation pins factor > 1).
+            claimed_units = (
+                float(computed[i])
+                if computed[i] > _EPS_LOAD
+                else total_load / (m + 1)
+            )
+            claimed = claimed_units * float(w[i]) * factor
+            ledger.fine(i, byz.fine, "meter-detected: inflated billing claim")
+            liars.add(i)
+            runtime_fines[i] = runtime_fines.get(i, 0.0) + byz.fine
+            grievances.append(
+                {"kind": "inflated-meter", "accuser": 0, "against": i,
+                 "claimed": claimed, "metered": metered}
+            )
+            registry.inc("runtime.byz_detected")
+            registry.inc("mechanism.fines")
+            registry.inc("mechanism.fine_volume", byz.fine)
+            if tracer is not None:
+                tracer.event(
+                    "fine",
+                    proc=i,
+                    amount=byz.fine,
+                    source="meter-audit",
+                    reason="inflated-meter",
+                )
+            byz_verdicts[("byz_meter", i)] = "detected"
+
         verdicts = _classify(
-            parsed, dead, unresponsive, grievances, completed, reallocations
+            parsed,
+            dead,
+            unresponsive,
+            grievances,
+            completed,
+            reallocations,
+            byz_verdicts,
+            byz.suppress_victims,
         )
     return ResilientOutcome(
         completed=completed,
@@ -509,6 +769,9 @@ def _run_session(
         epochs=epochs,
         verdicts=verdicts,
         ledger=ledger,
+        liars=tuple(sorted(liars)),
+        excluded=tuple(sorted(excluded)),
+        fines=runtime_fines,
     )
 
 
@@ -529,13 +792,25 @@ def _classify(
     grievances,
     completed,
     reallocations,
+    byz_verdicts=None,
+    suppress_victims=None,
 ) -> list[dict[str, Any]]:
-    """Per-fault runtime verdicts: tolerated / degraded / detected / failed."""
+    """Per-fault runtime verdicts:
+    tolerated / degraded / detected / failed / pre-empted."""
     verdicts = []
-    rejected_against = {g["against"] for g in grievances}
+    byz_verdicts = byz_verdicts if byz_verdicts is not None else {}
+    suppress_victims = suppress_victims if suppress_victims is not None else {}
+    rejected_against = {
+        g["against"] for g in grievances if g["kind"] == "corrupt-message"
+    }
     for kind, target, param in parsed:
         if not completed:
             verdict = "failed"
+        elif kind == "byz_suppress":
+            victim = suppress_victims.get(target)
+            verdict = "degraded" if victim in unresponsive else "tolerated"
+        elif kind in BYZANTINE_KINDS:
+            verdict = byz_verdicts.get((kind, target), "pre-empted")
         elif kind == "crash_exec":
             verdict = "degraded" if target in dead else "tolerated"
         elif kind == "msg_corrupt":

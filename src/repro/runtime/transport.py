@@ -74,14 +74,24 @@ class TransportPolicy:
 class TransportScript:
     """Deterministic faults pinned on one sender's next sends.
 
-    ``drop_next`` sends are dropped, then ``corrupt_next`` sends are
-    delivered corrupted, then ``duplicate_next`` sends are duplicated;
-    ``delay_each`` adds a fixed latency to every delivered copy.  The
-    counters decrement as sends happen, so "drop the first two attempts,
-    let the third through" is ``TransportScript(drop_next=2)``.
+    ``drop_next`` sends are dropped, then ``suppress_next`` sends are
+    suppressed, then ``corrupt_next`` sends are delivered corrupted,
+    then ``duplicate_next`` sends are duplicated; ``delay_each`` adds a
+    fixed latency to every delivered copy.  The counters decrement as
+    sends happen, so "drop the first two attempts, let the third
+    through" is ``TransportScript(drop_next=2)``.
+
+    Suppression is the Byzantine sibling of a drop: a lying network
+    element swallows the message *selectively*.  The receiver observes
+    exactly what it observes for a drop (silence), so suppression is
+    unattributable by design — it differs only in the counter/trace
+    bookkeeping (``runtime.msgs_suppressed``, outcome ``"suppressed"``),
+    which exists so experiments can audit what the adversary actually
+    did against what the runtime could possibly have detected.
     """
 
     drop_next: int = 0
+    suppress_next: int = 0
     corrupt_next: int = 0
     duplicate_next: int = 0
     delay_each: float = 0.0
@@ -175,13 +185,16 @@ class LossyTransport:
 
         script = self.scripts.get(sender)
         outcome = "delivered"
-        dropped = corrupted = duplicated = False
+        dropped = suppressed = corrupted = duplicated = False
         delay = 0.0
         if script is not None and script.delay_each > 0:
             delay += script.delay_each
         if script is not None and script.drop_next > 0:
             script.drop_next -= 1
             dropped = True
+        elif script is not None and script.suppress_next > 0:
+            script.suppress_next -= 1
+            suppressed = True
         elif script is not None and script.corrupt_next > 0:
             script.corrupt_next -= 1
             corrupted = True
@@ -200,6 +213,9 @@ class LossyTransport:
         if dropped:
             outcome = "dropped"
             registry.inc("runtime.msgs_dropped")
+        elif suppressed:
+            outcome = "suppressed"
+            registry.inc("runtime.msgs_suppressed")
         else:
             payload = corrupt_signature(message) if corrupted else message
             arrival = at + self.policy.latency + delay

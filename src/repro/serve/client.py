@@ -14,6 +14,12 @@ arithmetic exactly).
 The latency report reuses :class:`repro.obs.metrics.LatencyHistogram`,
 so percentiles here and in ``BENCH_batch.json`` are computed by the
 same code.
+
+Connects retry with exponential backoff under the runtime's
+:class:`~repro.runtime.retry.RetryPolicy` (interpreted as wall-clock
+seconds by :func:`~repro.runtime.retry.retry_async`) and every read is
+deadline-bounded, so a hung or slow-starting server yields a structured
+error instead of wedging the load generator.
 """
 
 from __future__ import annotations
@@ -22,10 +28,46 @@ import asyncio
 import json
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.obs.metrics import LatencyHistogram
+from repro.runtime.retry import RetryExhausted, RetryPolicy, retry_async
 from repro.serve.request import MechanismRequest
 
-__all__ = ["mixed_workload", "request_once", "run_load", "shutdown_server"]
+__all__ = [
+    "CLIENT_POLICY",
+    "mixed_workload",
+    "request_once",
+    "run_load",
+    "shutdown_server",
+]
+
+#: Default connect policy: three attempts, 2s first deadline, doubling.
+CLIENT_POLICY = RetryPolicy(
+    max_attempts=3, base_timeout=2.0, backoff_factor=2.0, max_timeout=8.0
+)
+
+#: Default per-line read deadline (seconds); mechanism runs parked in a
+#: batch window finish in milliseconds, so a minute means "hung server".
+READ_TIMEOUT_S = 60.0
+
+
+async def _connect(
+    host: str, port: int, policy: RetryPolicy | None, *, label: str
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a connection, retrying with backoff when a policy is given.
+
+    The backoff jitter draws from a fixed-seed stream — it only shapes
+    wall-clock pacing, never any result the client reports.
+    """
+    if policy is None:
+        return await asyncio.open_connection(host, port)
+    return await retry_async(
+        lambda: asyncio.open_connection(host, port),
+        policy,
+        np.random.default_rng(0),
+        label=label,
+    )
 
 #: Deviant specs cycled through the generated workload: two array-lane
 #: kinds, two grievance-lane kinds, and truthful gaps in between.
@@ -67,14 +109,19 @@ def mixed_workload(
 
 
 async def request_once(
-    host: str, port: int, request: MechanismRequest
+    host: str,
+    port: int,
+    request: MechanismRequest,
+    *,
+    policy: RetryPolicy | None = CLIENT_POLICY,
+    read_timeout: float = READ_TIMEOUT_S,
 ) -> dict[str, Any]:
     """Send one request on a fresh connection; return the wire response."""
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _connect(host, port, policy, label="request_once connect")
     try:
         writer.write(json.dumps(request.to_wire()).encode() + b"\n")
         await writer.drain()
-        line = await reader.readline()
+        line = await asyncio.wait_for(reader.readline(), timeout=read_timeout)
         return json.loads(line)
     finally:
         writer.close()
@@ -84,13 +131,19 @@ async def request_once(
             pass
 
 
-async def shutdown_server(host: str, port: int) -> dict[str, Any]:
+async def shutdown_server(
+    host: str,
+    port: int,
+    *,
+    policy: RetryPolicy | None = CLIENT_POLICY,
+    read_timeout: float = READ_TIMEOUT_S,
+) -> dict[str, Any]:
     """Ask a running service to drain and exit."""
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _connect(host, port, policy, label="shutdown connect")
     try:
         writer.write(b'{"op": "shutdown"}\n')
         await writer.drain()
-        line = await reader.readline()
+        line = await asyncio.wait_for(reader.readline(), timeout=read_timeout)
         return json.loads(line) if line else {"ok": False, "error": "connection closed"}
     finally:
         writer.close()
@@ -107,6 +160,8 @@ async def run_load(
     *,
     connections: int = 4,
     verify: bool = True,
+    policy: RetryPolicy | None = CLIENT_POLICY,
+    read_timeout: float = READ_TIMEOUT_S,
 ) -> dict[str, Any]:
     """Fire ``requests`` over ``connections`` pipelined connections.
 
@@ -115,6 +170,13 @@ async def run_load(
     ``verify`` is set — the result of checking every response summary
     bitwise against the local solo scalar recipe (``bitwise_equal`` plus
     a sample of mismatches, empty on success).
+
+    Each connection is opened under ``policy``'s retry/backoff schedule
+    and each response line must arrive within ``read_timeout`` seconds;
+    a shard whose connection cannot be established (or whose reads time
+    out) gives up on its remaining requests, which then show up as
+    missing ``responses`` (and ``unverified``, when verifying) instead
+    of hanging the run.
     """
     loop = asyncio.get_running_loop()
     histogram = LatencyHistogram()
@@ -125,12 +187,20 @@ async def run_load(
     async def _one_connection(shard: list[MechanismRequest]) -> None:
         if not shard:
             return
-        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            reader, writer = await _connect(host, port, policy, label="load connect")
+        except (RetryExhausted, ConnectionError, OSError):
+            return  # shard's requests surface as errors/unverified
         sent_at: dict[int, float] = {}
 
         async def _read_all() -> None:
             for _ in range(len(shard)):
-                line = await reader.readline()
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    break
                 if not line:
                     break
                 msg = json.loads(line)

@@ -17,6 +17,13 @@ loopback port.  The wire protocol is one JSON object per line:
 Each connection handles every request line in its own task: a request
 parked in the dispatcher's batch window must not block the reader from
 admitting the very stragglers that would fill the batch.
+
+Malformed input never takes the service down: unparseable JSON,
+non-object messages, unknown ops and lines longer than the stream limit
+each produce a structured ``{"ok": false, "error": ...}`` response (and
+bump the ``serve.rejected_malformed`` counter) while the connection and
+the dispatcher keep serving — an oversized line is drained from the
+socket up to its terminating newline and the next line is read normally.
 """
 
 from __future__ import annotations
@@ -88,9 +95,30 @@ class MechanismService:
         lock = asyncio.Lock()
         tasks: set[asyncio.Task[None]] = set()
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
+            eof = False
+            while not eof:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    # Clean EOF (empty partial) or a final unterminated
+                    # line — handle the leftovers, then stop reading.
+                    line = exc.partial
+                    eof = True
+                    if not line:
+                        break
+                except asyncio.LimitOverrunError as exc:
+                    # A line longer than the stream limit: reject it
+                    # without buffering it, drain through its newline,
+                    # and keep the connection serving.
+                    eof = not await self._drain_oversized(reader, exc.consumed)
+                    get_registry().inc("serve.rejected_malformed")
+                    await self._write(
+                        writer,
+                        lock,
+                        {"ok": False, "error": "line too long"},
+                    )
+                    continue
+                except (ConnectionError, OSError):
                     break
                 line = line.strip()
                 if not line:
@@ -114,15 +142,35 @@ class MechanismService:
             except (ConnectionError, OSError):
                 pass
 
+    @staticmethod
+    async def _drain_oversized(reader: asyncio.StreamReader, consumed: int) -> bool:
+        """Discard an over-limit line through its terminating newline.
+
+        Returns ``True`` when the stream is still readable afterwards,
+        ``False`` on EOF mid-discard.
+        """
+        try:
+            await reader.readexactly(consumed)
+            while True:
+                try:
+                    await reader.readuntil(b"\n")
+                    return True
+                except asyncio.LimitOverrunError as exc:
+                    await reader.readexactly(exc.consumed)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return False
+
     async def _handle_line(
         self, line: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
     ) -> None:
         try:
             msg = json.loads(line)
         except json.JSONDecodeError as exc:
+            get_registry().inc("serve.rejected_malformed")
             await self._write(writer, lock, {"ok": False, "error": f"bad json: {exc}"})
             return
         if not isinstance(msg, dict):
+            get_registry().inc("serve.rejected_malformed")
             await self._write(writer, lock, {"ok": False, "error": "message must be an object"})
             return
         op = msg.get("op", "run")
@@ -137,6 +185,7 @@ class MechanismService:
             response = await self._handle_run(msg)
             await self._write(writer, lock, response.to_wire())
         else:
+            get_registry().inc("serve.rejected_malformed")
             await self._write(
                 writer, lock, {"ok": False, "error": f"unknown op {op!r}", "request_id": msg.get("request_id")}
             )

@@ -34,7 +34,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "F1", "F2", "F3", "T2.1", "T5.1", "T5.2", "T5.3", "T5.4",
-            "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12",
+            "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12", "X13",
             "A1", "A2", "A3", "P1", "P2", "P3",
         }
 

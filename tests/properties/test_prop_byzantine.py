@@ -1,0 +1,194 @@
+"""Byzantine-layer properties: balanced books, fined liars, honest learners.
+
+Three guarantees across the lying-node fault model:
+
+1. **Ledger conservation and fine sufficiency** — every Byzantine x
+   crash composition settles with a balanced ledger, every *detected*
+   liar carries a runtime fine, honest survivors are never debited, and
+   the workload is fully computed whenever the session completes.
+2. **Determinism** — `run_scenario` over Byzantine compositions is a
+   pure function of ``(scenario, seed)``: ``--jobs`` never changes the
+   verdict dicts, and a replay is bitwise identical.
+3. **Adaptive adversaries** — the multi-round learners converge to the
+   truthful arm with non-negative regret, deterministically, on linear
+   and star topologies (the repeated-game reading of Theorem 5.3).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.catalog import BUILTIN_SCENARIOS
+from repro.faults.runner import run_scenario
+from repro.runtime import BYZANTINE_KINDS, run_resilient
+
+_BYZ_SCENARIOS = [
+    name for name, s in BUILTIN_SCENARIOS.items() if s.layer == "byzantine"
+]
+
+#: Byzantine x crash compositions beyond the catalog: (faults, seed).
+_COMPOSITIONS = [
+    (
+        [
+            {"kind": "byz_equivocate", "target": 1, "param": 1.8},
+            {"kind": "crash_exec", "target": 4, "param": 0.3},
+        ],
+        3,
+    ),
+    (
+        [
+            {"kind": "byz_replay", "target": 3, "param": 0.7},
+            {"kind": "byz_meter", "target": 2, "param": 2.5},
+            {"kind": "crash_exec", "target": 1, "param": 0.6},
+        ],
+        5,
+    ),
+    (
+        [
+            {"kind": "byz_false_crash", "target": 2},
+            {"kind": "byz_suppress", "target": 3, "param": 2},
+            {"kind": "net_drop", "target": 1, "param": 1},
+        ],
+        9,
+    ),
+    (
+        [
+            {"kind": "byz_meter", "target": 2, "param": 3.0},
+            {"kind": "crash_exec", "target": 2, "param": 0.5},
+        ],
+        11,
+    ),
+]
+
+_W = [1.0, 1.1, 1.2, 1.3, 1.4]
+_Z = [0.2, 0.2, 0.2, 0.2]
+
+
+class TestLedgerConservation:
+    @pytest.mark.parametrize("name", _BYZ_SCENARIOS)
+    def test_catalog_scenarios_all_ok(self, name):
+        result = run_scenario(name, seed=0)
+        assert result.all_ok, [r for r in result.runs if not r["ok"]]
+
+    @pytest.mark.parametrize(("faults", "seed"), _COMPOSITIONS)
+    def test_compositions_balance_and_fine_liars(self, faults, seed):
+        outcome = run_resilient(_W, _Z, faults, seed=seed)
+        # Books balance: every credit has a debit.
+        assert abs(outcome.ledger.total_balance()) <= 1e-6
+        # Fine sufficiency at the runtime layer: every liar was charged.
+        for liar in outcome.liars:
+            assert outcome.fines.get(liar, 0.0) > 0
+        # Honest survivors are never debited.
+        honest = (
+            set(range(1, outcome.m + 1))
+            - set(outcome.dead)
+            - set(outcome.unresponsive)
+            - set(outcome.liars)
+        )
+        for i in honest:
+            assert not any(
+                entry.debtor == i for entry in outcome.ledger.entries_for(i)
+            )
+        if outcome.completed:
+            assert outcome.total_computed == pytest.approx(1.0, abs=1e-9)
+
+    def test_every_byzantine_kind_reaches_a_verdict(self):
+        # One fault of each kind, alone on a clean chain: the classifier
+        # must name every one (no kind silently falls through).
+        for kind in BYZANTINE_KINDS:
+            outcome = run_resilient(
+                _W, _Z, [{"kind": kind, "target": 2}], seed=1
+            )
+            assert any(v["kind"] == kind for v in outcome.verdicts), kind
+
+    def test_detected_liars_match_catalog_expectation(self):
+        outcome = run_resilient(
+            _W,
+            _Z,
+            [
+                {"kind": "byz_equivocate", "target": 2, "param": 1.5},
+                {"kind": "byz_meter", "target": 4, "param": 2.0},
+            ],
+            seed=0,
+        )
+        verdicts = {(v["kind"], v["target"]): v["verdict"] for v in outcome.verdicts}
+        assert verdicts[("byz_equivocate", 2)] == "detected"
+        assert verdicts[("byz_meter", 4)] == "detected"
+        assert set(outcome.liars) == {2, 4}
+        assert outcome.excluded == (2,)  # equivocators are cut pre-allocation
+
+
+class TestDeterminism:
+    def test_jobs_do_not_change_byz_crash_mix(self):
+        serial = run_scenario("byz_crash_mix", seed=0, jobs=1, runs=4)
+        pooled = run_scenario("byz_crash_mix", seed=0, jobs=2, runs=4)
+        assert json.dumps(serial.runs, sort_keys=True) == json.dumps(
+            pooled.runs, sort_keys=True
+        )
+
+    def test_replay_is_bitwise_identical(self):
+        first = run_scenario("byz_storm", seed=3)
+        second = run_scenario("byz_storm", seed=3)
+        assert json.dumps(first.runs, sort_keys=True) == json.dumps(
+            second.runs, sort_keys=True
+        )
+
+    def test_run_resilient_is_pure(self):
+        faults = [
+            {"kind": "byz_equivocate", "target": 2, "param": 1.5},
+            {"kind": "crash_exec", "target": 3, "param": 0.5},
+        ]
+        a = run_resilient(_W, _Z, faults, seed=7)
+        b = run_resilient(_W, _Z, faults, seed=7)
+        assert a.liars == b.liars
+        assert a.fines == b.fines
+        assert a.verdicts == b.verdicts
+        assert a.total_computed == b.total_computed
+        assert a.makespan == b.makespan
+
+
+class TestAdaptiveAdversaries:
+    @pytest.mark.parametrize("topology", ["linear", "star"])
+    @pytest.mark.parametrize(
+        ("learner", "fresh", "decay"),
+        [
+            ("best-response", True, 0.97),
+            ("epsilon-greedy", False, 1.0),
+            ("multiplicative-weights", True, 0.97),
+        ],
+    )
+    def test_learners_converge_to_truth(self, topology, learner, fresh, decay):
+        from repro.adversary import run_learning_dynamics
+
+        outcome = run_learning_dynamics(
+            learner,
+            topology=topology,
+            rounds=20,
+            seed=0,
+            fresh_networks=fresh,
+            load_decay=decay,
+        )
+        assert outcome.converged
+        assert outcome.regret >= -1e-9
+        # The best fixed arm in hindsight is the truthful factor 1.0.
+        assert int(outcome.diagnostics["best_fixed_arm"]) == outcome.truthful_arm
+        # Truthful is the per-round argmax of every network draw
+        # (Theorem 5.3, repeated-game form).
+        matrix = np.asarray(outcome.utilities)
+        assert (matrix.argmax(axis=1) == outcome.truthful_arm).all()
+
+    def test_trajectories_are_deterministic(self):
+        from repro.adversary import run_learning_dynamics
+
+        runs = [
+            run_learning_dynamics(
+                "multiplicative-weights", topology="linear", rounds=12, seed=5
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].choices == runs[1].choices
+        assert runs[0].utilities == runs[1].utilities
+        assert runs[0].regret == runs[1].regret

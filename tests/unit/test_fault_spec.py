@@ -18,9 +18,11 @@ class TestFaultKindCatalog:
             assert kind.name == name
             if kind.layer == "strategic":
                 assert kind.expected in ("detected", "dominated")
-            else:
-                assert kind.layer == "infrastructure"
+            elif kind.layer == "infrastructure":
                 assert kind.expected in ("tolerated", "degraded", "detected")
+            else:
+                assert kind.layer == "byzantine"
+                assert kind.expected in ("detected", "tolerated-degraded")
             assert kind.theorem
             assert kind.description
 
@@ -134,4 +136,60 @@ class TestInfrastructureKinds:
         for name in ("net_flaky_link", "crash_midrun", "crash_cascade"):
             scenario = BUILTIN_SCENARIOS[name]
             assert scenario.layer == "infrastructure"
+            assert ScenarioSpec.from_json(scenario.to_json()) == scenario
+
+
+class TestByzantineKinds:
+    def test_byzantine_kinds_registered(self):
+        byz = {k for k, v in FAULT_KINDS.items() if v.layer == "byzantine"}
+        assert byz == {
+            "byz_equivocate",
+            "byz_replay",
+            "byz_false_crash",
+            "byz_meter",
+            "byz_suppress",
+        }
+
+    def test_equivocate_factor_of_one_rejected(self):
+        with pytest.raises(ValueError, match="1"):
+            FaultSpec(kind="byz_equivocate", target=2, param=1.0)
+        FaultSpec(kind="byz_equivocate", target=2, param=1.5)  # ok
+
+    def test_meter_inflation_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="byz_meter", target=2, param=0.9)
+        FaultSpec(kind="byz_meter", target=2, param=2.0)  # ok
+
+    def test_byzantine_mixes_with_infrastructure_not_strategic(self):
+        ScenarioSpec(
+            name="ok",
+            faults=(
+                FaultSpec(kind="byz_meter", target=2, param=2.0),
+                FaultSpec(kind="crash_exec", target=3, param=0.5),
+            ),
+            m=4,
+        )
+        with pytest.raises(ValueError, match="strategic"):
+            ScenarioSpec(
+                name="bad",
+                faults=(
+                    FaultSpec(kind="byz_meter", target=2, param=2.0),
+                    FaultSpec(kind="misbid", target=3, param=1.5),
+                ),
+                m=4,
+            )
+
+    def test_byzantine_linear_only(self):
+        with pytest.raises(ValueError, match="linear"):
+            ScenarioSpec(
+                name="bad",
+                faults=(FaultSpec(kind="byz_meter", target=2, param=2.0),),
+                m=4,
+                topology="star",
+            )
+
+    def test_byzantine_scenarios_round_trip(self):
+        for name in ("byz_equivocate", "byz_crash_mix", "byz_storm"):
+            scenario = BUILTIN_SCENARIOS[name]
+            assert scenario.layer == "byzantine"
             assert ScenarioSpec.from_json(scenario.to_json()) == scenario

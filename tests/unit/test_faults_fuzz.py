@@ -17,16 +17,35 @@ def _rng(seed=7):
 
 
 class TestRandomScenario:
-    def test_generated_scenarios_are_valid_and_single_layer(self):
+    def test_generated_scenarios_are_valid_and_layer_coherent(self):
         rng = _rng()
         for index in range(30):
             scenario = random_scenario(rng, index, seed=7)
             assert scenario.faults  # never empty
             layers = {FAULT_KINDS[f.kind].layer for f in scenario.faults}
-            assert len(layers) == 1
+            # Strategic draws are pure; runtime draws may mix Byzantine
+            # lies with infrastructure faults (both run resilient).
+            if "strategic" in layers:
+                assert layers == {"strategic"}
+            else:
+                assert layers <= {"byzantine", "infrastructure"}
             for fault in scenario.faults:
                 assert fault.kind in TOPOLOGY_KINDS[scenario.topology]
                 assert 1 <= fault.target <= scenario.m
+
+    def test_byzantine_mixes_are_generated(self):
+        rng = _rng()
+        seen_byz = False
+        for index in range(60):
+            scenario = random_scenario(rng, index, seed=7)
+            if scenario.layer == "byzantine":
+                seen_byz = True
+                assert scenario.topology == "linear"
+                assert any(
+                    FAULT_KINDS[f.kind].layer == "byzantine"
+                    for f in scenario.faults
+                )
+        assert seen_byz
 
     def test_generation_is_deterministic(self):
         a = [random_scenario(_rng(), i, seed=7) for i in range(10)]
@@ -66,6 +85,30 @@ class TestShrink:
             return len(spec.faults) == len(scenario.faults)
 
         assert shrink_scenario(scenario, fails).faults == scenario.faults
+
+    def test_byzantine_composition_shrinks_to_the_lying_fault(self):
+        # Regression: a Byzantine x infrastructure composition must be
+        # shrinkable — the delta-debugger drops the infra noise and
+        # keeps the lie that reproduces the failure.
+        from repro.faults.spec import FaultSpec, ScenarioSpec
+
+        scenario = ScenarioSpec(
+            name="shrink-byz",
+            faults=(
+                FaultSpec("net_drop", target=1, param=1),
+                FaultSpec("byz_meter", target=2, param=2.0),
+                FaultSpec("crash_exec", target=3, param=0.5),
+            ),
+            m=4,
+        )
+
+        def fails(spec):
+            return any(f.kind == "byz_meter" for f in spec.faults)
+
+        minimal = shrink_scenario(scenario, fails)
+        assert [f.kind for f in minimal.faults] == ["byz_meter"]
+        # The shrunk spec is still a valid byzantine-layer scenario.
+        assert minimal.layer == "byzantine"
 
 
 class TestFuzzBatch:

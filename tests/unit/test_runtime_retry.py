@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import asyncio
+
 import numpy as np
 import pytest
 
@@ -73,3 +75,112 @@ class TestBackoffSchedule:
         for _ in range(policy.max_attempts):
             rng2.random()
         assert after_schedule == rng2.random()
+
+
+class TestRetryAsync:
+    def _policy(self, attempts=3):
+        return RetryPolicy(
+            max_attempts=attempts,
+            base_timeout=0.05,
+            backoff_factor=1.0,
+            max_timeout=0.05,
+            jitter=0.0,
+        )
+
+    def test_first_attempt_success_returns_value(self):
+        from repro.runtime.retry import retry_async
+
+        async def _go():
+            async def op():
+                return 42
+
+            return await retry_async(op, self._policy(), np.random.default_rng(0))
+
+        assert asyncio.run(_go()) == 42
+
+    def test_retries_connection_errors_until_success(self):
+        from repro.runtime.retry import retry_async
+
+        calls = []
+
+        async def _go():
+            async def op():
+                calls.append(1)
+                if len(calls) < 3:
+                    raise ConnectionRefusedError("not yet")
+                return "up"
+
+            return await retry_async(op, self._policy(), np.random.default_rng(0))
+
+        assert asyncio.run(_go()) == "up"
+        assert len(calls) == 3
+
+    def test_timeout_counts_as_failed_attempt(self):
+        from repro.runtime.retry import retry_async
+
+        attempts = []
+
+        async def _go():
+            async def op():
+                attempts.append(1)
+                if len(attempts) == 1:
+                    await asyncio.sleep(10)  # blows the 50ms deadline
+                return "late but fine"
+
+            return await retry_async(op, self._policy(), np.random.default_rng(0))
+
+        assert asyncio.run(_go()) == "late but fine"
+        assert len(attempts) == 2
+
+    def test_exhaustion_raises_with_cause_and_attempts(self):
+        from repro.runtime.retry import retry_async
+
+        async def _go():
+            async def op():
+                raise ConnectionRefusedError("down")
+
+            await retry_async(
+                op, self._policy(attempts=2), np.random.default_rng(0), label="probe"
+            )
+
+        with pytest.raises(RetryExhausted, match="probe failed after 2 attempts") as info:
+            asyncio.run(_go())
+        assert info.value.attempts == 2
+        assert isinstance(info.value.__cause__, ConnectionRefusedError)
+
+    def test_unexpected_errors_propagate_immediately(self):
+        from repro.runtime.retry import retry_async
+
+        calls = []
+
+        async def _go():
+            async def op():
+                calls.append(1)
+                raise ValueError("bug, not weather")
+
+            await retry_async(op, self._policy(), np.random.default_rng(0))
+
+        with pytest.raises(ValueError, match="bug"):
+            asyncio.run(_go())
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        from repro.runtime.retry import retry_async
+
+        seen = []
+
+        async def _go():
+            async def op():
+                if len(seen) < 2:
+                    raise OSError("flaky")
+                return "ok"
+
+            return await retry_async(
+                op,
+                self._policy(),
+                np.random.default_rng(0),
+                on_retry=lambda attempt, timeout, exc: seen.append((attempt, type(exc).__name__)),
+            )
+
+        assert asyncio.run(_go()) == "ok"
+        assert seen == [(0, "OSError"), (1, "OSError")]

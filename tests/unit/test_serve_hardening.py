@@ -1,0 +1,139 @@
+"""Front-end hardening: malformed input never kills the connection.
+
+Each abuse case — oversized line, unparseable JSON, non-object message,
+unknown op — must produce a structured error response, bump the
+``serve.rejected_malformed`` counter, and leave both the connection and
+the dispatcher healthy enough to serve a real request afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.serve.service import MechanismService
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+async def _with_service(coro):
+    service = MechanismService(port=0)
+    await service.start()
+    try:
+        return await coro(service)
+    finally:
+        await service.stop()
+
+
+def _rejected() -> float:
+    return get_registry().counter("serve.rejected_malformed")
+
+
+class TestMalformedInput:
+    def test_bad_json_nonobject_and_unknown_op_survive(self):
+        async def _go(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                lines = [
+                    b"{not json at all\n",
+                    b"[1, 2, 3]\n",
+                    b'{"op": "warp"}\n',
+                ]
+                for line in lines:
+                    writer.write(line)
+                await writer.drain()
+                replies = [json.loads(await reader.readline()) for _ in lines]
+                # The connection is still alive: a ping round-trips.
+                writer.write(b'{"op": "ping"}\n')
+                await writer.drain()
+                pong = json.loads(await reader.readline())
+                return replies, pong
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        replies, pong = asyncio.run(_with_service(_go))
+        assert all(r["ok"] is False and r["error"] for r in replies)
+        assert pong == {"ok": True, "pong": True}
+        assert _rejected() == 3.0
+
+    def test_oversized_line_rejected_connection_survives(self):
+        async def _go(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                # Far beyond the asyncio stream default limit (64 KiB).
+                writer.write(b'{"op": "run", "pad": "' + b"x" * 300_000 + b'"}\n')
+                await writer.drain()
+                oversized = json.loads(await reader.readline())
+                # Same connection, next line parses and dispatches fine.
+                writer.write(
+                    json.dumps(
+                        {"op": "run", "topology": "chain", "m": 3, "seed": 1, "request_id": 9}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                served = json.loads(await reader.readline())
+                return oversized, served
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        oversized, served = asyncio.run(_with_service(_go))
+        assert oversized["ok"] is False
+        assert "too long" in oversized["error"]
+        assert served["ok"] is True
+        assert served["request_id"] == 9
+        assert _rejected() == 1.0
+
+    def test_dispatcher_survives_abuse_from_one_client(self):
+        async def _go(service):
+            # Client A sends garbage and disconnects mid-oversized-line.
+            _, abuser = await asyncio.open_connection("127.0.0.1", service.port)
+            abuser.write(b"garbage\n" + b"y" * 200_000)  # no newline: EOF mid-line
+            await abuser.drain()
+            abuser.close()
+            await abuser.wait_closed()
+            # Client B still gets served.
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                writer.write(
+                    json.dumps(
+                        {"op": "run", "topology": "star", "m": 3, "seed": 2, "request_id": 1}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                return json.loads(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        served = asyncio.run(_with_service(_go))
+        assert served["ok"] is True
+
+    def test_counter_appears_in_stats(self):
+        async def _go(service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+            try:
+                writer.write(b"???\n")
+                writer.write(b'{"op": "stats"}\n')
+                await writer.drain()
+                first = json.loads(await reader.readline())
+                second = json.loads(await reader.readline())
+                return first, second
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        first, second = asyncio.run(_with_service(_go))
+        assert first["ok"] is False
+        assert second["stats"]["counters"]["serve.rejected_malformed"] == 1.0
