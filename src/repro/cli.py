@@ -203,6 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission queue bound; overflow requests are rejected immediately",
     )
     serve_start.add_argument(
+        "--tenant-capacity", type=int, default=None, metavar="N",
+        help="per-tenant admission bound (default: same as --capacity)",
+    )
+    serve_start.add_argument(
+        "--weight", action="append", default=None, metavar="TENANT=W",
+        help="deficit-round-robin weight for a tenant (repeatable; default 1)",
+    )
+    serve_start.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes executing flush groups (0 = inline in the event loop)",
+    )
+    serve_start.add_argument(
         "--port-file", default=None, metavar="PATH",
         help="write the bound port here once listening (for --port 0 scripting)",
     )
@@ -218,6 +230,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_load.add_argument(
         "--sizes", type=_floats, default=[4, 6], help="network sizes cycled through the mix"
+    )
+    serve_load.add_argument(
+        "--topologies", default="chain,star", metavar="LIST",
+        help="comma-separated topologies cycled through the mix (chain, star, tree)",
+    )
+    serve_load.add_argument(
+        "--tenants", default="default", metavar="LIST",
+        help="comma-separated tenant names cycled through the mix",
+    )
+    serve_load.add_argument(
+        "--priorities", default="0", metavar="LIST",
+        help="comma-separated priorities cycled through the mix",
     )
     serve_load.add_argument(
         "--no-verify", action="store_true",
@@ -247,6 +271,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument("--count", type=int, default=200, help="requests per lane")
     serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument(
+        "--pool-workers", default="1,2,4", metavar="LIST",
+        help="comma-separated worker counts for the serve_pool sweep ('' to skip)",
+    )
     serve_bench.add_argument(
         "--report", default=None, metavar="PATH", help="write the JSON section to PATH"
     )
@@ -509,6 +537,23 @@ def _print_serve_summary(section) -> None:
             f"{note}"
         )
     print(f"  bitwise equal across all policies: {section['bitwise_equal']}")
+    pool = section.get("serve_pool")
+    if pool:
+        pool_solo = pool["solo"]
+        print(
+            f"serve_pool: {pool['count']} mixed requests "
+            f"({'/'.join(pool['topologies'])}, policy {pool['policy']}); "
+            f"solo scalar {pool_solo['rps']:.0f} req/s"
+        )
+        for row in pool["workers"]:
+            note = "" if row["bitwise_equal"] else " [BITWISE MISMATCH — timing untrusted]"
+            print(
+                f"  workers={row['workers']}: {row['rps']:.0f} req/s "
+                f"(p50 {row['p50_ms']:.2f}ms p95 {row['p95_ms']:.2f}ms "
+                f"p99 {row['p99_ms']:.2f}ms)"
+                f"{note}"
+            )
+        print(f"  bitwise equal across all worker counts: {pool['bitwise_equal']}")
 
 
 def _print_bench_summary(record, bench_path, history_path) -> None:
@@ -769,6 +814,15 @@ def _cmd_serve(args) -> int:
     if args.serve_command == "start":
         from repro.serve import FlushPolicy, MechanismService
 
+        weights = {}
+        for item in args.weight or ():
+            name, _, value = item.partition("=")
+            try:
+                weights[name] = float(value)
+            except ValueError:
+                print(f"bad --weight {item!r}: expected TENANT=NUMBER")
+                return 2
+
         async def _serve() -> None:
             service = MechanismService(
                 args.host,
@@ -777,6 +831,9 @@ def _cmd_serve(args) -> int:
                     max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1e3
                 ),
                 capacity=args.capacity,
+                tenant_capacity=args.tenant_capacity,
+                weights=weights or None,
+                workers=args.workers,
             )
             await service.start()
             if args.port_file:
@@ -785,7 +842,8 @@ def _cmd_serve(args) -> int:
             print(
                 f"serving on {service.host}:{service.port} "
                 f"(policy {service.dispatcher.policy.label}, "
-                f"capacity {service.queue.capacity}); "
+                f"capacity {service.queue.capacity}, "
+                f"workers {args.workers or 'inline'}); "
                 'send {"op": "shutdown"} to stop',
                 flush=True,
             )
@@ -805,7 +863,19 @@ def _cmd_serve(args) -> int:
         from repro.serve.client import mixed_workload, run_load, shutdown_server
 
         sizes = [int(x) for x in args.sizes]
-        requests = mixed_workload(args.count, seed=args.seed, sizes=sizes)
+        topologies = tuple(t.strip() for t in args.topologies.split(",") if t.strip())
+        tenants = tuple(t.strip() for t in args.tenants.split(",") if t.strip())
+        priorities = tuple(
+            int(p) for p in args.priorities.split(",") if p.strip()
+        )
+        requests = mixed_workload(
+            args.count,
+            seed=args.seed,
+            sizes=sizes,
+            topologies=topologies or ("chain", "star"),
+            tenants=tenants or ("default",),
+            priorities=priorities or (0,),
+        )
         policy = RetryPolicy(
             max_attempts=max(1, args.connect_retries),
             base_timeout=args.connect_timeout,
@@ -836,6 +906,8 @@ def _cmd_serve(args) -> int:
             f"served {report['served_engines']} "
             f"(mean batch {report['mean_batch_size']:.1f})"
         )
+        if len(report.get("tenants_ok", {})) > 1:
+            print(f"per-tenant ok: {report['tenants_ok']}")
         if "bitwise_equal" in report:
             print(f"bitwise equal to solo scalar runs: {report['bitwise_equal']}")
         if args.report:
@@ -850,14 +922,20 @@ def _cmd_serve(args) -> int:
     # serve bench
     from repro.serve.bench import benchmark_serve
 
-    section = benchmark_serve(count=args.count, seed=args.seed)
+    pool_workers = tuple(
+        int(w) for w in args.pool_workers.split(",") if w.strip()
+    )
+    section = benchmark_serve(
+        count=args.count, seed=args.seed, pool_workers=pool_workers
+    )
     _print_serve_summary(section)
     if args.report:
         with open(args.report, "w", encoding="utf-8") as fh:
             json.dump(section, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report -> {args.report}")
-    return 0 if section["bitwise_equal"] else 1
+    pool_equal = section.get("serve_pool", {}).get("bitwise_equal", True)
+    return 0 if section["bitwise_equal"] and pool_equal else 1
 
 
 def _cmd_perf(args) -> int:

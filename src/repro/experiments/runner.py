@@ -432,6 +432,7 @@ def benchmark_batch(
     mech_m: int = 8,
     mech_count: int = 300,
     serve_count: int = 200,
+    serve_pool_workers: Sequence[int] = (1, 2, 4),
 ) -> dict[str, Any]:
     """Measure the three speedups of this layer and return the record.
 
@@ -459,7 +460,10 @@ def benchmark_batch(
        (:func:`repro.serve.bench.benchmark_serve`), with RPS and
        p50/p95/p99 latency per policy.  Like ``mech_batch``, every
        policy row records ``bitwise_equal`` against the solo summaries
-       and a false value invalidates the section's timings.
+       and a false value invalidates the section's timings.  The nested
+       ``serve_pool`` subsection repeats the sweep over
+       ``serve_pool_workers`` worker-process counts on a tree-including
+       workload, with its own bitwise gate.
 
     Kernel timings are best-of-3 wall clock; experiment and mechanism
     sets run once.  ``cpu_count`` is recorded because the parallel
@@ -563,7 +567,9 @@ def benchmark_batch(
         # the solo summaries before the timings are trusted.
         from repro.serve.bench import benchmark_serve
 
-        serve_section = benchmark_serve(count=serve_count, seed=seed)
+        serve_section = benchmark_serve(
+            count=serve_count, seed=seed, pool_workers=tuple(serve_pool_workers)
+        )
 
         # A small resilient session (lossy transport, one crash) so the
         # runtime.setup/epoch/settlement spans and the retry/delivery

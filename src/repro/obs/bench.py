@@ -50,9 +50,16 @@ __all__ = [
 
 #: Bench sections whose timings participate in regression gating, and
 #: where inside the record each gated number lives (seconds, lower is
-#: better).  ``mech_batch``/``deviant_mix``/``serve`` are only gated
-#: when their bitwise self-check passed.
-GATED_METRICS = ("batch_solve", "mech_batch", "deviant_mix", "solve_cache", "serve")
+#: better).  ``mech_batch``/``deviant_mix``/``serve``/``serve_pool``
+#: are only gated when their bitwise self-check passed.
+GATED_METRICS = (
+    "batch_solve",
+    "mech_batch",
+    "deviant_mix",
+    "solve_cache",
+    "serve",
+    "serve_pool",
+)
 
 
 def machine_fingerprint(info: Mapping[str, Any] | None = None) -> dict[str, Any]:
@@ -142,6 +149,14 @@ def _gated_seconds(record: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
         out["serve"] = {
             "seconds": serve["batched_s"],
             "valid": bool(serve.get("valid", True)) and bool(serve.get("bitwise_equal", False)),
+        }
+    # serve_pool nests inside serve; its timing only gates when its own
+    # bitwise sweep came back clean (and the parent section is valid).
+    pool = serve.get("serve_pool") or {}
+    if "pooled_s" in pool:
+        out["serve_pool"] = {
+            "seconds": pool["pooled_s"],
+            "valid": bool(serve.get("valid", True)) and bool(pool.get("bitwise_equal", False)),
         }
     return out
 

@@ -346,12 +346,18 @@ def get_registry() -> MetricsRegistry:
 
 
 @contextmanager
-def collecting() -> Iterator[MetricsRegistry]:
+def collecting(merge: bool = True) -> Iterator[MetricsRegistry]:
     """Collect metrics into a fresh registry for the enclosed block.
 
     On exit the collected metrics are merged into the enclosing registry,
     so totals keep accumulating; the yielded registry holds exactly the
     block's delta — what a pooled worker ships back to the parent.
+
+    ``merge=False`` captures the delta without folding it anywhere: the
+    caller owns the snapshot and decides where (and in what order) it is
+    merged.  The serving layer uses this to ship per-request deltas from
+    pool workers back to the event loop, which merges them in request
+    order so counter folds stay bitwise-equal to a solo loop.
     """
     scoped = MetricsRegistry()
     _STACK.append(scoped)
@@ -359,4 +365,5 @@ def collecting() -> Iterator[MetricsRegistry]:
         yield scoped
     finally:
         _STACK.pop()
-        get_registry().merge(scoped.snapshot())
+        if merge:
+            get_registry().merge(scoped.snapshot())

@@ -31,9 +31,13 @@ from repro.serve.admission import AdmissionQueue
 from repro.serve.client import mixed_workload
 from repro.serve.dispatcher import Dispatcher, FlushPolicy
 from repro.serve.engine import solo_summary
+from repro.serve.pool import WorkerPool
 from repro.serve.request import MechanismRequest
 
-__all__ = ["DEFAULT_POLICIES", "benchmark_serve"]
+__all__ = ["DEFAULT_POLICIES", "DEFAULT_POOL_WORKERS", "benchmark_serve"]
+
+#: Worker counts the ``serve_pool`` sweep compares.
+DEFAULT_POOL_WORKERS = (1, 2, 4)
 
 #: The flush policies the bench compares.  ``batch1`` isolates dispatch
 #: overhead (no coalescing); the larger policies trade a bounded wait
@@ -74,12 +78,24 @@ def _solo_baseline(
 
 
 async def _serve_burst(
-    requests: Sequence[MechanismRequest], policy: FlushPolicy
+    requests: Sequence[MechanismRequest],
+    policy: FlushPolicy,
+    *,
+    workers: int = 0,
 ) -> tuple[dict[int, dict[str, Any]], dict[str, Any]]:
-    """The whole workload as one concurrent burst through a dispatcher."""
+    """The whole workload as one concurrent burst through a dispatcher.
+
+    ``workers > 0`` puts a pre-warmed :class:`WorkerPool` of that many
+    processes behind the dispatcher (warm-up happens before the timer
+    starts, so the numbers measure steady-state dispatch, not fork
+    cost).
+    """
     loop = asyncio.get_running_loop()
     queue = AdmissionQueue(capacity=max(len(requests), 1))
-    dispatcher = Dispatcher(queue, policy)
+    pool = WorkerPool(workers) if workers > 0 else None
+    if pool is not None:
+        pool.warm()
+    dispatcher = Dispatcher(queue, policy, pool=pool)
     dispatcher.start()
     histogram = LatencyHistogram()
     summaries: dict[int, dict[str, Any]] = {}
@@ -98,6 +114,8 @@ async def _serve_burst(
     wall = loop.time() - started
     queue.close()
     await dispatcher.join()
+    if pool is not None:
+        pool.close()
     row = {
         "policy": policy.label,
         "max_batch": policy.max_batch,
@@ -110,18 +128,73 @@ async def _serve_burst(
     return summaries, row
 
 
+def _pool_sweep(
+    *,
+    count: int,
+    seed: int,
+    sizes: Sequence[int],
+    pool_workers: Sequence[int],
+) -> dict[str, Any]:
+    """The ``serve_pool`` subsection: worker counts over a tree-mixed load.
+
+    Same method as the policy sweep — one concurrent burst, submit-to-
+    response latency — but with a :class:`WorkerPool` of each size
+    behind the dispatcher and tree requests in the mix, so the rows
+    answer "what does adding worker processes buy, and does it stay
+    bitwise-clean?".
+    """
+    requests = mixed_workload(
+        count, seed=seed, sizes=sizes, topologies=("chain", "star", "tree")
+    )
+    solo_summaries, solo_row = _solo_baseline(requests)
+    policy = FlushPolicy(max_batch=8, max_wait_s=0.002)
+
+    worker_rows = []
+    all_equal = True
+    for workers in pool_workers:
+        summaries, row = asyncio.run(_serve_burst(requests, policy, workers=workers))
+        row["workers"] = workers
+        equal = summaries == solo_summaries
+        row["bitwise_equal"] = bool(equal)
+        all_equal = all_equal and equal
+        if equal and solo_row["wall_s"] > 0 and row["wall_s"] > 0:
+            row["speedup"] = solo_row["wall_s"] / row["wall_s"]
+        worker_rows.append(row)
+
+    best = min(
+        (row["wall_s"] for row in worker_rows if row["bitwise_equal"]),
+        default=None,
+    )
+    subsection: dict[str, Any] = {
+        "count": count,
+        "sizes": list(sizes),
+        "topologies": ["chain", "star", "tree"],
+        "policy": policy.label,
+        "solo": solo_row,
+        "workers": worker_rows,
+        "bitwise_equal": bool(all_equal),
+    }
+    if best is not None:
+        subsection["pooled_s"] = best
+    return subsection
+
+
 def benchmark_serve(
     *,
     count: int = 200,
     seed: int = 0,
     sizes: Sequence[int] = (4, 6),
     policies: Sequence[FlushPolicy] = DEFAULT_POLICIES,
+    pool_workers: Sequence[int] = DEFAULT_POOL_WORKERS,
 ) -> dict[str, Any]:
     """The ``serve`` section of ``BENCH_batch.json``.
 
     Returns solo-baseline and per-policy rows (RPS + p50/p95/p99 each)
     plus a section-level ``bitwise_equal`` that is only true when every
-    policy reproduced every solo summary exactly.
+    policy reproduced every solo summary exactly, and — when
+    ``pool_workers`` is non-empty — a nested ``serve_pool`` subsection
+    sweeping worker-process counts over a tree-including workload with
+    its own bitwise gate.
     """
     requests = mixed_workload(count, seed=seed, sizes=sizes)
     solo_summaries, solo_row = _solo_baseline(requests)
@@ -152,4 +225,8 @@ def benchmark_serve(
     if best is not None:
         section["batched_s"] = best
         section["speedup"] = solo_row["wall_s"] / best if best > 0 else float("inf")
+    if pool_workers:
+        section["serve_pool"] = _pool_sweep(
+            count=count, seed=seed, sizes=sizes, pool_workers=pool_workers
+        )
     return section

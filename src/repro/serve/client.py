@@ -73,6 +73,9 @@ async def _connect(
 #: kinds, two grievance-lane kinds, and truthful gaps in between.
 _WORKLOAD_DEVIANTS = (None, None, "1:misbid", None, "2:overcharge:1.5", None, "1:accuse", None, None, "2:contradict")
 
+#: Deviant kinds the tree mechanism can host (tamper-proof level).
+_TREE_KINDS = frozenset({"misbid", "slow"})
+
 
 def mixed_workload(
     count: int,
@@ -81,13 +84,20 @@ def mixed_workload(
     sizes: Sequence[int] = (4, 6),
     topologies: Sequence[str] = ("chain", "star"),
     deviants: bool = True,
+    tenants: Sequence[str] = ("default",),
+    priorities: Sequence[int] = (0,),
 ) -> list[MechanismRequest]:
     """A deterministic mixed request stream of length ``count``.
 
     Requests cycle through topology and size combinations with distinct
     seeds, so a server batching them faces realistic key diversity;
     ``deviants=True`` threads grievance-lane and array-lane deviant
-    specs through the stream at a fixed cadence.
+    specs through the stream at a fixed cadence.  ``tenants`` and
+    ``priorities`` cycle independently of the topology cadence, spreading
+    every tenant across every batch key (the admission-fairness fields
+    never touch the recipe, so the bitwise verification is unaffected).
+    Deviant specs a tree cannot host (anything beyond rate/speed
+    deviations) fall back to truthful on tree rows.
     """
     requests = []
     combos = [(t, m) for t in topologies for m in sizes]
@@ -96,6 +106,12 @@ def mixed_workload(
         deviant = _WORKLOAD_DEVIANTS[i % len(_WORKLOAD_DEVIANTS)] if deviants else None
         if deviant is not None and int(deviant.split(":")[0]) > m:
             deviant = None
+        if (
+            deviant is not None
+            and topology == "tree"
+            and deviant.split(":")[1] not in _TREE_KINDS
+        ):
+            deviant = None
         requests.append(
             MechanismRequest(
                 topology=topology,
@@ -103,6 +119,8 @@ def mixed_workload(
                 seed=seed + i,
                 deviant=deviant,
                 request_id=i,
+                tenant=tenants[i % len(tenants)],
+                priority=priorities[i % len(priorities)],
             ).validate()
         )
     return requests
@@ -239,6 +257,11 @@ async def run_load(
         served_engines[engine] = served_engines.get(engine, 0) + 1
         if "batch_size" in served:
             batch_sizes.append(served["batch_size"])
+    tenant_ok: dict[str, int] = {}
+    for request in requests:
+        response = responses.get(request.request_id)
+        if response is not None and response.get("ok"):
+            tenant_ok[request.tenant] = tenant_ok.get(request.tenant, 0) + 1
 
     report: dict[str, Any] = {
         "requests": len(requests),
@@ -254,6 +277,7 @@ async def run_load(
             "p99": histogram.quantile(0.99) * 1e3,
         },
         "served_engines": served_engines,
+        "tenants_ok": dict(sorted(tenant_ok.items())),
         "mean_batch_size": (sum(batch_sizes) / len(batch_sizes)) if batch_sizes else 0.0,
     }
 

@@ -6,15 +6,31 @@ whatever is already queued joins immediately; when the queue runs dry it
 waits the *remaining* batch window (``max_wait_s`` counted from the
 first request, never reset) for stragglers — and flushes when the batch
 reaches ``max_batch`` or the window closes.  A flush partitions its
-members into compatible groups (same topology/m/q) and hands each group
-to :func:`repro.serve.engine.run_group`, which demultiplexes per-request
-summaries bitwise-equal to solo scalar runs.
+members into compatible groups (same topology/m/q) and executes each
+group via :func:`repro.serve.engine.run_group_rows`, which demultiplexes
+per-request summaries bitwise-equal to solo scalar runs.
 
-Flushes execute *inline in the event loop*, never in a worker thread:
-the metrics registry stack is a plain module global, and the engine's
-request-order counter merge relies on being the only writer.  Mechanism
-runs are CPU-bound numpy work with no await points, so a thread would
-buy nothing and break the registry.
+Two execution modes:
+
+- **Inline** (no pool): groups run synchronously in the event loop, as
+  mechanism runs are CPU-bound numpy work with no await points.
+- **Pooled** (a :class:`~repro.serve.pool.WorkerPool`): each group is
+  shipped to a worker process and the dispatcher keeps batching while it
+  runs; a dedicated merger coroutine consumes finished flushes strictly
+  in dispatch order.  An in-flight semaphore (two flushes per worker)
+  bounds the backlog between dispatcher and merger.
+
+Either way the metric fold is identical: groups return *unmerged*
+per-row counter deltas, and the event loop merges them in request order
+(flush order across flushes, ascending request index within a flush) —
+the exact per-run fold a solo loop over the admitted requests performs,
+so ``mechanism.*``/``ledger.*`` totals stay bitwise-equal to the scalar
+recipe no matter the worker count.
+
+Future resolution is guarded: a group whose engine call returns fewer
+responses than requests (a bug class that used to leave the tail callers
+hanging forever) fails every unresolved member with a structured
+internal error instead.
 
 The flush policy is the latency/throughput dial: ``max_batch=1`` is
 solo-scalar dispatch (every request pays its own python overhead),
@@ -27,15 +43,19 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.perf import span as perf_span
 from repro.serve.admission import SHUTDOWN, AdmissionQueue
-from repro.serve.engine import group_by_key, run_group
+from repro.serve.engine import group_by_key, run_group_rows
+from repro.serve.pool import WorkerPool
 from repro.serve.request import MechanismRequest, MechanismResponse
 
 __all__ = ["Dispatcher", "FlushPolicy"]
+
+#: An admitted (request, response-future) pair, as the queue yields them.
+_Item = "tuple[MechanismRequest, asyncio.Future[Any]]"
 
 
 @dataclass(frozen=True)
@@ -68,18 +88,39 @@ class FlushPolicy:
 class Dispatcher:
     """The micro-batching loop over one :class:`AdmissionQueue`."""
 
-    def __init__(self, queue: AdmissionQueue, policy: FlushPolicy | None = None) -> None:
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        policy: FlushPolicy | None = None,
+        pool: WorkerPool | None = None,
+    ) -> None:
         self.queue = queue
         self.policy = policy or FlushPolicy()
+        self.pool = pool
         self._task: asyncio.Task[None] | None = None
+        self._merger: asyncio.Task[None] | None = None
+        # Flush descriptors travel dispatcher -> merger strictly FIFO so
+        # counter folds happen in dispatch order even when workers finish
+        # out of order.
+        self._finished: asyncio.Queue[Any] = asyncio.Queue()
+        self._inflight = (
+            asyncio.Semaphore(2 * pool.workers) if pool is not None else None
+        )
 
     def start(self) -> None:
-        self._task = asyncio.get_running_loop().create_task(self._run())
+        loop = asyncio.get_running_loop()
+        self._task = loop.create_task(self._run())
+        if self.pool is not None:
+            get_registry().set_gauge("serve.pool_workers", float(self.pool.workers))
+            self._merger = loop.create_task(self._merge_loop())
 
     async def join(self) -> None:
         """Wait for the loop to exit (after :meth:`AdmissionQueue.close`)."""
         if self._task is not None:
             await self._task
+        if self._merger is not None:
+            self._finished.put_nowait(None)
+            await self._merger
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
@@ -105,7 +146,7 @@ class Dispatcher:
                     draining = True
                     break
                 batch.append(item)
-            self._flush(batch)
+            await self._flush(batch)
         # Post-sentinel drain: whatever was admitted before close() still
         # gets served (graceful shutdown empties the queue, batch-sized).
         pending: list[Any] = []
@@ -117,34 +158,164 @@ class Dispatcher:
             if item is not SHUTDOWN:
                 pending.append(item)
         for start in range(0, len(pending), self.policy.max_batch):
-            self._flush(pending[start : start + self.policy.max_batch])
+            await self._flush(pending[start : start + self.policy.max_batch])
 
-    def _flush(
-        self, batch: list[tuple[MechanismRequest, "asyncio.Future[Any]"]]
-    ) -> None:
-        """Run one flush inline, resolving every member's future."""
+    async def _flush(self, batch: list[Any]) -> None:
+        """Execute one flush: inline in the loop, or shipped to the pool."""
         registry = get_registry()
         registry.inc("serve.flushes")
         registry.observe("serve.batch_size", float(len(batch)))
+        if self.pool is None or self._inflight is None:
+            self._flush_inline(batch, registry)
+            return
+        # Bound the dispatch-ahead backlog so a slow pool applies
+        # backpressure to batching instead of growing an unbounded list
+        # of in-flight flushes.
+        await self._inflight.acquire()
         requests = [request for request, _future in batch]
         futures = [future for _request, future in batch]
+        submitted = []
+        for indices in group_by_key(requests):
+            registry.inc("serve.flush_groups")
+            registry.inc("serve.pool_dispatches")
+            submitted.append((indices, self.pool.submit([requests[i] for i in indices])))
+        self._finished.put_nowait((requests, futures, submitted))
+
+    async def _merge_loop(self) -> None:
+        """Consume finished flushes in dispatch order (pooled mode).
+
+        Awaiting each flush's group futures FIFO — not completion
+        order — is what keeps the counter fold deterministic: snapshots
+        merge flush-by-flush exactly as they were dispatched.
+        """
+        while True:
+            descriptor = await self._finished.get()
+            if descriptor is None:
+                break
+            requests, futures, submitted = descriptor
+            registry = get_registry()
+            try:
+                with perf_span("serve.flush"):
+                    responses: list[MechanismResponse | None] = [None] * len(requests)
+                    snapshots: list[dict[str, Any] | None] = [None] * len(requests)
+                    for indices, pool_future in submitted:
+                        group = [requests[i] for i in indices]
+                        try:
+                            group_responses, row_snaps, overhead = await pool_future
+                        except Exception as exc:
+                            group_responses = _error_responses(group, exc)
+                            row_snaps = [{} for _ in group]
+                            overhead = {}
+                            registry.inc("serve.errors", float(len(group)))
+                        group_responses, row_snaps = _pad_group(
+                            group, group_responses, row_snaps, registry
+                        )
+                        if overhead:
+                            # Engine overhead (worker-side perf spans,
+                            # tree scalar-fallback counts) — integer
+                            # counters and histograms only, so the merge
+                            # point cannot perturb float folds.
+                            registry.merge(overhead)
+                        for i, response, snap in zip(indices, group_responses, row_snaps):
+                            responses[i] = response
+                            snapshots[i] = snap
+                    _merge_and_resolve(responses, snapshots, futures, registry)
+            finally:
+                self._inflight.release()  # type: ignore[union-attr]
+
+    def _flush_inline(self, batch: list[Any], registry: MetricsRegistry) -> None:
+        """Run one flush inline, resolving every member's future."""
+        requests = [request for request, _future in batch]
+        futures = [future for _request, future in batch]
+        responses: list[MechanismResponse | None] = [None] * len(batch)
+        snapshots: list[dict[str, Any] | None] = [None] * len(batch)
         with perf_span("serve.flush"):
             for indices in group_by_key(requests):
                 registry.inc("serve.flush_groups")
                 group = [requests[i] for i in indices]
                 try:
-                    responses = run_group(group)
+                    group_responses, row_snaps = run_group_rows(group)
                 except Exception as exc:  # pragma: no cover - engine guards
-                    responses = [
-                        MechanismResponse(
-                            ok=False,
-                            error=f"{type(exc).__name__}: {exc}",
-                            request_id=request.request_id,
-                        )
-                        for request in group
-                    ]
+                    group_responses = _error_responses(group, exc)
+                    row_snaps = [{} for _ in group]
                     registry.inc("serve.errors", float(len(group)))
-                for i, response in zip(indices, responses):
-                    if not futures[i].cancelled():
-                        futures[i].set_result(response)
-        registry.inc("serve.requests", float(len(batch)))
+                group_responses, row_snaps = _pad_group(
+                    group, group_responses, row_snaps, registry
+                )
+                for i, response, snap in zip(indices, group_responses, row_snaps):
+                    responses[i] = response
+                    snapshots[i] = snap
+            _merge_and_resolve(responses, snapshots, futures, registry)
+
+
+def _error_responses(
+    group: Sequence[MechanismRequest], exc: Exception
+) -> list[MechanismResponse]:
+    return [
+        MechanismResponse(
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            request_id=request.request_id,
+        )
+        for request in group
+    ]
+
+
+def _pad_group(
+    group: Sequence[MechanismRequest],
+    responses: Sequence[MechanismResponse],
+    snapshots: Sequence[dict[str, Any]],
+    registry: MetricsRegistry,
+) -> tuple[list[MechanismResponse], list[dict[str, Any]]]:
+    """Guard against a mis-sized engine return.
+
+    ``zip(indices, responses)`` used to drop the tail silently when the
+    engine came back short, leaving those callers' futures hanging
+    forever.  Now every unmatched member gets a structured internal
+    error (counted under ``serve.errors``), and surplus responses are
+    truncated rather than mis-attributed.
+    """
+    n = len(responses)
+    if n == len(group) and len(snapshots) == len(group):
+        return list(responses), list(snapshots)
+    padded = list(responses[: len(group)])
+    snaps = list(snapshots[: len(group)])
+    while len(padded) < len(group):
+        request = group[len(padded)]
+        padded.append(
+            MechanismResponse(
+                ok=False,
+                error=(
+                    f"internal error: engine returned {n} responses "
+                    f"for a group of {len(group)}"
+                ),
+                request_id=request.request_id,
+            )
+        )
+        registry.inc("serve.errors")
+    while len(snaps) < len(group):
+        snaps.append({})
+    return padded, snaps
+
+
+def _merge_and_resolve(
+    responses: Sequence[MechanismResponse | None],
+    snapshots: Sequence[dict[str, Any] | None],
+    futures: Sequence["asyncio.Future[Any]"],
+    registry: MetricsRegistry,
+) -> None:
+    """Fold row deltas in request order, then resolve caller futures."""
+    for snap in snapshots:
+        if snap:
+            registry.merge(snap)
+    served = 0
+    for future, response in zip(futures, responses):
+        if response is None:  # pragma: no cover - grouping covers all indices
+            response = MechanismResponse(
+                ok=False, error="internal error: request missed every flush group"
+            )
+            registry.inc("serve.errors")
+        served += 1
+        if not future.cancelled():
+            future.set_result(response)
+    registry.inc("serve.requests", float(served))

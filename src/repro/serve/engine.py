@@ -5,20 +5,24 @@ Three layers, all producing the same bytes:
 - :func:`solo_summary` is the reference recipe — what a caller who never
   heard of the service would run: ``default_rng(seed)``, draw the
   network, build agents, run the scalar mechanism.  The service's
-  equality contract is stated against this function.
-- :func:`run_group` executes one *compatible group* (requests sharing a
-  :attr:`~repro.serve.request.MechanismRequest.batch_key`): rows whose
-  deviant spec the stacked arrays can express ride one
+  equality contract is stated against this function.  Trees run the
+  scalar DLS-T mechanism (the paper's [9] sibling) on a random rooted
+  tree of ``m + 1`` nodes.
+- :func:`run_group_rows` executes one *compatible group* (requests
+  sharing a :attr:`~repro.serve.request.MechanismRequest.batch_key`):
+  rows whose deviant spec the stacked arrays can express ride one
   :func:`~repro.mechanism.batch_run.run_chain_batch` /
   :func:`~repro.mechanism.batch_run.run_star_batch` call with pre-shaped
-  audit-draw blocks; every other row (grievance-triggering deviants)
-  executes on the engine's lane mechanisms.  Per-row protocol-counter
-  snapshots merge into the live registry in request order, so even the
-  float fold order of counter totals matches a solo loop.
-- :func:`run_coalesced` is the offline composition the dispatcher also
-  performs: partition arbitrary requests into compatible groups
-  (first-seen key order), run each group, reassemble responses in input
-  order.
+  audit-draw blocks; grievance-lane rows execute on the engine's lane
+  mechanisms; tree rows run the scalar tree mechanism (an honest
+  ``mechanism.scalar_fallbacks`` increment each).  It returns, alongside
+  the responses, one registry-snapshot *delta* per row — unmerged — so
+  the caller (the dispatcher's event loop, even when the rows ran in a
+  pool worker) can fold them in request order: the same per-run float
+  fold a solo loop over these requests would produce.
+- :func:`run_group` / :func:`run_coalesced` are the in-process
+  compositions: run the rows, merge the per-row snapshots into the live
+  registry in request order, reassemble responses in input order.
 
 The rng discipline is the one proven by the batch-engine differential
 suite: a solo run consumes ``default_rng(seed)`` as network draw then
@@ -41,6 +45,7 @@ __all__ = [
     "is_array_expressible",
     "run_coalesced",
     "run_group",
+    "run_group_rows",
     "solo_summary",
 ]
 
@@ -51,6 +56,8 @@ _BATCHABLE_KINDS = frozenset({"overcharge", "misbid", "slow"})
 
 def is_array_expressible(request: MechanismRequest) -> bool:
     """Whether a request can ride a stacked batch-engine call."""
+    if request.topology == "tree":
+        return False  # no batch engine for trees; scalar per row
     if request.deviant is None:
         return True
     parts = request.deviant.split(":")
@@ -62,9 +69,26 @@ def _draw_network(request: MechanismRequest, rng: np.random.Generator):
         from repro.network.generators import random_star_network
 
         return random_star_network(request.m, rng)
+    if request.topology == "tree":
+        from repro.network.generators import random_tree_network
+
+        return random_tree_network(request.m + 1, rng)
     from repro.network.generators import random_linear_network
 
     return random_linear_network(request.m, rng)
+
+
+def _preorder_rates(tree) -> list[float]:
+    """Per-node ``w`` in preorder (the tree mechanism's node indexing)."""
+    rates: list[float] = []
+
+    def visit(node) -> None:
+        rates.append(float(node.w))
+        for child in node.children:
+            visit(child)
+
+    visit(tree.root)
+    return rates
 
 
 def _build_agents(request: MechanismRequest, true_rates: list[float]):
@@ -97,53 +121,79 @@ def solo_summary(request: MechanismRequest, engine: str = "scalar") -> dict[str,
 
     ``engine="lane"`` swaps in the batch engine's crypto-free lane
     subclass — same protocol code, bitwise-equal output; the dispatcher
-    uses it for rows the arrays cannot express.
+    uses it for chain/star rows the arrays cannot express.  Trees have
+    one engine (the scalar tree mechanism), so the parameter is a no-op
+    there.
     """
     from repro.mechanism.ledger import MECHANISM
 
     rng = np.random.default_rng(request.seed)
     network = _draw_network(request, rng)
-    true_rates = [float(x) for x in network.w[1:]]
-    agents = _build_agents(request, true_rates)
-    cls = _mechanism_cls(request.topology, engine)
-    mech = cls(
-        network.z,
-        float(network.w[0]),
-        agents,
-        audit_probability=request.audit_probability,
-        rng=rng,
-    )
+    if request.topology == "tree":
+        from repro.mechanism.tree_mechanism import TreeMechanism
+
+        true_rates = _preorder_rates(network)[1:]
+        agents = _build_agents(request, true_rates)
+        mech = TreeMechanism(network, agents)
+    else:
+        true_rates = [float(x) for x in network.w[1:]]
+        agents = _build_agents(request, true_rates)
+        cls = _mechanism_cls(request.topology, engine)
+        mech = cls(
+            network.z,
+            float(network.w[0]),
+            agents,
+            audit_probability=request.audit_probability,
+            rng=rng,
+        )
     outcome = mech.run()
     fines = sum(e.amount for e in outcome.ledger.entries if e.creditor == MECHANISM)
     return {
         "topology": request.topology,
         "m": request.m,
         "seed": request.seed,
-        "completed": bool(outcome.completed),
-        # StarOutcome has no aborted_phase; a completed star run reports
-        # None exactly like a completed chain run.
+        # TreeOutcome has no completed/aborted_phase/adjudications/audits
+        # (the tree mechanism models the tamper-proof level and always
+        # completes); the getattr defaults state exactly that, matching
+        # what a completed chain/star run reports.
+        "completed": bool(getattr(outcome, "completed", True)),
         "aborted_phase": getattr(outcome, "aborted_phase", None),
         # float() casts are exact (and keep the dict JSON-serializable
         # when numpy scalars leak out of the mechanism); an aborted run
         # has no makespan.
         "makespan": None if outcome.makespan is None else float(outcome.makespan),
         "fines_total": float(fines),
-        "n_grievances": len(outcome.adjudications),
-        "n_audits": len(outcome.audits),
+        "n_grievances": len(getattr(outcome, "adjudications", ())),
+        "n_audits": len(getattr(outcome, "audits", ())),
         "mechanism_outlay": float(outcome.ledger.mechanism_outlay()),
     }
 
 
-def run_group(requests: Sequence[MechanismRequest]) -> list[MechanismResponse]:
-    """Execute one compatible group, demultiplexing per-request results.
+def run_group_rows(
+    requests: Sequence[MechanismRequest],
+) -> tuple[list[MechanismResponse], list[dict[str, Any]]]:
+    """Execute one compatible group; return responses and per-row deltas.
 
     All requests must share a batch key.  Responses come back in request
     order, each bitwise-equal to :func:`solo_summary` of its request;
-    ``served`` metadata records which path (``array`` or ``lane``) the
-    row rode and the flush size it was coalesced into.
+    ``served`` metadata records which path (``array``, ``lane`` or
+    ``scalar`` for trees) the row rode and the flush size it was
+    coalesced into.
+
+    The second return value holds one registry-snapshot delta per row
+    (index-aligned with the responses): the protocol counters that row's
+    solo run would have contributed, **not yet merged anywhere**.  The
+    caller folds them in request order — on the event loop, even when
+    this function ran in a pool worker — so the ``mechanism.*`` /
+    ``ledger.*`` counter totals accumulate in exactly the order a solo
+    loop over the requests would produce.  Engine-level overhead that is
+    not part of the solo recipe (perf spans, the per-tree-row
+    ``mechanism.scalar_fallbacks`` count) lands in the *active* registry
+    instead: live when run in-process, the worker's shipped delta when
+    pooled.
     """
     if not requests:
-        return []
+        return [], []
     keys = {r.batch_key for r in requests}
     if len(keys) > 1:
         raise ValueError(f"run_group requires one batch key, got {sorted(keys)}")
@@ -198,7 +248,7 @@ def run_group(requests: Sequence[MechanismRequest]) -> list[MechanismResponse]:
                 bill_overcharge=bill_overcharge,
                 audit_probability=q,
                 audit_draws=draws,
-                # Counters merge per row, in request order, below.
+                # Counters merge per row, in request order, by the caller.
                 emit_metrics=False,
             )
         row_snaps = (
@@ -222,20 +272,26 @@ def run_group(requests: Sequence[MechanismRequest]) -> list[MechanismResponse]:
             row_snapshot[i] = row_snaps[k]
             row_engine[i] = "array"
 
-    # Interleave in request order: lane rows merge their metric deltas
-    # into the live registry as they run (``collecting`` on exit), array
-    # rows merge their synthesized snapshots in between — the same
-    # per-run float fold a solo loop over these requests would produce.
+    # Lane and tree rows execute one at a time; each row's metric delta
+    # is captured without merging (collecting(merge=False)) so the
+    # caller controls the fold order.  The scalar-fallback count for
+    # tree rows is engine overhead, not part of any solo recipe, so it
+    # goes straight to the active registry.
     registry = get_registry()
     for i in range(batch_size):
         if i in row_snapshot:
-            registry.merge(row_snapshot[i])
+            continue
+        if topology == "tree":
+            registry.inc("mechanism.scalar_fallbacks")
+            engine, span = "scalar", "serve.flush.tree"
         else:
-            with perf_span("serve.flush.lane"), collecting():
-                row_summary[i] = solo_summary(requests[i], engine="lane")
-            row_engine[i] = "lane"
+            engine, span = "lane", "serve.flush.lane"
+        with perf_span(span), collecting(merge=False) as row_registry:
+            row_summary[i] = solo_summary(requests[i], engine=engine)
+        row_snapshot[i] = row_registry.snapshot()
+        row_engine[i] = engine
 
-    return [
+    responses = [
         MechanismResponse(
             ok=True,
             summary=row_summary[i],
@@ -244,6 +300,18 @@ def run_group(requests: Sequence[MechanismRequest]) -> list[MechanismResponse]:
         )
         for i in range(batch_size)
     ]
+    return responses, [row_snapshot[i] for i in range(batch_size)]
+
+
+def run_group(requests: Sequence[MechanismRequest]) -> list[MechanismResponse]:
+    """Execute one compatible group and merge its counters in request
+    order into the live registry (the in-process composition of
+    :func:`run_group_rows`)."""
+    responses, row_snaps = run_group_rows(requests)
+    registry = get_registry()
+    for snap in row_snaps:
+        registry.merge(snap)
+    return responses
 
 
 def group_by_key(
@@ -257,10 +325,21 @@ def group_by_key(
 
 
 def run_coalesced(requests: Sequence[MechanismRequest]) -> list[MechanismResponse]:
-    """Group arbitrary requests by batch key, run, reassemble in order."""
+    """Group arbitrary requests by batch key, run, reassemble in order.
+
+    Counter deltas merge in *request* order across groups (not group
+    order), matching the fold a solo loop over ``requests`` performs.
+    """
     responses: list[MechanismResponse | None] = [None] * len(requests)
+    snapshots: list[dict[str, Any] | None] = [None] * len(requests)
     for indices in group_by_key(requests):
         group = [requests[i] for i in indices]
-        for i, response in zip(indices, run_group(group)):
+        group_responses, row_snaps = run_group_rows(group)
+        for i, response, snap in zip(indices, group_responses, row_snaps):
             responses[i] = response
+            snapshots[i] = snap
+    registry = get_registry()
+    for snap in snapshots:
+        if snap is not None:
+            registry.merge(snap)
     return [r for r in responses if r is not None]

@@ -7,7 +7,8 @@ and size from ``numpy.random.default_rng(seed)``, build truthful agents
 the scalar mechanism.  The service's whole contract is that the
 micro-batched answer to a request is **bitwise-equal** to that solo
 scalar run — the request therefore carries everything the scalar recipe
-consumes and nothing else.
+consumes, plus two pure *serving* fields (``tenant``/``priority``) that
+steer admission fairness but never touch the recipe.
 
 Requests are *compatible* (stackable into one
 :func:`~repro.mechanism.batch_run.run_chain_batch` /
@@ -15,7 +16,9 @@ Requests are *compatible* (stackable into one
 a :attr:`~MechanismRequest.batch_key`: topology, size and audit
 probability.  Seeds and deviant specs vary freely within a stacked
 call — deviant kinds the arrays cannot express ride the engine's lane
-mechanisms instead (see :mod:`repro.serve.engine`).
+mechanisms instead (see :mod:`repro.serve.engine`).  Tree requests have
+no batch engine; they group like any other key but each row runs the
+scalar tree mechanism (counted under ``mechanism.scalar_fallbacks``).
 
 The wire format is JSON-lines: one JSON object per line, ``request_id``
 echoed back so pipelined responses can complete out of order.
@@ -30,13 +33,36 @@ __all__ = [
     "MechanismRequest",
     "MechanismResponse",
     "RequestError",
+    "DEFAULT_TENANT",
+    "MAX_M",
+    "PRIORITY_RANGE",
     "SUMMARY_FIELDS",
     "TOPOLOGIES",
 ]
 
-#: Topologies the service batches.  Trees have no batch engine yet and
-#: are rejected at admission rather than silently served scalar.
-TOPOLOGIES = ("chain", "star")
+#: Topologies the service runs.  Chains and stars stack into the batch
+#: engine; trees run the scalar tree mechanism per row (an honest
+#: ``mechanism.scalar_fallbacks`` increment, never a silent rejection).
+TOPOLOGIES = ("chain", "star", "tree")
+
+#: Largest network the service will schedule in one request.  The bound
+#: exists so a single wire message cannot make the engine allocate
+#: arbitrarily large arrays; batch work should go through the population
+#: runner, not the service.
+MAX_M = 512
+
+#: Inclusive bounds for the ``priority`` wire field.
+PRIORITY_RANGE = (-100, 100)
+
+#: Tenant assumed when the wire message carries none.
+DEFAULT_TENANT = "default"
+
+#: Characters allowed in a tenant name (kept tight: tenant names become
+#: metric label suffixes and queue keys).
+_TENANT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+)
+_TENANT_MAX_LEN = 64
 
 #: Deviant kinds accepted in request specs (mirror of the population
 #: runner's catalog).
@@ -50,6 +76,11 @@ _DEVIANT_KINDS = (
     "tamper",
     "accuse",
 )
+
+#: The tree mechanism models the tamper-proof level: only rate and
+#: execution-speed deviations exist there (mirror of
+#: ``repro.faults.spec.TOPOLOGY_KINDS["tree"]``).
+_TREE_DEVIANT_KINDS = frozenset({"misbid", "slow"})
 
 #: The summary fields a response carries, in a fixed order.  These are
 #: exactly the observables a solo scalar run produces; the bitwise
@@ -72,6 +103,15 @@ class RequestError(ValueError):
     """A malformed or unservable request (never enqueued)."""
 
 
+def _require_int(value: Any, name: str) -> int:
+    """A strict integer: rejects bools (``isinstance(True, int)`` is
+    true, so ``{"m": true}`` would otherwise silently serve an m=1 run)
+    and anything not already integral."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"{name} must be an integer, got {value!r}")
+    return value
+
+
 @dataclass(frozen=True)
 class MechanismRequest:
     """One mechanism run as a service request.
@@ -79,20 +119,32 @@ class MechanismRequest:
     Attributes
     ----------
     topology:
-        ``"chain"`` (DLS-LBL on a boundary-origination linear network)
-        or ``"star"`` (the star/bus mechanism).
+        ``"chain"`` (DLS-LBL on a boundary-origination linear network),
+        ``"star"`` (the star/bus mechanism) or ``"tree"`` (DLS-T on a
+        random rooted tree of ``m + 1`` nodes).
     m:
-        Links per chain (``m + 1`` processors) / children per star.
+        Links per chain (``m + 1`` processors) / children per star /
+        strategic nodes per tree.
     seed:
         The solo recipe's rng seed: the network draw and the mechanism's
         audit randomness both come from ``default_rng(seed)``.
     audit_probability:
-        Phase IV challenge probability ``q``.
+        Phase IV challenge probability ``q`` (unused by the tree
+        mechanism, which models the tamper-proof level).
     deviant:
         Optional ``INDEX:KIND[:PARAM]`` spec injecting one deviant agent
-        (same grammar as ``python -m repro run --deviant``).
+        (same grammar as ``python -m repro run --deviant``).  Trees only
+        accept ``misbid``/``slow``.
     request_id:
-        Caller-assigned correlation id, echoed in the response.
+        Caller-assigned correlation id (an integer), echoed in the
+        response.
+    tenant:
+        Admission-fairness key: the weighted deficit-round-robin queue
+        schedules across tenants and bounds each tenant's backlog
+        separately.  Never part of the execution recipe.
+    priority:
+        Within-tenant ordering hint (higher drains first; FIFO within a
+        priority level).  Never part of the execution recipe.
     """
 
     topology: str = "chain"
@@ -101,6 +153,8 @@ class MechanismRequest:
     audit_probability: float = 0.25
     deviant: str | None = None
     request_id: int | None = None
+    tenant: str = DEFAULT_TENANT
+    priority: int = 0
 
     def validate(self) -> "MechanismRequest":
         """Raise :class:`RequestError` on anything the service cannot run."""
@@ -108,10 +162,29 @@ class MechanismRequest:
             raise RequestError(
                 f"unknown topology {self.topology!r}; choose from {TOPOLOGIES}"
             )
-        if not isinstance(self.m, int) or self.m < 1:
+        _require_int(self.m, "m")
+        if self.m < 1:
             raise RequestError(f"m must be a positive integer, got {self.m!r}")
-        if not isinstance(self.seed, int):
-            raise RequestError(f"seed must be an integer, got {self.seed!r}")
+        if self.m > MAX_M:
+            raise RequestError(f"m must be at most {MAX_M}, got {self.m!r}")
+        _require_int(self.seed, "seed")
+        if self.seed < 0:
+            raise RequestError(f"seed must be non-negative, got {self.seed!r}")
+        if self.request_id is not None:
+            _require_int(self.request_id, "request_id")
+        _require_int(self.priority, "priority")
+        if not PRIORITY_RANGE[0] <= self.priority <= PRIORITY_RANGE[1]:
+            raise RequestError(
+                f"priority must be in [{PRIORITY_RANGE[0]}, {PRIORITY_RANGE[1]}], "
+                f"got {self.priority!r}"
+            )
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise RequestError(f"tenant must be a non-empty string, got {self.tenant!r}")
+        if len(self.tenant) > _TENANT_MAX_LEN or not set(self.tenant) <= _TENANT_CHARS:
+            raise RequestError(
+                f"tenant must be 1..{_TENANT_MAX_LEN} chars of [A-Za-z0-9._-], "
+                f"got {self.tenant!r}"
+            )
         if not 0.0 < float(self.audit_probability) <= 1.0:
             raise RequestError(
                 f"audit probability must be in (0, 1], got {self.audit_probability!r}"
@@ -134,6 +207,11 @@ class MechanismRequest:
                 raise RequestError(
                     f"unknown deviant kind {parts[1]!r}; choose from {sorted(_DEVIANT_KINDS)}"
                 )
+            if self.topology == "tree" and parts[1] not in _TREE_DEVIANT_KINDS:
+                raise RequestError(
+                    f"deviant kind {parts[1]!r} unsupported on trees "
+                    f"(tamper-proof level); choose from {sorted(_TREE_DEVIANT_KINDS)}"
+                )
             if len(parts) > 2:
                 try:
                     float(parts[2])
@@ -143,7 +221,12 @@ class MechanismRequest:
 
     @property
     def batch_key(self) -> tuple[str, int, float]:
-        """Requests sharing this key stack into one batch-engine call."""
+        """Requests sharing this key stack into one batch-engine call.
+
+        Tenant and priority are deliberately absent: they steer
+        *admission*, not execution, so requests from different tenants
+        coalesce into one stacked call.
+        """
         return (self.topology, self.m, float(self.audit_probability))
 
     def with_id(self, request_id: int) -> "MechanismRequest":
@@ -163,19 +246,39 @@ class MechanismRequest:
             msg["deviant"] = self.deviant
         if self.request_id is not None:
             msg["request_id"] = self.request_id
+        if self.tenant != DEFAULT_TENANT:
+            msg["tenant"] = self.tenant
+        if self.priority != 0:
+            msg["priority"] = self.priority
         return msg
 
     @classmethod
     def from_wire(cls, msg: Mapping[str, Any]) -> "MechanismRequest":
-        """Parse (and validate) a wire message; raises :class:`RequestError`."""
+        """Parse (and validate) a wire message; raises :class:`RequestError`.
+
+        Integer fields are validated on the *raw* JSON values: a JSON
+        ``true`` never reaches ``int()`` (where it would silently become
+        1), and ``request_id`` must be an integer or null — the service
+        echoes it back, so arbitrary JSON is refused rather than
+        reflected.
+        """
+        m = _require_int(msg.get("m", 4), "m")
+        seed = _require_int(msg.get("seed", 0), "seed")
+        priority = _require_int(msg.get("priority", 0), "priority")
+        request_id = msg.get("request_id")
+        if request_id is not None:
+            _require_int(request_id, "request_id")
+        tenant = msg.get("tenant", DEFAULT_TENANT)
         try:
             request = cls(
                 topology=msg.get("topology", "chain"),
-                m=int(msg.get("m", 4)),
-                seed=int(msg.get("seed", 0)),
+                m=m,
+                seed=seed,
                 audit_probability=float(msg.get("audit_probability", 0.25)),
                 deviant=msg.get("deviant"),
-                request_id=msg.get("request_id"),
+                request_id=request_id,
+                tenant=tenant,
+                priority=priority,
             )
         except (TypeError, ValueError) as exc:
             raise RequestError(f"malformed request: {exc}") from None
@@ -188,9 +291,10 @@ class MechanismResponse:
 
     ``summary`` is the bitwise-contracted payload (see
     :data:`SUMMARY_FIELDS`); ``served`` carries serving metadata —
-    whether the run rode a stacked array lane or the lane engine, and
-    the size of the flush it was coalesced into — which is *not* part of
-    the equality contract (a solo run has no batch to describe).
+    whether the run rode a stacked array lane, the lane engine or the
+    scalar tree mechanism, and the size of the flush it was coalesced
+    into — which is *not* part of the equality contract (a solo run has
+    no batch to describe).
     """
 
     ok: bool

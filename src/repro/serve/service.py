@@ -32,16 +32,38 @@ import asyncio
 import json
 from typing import Any
 
+from typing import Mapping
+
 from repro.obs.metrics import get_registry
 from repro.serve.admission import AdmissionError, AdmissionQueue
 from repro.serve.dispatcher import Dispatcher, FlushPolicy
+from repro.serve.pool import WorkerPool
 from repro.serve.request import MechanismRequest, MechanismResponse, RequestError
 
 __all__ = ["MechanismService"]
 
 
+def _echo_id(msg: Mapping[str, Any]) -> int | None:
+    """The ``request_id`` to echo on an error response, or ``None``.
+
+    Error paths must not reflect arbitrary JSON back to the caller; only
+    a well-formed integer id (never a bool) is echoed.
+    """
+    request_id = msg.get("request_id")
+    if isinstance(request_id, bool) or not isinstance(request_id, int):
+        return None
+    return request_id
+
+
 class MechanismService:
-    """Admission queue + dispatcher + TCP server, one event loop."""
+    """Admission queue + dispatcher + TCP server, one event loop.
+
+    ``workers=0`` (the default) executes flushes inline in the event
+    loop; ``workers >= 1`` puts a :class:`~repro.serve.pool.WorkerPool`
+    of that many processes behind the dispatcher.  Either way every
+    response — and the folded counter totals — stays bitwise-equal to
+    the solo scalar recipe.
+    """
 
     def __init__(
         self,
@@ -50,11 +72,17 @@ class MechanismService:
         *,
         policy: FlushPolicy | None = None,
         capacity: int = 256,
+        tenant_capacity: int | None = None,
+        weights: Mapping[str, float] | None = None,
+        workers: int = 0,
     ) -> None:
         self.host = host
         self.port = port
-        self.queue = AdmissionQueue(capacity)
-        self.dispatcher = Dispatcher(self.queue, policy)
+        self.queue = AdmissionQueue(
+            capacity, tenant_capacity=tenant_capacity, weights=weights
+        )
+        self.pool = WorkerPool(workers) if workers > 0 else None
+        self.dispatcher = Dispatcher(self.queue, policy, pool=self.pool)
         self._server: asyncio.AbstractServer | None = None
         self._stopping: asyncio.Event | None = None
 
@@ -78,6 +106,8 @@ class MechanismService:
         """Graceful shutdown: refuse new work, drain admitted work."""
         self.queue.close()
         await self.dispatcher.join()
+        if self.pool is not None:
+            self.pool.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -186,18 +216,18 @@ class MechanismService:
             await self._write(writer, lock, response.to_wire())
         else:
             get_registry().inc("serve.rejected_malformed")
-            await self._write(
-                writer, lock, {"ok": False, "error": f"unknown op {op!r}", "request_id": msg.get("request_id")}
-            )
+            reply: dict[str, Any] = {"ok": False, "error": f"unknown op {op!r}"}
+            request_id = _echo_id(msg)
+            if request_id is not None:
+                reply["request_id"] = request_id
+            await self._write(writer, lock, reply)
 
     async def _handle_run(self, msg: dict[str, Any]) -> MechanismResponse:
         try:
             request = MechanismRequest.from_wire(msg)
         except RequestError as exc:
             get_registry().inc("serve.invalid")
-            return MechanismResponse(
-                ok=False, error=str(exc), request_id=msg.get("request_id")
-            )
+            return MechanismResponse(ok=False, error=str(exc), request_id=_echo_id(msg))
         try:
             future = self.queue.submit(request)
         except AdmissionError as exc:
@@ -221,9 +251,12 @@ class MechanismService:
     def stats(self) -> dict[str, Any]:
         counters = get_registry().snapshot().get("counters", {})
         return {
-            "queue_depth": max(self.queue.depth(), 0),
+            "queue_depth": self.queue.depth(),
             "capacity": self.queue.capacity,
+            "tenant_capacity": self.queue.tenant_capacity,
+            "tenants": self.queue.tenants(),
             "policy": self.dispatcher.policy.label,
+            "workers": self.pool.workers if self.pool is not None else 0,
             "counters": {
                 name: value
                 for name, value in sorted(counters.items())

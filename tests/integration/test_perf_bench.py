@@ -106,8 +106,10 @@ class TestBenchRecord:
             "deviant_mix",
             "solve_cache",
             "serve",
+            "serve_pool",
         }
         assert row["gated"]["serve"]["valid"] is True
+        assert row["gated"]["serve_pool"]["valid"] is True
 
     def test_serve_section_is_bitwise_gated(self, record):
         serve = record["record"]["serve"]

@@ -17,8 +17,8 @@ from repro.serve.request import MechanismRequest
 from repro.serve.service import MechanismService
 
 
-async def _with_service(coro, *, policy=None, capacity=256):
-    service = MechanismService(port=0, policy=policy, capacity=capacity)
+async def _with_service(coro, *, policy=None, capacity=256, **kwargs):
+    service = MechanismService(port=0, policy=policy, capacity=capacity, **kwargs)
     await service.start()
     try:
         return await coro(service)
@@ -68,28 +68,53 @@ class TestServiceEndToEnd:
 
     def test_invalid_requests_rejected_before_admission(self):
         async def _go(service):
-            bad_topology = await request_once(
+            good_run = await request_once(
                 "127.0.0.1",
                 service.port,
                 MechanismRequest(topology="chain", m=3, seed=0, request_id=1),
             )
             reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
             try:
-                writer.write(b'{"op": "run", "topology": "tree", "request_id": 2}\n')
+                writer.write(b'{"op": "run", "topology": "ring", "request_id": 2}\n')
+                writer.write(b'{"op": "run", "m": true, "request_id": 3}\n')
+                writer.write(b'{"op": "run", "m": 3, "request_id": {"evil": 1}}\n')
                 writer.write(b'not json at all\n')
                 await writer.drain()
-                tree = json.loads(await reader.readline())
-                garbage = json.loads(await reader.readline())
+                replies = [json.loads(await reader.readline()) for _ in range(4)]
             finally:
                 writer.close()
                 await writer.wait_closed()
-            return bad_topology, tree, garbage
+            return good_run, replies
 
-        good, tree, garbage = asyncio.run(_with_service(_go))
+        good, (ring, bool_m, bad_id, garbage) = asyncio.run(_with_service(_go))
         assert good["ok"] is True
-        assert not tree["ok"] and "unknown topology" in tree["error"]
-        assert tree["request_id"] == 2
+        assert not ring["ok"] and "unknown topology" in ring["error"]
+        assert ring["request_id"] == 2
+        # JSON true must not be served as m=1 (bool is an int subclass).
+        assert not bool_m["ok"] and "m must be an integer" in bool_m["error"]
+        assert bool_m["request_id"] == 3
+        # A non-integer request_id is refused, never reflected back.
+        assert not bad_id["ok"] and "request_id" in bad_id["error"]
+        assert "request_id" not in bad_id
         assert not garbage["ok"] and "bad json" in garbage["error"]
+
+    def test_tree_requests_are_served_bitwise(self):
+        requests = mixed_workload(
+            18, seed=11, sizes=(3, 5), topologies=("chain", "tree"), deviants=True
+        )
+
+        async def _go(service):
+            return await run_load(
+                "127.0.0.1", service.port, requests, connections=3, verify=True
+            )
+
+        report = asyncio.run(
+            _with_service(_go, policy=FlushPolicy(max_batch=6, max_wait_s=0.002))
+        )
+        assert report["ok"] == 18 and report["errors"] == 0
+        assert report["bitwise_equal"] is True
+        # Tree rows ride the scalar DLS-T engine.
+        assert report["served_engines"].get("scalar", 0) > 0
 
     def test_overflow_is_rejected_not_queued(self):
         # Capacity 1 with a wide-open batch window: the second pipelined
@@ -122,6 +147,38 @@ class TestServiceEndToEnd:
         served = [r for r in by_id.values() if r["ok"]]
         assert rejected and served
         assert all("full" in r["error"] for r in rejected)
+
+    def test_worker_pool_service_is_bitwise_equal_end_to_end(self):
+        # Real sockets, two worker processes, mixed tenants and tree
+        # rows: every response verified bitwise against the local solo
+        # recipe by the client.
+        requests = mixed_workload(
+            24,
+            seed=19,
+            sizes=(3, 4),
+            topologies=("chain", "star", "tree"),
+            tenants=("team-a", "team-b"),
+            priorities=(0, 3),
+        )
+
+        async def _go(service):
+            report = await run_load(
+                "127.0.0.1", service.port, requests, connections=3, verify=True
+            )
+            stats = service.stats()
+            return report, stats
+
+        report, stats = asyncio.run(
+            _with_service(
+                _go, policy=FlushPolicy(max_batch=6, max_wait_s=0.002), workers=2
+            )
+        )
+        assert report["ok"] == 24 and report["errors"] == 0
+        assert report["bitwise_equal"] is True
+        assert report["tenants_ok"] == {"team-a": 12, "team-b": 12}
+        assert stats["workers"] == 2
+        assert stats["queue_depth"] >= 0
+        assert stats["counters"].get("serve.pool_dispatches", 0) >= 1
 
     def test_graceful_shutdown_drains_admitted_work(self):
         requests = mixed_workload(12, seed=3, sizes=(3,))

@@ -238,6 +238,63 @@ class TestCoalescedEngine:
         assert mech_coalesced == mech_solo
 
 
+class TestTreeTopology:
+    """Tree requests route through the scalar DLS-T mechanism per row."""
+
+    @pytest.mark.parametrize("policy", POLICIES[:3], ids=lambda p: p.label)
+    def test_tree_rows_bitwise_equal_to_solo(self, policy):
+        requests = [
+            MechanismRequest(
+                topology="tree", m=3 + (i % 3), seed=40 + i, request_id=i,
+                deviant=("2:misbid" if i % 3 == 1 else "1:slow:2.0" if i % 3 == 2 else None),
+            ).validate()
+            for i in range(9)
+        ]
+        responses = _serve(requests, policy)
+        for request, response in zip(requests, responses):
+            assert response.ok, response.error
+            assert response.summary == solo_summary(request)
+            assert response.served["engine"] == "scalar"
+
+    def test_tree_rows_count_scalar_fallbacks_honestly(self):
+        requests = mixed_workload(
+            12, seed=23, sizes=(3, 4), topologies=("chain", "tree")
+        )
+        n_tree = sum(1 for r in requests if r.topology == "tree")
+        assert n_tree > 0
+        with collecting() as registry:
+            run_coalesced(requests)
+        counters = registry.snapshot()["counters"]
+        assert counters.get("mechanism.scalar_fallbacks", 0) == n_tree
+
+    def test_coalesced_counters_with_trees_match_solo_loop(self):
+        # Same fold-equality contract as chain/star, tree rows included.
+        # mechanism.scalar_fallbacks is engine overhead (a solo caller
+        # never increments it), so it is excluded from the comparison —
+        # its value is pinned by the test above.
+        requests = mixed_workload(
+            12, seed=29, sizes=(3, 5), topologies=("chain", "star", "tree")
+        )
+        with collecting() as coalesced:
+            run_coalesced(requests)
+        with collecting() as solo:
+            for request in requests:
+                with collecting():
+                    solo_summary(request, engine="lane")
+        drop = {"mechanism.scalar_fallbacks"}
+        mech_coalesced = {
+            k: v
+            for k, v in coalesced.snapshot()["counters"].items()
+            if k.startswith(("mechanism.", "ledger.")) and k not in drop
+        }
+        mech_solo = {
+            k: v
+            for k, v in solo.snapshot()["counters"].items()
+            if k.startswith(("mechanism.", "ledger.")) and k not in drop
+        }
+        assert mech_coalesced == mech_solo
+
+
 class TestGracefulDrain:
     def test_everything_admitted_before_close_is_served(self):
         requests = mixed_workload(10, seed=17, sizes=(3,))

@@ -18,7 +18,7 @@ from repro.obs.bench import (
 )
 
 
-def _record(cpu_count=4, jobs=2, bitwise=True, batch_s=0.1, warm_s=0.02):
+def _record(cpu_count=4, jobs=2, bitwise=True, batch_s=0.1, warm_s=0.02, pool_bitwise=True):
     return {
         "machine": {"cpu_count": cpu_count, "platform": "test", "python": "3.11.0"},
         "batch_solve": {"batch_s": batch_s, "scalar_loop_s": 1.0},
@@ -36,6 +36,12 @@ def _record(cpu_count=4, jobs=2, bitwise=True, batch_s=0.1, warm_s=0.02):
             "serial_task_misses": 700,
             "worker_task_hits": 25,
             "worker_task_misses": 5,
+        },
+        "serve": {
+            "count": 200,
+            "batched_s": 0.5,
+            "bitwise_equal": bitwise,
+            "serve_pool": {"pooled_s": 0.6, "bitwise_equal": pool_bitwise},
         },
     }
 
@@ -109,6 +115,20 @@ class TestHistoryRow:
         row = history_row(annotate_sections(_record(bitwise=False)))
         assert row["gated"]["mech_batch"]["valid"] is False
         assert row["gated"]["deviant_mix"]["valid"] is False
+
+    def test_serve_pool_gates_on_its_own_bitwise_sweep(self):
+        row = history_row(annotate_sections(_record()))
+        assert row["gated"]["serve"]["seconds"] == 0.5
+        assert row["gated"]["serve_pool"]["seconds"] == 0.6
+        assert row["gated"]["serve_pool"]["valid"] is True
+        # A dirty pool sweep invalidates serve_pool without touching the
+        # parent serve row.
+        row = history_row(annotate_sections(_record(pool_bitwise=False)))
+        assert row["gated"]["serve"]["valid"] is True
+        assert row["gated"]["serve_pool"]["valid"] is False
+        # An invalid parent serve section poisons the nested row too.
+        row = history_row(annotate_sections(_record(bitwise=False)))
+        assert row["gated"]["serve_pool"]["valid"] is False
 
     def test_append_and_read_round_trip(self, tmp_path):
         path = tmp_path / "history.jsonl"

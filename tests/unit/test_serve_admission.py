@@ -11,8 +11,8 @@ from repro.serve.admission import SHUTDOWN, AdmissionError, AdmissionQueue
 from repro.serve.request import MechanismRequest
 
 
-def _request(i: int) -> MechanismRequest:
-    return MechanismRequest(m=3, seed=i, request_id=i)
+def _request(i: int, *, tenant: str = "default", priority: int = 0) -> MechanismRequest:
+    return MechanismRequest(m=3, seed=i, request_id=i, tenant=tenant, priority=priority)
 
 
 class TestAdmission:
@@ -96,3 +96,116 @@ class TestAdmission:
             assert histogram["total"] == 6.0
 
         asyncio.run(_run())
+
+    def test_depth_never_negative_after_sentinel_consumed(self):
+        # Regression: the sentinel used to occupy a queue slot, so
+        # depth() went to -1 once the dispatcher consumed it mid-drain.
+        async def _run():
+            queue = AdmissionQueue(capacity=4)
+            queue.submit(_request(0))
+            queue.close()
+            item = await queue.get()
+            assert item is not SHUTDOWN
+            assert queue.depth() == 0
+            sentinel = await queue.get()
+            assert sentinel is SHUTDOWN
+            assert queue.depth() == 0
+            # And it stays clean across repeated polls of an empty queue.
+            with pytest.raises(asyncio.QueueEmpty):
+                queue.get_nowait()
+            assert queue.depth() == 0
+
+        asyncio.run(_run())
+
+
+class TestFairAdmission:
+    def test_tenant_capacity_bounds_one_tenant_without_starving_others(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=8, tenant_capacity=2)
+            with collecting() as registry:
+                queue.submit(_request(0, tenant="flood"))
+                queue.submit(_request(1, tenant="flood"))
+                with pytest.raises(AdmissionError, match="tenant 'flood'"):
+                    queue.submit(_request(2, tenant="flood"))
+                # Another tenant is still welcome while flood is rejected.
+                queue.submit(_request(3, tenant="quiet"))
+            counters = registry.snapshot()["counters"]
+            assert counters["serve.rejected_tenant_overflow"] == 1
+            assert counters["serve.tenant.flood.rejected"] == 1
+            assert counters["serve.tenant.quiet.admitted"] == 1
+            assert queue.tenant_depth("flood") == 2
+            assert queue.tenants() == {"flood": 2, "quiet": 1}
+
+        asyncio.run(_run())
+
+    def test_round_robin_interleaves_tenants(self):
+        # Tenant a floods first; b's lone request still drains within
+        # one ring rotation, not after a's whole backlog.
+        async def _run():
+            queue = AdmissionQueue(capacity=16)
+            for i in range(4):
+                queue.submit(_request(i, tenant="a"))
+            queue.submit(_request(10, tenant="b"))
+            order = []
+            for _ in range(5):
+                request, _future = await queue.get()
+                order.append(request.tenant)
+            return order
+
+        order = asyncio.run(_run())
+        assert "b" in order[:2]
+
+    def test_weights_skew_service_ratio(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=16, weights={"heavy": 2.0})
+            for i in range(6):
+                queue.submit(_request(i, tenant="heavy"))
+            for i in range(6, 12):
+                queue.submit(_request(i, tenant="light"))
+            first_six = []
+            for _ in range(6):
+                request, _future = await queue.get()
+                first_six.append(request.tenant)
+            return first_six
+
+        first_six = asyncio.run(_run())
+        assert first_six.count("heavy") == 4
+        assert first_six.count("light") == 2
+
+    def test_priority_orders_within_tenant_fifo_within_level(self):
+        async def _run():
+            queue = AdmissionQueue(capacity=8)
+            queue.submit(_request(0, priority=0))
+            queue.submit(_request(1, priority=5))
+            queue.submit(_request(2, priority=5))
+            queue.submit(_request(3, priority=-1))
+            order = []
+            for _ in range(4):
+                request, _future = await queue.get()
+                order.append(request.request_id)
+            return order
+
+        assert asyncio.run(_run()) == [1, 2, 0, 3]
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="tenant capacity"):
+            AdmissionQueue(capacity=4, tenant_capacity=0)
+        with pytest.raises(ValueError, match="weights"):
+            AdmissionQueue(capacity=4, weights={"a": 0.5})
+
+    def test_idle_tenant_banks_no_deficit(self):
+        # A tenant that drains and comes back later re-enters the ring
+        # with a fresh deficit — history buys no burst.
+        async def _run():
+            queue = AdmissionQueue(capacity=8, weights={"a": 3.0})
+            queue.submit(_request(0, tenant="a"))
+            await queue.get()
+            assert queue.tenants() == {}
+            queue.submit(_request(1, tenant="b"))
+            queue.submit(_request(2, tenant="a"))
+            request, _future = await queue.get()
+            return request.tenant
+
+        # b was first into the (empty) ring, so b is served first even
+        # though a carries the larger weight.
+        assert asyncio.run(_run()) == "b"

@@ -119,3 +119,45 @@ class TestBatching:
 
         kept = asyncio.run(_run())
         assert all(r.ok for r in kept)
+
+    def test_short_engine_return_fails_tail_futures_with_error(self, monkeypatch):
+        # Regression: zip(indices, responses) used to drop the tail of a
+        # short engine return silently, leaving those futures pending
+        # forever (await would hang).  Now every unmatched member gets a
+        # structured internal error.
+        import repro.serve.dispatcher as dispatcher_mod
+
+        real_run_group_rows = dispatcher_mod.run_group_rows
+
+        def short_run_group_rows(requests):
+            responses, snaps = real_run_group_rows(requests)
+            return responses[:-1], snaps[:-1]
+
+        monkeypatch.setattr(dispatcher_mod, "run_group_rows", short_run_group_rows)
+
+        requests = [_request(i) for i in range(3)]
+        with collecting() as registry:
+            responses = _serve_burst(requests, FlushPolicy(max_batch=8, max_wait_s=0.0))
+        assert len(responses) == 3
+        assert [r.ok for r in responses] == [True, True, False]
+        assert "engine returned 2 responses" in responses[2].error
+        assert responses[2].request_id == 2
+        assert registry.snapshot()["counters"]["serve.errors"] == 1
+
+    def test_long_engine_return_truncates_not_misattributes(self, monkeypatch):
+        import repro.serve.dispatcher as dispatcher_mod
+
+        from repro.serve.request import MechanismResponse
+
+        real_run_group_rows = dispatcher_mod.run_group_rows
+
+        def long_run_group_rows(requests):
+            responses, snaps = real_run_group_rows(requests)
+            return responses + [MechanismResponse(ok=True, request_id=999)], snaps + [{}]
+
+        monkeypatch.setattr(dispatcher_mod, "run_group_rows", long_run_group_rows)
+
+        requests = [_request(i) for i in range(2)]
+        responses = _serve_burst(requests, FlushPolicy(max_batch=8, max_wait_s=0.0))
+        assert [r.request_id for r in responses] == [0, 1]
+        assert all(r.ok for r in responses)

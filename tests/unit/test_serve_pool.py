@@ -1,0 +1,117 @@
+"""Worker pool: group execution contract, lifecycle, registry hygiene."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import collecting
+from repro.serve.admission import AdmissionQueue
+from repro.serve.dispatcher import Dispatcher, FlushPolicy
+from repro.serve.engine import solo_summary
+from repro.serve.pool import WorkerPool, execute_group
+from repro.serve.request import MechanismRequest
+
+
+def _request(i: int, topology: str = "chain") -> MechanismRequest:
+    return MechanismRequest(topology=topology, m=3, seed=i, request_id=i).validate()
+
+
+class TestExecuteGroup:
+    def test_returns_responses_row_snaps_and_overhead(self):
+        requests = [_request(i) for i in range(3)]
+        responses, row_snaps, overhead = execute_group(requests)
+        assert len(responses) == 3 and len(row_snaps) == 3
+        for request, response in zip(requests, responses):
+            assert response.ok
+            assert response.summary == solo_summary(request)
+        # Per-row deltas carry the protocol counters of that row alone.
+        for snap in row_snaps:
+            assert snap.get("counters"), snap
+        # Engine overhead (perf spans) ships separately.
+        assert "histograms" in overhead
+
+    def test_leaves_the_callers_registry_untouched(self):
+        requests = [_request(i) for i in range(2)]
+        with collecting() as registry:
+            execute_group(requests)
+        snap = registry.snapshot()
+        assert snap.get("counters", {}) == {}
+        assert snap.get("histograms", {}) == {}
+
+    def test_tree_fallback_count_rides_overhead_not_rows(self):
+        requests = [_request(i, topology="tree") for i in range(2)]
+        _responses, row_snaps, overhead = execute_group(requests)
+        assert overhead["counters"]["mechanism.scalar_fallbacks"] == 2
+        for snap in row_snaps:
+            assert "mechanism.scalar_fallbacks" not in snap.get("counters", {})
+
+
+class TestWorkerPool:
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            WorkerPool(0)
+
+    def test_submit_runs_groups_in_worker_processes(self):
+        async def _run():
+            pool = WorkerPool(1)
+            try:
+                pool.warm()
+                responses, row_snaps, _overhead = await pool.submit(
+                    [_request(0), _request(1)]
+                )
+                return responses, row_snaps
+            finally:
+                pool.close()
+
+        with collecting() as registry:
+            responses, row_snaps = asyncio.run(_run())
+        assert [r.request_id for r in responses] == [0, 1]
+        assert all(r.ok for r in responses)
+        assert len(row_snaps) == 2
+        # Worker-side metrics never leak into this process's registry:
+        # submit() ships deltas, it does not merge them.
+        assert registry.snapshot().get("counters", {}) == {}
+
+    def test_submit_after_close_raises(self):
+        async def _run():
+            pool = WorkerPool(1)
+            pool.close()
+            assert pool.closed
+            with pytest.raises(RuntimeError, match="closed"):
+                pool.submit([_request(0)])
+            pool.close()  # idempotent
+
+        asyncio.run(_run())
+
+
+class TestPooledDispatcher:
+    def test_pooled_flushes_resolve_futures_and_fold_counters(self):
+        requests = [_request(i) for i in range(6)]
+
+        async def _run():
+            queue = AdmissionQueue(capacity=16)
+            pool = WorkerPool(1)
+            dispatcher = Dispatcher(
+                queue, FlushPolicy(max_batch=3, max_wait_s=0.0), pool=pool
+            )
+            dispatcher.start()
+            futures = [queue.submit(r) for r in requests]
+            results = await asyncio.gather(*futures)
+            queue.close()
+            await dispatcher.join()
+            pool.close()
+            return results
+
+        with collecting() as registry:
+            responses = asyncio.run(_run())
+        for request, response in zip(requests, responses):
+            assert response.ok
+            assert response.summary == solo_summary(request)
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.requests"] == 6
+        assert counters["serve.pool_dispatches"] >= 1
+        # Protocol counters folded on the loop from the shipped deltas.
+        assert any(name.startswith("mechanism.") for name in counters)
+        assert registry.snapshot()["gauges"]["serve.pool_workers"] == 1.0
